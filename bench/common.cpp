@@ -1,0 +1,100 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+#include "common/timer.hpp"
+#include "layout/glf.hpp"
+
+namespace hsdl::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("HSDL_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0 && v <= 1.0) return v;
+    std::fprintf(stderr, "ignoring bad HSDL_BENCH_SCALE='%s'\n", env);
+  }
+  return 0.08;
+}
+
+layout::BenchmarkData load_or_build(const hotspot::BenchmarkSpec& spec) {
+  namespace fs = std::filesystem;
+  const fs::path dir = "bench_cache";
+  const std::string stem =
+      strfmt("%s_hs%zu_nhs%zu", spec.name.c_str(), spec.train_hotspots,
+             spec.train_non_hotspots);
+  const fs::path train_path = dir / (stem + "_train.glf");
+  const fs::path test_path = dir / (stem + "_test.glf");
+
+  if (fs::exists(train_path) && fs::exists(test_path)) {
+    layout::BenchmarkData data;
+    data.name = spec.name;
+    data.train = layout::read_glf_file(train_path.string());
+    data.test = layout::read_glf_file(test_path.string());
+    if (data.train_hotspots() == spec.train_hotspots &&
+        data.test_hotspots() == spec.test_hotspots) {
+      std::fprintf(stderr, "[bench] %s loaded from cache\n",
+                   spec.name.c_str());
+      return data;
+    }
+  }
+
+  WallTimer timer;
+  layout::BenchmarkData data = hotspot::build_benchmark(spec);
+  std::fprintf(stderr, "[bench] %s generated in %.1fs\n", spec.name.c_str(),
+               timer.seconds());
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (!ec) {
+    layout::write_glf_file(train_path.string(), data.train);
+    layout::write_glf_file(test_path.string(), data.test);
+  }
+  return data;
+}
+
+hotspot::CnnDetectorConfig cnn_config(std::size_t bias_rounds) {
+  hotspot::CnnDetectorConfig cfg;
+  cfg.biased.rounds = bias_rounds;
+  cfg.biased.delta = 0.1;
+  cfg.biased.initial.learning_rate = 1e-2;
+  cfg.biased.initial.decay_step = 1200;
+  cfg.biased.initial.max_iters = 2200;
+  cfg.biased.initial.validate_every = 100;
+  cfg.biased.initial.patience = 8;
+  cfg.biased.finetune.learning_rate = 2e-3;
+  cfg.biased.finetune.decay_step = 250;
+  cfg.biased.finetune.max_iters = 500;
+  cfg.biased.finetune.validate_every = 50;
+  cfg.biased.finetune.patience = 6;
+  return cfg;
+}
+
+hotspot::BoostDetectorConfig adaboost_config() {
+  hotspot::BoostDetectorConfig cfg;
+  cfg.boost.scheme = baselines::WeightScheme::kExponential;
+  cfg.boost.rounds = 150;
+  return cfg;
+}
+
+hotspot::BoostDetectorConfig smoothboost_config() {
+  hotspot::BoostDetectorConfig cfg;
+  cfg.boost.scheme = baselines::WeightScheme::kSmoothCapped;
+  cfg.boost.rounds = 150;
+  cfg.online_passes = 1;
+  return cfg;
+}
+
+void print_header(const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("dataset scale: %.3f of the paper's instance counts "
+              "(HSDL_BENCH_SCALE)\n", bench_scale());
+  std::printf("==============================================================\n");
+}
+
+std::string pct(double fraction) { return strfmt("%.1f%%", 100.0 * fraction); }
+
+}  // namespace hsdl::bench

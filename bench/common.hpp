@@ -1,0 +1,36 @@
+// Shared infrastructure for the paper-reproduction benchmark harnesses.
+//
+// Every harness prints a header stating what it reproduces, uses the same
+// dataset scale (env HSDL_BENCH_SCALE, default 0.08 — the paper's counts
+// shrunk ~12x so the whole suite runs on one CPU core), and caches
+// generated benchmarks as GLF files under ./bench_cache so the suite
+// builds each testcase once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hotspot/benchmark_factory.hpp"
+#include "hotspot/detector.hpp"
+
+namespace hsdl::bench {
+
+/// Dataset scale from HSDL_BENCH_SCALE (default 0.08).
+double bench_scale();
+
+/// Builds (or loads from ./bench_cache) the benchmark for `spec`.
+layout::BenchmarkData load_or_build(const hotspot::BenchmarkSpec& spec);
+
+/// Detector configurations used across harnesses (tuned for bench_scale
+/// datasets; see EXPERIMENTS.md for the mapping to the paper's values).
+hotspot::CnnDetectorConfig cnn_config(std::size_t bias_rounds = 3);
+hotspot::BoostDetectorConfig adaboost_config();
+hotspot::BoostDetectorConfig smoothboost_config();
+
+/// Prints the standard harness header.
+void print_header(const std::string& what);
+
+/// "95.5%"-style formatting.
+std::string pct(double fraction);
+
+}  // namespace hsdl::bench

@@ -1,0 +1,101 @@
+// Reproduces Figure 4: biased learning versus decision-boundary shifting.
+//
+// An initial model is trained with eps = 0 on Industry3 (the paper's
+// choice), then (a) fine-tuned with eps = 0.1 / 0.2 / 0.3 (Algorithm 2)
+// and (b) boundary-shifted (Equation 11) with lambda swept until the same
+// test accuracy as each fine-tuned model is reached. At matched accuracy,
+// biased learning must exhibit fewer false alarms.
+#include <cstdio>
+
+#include "common.hpp"
+#include "hotspot/trainer.hpp"
+#include "nn/serialize.hpp"
+
+using namespace hsdl;
+
+namespace {
+
+struct Point {
+  double accuracy;
+  std::size_t false_alarms;
+};
+
+Point measure(hotspot::CnnDetector& det,
+              const std::vector<layout::LabeledClip>& test) {
+  hotspot::DetectorEval eval = det.evaluate(test);
+  return {eval.confusion.accuracy(), eval.confusion.false_alarms()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4 — Biased learning vs boundary shifting (Industry3)");
+
+  const layout::BenchmarkData data =
+      bench::load_or_build(hotspot::industry3_spec(bench::bench_scale()));
+
+  // Train the initial (eps = 0) model once; keep its weights for both arms.
+  hotspot::CnnDetectorConfig cfg = bench::cnn_config(1);
+  hotspot::CnnDetector det(cfg);
+  det.train(data.train);
+  std::vector<nn::Tensor> initial =
+      nn::snapshot_params(det.model().net().params());
+  const Point base = measure(det, data.test);
+  std::printf("initial model (eps=0): accuracy %s, false alarms %zu\n\n",
+              bench::pct(base.accuracy).c_str(), base.false_alarms);
+
+  // Arm (a): biased fine-tuning, cumulative across eps rounds as in
+  // Algorithm 2.
+  std::vector<layout::LabeledClip> train_part, val_part;
+  Rng split_rng(7);
+  layout::split_validation(data.train, 0.25, split_rng, train_part,
+                           val_part);
+  auto train_set = det.extract_dataset(train_part);
+  auto val_set = det.extract_dataset(val_part);
+
+  std::printf("%-10s | %-24s | %-30s\n", "", "biased learning",
+              "boundary shift at equal accu");
+  std::printf("%-10s | %-10s %-12s | %-10s %-8s %-10s\n", "eps",
+              "accuracy", "false alarms", "accuracy", "lambda",
+              "false alarms");
+
+  Rng rng(13);
+  for (double eps : {0.1, 0.2, 0.3}) {
+    hotspot::MgdConfig ft = cfg.biased.finetune;
+    ft.epsilon = eps;
+    hotspot::MgdTrainer trainer(ft);
+    trainer.train(det.model(), train_set, val_set, rng);
+    det.set_shift(0.0);
+    const Point biased = measure(det, data.test);
+
+    // Arm (b): from the *initial* weights, sweep the boundary shift lambda
+    // until the biased model's accuracy is matched.
+    std::vector<nn::Tensor> tuned =
+        nn::snapshot_params(det.model().net().params());
+    nn::restore_params(initial, det.model().net().params());
+    double lambda = 0.0;
+    Point shifted = base;
+    while (shifted.accuracy < biased.accuracy && lambda < 0.5) {
+      lambda += 0.01;
+      det.set_shift(lambda);
+      shifted = measure(det, data.test);
+    }
+    det.set_shift(0.0);
+    nn::restore_params(tuned, det.model().net().params());
+
+    std::printf("%-10.1f | %-10s %-12zu | %-10s %-8.2f %-10zu %s\n", eps,
+                bench::pct(biased.accuracy).c_str(), biased.false_alarms,
+                bench::pct(shifted.accuracy).c_str(), lambda,
+                shifted.false_alarms,
+                biased.false_alarms <= shifted.false_alarms
+                    ? "(bias wins)"
+                    : "(shift wins)");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nPaper's shape to check: at every matched accuracy the "
+              "bias column shows fewer false alarms (the paper reports "
+              "~600 fewer, i.e. ~6000 s ODST saved, at its scale).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Table 2: performance comparison of the SPIE'15-style
+// AdaBoost+density detector, the ICCAD'16-style smooth-boost+CCS detector,
+// and the paper's feature-tensor CNN with biased learning, over the four
+// testcases (ICCAD merged suite + Industry1-3, regenerated synthetically
+// at HSDL_BENCH_SCALE of the paper's instance counts).
+//
+// Columns per detector: FA# (false alarms), CPU(s) (test-time classifier
+// evaluation), ODST(s) (Definition 3, 10 s litho sim per detected
+// hotspot), Accu (hotspot detection accuracy, Definition 1).
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "common/timer.hpp"
+
+using namespace hsdl;
+
+namespace {
+
+struct Result {
+  std::size_t fa = 0;
+  double cpu = 0.0;
+  double odst = 0.0;
+  double accu = 0.0;
+  double train_seconds = 0.0;
+};
+
+Result run_detector(hotspot::Detector& det,
+                    const layout::BenchmarkData& bench) {
+  WallTimer timer;
+  det.train(bench.train);
+  Result r;
+  r.train_seconds = timer.seconds();
+  hotspot::DetectorEval eval = det.evaluate(bench.test);
+  r.fa = eval.confusion.false_alarms();
+  r.cpu = eval.eval_seconds;
+  r.odst = eval.odst();
+  r.accu = eval.confusion.accuracy();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 2 — Performance comparison with two reference detectors");
+
+  const double scale = bench::bench_scale();
+  std::printf("%-10s | %5s %5s %5s %5s | %-28s | %-28s | %-28s\n", "Bench",
+              "TrHS", "TrNHS", "TeHS", "TeNHS",
+              "SPIE'15-style (AdaBoost+dens)",
+              "ICCAD'16-style (SmBoost+CCS)", "Ours (FT + CNN + bias)");
+  std::printf("%-10s | %23s | %6s %7s %8s %6s | %6s %7s %8s %6s | %6s %7s %8s %6s\n",
+              "", "", "FA#", "CPU(s)", "ODST(s)", "Accu", "FA#", "CPU(s)",
+              "ODST(s)", "Accu", "FA#", "CPU(s)", "ODST(s)", "Accu");
+
+  double sum_accu[3] = {0, 0, 0};
+  double sum_fa[3] = {0, 0, 0};
+  double sum_odst[3] = {0, 0, 0};
+  int n_bench = 0;
+
+  for (const hotspot::BenchmarkSpec& spec : hotspot::all_specs(scale)) {
+    const layout::BenchmarkData data = bench::load_or_build(spec);
+
+    hotspot::AdaBoostDensityDetector spie(features::DensityConfig{},
+                                          bench::adaboost_config());
+    const Result r_spie = run_detector(spie, data);
+
+    hotspot::SmoothBoostCcsDetector iccad16(features::CcsConfig{},
+                                            bench::smoothboost_config());
+    const Result r_iccad = run_detector(iccad16, data);
+
+    hotspot::CnnDetector ours(bench::cnn_config());
+    const Result r_ours = run_detector(ours, data);
+
+    std::printf(
+        "%-10s | %5zu %5zu %5zu %5zu | %6zu %7.1f %8.0f %6s | %6zu %7.1f "
+        "%8.0f %6s | %6zu %7.1f %8.0f %6s\n",
+        data.name.c_str(), data.train_hotspots(), data.train_non_hotspots(),
+        data.test_hotspots(), data.test_non_hotspots(), r_spie.fa,
+        r_spie.cpu, r_spie.odst, bench::pct(r_spie.accu).c_str(), r_iccad.fa,
+        r_iccad.cpu, r_iccad.odst, bench::pct(r_iccad.accu).c_str(),
+        r_ours.fa, r_ours.cpu, r_ours.odst, bench::pct(r_ours.accu).c_str());
+    std::fflush(stdout);
+
+    const Result* rs[3] = {&r_spie, &r_iccad, &r_ours};
+    for (int i = 0; i < 3; ++i) {
+      sum_accu[i] += rs[i]->accu;
+      sum_fa[i] += static_cast<double>(rs[i]->fa);
+      sum_odst[i] += rs[i]->odst;
+    }
+    ++n_bench;
+  }
+
+  std::printf(
+      "%-10s | %23s | %6.0f %7s %8.0f %6s | %6.0f %7s %8.0f %6s | %6.0f %7s "
+      "%8.0f %6s\n",
+      "Average", "", sum_fa[0] / n_bench, "-", sum_odst[0] / n_bench,
+      bench::pct(sum_accu[0] / n_bench).c_str(), sum_fa[1] / n_bench, "-",
+      sum_odst[1] / n_bench, bench::pct(sum_accu[1] / n_bench).c_str(),
+      sum_fa[2] / n_bench, "-", sum_odst[2] / n_bench,
+      bench::pct(sum_accu[2] / n_bench).c_str());
+
+  std::printf("\nPaper's shape to check: ours wins accuracy on every row "
+              "(paper avg: 66.6%% / 89.6%% / 95.5%%),\nbaselines degrade on "
+              "the larger Industry testcases, boosting baselines trade "
+              "false alarms for recall.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Benchmark flow: the workload of the paper's evaluation on one testcase.
+//
+// Builds a scaled ICCAD-shaped benchmark (or loads a GLF file you pass),
+// trains all three detectors, and prints one Table-2-style row for each,
+// plus a GLF export so the dataset can be inspected or reused.
+//
+// Usage:
+//   benchmark_flow [scale]            # synthetic, default scale 0.02
+//   benchmark_flow train.glf test.glf # your own labeled clip sets
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/timer.hpp"
+#include "hotspot/benchmark_factory.hpp"
+#include "hotspot/detector.hpp"
+#include "layout/glf.hpp"
+
+using namespace hsdl;
+
+int main(int argc, char** argv) {
+  layout::BenchmarkData data;
+  if (argc == 3) {
+    data.name = "user";
+    data.train = layout::read_glf_file(argv[1]);
+    data.test = layout::read_glf_file(argv[2]);
+    std::printf("loaded %zu train / %zu test clips from GLF\n",
+                data.train.size(), data.test.size());
+  } else {
+    const double scale = argc == 2 ? std::atof(argv[1]) : 0.02;
+    hotspot::BenchmarkSpec spec = hotspot::iccad_spec(scale);
+    std::printf("building %s at scale %.3f ...\n", spec.name.c_str(), scale);
+    WallTimer timer;
+    data = hotspot::build_benchmark(spec);
+    std::printf("generated in %.1fs; exporting to ./%s_{train,test}.glf\n",
+                timer.seconds(), spec.name.c_str());
+    layout::write_glf_file(spec.name + "_train.glf", data.train);
+    layout::write_glf_file(spec.name + "_test.glf", data.test);
+  }
+  std::printf("train: %zu clips (%zu hotspots), test: %zu clips "
+              "(%zu hotspots)\n\n",
+              data.train.size(), data.train_hotspots(), data.test.size(),
+              data.test_hotspots());
+
+  hotspot::CnnDetectorConfig cnn_cfg;
+  cnn_cfg.biased.rounds = 2;
+  cnn_cfg.biased.initial.max_iters = 800;
+  cnn_cfg.biased.initial.decay_step = 400;
+  cnn_cfg.biased.finetune.max_iters = 200;
+
+  std::vector<std::unique_ptr<hotspot::Detector>> detectors;
+  detectors.push_back(std::make_unique<hotspot::AdaBoostDensityDetector>());
+  detectors.push_back(std::make_unique<hotspot::SmoothBoostCcsDetector>());
+  detectors.push_back(std::make_unique<hotspot::CnnDetector>(cnn_cfg));
+
+  std::printf("%-22s %8s %8s %8s %8s %10s\n", "detector", "accu", "FA#",
+              "CPU(s)", "ODST(s)", "train(s)");
+  for (auto& det : detectors) {
+    WallTimer timer;
+    det->train(data.train);
+    const double train_s = timer.seconds();
+    hotspot::DetectorEval eval = det->evaluate(data.test);
+    std::printf("%-22s %7.1f%% %8zu %8.2f %8.0f %10.1f\n",
+                det->name().c_str(), 100.0 * eval.confusion.accuracy(),
+                eval.confusion.false_alarms(), eval.eval_seconds,
+                eval.odst(), train_s);
+    std::fflush(stdout);
+  }
+  return 0;
+}

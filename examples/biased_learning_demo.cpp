@@ -1,0 +1,57 @@
+// Biased learning demo: Algorithm 2 round by round.
+//
+// Trains the CNN with eps = 0, then fine-tunes with an increasing
+// non-hotspot bias, printing accuracy and false alarms after every round —
+// the mechanism behind Figure 4, observable in isolation.
+#include <cstdio>
+
+#include "hotspot/benchmark_factory.hpp"
+#include "hotspot/detector.hpp"
+
+using namespace hsdl;
+
+int main() {
+  std::printf("== biased learning (Algorithm 2) demo ==\n\n");
+  hotspot::BenchmarkSpec spec = hotspot::industry3_spec(0.012);
+  layout::BenchmarkData data = hotspot::build_benchmark(spec);
+  std::printf("%s: %zu train (%zu hotspots), %zu test (%zu hotspots)\n\n",
+              data.name.c_str(), data.train.size(), data.train_hotspots(),
+              data.test.size(), data.test_hotspots());
+
+  hotspot::CnnDetectorConfig cfg;
+  cfg.biased.rounds = 1;  // round 0 by hand; fine-tunes below
+  cfg.biased.initial.max_iters = 900;
+  cfg.biased.initial.decay_step = 450;
+  hotspot::CnnDetector det(cfg);
+  det.train(data.train);
+
+  auto report = [&](double eps) {
+    hotspot::DetectorEval eval = det.evaluate(data.test);
+    std::printf("eps=%.1f : accuracy %5.1f%%  false alarms %4zu  "
+                "detected %4zu\n",
+                eps, 100.0 * eval.confusion.accuracy(),
+                eval.confusion.false_alarms(), eval.confusion.detected());
+  };
+  report(0.0);
+
+  // Fine-tune rounds: relax the non-hotspot ground truth to [1-eps, eps].
+  std::vector<layout::LabeledClip> train_part, val_part;
+  Rng split_rng(3);
+  layout::split_validation(data.train, 0.25, split_rng, train_part,
+                           val_part);
+  auto train_set = det.extract_dataset(train_part);
+  auto val_set = det.extract_dataset(val_part);
+  Rng rng(5);
+  for (double eps : {0.1, 0.2, 0.3}) {
+    hotspot::MgdConfig ft = cfg.biased.finetune;
+    ft.epsilon = eps;
+    hotspot::MgdTrainer trainer(ft);
+    trainer.train(det.model(), train_set, val_set, rng);
+    report(eps);
+  }
+
+  std::printf("\nTheorem 1 in action: accuracy is non-decreasing down the "
+              "column while false alarms grow only modestly (contrast with "
+              "bench_fig4_bias_vs_shift's boundary-shift arm).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// OPC-lite demo: rule-based mask correction vs the litho labeler.
+//
+// Applies line-end extension and small-feature upsizing to stressed
+// generated clips and measures the hotspot-rate reduction through the
+// same lithography simulator that labels the datasets.
+#include <cstdio>
+
+#include "layout/drc.hpp"
+#include "litho/labeler.hpp"
+#include "opc/rule_opc.hpp"
+
+using namespace hsdl;
+
+int main() {
+  std::printf("== rule-based OPC vs litho labeler ==\n\n");
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.6;
+  layout::ClipGenerator gen(gen_cfg, 77);
+  litho::HotspotLabeler labeler;
+  opc::OpcConfig cfg;
+
+  int before = 0, after = 0, n = 80;
+  std::size_t extended = 0, upsized = 0, skipped = 0;
+  int fixed = 0, broken = 0;
+  for (int i = 0; i < n; ++i) {
+    layout::Clip clip = gen.generate();
+    opc::OpcResult r = opc::correct(clip, cfg);
+    extended += r.ends_extended;
+    upsized += r.features_upsized;
+    skipped += r.corrections_skipped;
+    const bool hs_before =
+        labeler.label(clip) == layout::HotspotLabel::kHotspot;
+    const bool hs_after =
+        labeler.label(r.corrected) == layout::HotspotLabel::kHotspot;
+    before += hs_before;
+    after += hs_after;
+    fixed += hs_before && !hs_after;
+    broken += !hs_before && hs_after;
+  }
+
+  std::printf("clips analyzed        : %d (stress %.1f)\n", n,
+              gen_cfg.stress);
+  std::printf("corrections applied   : %zu line-end extensions, %zu "
+              "feature upsizes (%zu blocked by spacing guard)\n",
+              extended, upsized, skipped);
+  std::printf("hotspot rate before   : %.1f%% (%d clips)\n",
+              100.0 * before / n, before);
+  std::printf("hotspot rate after    : %.1f%% (%d clips)\n",
+              100.0 * after / n, after);
+  std::printf("fixed / newly broken  : %d / %d\n", fixed, broken);
+  std::printf("\nthe guard keeps corrections DRC-clean; bridging-type "
+              "hotspots (sub-rule gaps) are out of reach of rule-based "
+              "OPC and remain — exactly why hotspot *detection* stays "
+              "necessary downstream.\n");
+  return 0;
+}

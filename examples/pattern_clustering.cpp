@@ -1,0 +1,71 @@
+// Hotspot pattern clustering in feature-tensor space.
+//
+// Collects litho-verified hotspot clips, clusters their feature tensors,
+// and prints one representative (medoid) per cluster with its archetype
+// population — the triage workflow of the paper's clustering references
+// [10, 11], running on the paper's own feature.
+#include <cstdio>
+
+#include "analysis/pattern_cluster.hpp"
+#include "layout/generator.hpp"
+#include "litho/labeler.hpp"
+
+using namespace hsdl;
+
+int main() {
+  std::printf("== hotspot pattern clustering ==\n\n");
+
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.65;
+  layout::ClipGenerator gen(gen_cfg, 555);
+  litho::HotspotLabeler labeler;
+
+  // Collect hotspots, remembering which archetype produced each.
+  std::vector<layout::Clip> hotspots;
+  std::vector<layout::Archetype> archetypes;
+  int draws = 0;
+  while (hotspots.size() < 60 && draws < 4000) {
+    const auto arch = static_cast<layout::Archetype>(
+        draws % layout::kNumArchetypes);
+    ++draws;
+    layout::Clip clip = gen.generate(arch);
+    if (labeler.label(clip) == layout::HotspotLabel::kHotspot) {
+      hotspots.push_back(std::move(clip));
+      archetypes.push_back(arch);
+    }
+  }
+  std::printf("collected %zu hotspot clips from %d generator draws\n\n",
+              hotspots.size(), draws);
+
+  analysis::PatternClusterConfig cfg;
+  cfg.kmeans.clusters = 5;
+  cfg.kmeans.seed = 9;
+  analysis::PatternClusterResult result =
+      analysis::cluster_patterns(hotspots, cfg);
+
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    const analysis::PatternCluster& cluster = result.clusters[c];
+    if (cluster.size == 0) {
+      std::printf("cluster %zu: empty\n", c);
+      continue;
+    }
+    // Archetype histogram of the cluster.
+    std::size_t histogram[layout::kNumArchetypes] = {};
+    for (std::size_t i = 0; i < hotspots.size(); ++i)
+      if (result.assignment[i] == c)
+        ++histogram[static_cast<std::size_t>(archetypes[i])];
+    std::printf("cluster %zu: %2zu clips, medoid #%zu (%s), members:", c,
+                cluster.size, cluster.medoid,
+                layout::to_string(archetypes[cluster.medoid]));
+    for (int a = 0; a < layout::kNumArchetypes; ++a)
+      if (histogram[a] > 0)
+        std::printf(" %s x%zu",
+                    layout::to_string(static_cast<layout::Archetype>(a)),
+                    histogram[a]);
+    std::printf("\n");
+  }
+  std::printf("\nclusters align with failing pattern families; review one "
+              "medoid per cluster instead of all %zu hits.\n",
+              hotspots.size());
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "analysis/kmeans.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace hsdl::analysis {
+
+double squared_distance(const float* a, const float* b, std::size_t dim) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to the
+/// squared distance from the nearest chosen centroid.
+std::vector<std::vector<float>> seed_centroids(const float* data,
+                                               std::size_t count,
+                                               std::size_t dim,
+                                               std::size_t k, Rng& rng) {
+  std::vector<std::vector<float>> centroids;
+  centroids.reserve(k);
+  auto sample_row = [&](std::size_t idx) {
+    return std::vector<float>(data + idx * dim, data + (idx + 1) * dim);
+  };
+  centroids.push_back(sample_row(rng.index(count)));
+
+  std::vector<double> d2(count);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids)
+        best = std::min(best,
+                        squared_distance(data + i * dim, c.data(), dim));
+      d2[i] = best;
+      total += best;
+    }
+    if (total == 0.0) {
+      // Fewer distinct points than clusters: duplicate a point.
+      centroids.push_back(sample_row(rng.index(count)));
+      continue;
+    }
+    double draw = rng.uniform() * total;
+    std::size_t pick = count - 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      draw -= d2[i];
+      if (draw <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(sample_row(pick));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KmeansResult kmeans(const float* data, std::size_t count, std::size_t dim,
+                    const KmeansConfig& config) {
+  HSDL_CHECK(config.clusters >= 1);
+  HSDL_CHECK_MSG(count >= config.clusters,
+                 "fewer samples than clusters");
+  HSDL_CHECK(dim >= 1);
+
+  Rng rng(config.seed);
+  KmeansResult result;
+  result.centroids = seed_centroids(data, count, dim, config.clusters, rng);
+  result.assignment.assign(count, 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 1; iter <= config.max_iters; ++iter) {
+    result.iterations = iter;
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+        const double d = squared_distance(data + i * dim,
+                                          result.centroids[c].data(), dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update.
+    std::vector<std::vector<double>> sums(
+        config.clusters, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(config.clusters, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto& s = sums[result.assignment[i]];
+      const float* row = data + i * dim;
+      for (std::size_t d = 0; d < dim; ++d) s[d] += row[d];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < config.clusters; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid alive
+      for (std::size_t d = 0; d < dim; ++d)
+        result.centroids[c][d] =
+            static_cast<float>(sums[c][d] / static_cast<double>(counts[c]));
+    }
+
+    if (prev_inertia - inertia <= config.tolerance * prev_inertia) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace hsdl::analysis

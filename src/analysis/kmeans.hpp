@@ -1,0 +1,37 @@
+// k-means clustering over dense float vectors (k-means++ seeding, Lloyd
+// iterations) — the workhorse under spectral pattern clustering
+// (paper references [10, 11]).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hsdl::analysis {
+
+struct KmeansConfig {
+  std::size_t clusters = 8;
+  std::size_t max_iters = 100;
+  /// Stop when total inertia improves by less than this fraction.
+  double tolerance = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+struct KmeansResult {
+  std::vector<std::vector<float>> centroids;  ///< [clusters][dim]
+  std::vector<std::size_t> assignment;        ///< per sample
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+  std::size_t iterations = 0;
+};
+
+/// Clusters `count` vectors of `dim` floats stored back-to-back in `data`.
+/// Requires count >= clusters >= 1.
+KmeansResult kmeans(const float* data, std::size_t count, std::size_t dim,
+                    const KmeansConfig& config);
+
+/// Squared Euclidean distance between two `dim`-vectors.
+double squared_distance(const float* a, const float* b, std::size_t dim);
+
+}  // namespace hsdl::analysis

@@ -1,0 +1,52 @@
+#include "analysis/pattern_cluster.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace hsdl::analysis {
+
+PatternClusterResult cluster_patterns(
+    const std::vector<layout::Clip>& clips,
+    const PatternClusterConfig& config) {
+  HSDL_CHECK_MSG(!clips.empty(), "no clips to cluster");
+  fte::FeatureTensorExtractor extractor(config.feature);
+
+  const std::size_t dim = config.feature.coeffs *
+                          config.feature.blocks_per_side *
+                          config.feature.blocks_per_side;
+  std::vector<float> features;
+  features.reserve(clips.size() * dim);
+  for (const layout::Clip& clip : clips) {
+    fte::FeatureTensor ft = extractor.extract(clip);
+    features.insert(features.end(), ft.data.begin(), ft.data.end());
+  }
+
+  const KmeansResult km =
+      kmeans(features.data(), clips.size(), dim, config.kmeans);
+
+  PatternClusterResult result;
+  result.assignment = km.assignment;
+  result.clusters.resize(km.centroids.size());
+  std::vector<double> best_medoid_d(
+      km.centroids.size(), std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    const std::size_t c = km.assignment[i];
+    PatternCluster& cluster = result.clusters[c];
+    const double d = squared_distance(features.data() + i * dim,
+                                      km.centroids[c].data(), dim);
+    ++cluster.size;
+    cluster.mean_distance += std::sqrt(d);
+    if (d < best_medoid_d[c]) {
+      best_medoid_d[c] = d;
+      cluster.medoid = i;
+    }
+  }
+  for (PatternCluster& cluster : result.clusters)
+    if (cluster.size > 0)
+      cluster.mean_distance /= static_cast<double>(cluster.size);
+  return result;
+}
+
+}  // namespace hsdl::analysis

@@ -1,0 +1,40 @@
+// Layout pattern clustering in feature-tensor space.
+//
+// Groups clips by the spectral signature the paper's feature tensor
+// encodes — the wafer-clustering application of its references [10, 11].
+// Typical use: cluster detected hotspots to find the distinct failing
+// pattern families, then review one representative (medoid) per family
+// instead of every hit.
+#pragma once
+
+#include <vector>
+
+#include "analysis/kmeans.hpp"
+#include "fte/feature_tensor.hpp"
+#include "layout/clip.hpp"
+
+namespace hsdl::analysis {
+
+struct PatternClusterConfig {
+  fte::FeatureTensorConfig feature;
+  KmeansConfig kmeans;
+};
+
+struct PatternCluster {
+  std::size_t size = 0;
+  std::size_t medoid = 0;  ///< index into the input clip list
+  double mean_distance = 0.0;  ///< mean distance of members to centroid
+};
+
+struct PatternClusterResult {
+  std::vector<std::size_t> assignment;  ///< per input clip
+  std::vector<PatternCluster> clusters;
+};
+
+/// Clusters clips by their feature tensors. Empty clusters (possible when
+/// patterns repeat exactly) report size 0 and medoid 0.
+PatternClusterResult cluster_patterns(
+    const std::vector<layout::Clip>& clips,
+    const PatternClusterConfig& config);
+
+}  // namespace hsdl::analysis

@@ -1,0 +1,145 @@
+#include "baselines/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::baselines {
+
+BoostedStumps::BoostedStumps(const BoostConfig& config) : config_(config) {
+  HSDL_CHECK(config.rounds > 0);
+  HSDL_CHECK(config.smooth_cap > 1.0);
+}
+
+void BoostedStumps::train(const nn::ClassificationDataset& data) {
+  const std::size_t n = data.size();
+  HSDL_CHECK_MSG(n > 1, "boosting needs at least two samples");
+  HSDL_CHECK(data.num_classes() == 2);
+
+  stumps_.clear();
+  alpha_.clear();
+
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = data.label(i) == 1 ? 1 : -1;
+
+  // Initial weights; optionally give each class equal total mass.
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  if (config_.balance_classes) {
+    const std::size_t pos = data.count_label(1);
+    const std::size_t neg = n - pos;
+    HSDL_CHECK_MSG(pos > 0 && neg > 0, "boosting needs both classes");
+    for (std::size_t i = 0; i < n; ++i)
+      w[i] = 0.5 / static_cast<double>(y[i] == 1 ? pos : neg);
+  }
+
+  // Cumulative margins for the smooth-capped scheme.
+  std::vector<double> margin(n, 0.0);
+  const double uniform = 1.0 / static_cast<double>(n);
+
+  for (std::size_t t = 0; t < config_.rounds; ++t) {
+    double err = 0.0;
+    const Stump h = train_stump(data, y, w, &err);
+    // Clamp to avoid infinite alpha on a perfect (or useless) stump.
+    err = std::clamp(err, 1e-10, 1.0 - 1e-10);
+    if (err >= 0.5) break;  // no weak learner left with an edge
+    const double a = 0.5 * std::log((1.0 - err) / err);
+    stumps_.push_back(h);
+    alpha_.push_back(a);
+
+    for (std::size_t i = 0; i < n; ++i)
+      margin[i] += a * y[i] * h.predict(data.features(i));
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double wi = std::exp(-margin[i]);
+      if (config_.scheme == WeightScheme::kSmoothCapped)
+        wi = std::min(wi, config_.smooth_cap);  // relative to uniform below
+      w[i] = wi;
+      sum += wi;
+    }
+    // Perfect separation drives every margin high enough that the weights
+    // underflow; the ensemble has converged.
+    if (sum < 1e-12) break;
+    // Normalize; for the capped scheme the cap is smooth_cap * uniform
+    // after normalization, enforced by a second clamping pass.
+    for (std::size_t i = 0; i < n; ++i) w[i] /= sum;
+    if (config_.scheme == WeightScheme::kSmoothCapped) {
+      const double cap = config_.smooth_cap * uniform;
+      double clipped = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (w[i] > cap) w[i] = cap;
+        clipped += w[i];
+      }
+      for (std::size_t i = 0; i < n; ++i) w[i] /= clipped;
+    }
+  }
+  HSDL_CHECK_MSG(!stumps_.empty(),
+                 "boosting failed to find any weak learner with an edge");
+}
+
+double BoostedStumps::score(const float* x) const {
+  HSDL_CHECK_MSG(!stumps_.empty(), "score() before train()");
+  double s = 0.0;
+  for (std::size_t t = 0; t < stumps_.size(); ++t)
+    s += alpha_[t] * stumps_[t].predict(x);
+  return s;
+}
+
+bool BoostedStumps::predict(const float* x, double bias) const {
+  return score(x) > bias;
+}
+
+void BoostedStumps::update_online(const float* x, std::size_t label,
+                                  double learning_rate, double weight) {
+  HSDL_CHECK_MSG(!stumps_.empty(), "update_online() before train()");
+  HSDL_CHECK(label < 2);
+  const double y = label == 1 ? 1.0 : -1.0;
+  const double f = score(x);
+  // Logistic loss l = log(1 + exp(-y f)); dl/dalpha_t = -y h_t(x) sigma(-yf)
+  const double sig = 1.0 / (1.0 + std::exp(y * f));
+  for (std::size_t t = 0; t < stumps_.size(); ++t) {
+    const double h = stumps_[t].predict(x);
+    alpha_[t] += learning_rate * weight * y * h * sig;
+  }
+}
+
+double BoostedStumps::tune_bias_balanced(
+    const nn::ClassificationDataset& data) const {
+  HSDL_CHECK(!data.empty());
+  const std::size_t n = data.size();
+  std::vector<std::pair<double, std::size_t>> scored(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scored[i] = {score(data.features(i)), data.label(i)};
+  std::sort(scored.begin(), scored.end());
+
+  const auto pos_total = static_cast<double>(data.count_label(1));
+  const auto neg_total = static_cast<double>(n) - pos_total;
+  HSDL_CHECK_MSG(pos_total > 0 && neg_total > 0,
+                 "bias tuning needs both classes");
+
+  // Sweep thresholds between consecutive scores; predict positive when
+  // score > threshold. Start below all scores: every sample positive.
+  double tp = pos_total, fp = neg_total;
+  double best_bias = scored.front().first - 1.0;
+  double best_bal = 0.5 * (tp / pos_total + (neg_total - fp) / neg_total);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Raise the threshold past sample i: it flips to a negative prediction.
+    if (scored[i].second == 1)
+      tp -= 1.0;
+    else
+      fp -= 1.0;
+    if (i + 1 < n && scored[i + 1].first == scored[i].first) continue;
+    const double bal =
+        0.5 * (tp / pos_total + (neg_total - fp) / neg_total);
+    if (bal > best_bal) {
+      best_bal = bal;
+      best_bias = i + 1 < n
+                      ? 0.5 * (scored[i].first + scored[i + 1].first)
+                      : scored[i].first + 1.0;
+    }
+  }
+  return best_bias;
+}
+
+}  // namespace hsdl::baselines

@@ -1,0 +1,65 @@
+#include "baselines/stump.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace hsdl::baselines {
+
+Stump train_stump(const nn::ClassificationDataset& data,
+                  const std::vector<int>& y, const std::vector<double>& w,
+                  double* error_out) {
+  const std::size_t n = data.size();
+  const std::size_t d = data.feature_numel();
+  HSDL_CHECK(n > 0 && y.size() == n && w.size() == n);
+
+  const double total_w = std::accumulate(w.begin(), w.end(), 0.0);
+  HSDL_CHECK_MSG(total_w > 0.0, "all-zero boosting weights");
+
+  Stump best;
+  double best_err = std::numeric_limits<double>::infinity();
+
+  std::vector<std::pair<float, std::size_t>> order(n);
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < n; ++i)
+      order[i] = {data.features(i)[f], i};
+    std::sort(order.begin(), order.end());
+
+    // err(+1 polarity, threshold below all samples) = weight of negatives
+    // classified +1 => sum of w where y == -1. Sweeping the threshold past
+    // sample i flips that sample's prediction from +1 to -1.
+    double err_pos = 0.0;  // polarity +1
+    for (std::size_t i = 0; i < n; ++i)
+      if (y[i] == -1) err_pos += w[i];
+
+    double err = err_pos;
+    auto consider = [&](double e, float threshold, int polarity) {
+      if (e < best_err) {
+        best_err = e;
+        best = Stump{f, threshold, polarity};
+      }
+    };
+    // Threshold below the smallest value.
+    const float eps = 1e-6f;
+    consider(err, order[0].first - eps, 1);
+    consider(total_w - err, order[0].first - eps, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [value, idx] = order[i];
+      // Moving the threshold above `value`: samples at `value` now
+      // predicted -1 by polarity +1.
+      err += (y[idx] == 1) ? w[idx] : -w[idx];
+      // Place the threshold between distinct values only.
+      if (i + 1 < n && order[i + 1].first == value) continue;
+      const float threshold =
+          i + 1 < n ? (value + order[i + 1].first) / 2.0f : value + eps;
+      consider(err, threshold, 1);
+      consider(total_w - err, threshold, -1);
+    }
+  }
+  if (error_out != nullptr) *error_out = best_err / total_w;
+  return best;
+}
+
+}  // namespace hsdl::baselines

@@ -1,0 +1,37 @@
+// Decision stump weak learner for boosting.
+//
+// A stump thresholds a single feature: h(x) = polarity * sign(x[f] - t),
+// mapping to {-1, +1}. Training scans every (feature, threshold) pair and
+// minimizes weighted classification error — the classic weak learner of
+// the AdaBoost hotspot detectors this library reproduces as baselines.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/dataset.hpp"
+
+namespace hsdl::baselines {
+
+struct Stump {
+  std::size_t feature = 0;
+  float threshold = 0.0f;
+  int polarity = 1;  ///< +1: predict +1 when x[f] > threshold; -1 inverted
+
+  /// Prediction in {-1, +1}.
+  int predict(const float* x) const {
+    const bool above = x[feature] > threshold;
+    return (above ? 1 : -1) * polarity;
+  }
+};
+
+/// Trains the weighted-error-optimal stump.
+///
+/// `data` supplies features; `y` holds labels in {-1, +1}; `w` holds
+/// non-negative sample weights (need not be normalized). Returns the stump
+/// and writes its weighted error rate (relative to sum(w)) to `error_out`.
+Stump train_stump(const nn::ClassificationDataset& data,
+                  const std::vector<int>& y, const std::vector<double>& w,
+                  double* error_out);
+
+}  // namespace hsdl::baselines

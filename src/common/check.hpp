@@ -1,0 +1,69 @@
+// Error-checking helpers.
+//
+// HSDL_CHECK is used for recoverable precondition violations on public API
+// boundaries (throws hsdl::CheckError). HSDL_DCHECK compiles out in release
+// builds and guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hsdl {
+
+/// Exception thrown when a runtime precondition check fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+/// Lazily builds the failure message only when a check actually fails.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace hsdl
+
+#define HSDL_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::hsdl::detail::check_failed(#cond, __FILE__, __LINE__, "");        \
+  } while (false)
+
+#define HSDL_CHECK_MSG(cond, ...)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hsdl::detail::CheckMessageBuilder hsdl_cmb_;                      \
+      hsdl_cmb_ << __VA_ARGS__;                                           \
+      ::hsdl::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                   hsdl_cmb_.str());                      \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define HSDL_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define HSDL_DCHECK(cond) HSDL_CHECK(cond)
+#endif

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+//
+// Benchmark harnesses print their tables on stdout; diagnostic chatter goes
+// through this logger so table output stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hsdl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log line: LOG(kInfo) << "trained " << n << " steps";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace hsdl
+
+#define HSDL_LOG(level) ::hsdl::LogLine(::hsdl::LogLevel::level)

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (layout generation, weight
+// initialization, mini-batch sampling, dropout) draws from an hsdl::Rng so
+// that a single seed reproduces an entire experiment bit-for-bit.
+// The engine is xoshiro256**, seeded through SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hsdl {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Satisfies UniformRandomBitGenerator so it can also drive <random>
+/// distributions, but the member helpers below are preferred: they are
+/// guaranteed stable across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xC0FFEE1234ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly pick one element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Derive an independent child generator (for parallel or per-component
+  /// streams that must not interact).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hsdl

@@ -1,0 +1,26 @@
+// Small string helpers shared by the text-format layout reader/writer and
+// the benchmark table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsdl {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hsdl

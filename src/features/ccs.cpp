@@ -1,0 +1,56 @@
+#include "features/ccs.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace hsdl::features {
+
+std::vector<float> ccs_feature(const layout::MaskImage& raster,
+                               const CcsConfig& config) {
+  HSDL_CHECK(config.circles > 0 && config.samples_per_circle > 0);
+  const double cx = static_cast<double>(raster.width()) / 2.0;
+  const double cy = static_cast<double>(raster.height()) / 2.0;
+  const double max_r = std::min(cx, cy) - 1.0;
+  HSDL_CHECK(max_r > 0.0);
+
+  std::vector<float> out;
+  out.reserve(config.circles * config.samples_per_circle);
+  for (std::size_t ci = 0; ci < config.circles; ++ci) {
+    // Radii from near-centre to the inscribed circle.
+    const double r = max_r * (static_cast<double>(ci) + 1.0) /
+                     static_cast<double>(config.circles);
+    for (std::size_t si = 0; si < config.samples_per_circle; ++si) {
+      const double theta = 2.0 * std::numbers::pi *
+                           static_cast<double>(si) /
+                           static_cast<double>(config.samples_per_circle);
+      const auto x = static_cast<long long>(
+          std::llround(cx + r * std::cos(theta)));
+      const auto y = static_cast<long long>(
+          std::llround(cy + r * std::sin(theta)));
+      // Average a 3x3 neighbourhood: point samples of a binary mask are
+      // brittle under sub-pixel pattern shifts.
+      float acc = 0.0f;
+      for (long long dy = -1; dy <= 1; ++dy) {
+        for (long long dx = -1; dx <= 1; ++dx) {
+          const long long sx = x + dx, sy = y + dy;
+          if (sx >= 0 && sy >= 0 &&
+              sx < static_cast<long long>(raster.width()) &&
+              sy < static_cast<long long>(raster.height()))
+            acc += raster.at(static_cast<std::size_t>(sx),
+                             static_cast<std::size_t>(sy));
+        }
+      }
+      out.push_back(acc / 9.0f);
+    }
+  }
+  return out;
+}
+
+std::vector<float> ccs_feature(const layout::Clip& clip,
+                               const CcsConfig& config) {
+  return ccs_feature(layout::rasterize(clip, config.nm_per_px), config);
+}
+
+}  // namespace hsdl::features

@@ -1,0 +1,33 @@
+// Concentric circle sampling (CCS) feature — reference [7], used by the
+// ICCAD'16 [5] baseline detector.
+//
+// The mask is sampled along concentric circles around the clip centre;
+// circle radii grow linearly to the clip half-side. The feature
+// concatenates per-circle samples into one 1-D vector (again, flattened —
+// the representation the paper's feature tensor improves upon).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "layout/raster.hpp"
+
+namespace hsdl::features {
+
+struct CcsConfig {
+  std::size_t circles = 24;             ///< number of radii
+  std::size_t samples_per_circle = 32;  ///< angular samples on each circle
+  double nm_per_px = 4.0;               ///< raster pitch when given a Clip
+};
+
+/// CCS feature of a raster; length = circles * samples_per_circle.
+/// Samples outside the raster read as 0 (empty field).
+std::vector<float> ccs_feature(const layout::MaskImage& raster,
+                               const CcsConfig& config = {});
+
+/// Rasterizes then extracts.
+std::vector<float> ccs_feature(const layout::Clip& clip,
+                               const CcsConfig& config = {});
+
+}  // namespace hsdl::features

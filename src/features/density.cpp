@@ -1,0 +1,37 @@
+#include "features/density.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::features {
+
+std::vector<float> density_feature(const layout::MaskImage& raster,
+                                   std::size_t grid_n) {
+  HSDL_CHECK(grid_n > 0);
+  HSDL_CHECK_MSG(raster.width() % grid_n == 0 &&
+                     raster.height() % grid_n == 0,
+                 "raster " << raster.width() << "x" << raster.height()
+                           << " not divisible into " << grid_n << " tiles");
+  const std::size_t tw = raster.width() / grid_n;
+  const std::size_t th = raster.height() / grid_n;
+  std::vector<float> out(grid_n * grid_n, 0.0f);
+  for (std::size_t ty = 0; ty < grid_n; ++ty) {
+    for (std::size_t tx = 0; tx < grid_n; ++tx) {
+      double sum = 0.0;
+      for (std::size_t y = 0; y < th; ++y) {
+        const float* row = raster.row(ty * th + y) + tx * tw;
+        for (std::size_t x = 0; x < tw; ++x) sum += row[x];
+      }
+      out[ty * grid_n + tx] =
+          static_cast<float>(sum / static_cast<double>(tw * th));
+    }
+  }
+  return out;
+}
+
+std::vector<float> density_feature(const layout::Clip& clip,
+                                   const DensityConfig& config) {
+  return density_feature(layout::rasterize(clip, config.nm_per_px),
+                         config.grid_n);
+}
+
+}  // namespace hsdl::features

@@ -1,0 +1,30 @@
+// Local density feature (used by the SPIE'15 [4] baseline detector).
+//
+// The clip raster is divided into grid_n x grid_n tiles; the feature is the
+// flattened vector of tile pattern densities. This is exactly the kind of
+// 1-D flattening whose spatial-information loss the paper argues against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "layout/raster.hpp"
+
+namespace hsdl::features {
+
+struct DensityConfig {
+  std::size_t grid_n = 20;   ///< tiles per side (60 nm tiles at 1200 nm clips)
+  double nm_per_px = 4.0;    ///< raster pitch used when given a Clip
+};
+
+/// Tile densities of a raster, row-major flattened, each in [0, 1].
+/// The raster side must be divisible by grid_n.
+std::vector<float> density_feature(const layout::MaskImage& raster,
+                                   std::size_t grid_n);
+
+/// Rasterizes then extracts.
+std::vector<float> density_feature(const layout::Clip& clip,
+                                   const DensityConfig& config = {});
+
+}  // namespace hsdl::features

@@ -1,0 +1,112 @@
+#include "fte/feature_tensor.hpp"
+
+#include "common/check.hpp"
+#include "fte/zigzag.hpp"
+
+namespace hsdl::fte {
+
+FeatureTensorExtractor::FeatureTensorExtractor(
+    const FeatureTensorConfig& config)
+    : config_(config) {
+  HSDL_CHECK(config.blocks_per_side > 0);
+  HSDL_CHECK(config.coeffs > 0);
+  HSDL_CHECK(config.nm_per_px > 0.0);
+}
+
+const DctPlan& FeatureTensorExtractor::plan_for(std::size_t block) const {
+  for (const auto& [size, plan] : plans_)
+    if (size == block) return plan;
+  plans_.emplace_back(block, DctPlan(block));
+  return plans_.back().second;
+}
+
+std::size_t FeatureTensorExtractor::block_px(
+    const layout::MaskImage& raster) const {
+  const std::size_t n = config_.blocks_per_side;
+  HSDL_CHECK_MSG(raster.width() == raster.height(),
+                 "feature tensor extraction expects a square raster, got "
+                     << raster.width() << "x" << raster.height());
+  HSDL_CHECK_MSG(raster.width() % n == 0,
+                 "raster side " << raster.width()
+                                << " is not divisible into " << n
+                                << " blocks");
+  return raster.width() / n;
+}
+
+FeatureTensor FeatureTensorExtractor::extract(
+    const layout::MaskImage& raster) const {
+  const std::size_t n = config_.blocks_per_side;
+  const std::size_t k = config_.coeffs;
+  const std::size_t B = block_px(raster);
+  HSDL_CHECK_MSG(k <= B * B, "cannot keep " << k << " coefficients from a "
+                                            << B << "x" << B << " block");
+
+  const DctPlan& plan = plan_for(B);
+  // Partial DCT: only the corner covering the first k zig-zag positions.
+  const std::size_t kp = corner_for_prefix(B, k);
+
+  FeatureTensor out;
+  out.n = n;
+  out.k = k;
+  out.data.assign(k * n * n, 0.0f);
+
+  std::vector<float> block(B * B);
+  std::vector<float> corner(kp * kp);
+  std::vector<float> scan(k);
+  for (std::size_t by = 0; by < n; ++by) {
+    for (std::size_t bx = 0; bx < n; ++bx) {
+      // Gather the block (row-major copy out of the raster).
+      for (std::size_t y = 0; y < B; ++y) {
+        const float* src = raster.row(by * B + y) + bx * B;
+        float* dst = &block[y * B];
+        for (std::size_t x = 0; x < B; ++x) dst[x] = src[x];
+      }
+      plan.partial(block.data(), kp, corner.data());
+      zigzag_take(corner.data(), kp, k, scan.data());
+      const float scale =
+          config_.normalize ? 1.0f / static_cast<float>(B) : 1.0f;
+      for (std::size_t c = 0; c < k; ++c) out.at(c, by, bx) = scan[c] * scale;
+    }
+  }
+  return out;
+}
+
+FeatureTensor FeatureTensorExtractor::extract(const layout::Clip& clip) const {
+  return extract(layout::rasterize(clip, config_.nm_per_px));
+}
+
+layout::MaskImage FeatureTensorExtractor::reconstruct(
+    const FeatureTensor& tensor, std::size_t block_px_arg) const {
+  const std::size_t n = tensor.n;
+  const std::size_t k = tensor.k;
+  const std::size_t B = block_px_arg;
+  HSDL_CHECK(n > 0 && k > 0 && B > 0);
+  HSDL_CHECK(tensor.data.size() == k * n * n);
+  HSDL_CHECK(k <= B * B);
+
+  const DctPlan& plan = plan_for(B);
+  const std::size_t kp = corner_for_prefix(B, k);
+
+  layout::MaskImage img(n * B, n * B, config_.nm_per_px);
+  std::vector<float> scan(k);
+  std::vector<float> corner(kp * kp);
+  std::vector<float> block(B * B);
+  for (std::size_t by = 0; by < n; ++by) {
+    for (std::size_t bx = 0; bx < n; ++bx) {
+      const float unscale =
+          config_.normalize ? static_cast<float>(B) : 1.0f;
+      for (std::size_t c = 0; c < k; ++c)
+        scan[c] = tensor.at(c, by, bx) * unscale;
+      zigzag_put(scan.data(), k, kp, corner.data());
+      plan.inverse_partial(corner.data(), kp, block.data());
+      for (std::size_t y = 0; y < B; ++y) {
+        float* dst = img.row(by * B + y) + bx * B;
+        const float* src = &block[y * B];
+        for (std::size_t x = 0; x < B; ++x) dst[x] = src[x];
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace hsdl::fte

@@ -1,0 +1,78 @@
+// Feature tensor generation (paper Section 3).
+//
+// A clip raster of (n*B) x (n*B) pixels is divided into n x n blocks of
+// B x B pixels; each block is DCT-transformed, zig-zag scanned, and
+// truncated to its first k coefficients. The results are reassembled with
+// block positions preserved, yielding a k x n x n tensor (channel-major:
+// channel c holds the c-th zig-zag coefficient of every block). The
+// transform is approximately invertible: reconstruct() inverts exactly the
+// retained coefficients and zeroes the discarded high frequencies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fte/dct.hpp"
+#include "layout/clip.hpp"
+#include "layout/raster.hpp"
+
+namespace hsdl::fte {
+
+/// k x n x n feature tensor in channel-major (CHW) layout, ready to be the
+/// input feature map stack of a CNN.
+struct FeatureTensor {
+  std::size_t n = 0;  ///< blocks per side
+  std::size_t k = 0;  ///< coefficients kept per block (channels)
+  std::vector<float> data;  ///< size k*n*n, data[(c*n + by)*n + bx]
+
+  float& at(std::size_t c, std::size_t by, std::size_t bx) {
+    return data[(c * n + by) * n + bx];
+  }
+  float at(std::size_t c, std::size_t by, std::size_t bx) const {
+    return data[(c * n + by) * n + bx];
+  }
+};
+
+struct FeatureTensorConfig {
+  std::size_t blocks_per_side = 12;  ///< n; paper: 12
+  std::size_t coeffs = 32;           ///< k; channels kept per block
+  double nm_per_px = 2.0;  ///< raster pitch; paper: 1 nm/px, see DESIGN.md §5
+  /// Divide coefficients by the block side so the DC channel is the block
+  /// mean density (in [0, 1]) — keeps CNN input scale O(1) regardless of
+  /// raster resolution. reconstruct() undoes the scaling.
+  bool normalize = true;
+};
+
+/// Extracts feature tensors from clips/rasters; owns the DCT plan, so reuse
+/// one extractor across a dataset.
+class FeatureTensorExtractor {
+ public:
+  explicit FeatureTensorExtractor(const FeatureTensorConfig& config = {});
+
+  const FeatureTensorConfig& config() const { return config_; }
+
+  /// Pixels per block side for a given raster width.
+  std::size_t block_px(const layout::MaskImage& raster) const;
+
+  /// Extract from a pre-rasterized clip. The raster must be square with a
+  /// side divisible by n.
+  FeatureTensor extract(const layout::MaskImage& raster) const;
+
+  /// Rasterizes at config().nm_per_px and extracts.
+  FeatureTensor extract(const layout::Clip& clip) const;
+
+  /// Inverse: reassembles an approximate raster from a tensor.
+  /// `block_px` chooses the output block resolution (use the same value as
+  /// extraction for a like-for-like comparison).
+  layout::MaskImage reconstruct(const FeatureTensor& tensor,
+                                std::size_t block_px) const;
+
+ private:
+  const DctPlan& plan_for(std::size_t block) const;
+
+  FeatureTensorConfig config_;
+  // Plans are cached per block size (tests exercise several resolutions).
+  mutable std::vector<std::pair<std::size_t, DctPlan>> plans_;
+};
+
+}  // namespace hsdl::fte

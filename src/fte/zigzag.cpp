@@ -1,0 +1,65 @@
+#include "fte/zigzag.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hsdl::fte {
+
+std::vector<std::pair<std::size_t, std::size_t>> zigzag_order(
+    std::size_t block_size) {
+  HSDL_CHECK(block_size > 0);
+  const std::size_t B = block_size;
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  order.reserve(B * B);
+  // Walk anti-diagonals d = row + col; alternate direction per diagonal
+  // (standard JPEG order: first step goes right, i.e. diagonal 1 starts at
+  // (0,1) and moves down-left).
+  for (std::size_t d = 0; d <= 2 * (B - 1); ++d) {
+    const std::size_t lo = d >= B ? d - B + 1 : 0;
+    const std::size_t hi = std::min(d, B - 1);
+    if (d % 2 == 0) {
+      // up-right: row decreasing
+      for (std::size_t row = hi + 1; row-- > lo;)
+        order.emplace_back(row, d - row);
+    } else {
+      // down-left: row increasing
+      for (std::size_t row = lo; row <= hi; ++row)
+        order.emplace_back(row, d - row);
+    }
+  }
+  return order;
+}
+
+std::size_t zigzag_prefix_in_corner(std::size_t block_size, std::size_t kp) {
+  const auto order = zigzag_order(block_size);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    if (order[i].first >= kp || order[i].second >= kp) return i;
+  return order.size();
+}
+
+std::size_t corner_for_prefix(std::size_t block_size, std::size_t k) {
+  HSDL_CHECK(k >= 1 && k <= block_size * block_size);
+  for (std::size_t kp = 1; kp <= block_size; ++kp)
+    if (zigzag_prefix_in_corner(block_size, kp) >= k) return kp;
+  return block_size;
+}
+
+void zigzag_take(const float* coeffs, std::size_t side, std::size_t k,
+                 float* out) {
+  const auto order = zigzag_order(side);
+  HSDL_CHECK(k <= order.size());
+  for (std::size_t i = 0; i < k; ++i)
+    out[i] = coeffs[order[i].first * side + order[i].second];
+}
+
+void zigzag_put(const float* scan, std::size_t k, std::size_t side,
+                float* coeffs) {
+  const auto order = zigzag_order(side);
+  HSDL_CHECK(k <= order.size());
+  std::fill(coeffs, coeffs + side * side, 0.0f);
+  for (std::size_t i = 0; i < k; ++i)
+    coeffs[order[i].first * side + order[i].second] = scan[i];
+}
+
+}  // namespace hsdl::fte

@@ -1,0 +1,40 @@
+// JPEG-style zig-zag scan order (paper Step 3, reference [12]).
+//
+// Orders the B x B DCT coefficients so that increasing scan index means
+// increasing spatial frequency; truncating the scan keeps the most
+// informative low-frequency content.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hsdl::fte {
+
+/// (row, col) pairs of the zig-zag traversal of a B x B block.
+/// zigzag_order(B)[i] is the coefficient holding scan position i.
+std::vector<std::pair<std::size_t, std::size_t>> zigzag_order(
+    std::size_t block_size);
+
+/// Number of leading zig-zag positions that fit inside the top-left
+/// kp x kp corner — i.e. the largest prefix length computable from a
+/// partial DCT of size kp.
+std::size_t zigzag_prefix_in_corner(std::size_t block_size, std::size_t kp);
+
+/// Smallest corner size kp such that the first `k` zig-zag positions lie
+/// within the top-left kp x kp corner of a B x B block.
+std::size_t corner_for_prefix(std::size_t block_size, std::size_t k);
+
+/// Copies the first `k` zig-zag coefficients out of a row-major
+/// `side x side` coefficient block (side = B for a full DCT or kp for a
+/// partial corner — positions outside the stored corner must not be asked
+/// for; see corner_for_prefix).
+void zigzag_take(const float* coeffs, std::size_t side, std::size_t k,
+                 float* out);
+
+/// Scatter-back: writes `k` scan-ordered values into a zeroed row-major
+/// `side x side` block (inverse of zigzag_take).
+void zigzag_put(const float* scan, std::size_t k, std::size_t side,
+                float* coeffs);
+
+}  // namespace hsdl::fte

@@ -1,0 +1,18 @@
+// Layout coordinate type.
+//
+// All layout geometry is expressed in integer nanometres (database units),
+// matching mask-layout practice: grids are snapped, and integer arithmetic
+// keeps boolean operations exact.
+#pragma once
+
+#include <cstdint>
+
+namespace hsdl::geom {
+
+/// Coordinate in nanometres.
+using Coord = std::int64_t;
+
+/// Area/accumulation type (products of coordinates).
+using Area = std::int64_t;
+
+}  // namespace hsdl::geom

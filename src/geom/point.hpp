@@ -1,0 +1,38 @@
+// 2-D integer point / vector.
+#pragma once
+
+#include <compare>
+#include <cstdlib>
+
+#include "geom/coord.hpp"
+
+namespace hsdl::geom {
+
+/// Point (or displacement vector) in nanometres.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(Coord s) const { return {x * s, y * s}; }
+  Point& operator+=(Point o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(Point o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+};
+
+/// L1 (Manhattan) distance — the natural metric for rectilinear layout.
+inline Coord manhattan_distance(Point a, Point b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+}  // namespace hsdl::geom

@@ -1,0 +1,135 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace hsdl::geom {
+
+bool is_rectilinear_ring(const std::vector<Point>& ring) {
+  if (ring.size() < 4) return false;
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % n];
+    const bool horizontal = a.y == b.y && a.x != b.x;
+    const bool vertical = a.x == b.x && a.y != b.y;
+    if (!horizontal && !vertical) return false;
+    // Edges must alternate direction, otherwise there is a redundant
+    // collinear vertex (still representable, but we canonicalize it away).
+    const Point& c = ring[(i + 2) % n];
+    const bool next_horizontal = b.y == c.y && b.x != c.x;
+    if (horizontal == next_horizontal) return false;
+  }
+  return true;
+}
+
+Polygon::Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {
+  HSDL_CHECK_MSG(is_rectilinear_ring(ring_),
+                 "polygon ring is not a simple rectilinear ring of "
+                     << ring_.size() << " vertices");
+}
+
+Polygon Polygon::from_rect(const Rect& r) {
+  HSDL_CHECK(!r.empty());
+  return Polygon({{r.lo.x, r.lo.y},
+                  {r.hi.x, r.lo.y},
+                  {r.hi.x, r.hi.y},
+                  {r.lo.x, r.hi.y}});
+}
+
+Area Polygon::signed_area() const {
+  Area twice = 0;
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return twice / 2;
+}
+
+Area Polygon::area() const {
+  Area s = signed_area();
+  return s < 0 ? -s : s;
+}
+
+Rect Polygon::bbox() const {
+  if (ring_.empty()) return {};
+  Rect r{ring_[0], ring_[0]};
+  for (const Point& p : ring_) {
+    r.lo.x = std::min(r.lo.x, p.x);
+    r.lo.y = std::min(r.lo.y, p.y);
+    r.hi.x = std::max(r.hi.x, p.x);
+    r.hi.y = std::max(r.hi.y, p.y);
+  }
+  return r;
+}
+
+bool Polygon::contains(Point p) const {
+  // Even-odd ray cast against vertical edges only (sufficient for
+  // rectilinear polygons): count vertical edges strictly to the right of p
+  // whose y-span covers p.y under the closed-open convention.
+  bool inside = false;
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    if (a.x != b.x) continue;  // horizontal edge
+    Coord ylo = std::min(a.y, b.y);
+    Coord yhi = std::max(a.y, b.y);
+    if (p.y >= ylo && p.y < yhi && p.x < a.x) inside = !inside;
+  }
+  return inside;
+}
+
+std::vector<Rect> Polygon::decompose() const {
+  // Horizontal slab decomposition: cut the polygon at every distinct vertex
+  // y, and within each slab find covered x-intervals by even-odd counting
+  // of vertical edges crossing the slab.
+  std::vector<Rect> out;
+  if (ring_.empty()) return out;
+
+  std::set<Coord> ys;
+  for (const Point& p : ring_) ys.insert(p.y);
+
+  struct VEdge {
+    Coord x, ylo, yhi;
+  };
+  std::vector<VEdge> vedges;
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    if (a.x == b.x)
+      vedges.push_back({a.x, std::min(a.y, b.y), std::max(a.y, b.y)});
+  }
+
+  auto it = ys.begin();
+  Coord prev_y = *it;
+  for (++it; it != ys.end(); ++it) {
+    const Coord cur_y = *it;
+    // Vertical edges spanning this slab, sorted by x; consecutive pairs
+    // bound covered intervals (even-odd rule on a simple polygon).
+    std::vector<Coord> xs;
+    for (const VEdge& e : vedges)
+      if (e.ylo <= prev_y && e.yhi >= cur_y) xs.push_back(e.x);
+    std::sort(xs.begin(), xs.end());
+    HSDL_DCHECK(xs.size() % 2 == 0);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2)
+      out.push_back({{xs[i], prev_y}, {xs[i + 1], cur_y}});
+    prev_y = cur_y;
+  }
+  return out;
+}
+
+Polygon Polygon::shifted(Point d) const {
+  std::vector<Point> moved = ring_;
+  for (Point& p : moved) p += d;
+  Polygon out;
+  out.ring_ = std::move(moved);
+  return out;
+}
+
+}  // namespace hsdl::geom

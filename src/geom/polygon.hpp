@@ -1,0 +1,57 @@
+// Rectilinear (Manhattan) polygon.
+//
+// Mask layouts are rectilinear: every edge is horizontal or vertical.
+// Polygons are stored as a counter-clockwise vertex ring without a repeated
+// closing vertex. The main operation the rest of the library needs is
+// decomposition into non-overlapping rectangles (for rasterization and I/O).
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace hsdl::geom {
+
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Builds from a vertex ring. Throws CheckError unless the ring has >= 4
+  /// vertices and alternating horizontal/vertical edges (rectilinear).
+  explicit Polygon(std::vector<Point> ring);
+
+  /// A rectangle as a 4-vertex polygon.
+  static Polygon from_rect(const Rect& r);
+
+  const std::vector<Point>& ring() const { return ring_; }
+  bool empty() const { return ring_.empty(); }
+
+  /// Signed area by the shoelace formula; positive for CCW rings.
+  Area signed_area() const;
+
+  /// Absolute enclosed area.
+  Area area() const;
+
+  /// Axis-aligned bounding box.
+  Rect bbox() const;
+
+  /// Point-in-polygon (even-odd rule, closed-open edges consistent with
+  /// Rect::contains for rectangle-shaped polygons).
+  bool contains(Point p) const;
+
+  /// Decomposes the polygon interior into disjoint rectangles whose union
+  /// is exactly the polygon (horizontal slab decomposition).
+  std::vector<Rect> decompose() const;
+
+  /// Polygon translated by `d`.
+  Polygon shifted(Point d) const;
+
+ private:
+  std::vector<Point> ring_;
+};
+
+/// True if `ring` is a valid rectilinear ring: >= 4 vertices, consecutive
+/// vertices differ in exactly one coordinate, and edge directions alternate.
+bool is_rectilinear_ring(const std::vector<Point>& ring);
+
+}  // namespace hsdl::geom

@@ -1,0 +1,89 @@
+// Axis-aligned rectangle, the workhorse shape of mask layout.
+//
+// A Rect is half-open in neither direction: it stores its lower-left (lo)
+// and upper-right (hi) corners and covers the closed-open region
+// [lo.x, hi.x) x [lo.y, hi.y) when rasterized, which makes abutting
+// rectangles tile without double-covered pixels. A Rect with
+// lo.x >= hi.x or lo.y >= hi.y is empty.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+
+#include "geom/point.hpp"
+
+namespace hsdl::geom {
+
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  static constexpr Rect from_xywh(Coord x, Coord y, Coord w, Coord h) {
+    return {{x, y}, {x + w, y + h}};
+  }
+
+  constexpr Coord width() const { return hi.x - lo.x; }
+  constexpr Coord height() const { return hi.y - lo.y; }
+  constexpr bool empty() const { return width() <= 0 || height() <= 0; }
+  constexpr Area area() const {
+    return empty() ? 0 : static_cast<Area>(width()) * height();
+  }
+  constexpr Point center() const {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+
+  /// Point containment (closed-open convention).
+  constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y;
+  }
+
+  /// True if `other` lies fully inside this rectangle.
+  constexpr bool contains(const Rect& other) const {
+    return !other.empty() && other.lo.x >= lo.x && other.lo.y >= lo.y &&
+           other.hi.x <= hi.x && other.hi.y <= hi.y;
+  }
+
+  /// True if the interiors intersect (touching edges do not count).
+  constexpr bool overlaps(const Rect& other) const {
+    return lo.x < other.hi.x && other.lo.x < hi.x && lo.y < other.hi.y &&
+           other.lo.y < hi.y;
+  }
+
+  /// Intersection; empty Rect if disjoint.
+  constexpr Rect intersect(const Rect& other) const {
+    Rect r{{std::max(lo.x, other.lo.x), std::max(lo.y, other.lo.y)},
+           {std::min(hi.x, other.hi.x), std::min(hi.y, other.hi.y)}};
+    return r;
+  }
+
+  /// Smallest rectangle covering both.
+  constexpr Rect bbox_union(const Rect& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return {{std::min(lo.x, other.lo.x), std::min(lo.y, other.lo.y)},
+            {std::max(hi.x, other.hi.x), std::max(hi.y, other.hi.y)}};
+  }
+
+  /// Rectangle grown by `margin` on all four sides (negative shrinks).
+  constexpr Rect inflated(Coord margin) const {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+
+  /// Rectangle translated by `d`.
+  constexpr Rect shifted(Point d) const { return {lo + d, hi + d}; }
+};
+
+/// Minimum edge-to-edge separation between two disjoint rectangles in the
+/// L-infinity sense used by spacing design rules; 0 if they overlap/touch.
+inline Coord rect_spacing(const Rect& a, const Rect& b) {
+  Coord dx = std::max({a.lo.x - b.hi.x, b.lo.x - a.hi.x, Coord{0}});
+  Coord dy = std::max({a.lo.y - b.hi.y, b.lo.y - a.hi.y, Coord{0}});
+  // Diagonal separation uses the Euclidean-style corner rule common in DRC:
+  // both axes positive means corner-to-corner; the binding constraint is the
+  // max single-axis gap for rectilinear rules.
+  return std::max(dx, dy);
+}
+
+}  // namespace hsdl::geom

@@ -1,0 +1,122 @@
+#include "geom/region.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace hsdl::geom {
+
+Area union_area(const std::vector<Rect>& rects) {
+  // Coordinate-compress x; for each x-strip, union the y-intervals of the
+  // rectangles covering it.
+  std::set<Coord> xs;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    xs.insert(r.lo.x);
+    xs.insert(r.hi.x);
+  }
+  if (xs.size() < 2) return 0;
+
+  Area total = 0;
+  auto it = xs.begin();
+  Coord prev_x = *it;
+  for (++it; it != xs.end(); ++it) {
+    const Coord cur_x = *it;
+    // Collect y-intervals of rects covering this strip.
+    std::vector<std::pair<Coord, Coord>> iv;
+    for (const Rect& r : rects) {
+      if (r.empty() || r.lo.x > prev_x || r.hi.x < cur_x) continue;
+      if (r.lo.x <= prev_x && r.hi.x >= cur_x)
+        iv.emplace_back(r.lo.y, r.hi.y);
+    }
+    std::sort(iv.begin(), iv.end());
+    Coord covered = 0;
+    Coord open_lo = 0, open_hi = 0;
+    bool open = false;
+    for (auto [lo, hi] : iv) {
+      if (!open) {
+        open_lo = lo;
+        open_hi = hi;
+        open = true;
+      } else if (lo <= open_hi) {
+        open_hi = std::max(open_hi, hi);
+      } else {
+        covered += open_hi - open_lo;
+        open_lo = lo;
+        open_hi = hi;
+      }
+    }
+    if (open) covered += open_hi - open_lo;
+    total += static_cast<Area>(covered) * (cur_x - prev_x);
+    prev_x = cur_x;
+  }
+  return total;
+}
+
+RectIndex::RectIndex(const Rect& extent, Coord bin_size)
+    : extent_(extent), bin_size_(bin_size) {
+  HSDL_CHECK(!extent.empty());
+  HSDL_CHECK(bin_size > 0);
+  nx_ = static_cast<std::size_t>((extent.width() + bin_size - 1) / bin_size);
+  ny_ = static_cast<std::size_t>((extent.height() + bin_size - 1) / bin_size);
+  nx_ = std::max<std::size_t>(nx_, 1);
+  ny_ = std::max<std::size_t>(ny_, 1);
+  bins_.resize(nx_ * ny_);
+}
+
+RectIndex::BinRange RectIndex::bins_for(const Rect& r) const {
+  auto clamp_bin = [](Coord v, std::size_t n) {
+    if (v < 0) return std::size_t{0};
+    std::size_t b = static_cast<std::size_t>(v);
+    return b >= n ? n - 1 : b;
+  };
+  return {clamp_bin((r.lo.x - extent_.lo.x) / bin_size_, nx_),
+          clamp_bin((r.hi.x - 1 - extent_.lo.x) / bin_size_, nx_),
+          clamp_bin((r.lo.y - extent_.lo.y) / bin_size_, ny_),
+          clamp_bin((r.hi.y - 1 - extent_.lo.y) / bin_size_, ny_)};
+}
+
+void RectIndex::insert(const Rect& r) {
+  HSDL_CHECK(!r.empty());
+  const std::size_t id = rects_.size();
+  rects_.push_back(r);
+  BinRange b = bins_for(r);
+  for (std::size_t by = b.y0; by <= b.y1; ++by)
+    for (std::size_t bx = b.x0; bx <= b.x1; ++bx)
+      bins_[by * nx_ + bx].push_back(id);
+}
+
+std::vector<Rect> RectIndex::query(const Rect& r, Coord margin) const {
+  const Rect q = r.inflated(margin);
+  std::vector<Rect> out;
+  if (q.empty()) return out;
+  std::vector<bool> seen(rects_.size(), false);
+  BinRange b = bins_for(q);
+  for (std::size_t by = b.y0; by <= b.y1; ++by)
+    for (std::size_t bx = b.x0; bx <= b.x1; ++bx)
+      for (std::size_t id : bins_[by * nx_ + bx]) {
+        if (seen[id]) continue;
+        seen[id] = true;
+        if (rects_[id].overlaps(q)) out.push_back(rects_[id]);
+      }
+  return out;
+}
+
+bool RectIndex::violates_spacing(const Rect& r, Coord min_spacing) const {
+  // A shape violates spacing if any stored shape overlaps it or lies closer
+  // than min_spacing edge-to-edge. Inflating by (min_spacing - 1) and
+  // testing open-interval overlap realizes "spacing < min_spacing".
+  const Rect q = r.inflated(min_spacing > 0 ? min_spacing - 1 : 0);
+  BinRange b = bins_for(q);
+  for (std::size_t by = b.y0; by <= b.y1; ++by)
+    for (std::size_t bx = b.x0; bx <= b.x1; ++bx)
+      for (std::size_t id : bins_[by * nx_ + bx]) {
+        const Rect& s = rects_[id];
+        if (s.overlaps(r)) return true;
+        if (min_spacing > 0 && rect_spacing(s, r) < min_spacing) return true;
+      }
+  return false;
+}
+
+}  // namespace hsdl::geom

@@ -1,0 +1,53 @@
+// Region utilities over collections of rectangles.
+//
+// The layout generator needs (1) exact union area (to compute pattern
+// density), (2) fast "does this new shape violate min-spacing against what
+// is already placed" queries. A uniform grid bin index keeps the latter
+// O(local density) per query, which is the standard trick in DRC engines.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace hsdl::geom {
+
+/// Exact area of the union of (possibly overlapping) rectangles,
+/// via coordinate-compressed sweep. O(n^2) worst case, fine for clips.
+Area union_area(const std::vector<Rect>& rects);
+
+/// Uniform-grid spatial index over rectangles for overlap / spacing queries.
+class RectIndex {
+ public:
+  /// `extent` bounds all inserted shapes; `bin_size` trades memory for query
+  /// locality (choose ~ the typical shape pitch).
+  RectIndex(const Rect& extent, Coord bin_size);
+
+  /// Inserts a rectangle (must intersect the extent).
+  void insert(const Rect& r);
+
+  /// All stored rectangles whose *inflated* neighbourhood intersects `r`.
+  /// `margin` inflates the query (use the min-spacing rule).
+  std::vector<Rect> query(const Rect& r, Coord margin = 0) const;
+
+  /// True if `r` overlaps any stored rect, or comes within `min_spacing`
+  /// of one (edge-to-edge).
+  bool violates_spacing(const Rect& r, Coord min_spacing) const;
+
+  std::size_t size() const { return rects_.size(); }
+  const std::vector<Rect>& rects() const { return rects_; }
+
+ private:
+  struct BinRange {
+    std::size_t x0, x1, y0, y1;  // inclusive bin coordinates
+  };
+  BinRange bins_for(const Rect& r) const;
+
+  Rect extent_;
+  Coord bin_size_;
+  std::size_t nx_, ny_;
+  std::vector<std::vector<std::size_t>> bins_;  // indices into rects_
+  std::vector<Rect> rects_;
+};
+
+}  // namespace hsdl::geom

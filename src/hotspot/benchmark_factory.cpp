@@ -1,0 +1,112 @@
+#include "hotspot/benchmark_factory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "litho/labeler.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+std::size_t scaled(std::size_t paper_count, double scale) {
+  const auto v = static_cast<std::size_t>(
+      static_cast<double>(paper_count) * scale);
+  return std::max<std::size_t>(v, 8);
+}
+
+BenchmarkSpec make_spec(const std::string& name, std::size_t train_hs,
+                        std::size_t train_nhs, std::size_t test_hs,
+                        std::size_t test_nhs, double stress, double scale,
+                        std::uint64_t seed) {
+  BenchmarkSpec spec;
+  spec.name = name;
+  spec.train_hotspots = scaled(train_hs, scale);
+  spec.train_non_hotspots = scaled(train_nhs, scale);
+  spec.test_hotspots = scaled(test_hs, scale);
+  spec.test_non_hotspots = scaled(test_nhs, scale);
+  spec.generator.stress = stress;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+// Counts are Table 2's columns; stress reproduces each testcase's hotspot
+// prevalence (ICCAD is hotspot-poor, Industry1 hotspot-rich).
+BenchmarkSpec iccad_spec(double scale) {
+  return make_spec("ICCAD", 1204, 17096, 2524, 13503, 0.30, scale, 0xD0C1);
+}
+BenchmarkSpec industry1_spec(double scale) {
+  return make_spec("Industry1", 34281, 15635, 17157, 7801, 0.72, scale,
+                   0xD0C2);
+}
+BenchmarkSpec industry2_spec(double scale) {
+  return make_spec("Industry2", 15197, 48758, 7520, 24457, 0.45, scale,
+                   0xD0C3);
+}
+BenchmarkSpec industry3_spec(double scale) {
+  return make_spec("Industry3", 24776, 49315, 12228, 24817, 0.55, scale,
+                   0xD0C4);
+}
+
+std::vector<BenchmarkSpec> all_specs(double scale) {
+  return {iccad_spec(scale), industry1_spec(scale), industry2_spec(scale),
+          industry3_spec(scale)};
+}
+
+layout::BenchmarkData build_benchmark(const BenchmarkSpec& spec) {
+  HSDL_CHECK(!spec.name.empty());
+  layout::ClipGenerator generator(spec.generator, spec.seed);
+  const litho::HotspotLabeler labeler(spec.litho);
+
+  layout::BenchmarkData data;
+  data.name = spec.name;
+
+  // Quotas per (split, class) cell; clips stream from the generator into
+  // the first unfilled matching cell so train and test never share a clip.
+  struct Cell {
+    std::vector<layout::LabeledClip>* sink;
+    layout::HotspotLabel label;
+    std::size_t quota;
+    std::size_t filled = 0;
+  };
+  Cell cells[] = {
+      {&data.train, layout::HotspotLabel::kHotspot, spec.train_hotspots},
+      {&data.train, layout::HotspotLabel::kNonHotspot,
+       spec.train_non_hotspots},
+      {&data.test, layout::HotspotLabel::kHotspot, spec.test_hotspots},
+      {&data.test, layout::HotspotLabel::kNonHotspot,
+       spec.test_non_hotspots},
+  };
+
+  const std::size_t total = spec.train_hotspots + spec.train_non_hotspots +
+                            spec.test_hotspots + spec.test_non_hotspots;
+  const std::size_t attempt_budget = 60 * total;
+  std::size_t attempts = 0;
+  std::size_t remaining = total;
+  while (remaining > 0) {
+    HSDL_CHECK_MSG(attempts++ < attempt_budget,
+                   "benchmark '" << spec.name
+                                 << "': generator cannot meet class quotas "
+                                    "(hotspot rate too skewed for stress="
+                                 << spec.generator.stress << ")");
+    layout::LabeledClip lc;
+    lc.clip = generator.generate();
+    lc.label = labeler.label(lc.clip);
+    for (Cell& cell : cells) {
+      if (cell.label == lc.label && cell.filled < cell.quota) {
+        cell.sink->push_back(std::move(lc));
+        ++cell.filled;
+        --remaining;
+        break;
+      }
+    }
+  }
+  HSDL_LOG(kInfo) << "benchmark " << spec.name << ": " << data.train.size()
+                  << " train / " << data.test.size() << " test clips in "
+                  << attempts << " generator draws";
+  return data;
+}
+
+}  // namespace hsdl::hotspot

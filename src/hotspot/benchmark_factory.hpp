@@ -1,0 +1,46 @@
+// Synthetic benchmark suites shaped like the paper's four testcases.
+//
+// The ICCAD-2012 merged suite and the three ASML industry testcases are
+// not redistributable; this factory regenerates their *statistical shape*
+// (train/test sizes and hotspot : non-hotspot imbalance of Table 2) from
+// the archetype generator + litho labeler, deterministically by seed.
+// A global `scale` shrinks every count proportionally so the whole Table 2
+// experiment runs on one CPU core (DESIGN.md §4, substitution 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "layout/dataset.hpp"
+#include "layout/generator.hpp"
+#include "litho/config.hpp"
+
+namespace hsdl::hotspot {
+
+struct BenchmarkSpec {
+  std::string name;
+  std::size_t train_hotspots = 0;
+  std::size_t train_non_hotspots = 0;
+  std::size_t test_hotspots = 0;
+  std::size_t test_non_hotspots = 0;
+  layout::GeneratorConfig generator;  ///< stress tuned per testcase
+  litho::LithoConfig litho;
+  std::uint64_t seed = 2017;
+};
+
+/// The paper's four testcases at a given scale (1.0 = the paper's counts;
+/// benches default to a few percent). Counts never fall below 8 per cell.
+BenchmarkSpec iccad_spec(double scale);
+BenchmarkSpec industry1_spec(double scale);
+BenchmarkSpec industry2_spec(double scale);
+BenchmarkSpec industry3_spec(double scale);
+
+/// All four specs in Table 2 order.
+std::vector<BenchmarkSpec> all_specs(double scale);
+
+/// Generates, labels, and fills the quota of each (split, class) cell.
+/// Throws CheckError if the generator cannot reach the quotas within a
+/// generous attempt budget (indicates mis-tuned stress/litho settings).
+layout::BenchmarkData build_benchmark(const BenchmarkSpec& spec);
+
+}  // namespace hsdl::hotspot

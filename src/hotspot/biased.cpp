@@ -1,0 +1,42 @@
+#include "hotspot/biased.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace hsdl::hotspot {
+
+BiasedLearner::BiasedLearner(const BiasedLearningConfig& config)
+    : config_(config) {
+  HSDL_CHECK(config.rounds >= 1);
+  HSDL_CHECK(config.delta >= 0.0);
+  HSDL_CHECK_MSG(
+      config.epsilon0 +
+              config.delta * static_cast<double>(config.rounds - 1) <
+          0.5,
+      "bias schedule crosses the 0.5 decision line (Theorem 1 bound)");
+}
+
+BiasedLearningResult BiasedLearner::train(
+    HotspotCnn& model, const nn::ClassificationDataset& train_set,
+    const nn::ClassificationDataset& val_set, Rng& rng) {
+  BiasedLearningResult result;
+  double epsilon = config_.epsilon0;
+  for (std::size_t i = 0; i < config_.rounds; ++i) {
+    MgdConfig mgd = (i == 0) ? config_.initial : config_.finetune;
+    mgd.epsilon = epsilon;  // Algorithm 2 line 3
+    MgdTrainer trainer(mgd);
+    BiasedRound round;
+    round.epsilon = epsilon;
+    round.train = trainer.train(model, train_set, val_set, rng);
+    round.val_confusion = evaluate(model, val_set);
+    HSDL_LOG(kInfo) << "biased round " << i << " (eps=" << epsilon
+                    << "): val hotspot accuracy "
+                    << round.val_confusion.accuracy() << ", false alarms "
+                    << round.val_confusion.false_alarms();
+    result.rounds.push_back(std::move(round));
+    epsilon += config_.delta;  // Algorithm 2 line 5
+  }
+  return result;
+}
+
+}  // namespace hsdl::hotspot

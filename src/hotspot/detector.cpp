@@ -1,0 +1,274 @@
+#include "hotspot/detector.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "layout/transform.hpp"
+#include "nn/serialize.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+std::size_t label_index(layout::HotspotLabel label) {
+  HSDL_CHECK_MSG(label != layout::HotspotLabel::kUnknown,
+                 "training/evaluation clip without a resolved label");
+  return label == layout::HotspotLabel::kHotspot ? kHotspotIndex
+                                                 : kNonHotspotIndex;
+}
+
+/// Online passes with inverse-class-frequency step weighting so the rare
+/// hotspot class is not drowned out by the non-hotspot stream.
+void run_online_refinement(baselines::BoostedStumps& boost,
+                           const nn::ClassificationDataset& data,
+                           const BoostDetectorConfig& config) {
+  if (config.online_passes == 0) return;
+  const auto n = static_cast<double>(data.size());
+  const auto pos = static_cast<double>(data.count_label(1));
+  const double w_pos = pos > 0 ? n / (2.0 * pos) : 0.0;
+  const double w_neg = n - pos > 0 ? n / (2.0 * (n - pos)) : 0.0;
+  for (std::size_t pass = 0; pass < config.online_passes; ++pass)
+    for (std::size_t i = 0; i < data.size(); ++i)
+      boost.update_online(data.features(i), data.label(i),
+                          config.online_learning_rate,
+                          data.label(i) == 1 ? w_pos : w_neg);
+}
+
+}  // namespace
+
+DetectorEval Detector::evaluate(
+    const std::vector<layout::LabeledClip>& test_clips) {
+  DetectorEval eval;
+  WallTimer timer;
+  for (const layout::LabeledClip& lc : test_clips) {
+    const bool predicted = predict(lc.clip);
+    eval.confusion.add(label_index(lc.label) == kHotspotIndex, predicted);
+  }
+  eval.eval_seconds = timer.seconds();
+  return eval;
+}
+
+// -- CnnDetector -------------------------------------------------------------
+
+CnnDetector::CnnDetector(const CnnDetectorConfig& config)
+    : config_(config),
+      extractor_(config.feature),
+      model_([&] {
+        HotspotCnnConfig c = config.cnn;
+        // The CNN input is the feature tensor; keep the shapes coupled so a
+        // mismatched config cannot be constructed.
+        c.input_channels = config.feature.coeffs;
+        c.input_side = config.feature.blocks_per_side;
+        return c;
+      }()),
+      rng_(config.seed) {
+  HSDL_CHECK(config.validation_fraction >= 0.0 &&
+             config.validation_fraction < 1.0);
+}
+
+nn::ClassificationDataset CnnDetector::extract_dataset(
+    const std::vector<layout::LabeledClip>& clips) const {
+  nn::ClassificationDataset data(
+      {config_.feature.coeffs, config_.feature.blocks_per_side,
+       config_.feature.blocks_per_side});
+  for (const layout::LabeledClip& lc : clips) {
+    fte::FeatureTensor ft = extractor_.extract(lc.clip);
+    data.add(std::move(ft.data), label_index(lc.label));
+  }
+  return data;
+}
+
+BiasedLearningResult CnnDetector::train_on(
+    const nn::ClassificationDataset& train_set,
+    const nn::ClassificationDataset& val_set) {
+  BiasedLearner learner(config_.biased);
+  return learner.train(model_, train_set, val_set, rng_);
+}
+
+void CnnDetector::train(const std::vector<layout::LabeledClip>& train_clips) {
+  HSDL_CHECK(!train_clips.empty());
+  // 25 % validation split (paper Section 4.2), then feature extraction.
+  std::vector<layout::LabeledClip> train_part, val_part;
+  Rng split_rng(config_.seed ^ 0x5eedULL);
+  layout::split_validation(train_clips, config_.validation_fraction,
+                           split_rng, train_part, val_part);
+  if (val_part.empty()) {  // tiny sets: validate on the training data
+    val_part = train_part;
+  }
+  if (config_.augment_hotspots) {
+    const std::size_t original = train_part.size();
+    for (std::size_t i = 0; i < original; ++i) {
+      if (train_part[i].label != layout::HotspotLabel::kHotspot) continue;
+      for (layout::Dihedral op : layout::kAllDihedral) {
+        if (op == layout::Dihedral::kIdentity) continue;
+        train_part.push_back(
+            {layout::transformed(train_part[i].clip, op),
+             layout::HotspotLabel::kHotspot});
+      }
+    }
+  }
+  const nn::ClassificationDataset train_set = extract_dataset(train_part);
+  const nn::ClassificationDataset val_set = extract_dataset(val_part);
+  train_on(train_set, val_set);
+}
+
+void CnnDetector::save(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  // Fingerprint line, then the parameter payload.
+  os << "HSDLDET1 k=" << config_.feature.coeffs
+     << " n=" << config_.feature.blocks_per_side
+     << " nmpp=" << config_.feature.nm_per_px
+     << " s1=" << model_.config().stage1_maps
+     << " s2=" << model_.config().stage2_maps
+     << " fc=" << model_.config().fc_nodes << "\n";
+  nn::save_params(os, model_.net().params());
+}
+
+void CnnDetector::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  std::string fingerprint;
+  std::getline(is, fingerprint);
+  std::ostringstream expected;
+  expected << "HSDLDET1 k=" << config_.feature.coeffs
+           << " n=" << config_.feature.blocks_per_side
+           << " nmpp=" << config_.feature.nm_per_px
+           << " s1=" << model_.config().stage1_maps
+           << " s2=" << model_.config().stage2_maps
+           << " fc=" << model_.config().fc_nodes;
+  HSDL_CHECK_MSG(fingerprint == expected.str(),
+                 "checkpoint fingerprint mismatch: '"
+                     << fingerprint << "' vs expected '" << expected.str()
+                     << "'");
+  nn::load_params(is, model_.net().params());
+}
+
+void CnnDetector::update_online(
+    const std::vector<layout::LabeledClip>& new_clips,
+    std::size_t iters_per_clip) {
+  HSDL_CHECK(!new_clips.empty());
+  const nn::ClassificationDataset fresh = extract_dataset(new_clips);
+  MgdConfig cfg = config_.biased.finetune;
+  cfg.epsilon = 0.0;
+  cfg.max_iters = std::max<std::size_t>(1, iters_per_clip *
+                                               new_clips.size());
+  cfg.batch = std::min<std::size_t>(cfg.batch, fresh.size());
+  cfg.validate_every = cfg.max_iters;  // single terminal validation
+  cfg.patience = 1;
+  // Single-class update streams can't use balanced sampling.
+  cfg.balanced_batches = fresh.count_label(kHotspotIndex) > 0 &&
+                         fresh.count_label(kNonHotspotIndex) > 0;
+  MgdTrainer trainer(cfg);
+  trainer.train(model_, fresh, fresh, rng_);
+}
+
+bool CnnDetector::predict(const layout::Clip& clip) {
+  fte::FeatureTensor ft = extractor_.extract(clip);
+  std::vector<std::size_t> shape = model_.input_shape();
+  shape.insert(shape.begin(), 1);
+  const nn::Tensor x = nn::Tensor::from_data(shape, std::move(ft.data));
+  const nn::Tensor probs = model_.probabilities(x);
+  return static_cast<double>(probs.at(0, kHotspotIndex)) >
+         0.5 - config_.shift;
+}
+
+DetectorEval CnnDetector::evaluate(
+    const std::vector<layout::LabeledClip>& test_clips) {
+  // Batched evaluation: extraction + inference in chunks.
+  DetectorEval eval;
+  WallTimer timer;
+  constexpr std::size_t kChunk = 64;
+  std::vector<std::size_t> shape = model_.input_shape();
+  const std::size_t feat = config_.feature.coeffs *
+                           config_.feature.blocks_per_side *
+                           config_.feature.blocks_per_side;
+  for (std::size_t start = 0; start < test_clips.size(); start += kChunk) {
+    const std::size_t end = std::min(start + kChunk, test_clips.size());
+    const std::size_t n = end - start;
+    nn::Tensor x({n, shape[0], shape[1], shape[2]});
+    for (std::size_t i = 0; i < n; ++i) {
+      fte::FeatureTensor ft = extractor_.extract(test_clips[start + i].clip);
+      std::copy(ft.data.begin(), ft.data.end(), x.data() + i * feat);
+    }
+    const nn::Tensor probs = model_.probabilities(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool predicted =
+          static_cast<double>(probs.at(i, kHotspotIndex)) >
+          0.5 - config_.shift;
+      eval.confusion.add(
+          label_index(test_clips[start + i].label) == kHotspotIndex,
+          predicted);
+    }
+  }
+  eval.eval_seconds = timer.seconds();
+  return eval;
+}
+
+// -- boosting baselines -------------------------------------------------------
+
+AdaBoostDensityDetector::AdaBoostDensityDetector(
+    const features::DensityConfig& feature, const BoostDetectorConfig& config)
+    : feature_(feature), config_(config), boost_(config.boost) {}
+
+AdaBoostDensityDetector::AdaBoostDensityDetector()
+    : AdaBoostDensityDetector(features::DensityConfig{}, [] {
+        BoostDetectorConfig c;
+        c.boost.scheme = baselines::WeightScheme::kExponential;
+        c.boost.rounds = 100;
+        return c;
+      }()) {}
+
+void AdaBoostDensityDetector::train(
+    const std::vector<layout::LabeledClip>& train_clips) {
+  HSDL_CHECK(!train_clips.empty());
+  const std::size_t dim = feature_.grid_n * feature_.grid_n;
+  nn::ClassificationDataset data({dim});
+  for (const layout::LabeledClip& lc : train_clips)
+    data.add(features::density_feature(lc.clip, feature_),
+             label_index(lc.label));
+  boost_ = baselines::BoostedStumps(config_.boost);
+  boost_.train(data);
+  run_online_refinement(boost_, data, config_);
+  if (config_.tune_bias) config_.bias = boost_.tune_bias_balanced(data);
+}
+
+bool AdaBoostDensityDetector::predict(const layout::Clip& clip) {
+  const std::vector<float> x = features::density_feature(clip, feature_);
+  return boost_.predict(x.data(), config_.bias);
+}
+
+SmoothBoostCcsDetector::SmoothBoostCcsDetector(
+    const features::CcsConfig& feature, const BoostDetectorConfig& config)
+    : feature_(feature), config_(config), boost_(config.boost) {}
+
+SmoothBoostCcsDetector::SmoothBoostCcsDetector()
+    : SmoothBoostCcsDetector(features::CcsConfig{}, [] {
+        BoostDetectorConfig c;
+        c.boost.scheme = baselines::WeightScheme::kSmoothCapped;
+        c.boost.rounds = 120;
+        c.online_passes = 1;  // the online learning scheme of [5]
+        return c;
+      }()) {}
+
+void SmoothBoostCcsDetector::train(
+    const std::vector<layout::LabeledClip>& train_clips) {
+  HSDL_CHECK(!train_clips.empty());
+  const std::size_t dim = feature_.circles * feature_.samples_per_circle;
+  nn::ClassificationDataset data({dim});
+  for (const layout::LabeledClip& lc : train_clips)
+    data.add(features::ccs_feature(lc.clip, feature_), label_index(lc.label));
+  boost_ = baselines::BoostedStumps(config_.boost);
+  boost_.train(data);
+  run_online_refinement(boost_, data, config_);
+  if (config_.tune_bias) config_.bias = boost_.tune_bias_balanced(data);
+}
+
+bool SmoothBoostCcsDetector::predict(const layout::Clip& clip) {
+  const std::vector<float> x = features::ccs_feature(clip, feature_);
+  return boost_.predict(x.data(), config_.bias);
+}
+
+}  // namespace hsdl::hotspot

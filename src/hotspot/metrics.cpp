@@ -1,0 +1,23 @@
+#include "hotspot/metrics.hpp"
+
+namespace hsdl::hotspot {
+
+void Confusion::add(bool actual_hotspot, bool predicted_hotspot) {
+  if (actual_hotspot)
+    predicted_hotspot ? ++tp : ++fn;
+  else
+    predicted_hotspot ? ++fp : ++tn;
+}
+
+double Confusion::accuracy() const {
+  const std::size_t hs = hotspots();
+  if (hs == 0) return 1.0;
+  return static_cast<double>(tp) / static_cast<double>(hs);
+}
+
+double Confusion::odst_seconds(double eval_seconds) const {
+  return kLithoSimSecondsPerClip * static_cast<double>(detected()) +
+         eval_seconds;
+}
+
+}  // namespace hsdl::hotspot

@@ -1,0 +1,38 @@
+// Evaluation metrics (paper Definitions 1-3).
+//
+//   Accuracy    = TP / (TP + FN)          — hotspot detection recall.
+//   False alarm = FP                      — non-hotspots flagged hotspot.
+//   ODST        = 10 s * (TP + FP) + model evaluation time
+//                 (every detected hotspot must be litho-simulated; the
+//                  10 s/clip constant comes from the paper's industry
+//                  simulator reference [17]).
+#pragma once
+
+#include <cstddef>
+
+namespace hsdl::hotspot {
+
+/// Seconds of lithography simulation per detected hotspot (paper §5).
+inline constexpr double kLithoSimSecondsPerClip = 10.0;
+
+struct Confusion {
+  std::size_t tp = 0;  ///< hotspot predicted hotspot
+  std::size_t fn = 0;  ///< hotspot predicted non-hotspot
+  std::size_t fp = 0;  ///< non-hotspot predicted hotspot (false alarm)
+  std::size_t tn = 0;  ///< non-hotspot predicted non-hotspot
+
+  void add(bool actual_hotspot, bool predicted_hotspot);
+
+  std::size_t total() const { return tp + fn + fp + tn; }
+  std::size_t hotspots() const { return tp + fn; }
+  std::size_t detected() const { return tp + fp; }
+
+  /// Paper Definition 1. Returns 1 when the set has no hotspots.
+  double accuracy() const;
+  /// Paper Definition 2.
+  std::size_t false_alarms() const { return fp; }
+  /// Paper Definition 3, given the classifier evaluation wall time.
+  double odst_seconds(double eval_seconds) const;
+};
+
+}  // namespace hsdl::hotspot

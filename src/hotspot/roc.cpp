@@ -1,0 +1,84 @@
+#include "hotspot/roc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+/// p(hotspot) for every sample, computed in chunks.
+std::vector<double> hotspot_probabilities(
+    HotspotCnn& model, const nn::ClassificationDataset& data) {
+  std::vector<double> probs;
+  probs.reserve(data.size());
+  constexpr std::size_t kChunk = 128;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < data.size(); start += kChunk) {
+    const std::size_t end = std::min(start + kChunk, data.size());
+    idx.clear();
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    const nn::Tensor p = model.probabilities(data.gather(idx));
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      probs.push_back(static_cast<double>(p.at(i, kHotspotIndex)));
+  }
+  return probs;
+}
+
+Confusion confusion_at(const std::vector<double>& probs,
+                       const nn::ClassificationDataset& data,
+                       double threshold) {
+  Confusion c;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    c.add(data.label(i) == kHotspotIndex, probs[i] > threshold);
+  return c;
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(HotspotCnn& model,
+                                const nn::ClassificationDataset& data,
+                                const std::vector<double>& shifts) {
+  HSDL_CHECK(!data.empty());
+  const std::vector<double> probs = hotspot_probabilities(model, data);
+  std::vector<RocPoint> out;
+  out.reserve(shifts.size());
+  for (double shift : shifts) {
+    const Confusion c = confusion_at(probs, data, 0.5 - shift);
+    RocPoint p;
+    p.shift = shift;
+    p.accuracy = c.accuracy();
+    p.false_alarms = c.false_alarms();
+    const auto nhs = static_cast<double>(c.fp + c.tn);
+    p.fa_rate = nhs > 0 ? static_cast<double>(c.fp) / nhs : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double roc_auc(HotspotCnn& model, const nn::ClassificationDataset& data,
+               std::size_t sweep_points) {
+  HSDL_CHECK(sweep_points >= 2);
+  std::vector<double> shifts(sweep_points);
+  // Shift from -0.5 (threshold 1: nothing flagged) to +0.5 (threshold 0:
+  // everything flagged) covers the full curve.
+  for (std::size_t i = 0; i < sweep_points; ++i)
+    shifts[i] = -0.5 + static_cast<double>(i) /
+                           static_cast<double>(sweep_points - 1);
+  auto curve = roc_curve(model, data, shifts);
+  std::sort(curve.begin(), curve.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              return a.fa_rate < b.fa_rate;
+            });
+  double auc = 0.0;
+  double prev_x = 0.0, prev_y = 0.0;
+  for (const RocPoint& p : curve) {
+    auc += (p.fa_rate - prev_x) * 0.5 * (p.accuracy + prev_y);
+    prev_x = p.fa_rate;
+    prev_y = p.accuracy;
+  }
+  auc += (1.0 - prev_x) * 0.5 * (1.0 + prev_y);
+  return auc;
+}
+
+}  // namespace hsdl::hotspot

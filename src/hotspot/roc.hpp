@@ -1,0 +1,32 @@
+// Operating-curve utilities: sweep the decision boundary of a trained
+// model to map the accuracy / false-alarm trade-off (the axes of the
+// paper's Figure 4).
+#pragma once
+
+#include <vector>
+
+#include "hotspot/cnn.hpp"
+#include "hotspot/metrics.hpp"
+#include "nn/dataset.hpp"
+
+namespace hsdl::hotspot {
+
+struct RocPoint {
+  double shift = 0.0;        ///< Equation (11) lambda
+  double accuracy = 0.0;     ///< hotspot recall (Definition 1)
+  double fa_rate = 0.0;      ///< false alarms / non-hotspots
+  std::size_t false_alarms = 0;
+};
+
+/// Evaluates the model at each boundary shift. Probabilities are computed
+/// once; thresholds are swept over them, so large sweeps stay cheap.
+std::vector<RocPoint> roc_curve(HotspotCnn& model,
+                                const nn::ClassificationDataset& data,
+                                const std::vector<double>& shifts);
+
+/// Area under the (fa_rate, accuracy) curve via trapezoids over a dense
+/// shift sweep; 1.0 = perfect ranking, 0.5 = chance.
+double roc_auc(HotspotCnn& model, const nn::ClassificationDataset& data,
+               std::size_t sweep_points = 101);
+
+}  // namespace hsdl::hotspot

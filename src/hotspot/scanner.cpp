@@ -1,0 +1,36 @@
+#include "hotspot/scanner.hpp"
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace hsdl::hotspot {
+
+ChipScanner::ChipScanner(const ScanConfig& config) : config_(config) {
+  HSDL_CHECK(config.window_size > 0);
+  HSDL_CHECK(config.stride > 0);
+}
+
+ScanReport ChipScanner::scan(const layout::Layout& chip,
+                             Detector& detector) const {
+  const geom::Rect& extent = chip.extent();
+  HSDL_CHECK_MSG(extent.width() >= config_.window_size &&
+                     extent.height() >= config_.window_size,
+                 "layout smaller than the scan window");
+  ScanReport report;
+  WallTimer timer;
+  for (geom::Coord y = extent.lo.y;
+       y + config_.window_size <= extent.hi.y; y += config_.stride) {
+    for (geom::Coord x = extent.lo.x;
+         x + config_.window_size <= extent.hi.x; x += config_.stride) {
+      const geom::Rect window = geom::Rect::from_xywh(
+          x, y, config_.window_size, config_.window_size);
+      const layout::Clip clip = chip.extract_clip(window).normalized();
+      ++report.windows_scanned;
+      if (detector.predict(clip)) report.hits.push_back({window, 1.0});
+    }
+  }
+  report.scan_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace hsdl::hotspot

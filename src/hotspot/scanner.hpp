@@ -1,0 +1,63 @@
+// Full-chip hotspot scanning.
+//
+// Slides a clip-sized window over a Layout at a configurable stride and
+// classifies each window with any Detector, producing a hotspot map —
+// the production flow the paper targets: replace full-chip lithography
+// simulation (10 s/clip) with millisecond ML screening and simulate only
+// the flagged windows.
+#pragma once
+
+#include <vector>
+
+#include "hotspot/detector.hpp"
+#include "layout/layout.hpp"
+
+namespace hsdl::hotspot {
+
+struct ScanConfig {
+  geom::Coord window_size = 1200;  ///< nm, must match the detector's input
+  geom::Coord stride = 1200;       ///< nm; < window_size scans with overlap
+};
+
+struct ScanHit {
+  geom::Rect window;
+  double probability = 1.0;  ///< detector confidence where available
+};
+
+struct ScanReport {
+  std::size_t windows_scanned = 0;
+  std::vector<ScanHit> hits;
+  double scan_seconds = 0.0;
+
+  double flagged_fraction() const {
+    return windows_scanned == 0
+               ? 0.0
+               : static_cast<double>(hits.size()) /
+                     static_cast<double>(windows_scanned);
+  }
+  /// ODST of the screening flow: sim time on flagged windows + scan time.
+  double odst_seconds() const {
+    return kLithoSimSecondsPerClip * static_cast<double>(hits.size()) +
+           scan_seconds;
+  }
+  /// ODST of brute-force simulation of every window (the paper's
+  /// "conventional method" strawman).
+  double full_simulation_seconds() const {
+    return kLithoSimSecondsPerClip * static_cast<double>(windows_scanned);
+  }
+};
+
+class ChipScanner {
+ public:
+  explicit ChipScanner(const ScanConfig& config = {});
+
+  const ScanConfig& config() const { return config_; }
+
+  /// Classifies every window position on the layout.
+  ScanReport scan(const layout::Layout& chip, Detector& detector) const;
+
+ private:
+  ScanConfig config_;
+};
+
+}  // namespace hsdl::hotspot

@@ -1,0 +1,43 @@
+// Layout clip: the unit of hotspot detection.
+//
+// A clip is a fixed-size window cut from a layout, carrying the (flattened,
+// single-layer) mask shapes that intersect the window. The DAC'17 flow
+// classifies 1200 x 1200 nm^2 clips; the size is a parameter here.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace hsdl::layout {
+
+struct Clip {
+  /// The window in layout coordinates (nm).
+  geom::Rect window;
+  /// Mask shapes clipped to the window.
+  std::vector<geom::Rect> shapes;
+
+  /// Fraction of the window area covered by shapes, in [0, 1].
+  double density() const;
+
+  /// Returns a copy whose window's lower-left corner is at the origin.
+  Clip normalized() const;
+};
+
+inline double Clip::density() const {
+  if (window.empty()) return 0.0;
+  geom::Area covered = 0;
+  for (const geom::Rect& r : shapes) covered += r.intersect(window).area();
+  return static_cast<double>(covered) / static_cast<double>(window.area());
+}
+
+inline Clip Clip::normalized() const {
+  Clip out;
+  const geom::Point d{-window.lo.x, -window.lo.y};
+  out.window = window.shifted(d);
+  out.shapes.reserve(shapes.size());
+  for (const geom::Rect& r : shapes) out.shapes.push_back(r.shifted(d));
+  return out;
+}
+
+}  // namespace hsdl::layout

@@ -1,0 +1,59 @@
+#include "layout/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+
+const char* to_string(HotspotLabel label) {
+  switch (label) {
+    case HotspotLabel::kUnknown:
+      return "none";
+    case HotspotLabel::kNonHotspot:
+      return "non-hotspot";
+    case HotspotLabel::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+std::size_t count_hotspots(const std::vector<LabeledClip>& clips) {
+  return static_cast<std::size_t>(
+      std::count_if(clips.begin(), clips.end(), [](const LabeledClip& c) {
+        return c.label == HotspotLabel::kHotspot;
+      }));
+}
+
+std::size_t BenchmarkData::train_hotspots() const {
+  return count_hotspots(train);
+}
+std::size_t BenchmarkData::train_non_hotspots() const {
+  return train.size() - count_hotspots(train);
+}
+std::size_t BenchmarkData::test_hotspots() const {
+  return count_hotspots(test);
+}
+std::size_t BenchmarkData::test_non_hotspots() const {
+  return test.size() - count_hotspots(test);
+}
+
+void split_validation(const std::vector<LabeledClip>& all, double val_fraction,
+                      Rng& rng, std::vector<LabeledClip>& train_out,
+                      std::vector<LabeledClip>& val_out) {
+  HSDL_CHECK(val_fraction >= 0.0 && val_fraction < 1.0);
+  std::vector<std::size_t> order(all.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const auto n_val = static_cast<std::size_t>(
+      static_cast<double>(all.size()) * val_fraction);
+  train_out.clear();
+  val_out.clear();
+  train_out.reserve(all.size() - n_val);
+  val_out.reserve(n_val);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    (i < n_val ? val_out : train_out).push_back(all[order[i]]);
+}
+
+}  // namespace hsdl::layout

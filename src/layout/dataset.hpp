@@ -1,0 +1,43 @@
+// Labeled clip collections — the dataset objects every stage exchanges.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "layout/clip.hpp"
+
+namespace hsdl::layout {
+
+enum class HotspotLabel { kUnknown, kNonHotspot, kHotspot };
+
+const char* to_string(HotspotLabel label);
+
+struct LabeledClip {
+  Clip clip;
+  HotspotLabel label = HotspotLabel::kUnknown;
+};
+
+/// A train/test benchmark in the shape of the paper's Table 2 rows.
+struct BenchmarkData {
+  std::string name;
+  std::vector<LabeledClip> train;
+  std::vector<LabeledClip> test;
+
+  std::size_t train_hotspots() const;
+  std::size_t train_non_hotspots() const;
+  std::size_t test_hotspots() const;
+  std::size_t test_non_hotspots() const;
+};
+
+/// Counts hotspot-labeled clips.
+std::size_t count_hotspots(const std::vector<LabeledClip>& clips);
+
+/// Deterministically shuffles and splits off a validation fraction
+/// (the paper holds out 25 % of training data for the stop criterion).
+void split_validation(const std::vector<LabeledClip>& all, double val_fraction,
+                      Rng& rng, std::vector<LabeledClip>& train_out,
+                      std::vector<LabeledClip>& val_out);
+
+}  // namespace hsdl::layout

@@ -1,0 +1,69 @@
+#include "layout/drc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+
+const char* to_string(DrcViolationType type) {
+  switch (type) {
+    case DrcViolationType::kMinWidth:
+      return "min-width";
+    case DrcViolationType::kMinSpacing:
+      return "min-spacing";
+    case DrcViolationType::kOffGrid:
+      return "off-grid";
+  }
+  return "?";
+}
+
+std::size_t DrcReport::count(DrcViolationType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [type](const DrcViolation& v) { return v.type == type; }));
+}
+
+DrcReport check_rules(const Clip& clip, const DesignRules& rules) {
+  HSDL_CHECK(rules.grid > 0);
+  DrcReport report;
+
+  for (const geom::Rect& r : clip.shapes) {
+    if (r.empty()) continue;
+    // Width rule: the smaller dimension of every shape.
+    const geom::Coord width = std::min(r.width(), r.height());
+    if (width < rules.min_width)
+      report.violations.push_back(
+          {DrcViolationType::kMinWidth, r, width, rules.min_width});
+    // Grid rule: every edge on the manufacturing grid.
+    const bool off_grid = r.lo.x % rules.grid != 0 ||
+                          r.lo.y % rules.grid != 0 ||
+                          r.hi.x % rules.grid != 0 ||
+                          r.hi.y % rules.grid != 0;
+    if (off_grid)
+      report.violations.push_back(
+          {DrcViolationType::kOffGrid, r, 0, rules.grid});
+  }
+
+  // Spacing rule: pairwise on disjoint shapes. Clip shape counts are small
+  // (tens), so the quadratic scan is fine; chip-scale checks should go
+  // through geom::RectIndex instead.
+  for (std::size_t i = 0; i < clip.shapes.size(); ++i) {
+    for (std::size_t j = i + 1; j < clip.shapes.size(); ++j) {
+      const geom::Rect& a = clip.shapes[i];
+      const geom::Rect& b = clip.shapes[j];
+      if (a.empty() || b.empty()) continue;
+      if (a.overlaps(b)) continue;  // connected metal, no spacing rule
+      const geom::Coord gap = geom::rect_spacing(a, b);
+      if (gap > 0 && gap < rules.min_space) {
+        // Report the gap region between the two bounding boxes.
+        report.violations.push_back({DrcViolationType::kMinSpacing,
+                                     a.bbox_union(b), gap,
+                                     rules.min_space});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace hsdl::layout

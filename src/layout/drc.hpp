@@ -1,0 +1,38 @@
+// Design-rule checking for single-layer clips.
+//
+// Checks the two rules the generator's DesignRules encode — minimum width
+// and minimum spacing — plus off-grid edges. Used to audit generated
+// patterns (the stress knob intentionally permits sub-rule spacing, and
+// DRC quantifies exactly where) and to validate imported GDSII data.
+#pragma once
+
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "layout/generator.hpp"
+
+namespace hsdl::layout {
+
+enum class DrcViolationType { kMinWidth, kMinSpacing, kOffGrid };
+
+const char* to_string(DrcViolationType type);
+
+struct DrcViolation {
+  DrcViolationType type;
+  geom::Rect where;         ///< offending shape (or the gap region)
+  geom::Coord measured = 0; ///< offending dimension, nm
+  geom::Coord required = 0; ///< rule value, nm
+};
+
+struct DrcReport {
+  std::vector<DrcViolation> violations;
+  bool clean() const { return violations.empty(); }
+  std::size_t count(DrcViolationType type) const;
+};
+
+/// Checks every shape (width, grid) and every shape pair (spacing).
+/// Overlapping/abutting shapes are treated as connected — no spacing
+/// check between them.
+DrcReport check_rules(const Clip& clip, const DesignRules& rules);
+
+}  // namespace hsdl::layout

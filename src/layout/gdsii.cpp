@@ -1,0 +1,413 @@
+#include "layout/gdsii.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+// Record types (subset).
+enum : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kSref = 0x0A,
+  kSname = 0x12,
+  kLayer = 0x0D,
+  kDatatype = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+};
+
+// Data types.
+enum : std::uint8_t {
+  kNoData = 0x00,
+  kInt16 = 0x02,
+  kInt32 = 0x03,
+  kReal8 = 0x05,
+  kAscii = 0x06,
+};
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v >> 8));
+  buf.push_back(static_cast<char>(v & 0xFF));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  put_u16(buf, static_cast<std::uint16_t>(v >> 16));
+  put_u16(buf, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  put_u32(buf, static_cast<std::uint32_t>(v >> 32));
+  put_u32(buf, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+}
+
+void emit(std::ostream& os, std::uint8_t rec, std::uint8_t dtype,
+          const std::string& payload) {
+  // Length includes the 4-byte header; GDSII pads odd payloads.
+  std::string body = payload;
+  if (body.size() % 2 == 1) body.push_back('\0');
+  const auto len = static_cast<std::uint16_t>(body.size() + 4);
+  std::string header;
+  put_u16(header, len);
+  header.push_back(static_cast<char>(rec));
+  header.push_back(static_cast<char>(dtype));
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+}
+
+void emit_i16(std::ostream& os, std::uint8_t rec, std::int16_t v) {
+  std::string p;
+  put_u16(p, static_cast<std::uint16_t>(v));
+  emit(os, rec, kInt16, p);
+}
+
+void emit_ascii(std::ostream& os, std::uint8_t rec, const std::string& s) {
+  emit(os, rec, kAscii, s);
+}
+
+/// GDSII timestamps: 6 int16 fields (year, month, day, hour, min, sec),
+/// twice (modification + access). Fixed epoch keeps output deterministic.
+void emit_timestamps(std::ostream& os, std::uint8_t rec) {
+  std::string p;
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::int16_t stamp[6] = {2017, 6, 18, 0, 0, 0};  // DAC'17
+    for (std::int16_t v : stamp)
+      put_u16(p, static_cast<std::uint16_t>(v));
+  }
+  emit(os, rec, kInt16, p);
+}
+
+struct Record {
+  std::uint8_t type = 0;
+  std::uint8_t dtype = 0;
+  std::string payload;
+};
+
+bool read_record(std::istream& is, Record& rec) {
+  unsigned char header[4];
+  is.read(reinterpret_cast<char*>(header), 4);
+  if (is.gcount() == 0) return false;  // clean EOF
+  HSDL_CHECK_MSG(is.gcount() == 4, "GDSII: truncated record header");
+  const std::size_t len =
+      (static_cast<std::size_t>(header[0]) << 8) | header[1];
+  HSDL_CHECK_MSG(len >= 4, "GDSII: record length below header size");
+  rec.type = header[2];
+  rec.dtype = header[3];
+  rec.payload.resize(len - 4);
+  is.read(rec.payload.data(), static_cast<std::streamsize>(len - 4));
+  HSDL_CHECK_MSG(is.good() || len == 4, "GDSII: truncated record payload");
+  return true;
+}
+
+std::int16_t get_i16(const std::string& p, std::size_t at) {
+  HSDL_CHECK(at + 2 <= p.size());
+  return static_cast<std::int16_t>(
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[at])) << 8) |
+      static_cast<unsigned char>(p[at + 1]));
+}
+
+std::int32_t get_i32(const std::string& p, std::size_t at) {
+  HSDL_CHECK(at + 4 <= p.size());
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v = (v << 8) | static_cast<unsigned char>(p[at + static_cast<std::size_t>(i)]);
+  return static_cast<std::int32_t>(v);
+}
+
+std::uint64_t get_u64(const std::string& p, std::size_t at) {
+  HSDL_CHECK(at + 8 <= p.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v = (v << 8) | static_cast<unsigned char>(p[at + static_cast<std::size_t>(i)]);
+  return v;
+}
+
+std::string trim_nul(std::string s) {
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t to_gds_real(double value) {
+  // Excess-64 base-16: bit 63 sign, bits 62-56 exponent (power of 16,
+  // biased by 64), bits 55-0 mantissa with the value = mantissa * 16^(e-64),
+  // mantissa normalized to [1/16, 1).
+  if (value == 0.0) return 0;
+  std::uint64_t sign = 0;
+  if (value < 0) {
+    sign = 1ULL << 63;
+    value = -value;
+  }
+  int exponent = 64;
+  while (value >= 1.0) {
+    value /= 16.0;
+    ++exponent;
+  }
+  while (value < 1.0 / 16.0) {
+    value *= 16.0;
+    --exponent;
+  }
+  HSDL_CHECK_MSG(exponent >= 0 && exponent < 128,
+                 "value out of GDSII real range");
+  const auto mantissa =
+      static_cast<std::uint64_t>(std::ldexp(value, 56));  // value * 2^56
+  return sign | (static_cast<std::uint64_t>(exponent) << 56) |
+         (mantissa & ((1ULL << 56) - 1));
+}
+
+double from_gds_real(std::uint64_t bits) {
+  if (bits == 0) return 0.0;
+  const bool negative = (bits >> 63) != 0;
+  const int exponent = static_cast<int>((bits >> 56) & 0x7F) - 64;
+  const double mantissa =
+      std::ldexp(static_cast<double>(bits & ((1ULL << 56) - 1)), -56);
+  const double value = mantissa * std::pow(16.0, exponent);
+  return negative ? -value : value;
+}
+
+std::vector<geom::Rect> GdsCell::rects_on_layer(std::int16_t layer) const {
+  std::vector<geom::Rect> out;
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    if (layers[i] != layer) continue;
+    for (const geom::Rect& r : boundaries[i].decompose()) out.push_back(r);
+  }
+  return out;
+}
+
+void write_gds(std::ostream& os, const GdsLibrary& lib) {
+  emit_i16(os, kHeader, 600);  // stream version 6
+  emit_timestamps(os, kBgnLib);
+  emit_ascii(os, kLibName, lib.name);
+  {
+    std::string p;
+    put_u64(p, to_gds_real(lib.user_unit));
+    put_u64(p, to_gds_real(lib.db_unit_meters));
+    emit(os, kUnits, kReal8, p);
+  }
+  for (const GdsCell& cell : lib.cells) {
+    HSDL_CHECK(cell.boundaries.size() == cell.layers.size());
+    emit_timestamps(os, kBgnStr);
+    emit_ascii(os, kStrName, cell.name);
+    for (std::size_t i = 0; i < cell.boundaries.size(); ++i) {
+      emit(os, kBoundary, kNoData, "");
+      emit_i16(os, kLayer, cell.layers[i]);
+      emit_i16(os, kDatatype, 0);
+      std::string xy;
+      const auto& ring = cell.boundaries[i].ring();
+      HSDL_CHECK_MSG(!ring.empty(), "empty boundary");
+      for (std::size_t v = 0; v <= ring.size(); ++v) {
+        const geom::Point& pt = ring[v % ring.size()];  // closed ring
+        put_u32(xy, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(pt.x)));
+        put_u32(xy, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(pt.y)));
+      }
+      emit(os, kXy, kInt32, xy);
+      emit(os, kEndEl, kNoData, "");
+    }
+    for (const GdsRef& ref : cell.refs) {
+      emit(os, kSref, kNoData, "");
+      emit_ascii(os, kSname, ref.cell);
+      std::string xy;
+      put_u32(xy, static_cast<std::uint32_t>(
+                      static_cast<std::int32_t>(ref.at.x)));
+      put_u32(xy, static_cast<std::uint32_t>(
+                      static_cast<std::int32_t>(ref.at.y)));
+      emit(os, kXy, kInt32, xy);
+      emit(os, kEndEl, kNoData, "");
+    }
+    emit(os, kEndStr, kNoData, "");
+  }
+  emit(os, kEndLib, kNoData, "");
+  HSDL_CHECK_MSG(os.good(), "GDSII write failed");
+}
+
+GdsLibrary read_gds(std::istream& is) {
+  GdsLibrary lib;
+  lib.cells.clear();
+  Record rec;
+  bool saw_header = false, in_struct = false, in_element = false;
+  bool element_is_boundary = false;
+  bool element_is_sref = false;
+  std::int16_t current_layer = 0;
+  std::vector<geom::Point> current_ring;
+  GdsRef current_ref;
+
+  while (read_record(is, rec)) {
+    switch (rec.type) {
+      case kHeader:
+        saw_header = true;
+        break;
+      case kLibName:
+        lib.name = trim_nul(rec.payload);
+        break;
+      case kUnits:
+        lib.user_unit = from_gds_real(get_u64(rec.payload, 0));
+        lib.db_unit_meters = from_gds_real(get_u64(rec.payload, 8));
+        break;
+      case kBgnStr:
+        HSDL_CHECK_MSG(!in_struct, "GDSII: nested BGNSTR");
+        lib.cells.emplace_back();
+        in_struct = true;
+        break;
+      case kStrName:
+        HSDL_CHECK_MSG(in_struct, "GDSII: STRNAME outside structure");
+        lib.cells.back().name = trim_nul(rec.payload);
+        break;
+      case kEndStr:
+        HSDL_CHECK_MSG(in_struct && !in_element,
+                       "GDSII: unbalanced ENDSTR");
+        in_struct = false;
+        break;
+      case kBoundary:
+        HSDL_CHECK_MSG(in_struct && !in_element,
+                       "GDSII: BOUNDARY outside structure");
+        in_element = true;
+        element_is_boundary = true;
+        current_layer = 0;
+        current_ring.clear();
+        break;
+      case kSref:
+        HSDL_CHECK_MSG(in_struct && !in_element,
+                       "GDSII: SREF outside structure");
+        in_element = true;
+        element_is_sref = true;
+        current_ref = GdsRef{};
+        break;
+      case kSname:
+        if (in_element && element_is_sref)
+          current_ref.cell = trim_nul(rec.payload);
+        break;
+      case kLayer:
+        if (in_element) current_layer = get_i16(rec.payload, 0);
+        break;
+      case kXy:
+        if (in_element && element_is_sref) {
+          HSDL_CHECK_MSG(rec.payload.size() >= 8, "GDSII: SREF without XY");
+          current_ref.at = {get_i32(rec.payload, 0),
+                            get_i32(rec.payload, 4)};
+        }
+        if (in_element && element_is_boundary) {
+          HSDL_CHECK_MSG(rec.payload.size() % 8 == 0,
+                         "GDSII: odd XY payload");
+          const std::size_t n = rec.payload.size() / 8;
+          current_ring.clear();
+          for (std::size_t i = 0; i < n; ++i)
+            current_ring.push_back(
+                {get_i32(rec.payload, i * 8),
+                 get_i32(rec.payload, i * 8 + 4)});
+          // GDSII repeats the first vertex at the end.
+          if (current_ring.size() >= 2 &&
+              current_ring.front() == current_ring.back())
+            current_ring.pop_back();
+        }
+        break;
+      case kEndEl:
+        if (in_element && element_is_sref) {
+          HSDL_CHECK_MSG(!current_ref.cell.empty(),
+                         "GDSII: SREF without SNAME");
+          lib.cells.back().refs.push_back(current_ref);
+        }
+        if (in_element && element_is_boundary) {
+          HSDL_CHECK_MSG(
+              geom::is_rectilinear_ring(current_ring),
+              "GDSII: non-rectilinear boundary (unsupported subset)");
+          lib.cells.back().boundaries.emplace_back(current_ring);
+          lib.cells.back().layers.push_back(current_layer);
+        }
+        in_element = false;
+        element_is_boundary = false;
+        element_is_sref = false;
+        break;
+      case kEndLib:
+        HSDL_CHECK_MSG(saw_header, "GDSII: ENDLIB before HEADER");
+        return lib;
+      default:
+        break;  // skip unsupported records (TEXT, SREF, properties, ...)
+    }
+  }
+  HSDL_CHECK_MSG(false, "GDSII: stream ended without ENDLIB");
+  return lib;
+}
+
+void write_gds_file(const std::string& path, const GdsLibrary& lib) {
+  std::ofstream os(path, std::ios::binary);
+  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_gds(os, lib);
+}
+
+GdsLibrary read_gds_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_gds(is);
+}
+
+namespace {
+
+const GdsCell* find_cell(const GdsLibrary& lib, const std::string& name) {
+  for (const GdsCell& cell : lib.cells)
+    if (cell.name == name) return &cell;
+  return nullptr;
+}
+
+void flatten_into(const GdsLibrary& lib, const std::string& name,
+                  std::int16_t layer, geom::Point offset, std::size_t depth,
+                  std::vector<geom::Rect>& out) {
+  HSDL_CHECK_MSG(depth < 64, "GDSII: reference cycle or absurd hierarchy "
+                             "depth at cell '" << name << "'");
+  const GdsCell* cell = find_cell(lib, name);
+  HSDL_CHECK_MSG(cell != nullptr, "GDSII: unknown cell '" << name << "'");
+  for (const geom::Rect& r : cell->rects_on_layer(layer))
+    out.push_back(r.shifted(offset));
+  for (const GdsRef& ref : cell->refs)
+    flatten_into(lib, ref.cell, layer, offset + ref.at, depth + 1, out);
+}
+
+}  // namespace
+
+std::vector<geom::Rect> flatten_cell(const GdsLibrary& lib,
+                                     const std::string& cell_name,
+                                     std::int16_t layer) {
+  std::vector<geom::Rect> out;
+  flatten_into(lib, cell_name, layer, {0, 0}, 0, out);
+  return out;
+}
+
+GdsLibrary clip_to_gds(const Clip& clip, std::int16_t layer,
+                       const std::string& cell_name) {
+  GdsLibrary lib;
+  GdsCell cell;
+  cell.name = cell_name;
+  for (const geom::Rect& r : clip.shapes) {
+    cell.boundaries.push_back(geom::Polygon::from_rect(r));
+    cell.layers.push_back(layer);
+  }
+  lib.cells.push_back(std::move(cell));
+  return lib;
+}
+
+Clip gds_to_clip(const GdsLibrary& lib, std::int16_t layer) {
+  HSDL_CHECK_MSG(!lib.cells.empty(), "GDSII library has no cells");
+  Clip clip;
+  clip.shapes = lib.cells.front().rects_on_layer(layer);
+  geom::Rect bbox;
+  for (const geom::Rect& r : clip.shapes) bbox = bbox.bbox_union(r);
+  clip.window = bbox;
+  return clip;
+}
+
+}  // namespace hsdl::layout

@@ -1,0 +1,78 @@
+// GDSII stream-format subset reader/writer.
+//
+// GDSII is the interchange format the original benchmarks ship in. This
+// implements the subset needed for flat single-layer mask data:
+//   HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
+//   BOUNDARY / LAYER / DATATYPE / XY / ENDEL, ENDSTR, ENDLIB
+// Records are big-endian; UNITS uses GDSII's excess-64 base-16 8-byte
+// reals (converters exposed for testing). Boundaries are rectilinear
+// polygons; on read they are decomposed into rectangles via the geometry
+// kernel. Unknown records are skipped, so files from real tools load as
+// long as their geometry is rectilinear BOUNDARY data.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "layout/clip.hpp"
+
+namespace hsdl::layout {
+
+/// Structure reference (SREF): a translated placement of another cell.
+/// Rotation/magnification are outside the supported subset.
+struct GdsRef {
+  std::string cell;
+  geom::Point at;
+};
+
+struct GdsCell {
+  std::string name;
+  std::vector<geom::Polygon> boundaries;
+  std::vector<std::int16_t> layers;  ///< parallel to boundaries
+  std::vector<GdsRef> refs;
+
+  /// All boundaries on `layer`, decomposed into rectangles (refs are not
+  /// resolved — see flatten_cell).
+  std::vector<geom::Rect> rects_on_layer(std::int16_t layer) const;
+};
+
+struct GdsLibrary {
+  std::string name = "HSDL";
+  /// Database unit in meters (1e-9 = 1 nm, this library's convention).
+  double db_unit_meters = 1e-9;
+  /// User unit in database units (GDSII UNITS first field).
+  double user_unit = 1e-3;
+  std::vector<GdsCell> cells;
+};
+
+/// Serializes a library. Boundaries must be rectilinear polygons.
+void write_gds(std::ostream& os, const GdsLibrary& lib);
+void write_gds_file(const std::string& path, const GdsLibrary& lib);
+
+/// Parses a GDSII stream; throws CheckError on structural errors.
+GdsLibrary read_gds(std::istream& is);
+GdsLibrary read_gds_file(const std::string& path);
+
+/// Recursively resolves structure references of `cell_name`, returning
+/// every boundary rectangle on `layer` in the flattened (top-cell)
+/// coordinate frame. Throws on unknown cell names or reference cycles.
+std::vector<geom::Rect> flatten_cell(const GdsLibrary& lib,
+                                     const std::string& cell_name,
+                                     std::int16_t layer);
+
+/// Convenience: one cell holding a clip's shapes on `layer`.
+GdsLibrary clip_to_gds(const Clip& clip, std::int16_t layer = 1,
+                       const std::string& cell_name = "CLIP");
+
+/// Convenience: rebuilds a clip from the first cell's shapes on `layer`;
+/// the window is the bounding box unless `window` is provided.
+Clip gds_to_clip(const GdsLibrary& lib, std::int16_t layer = 1);
+
+// -- GDSII 8-byte real conversion (exposed for tests) --
+std::uint64_t to_gds_real(double value);
+double from_gds_real(std::uint64_t bits);
+
+}  // namespace hsdl::layout

@@ -1,0 +1,305 @@
+#include "layout/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "geom/region.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+
+/// Emits the shapes of one archetype into a window; holds the shared
+/// randomized-dimension helpers.
+struct Emitter {
+  const GeneratorConfig& cfg;
+  Rng& rng;
+  Rect window;
+
+  Coord snap(Coord v) const {
+    const Coord g = cfg.rules.grid;
+    return (v / g) * g;
+  }
+
+  /// Random dimension in [floor, floor + range], pulled toward the floor
+  /// when stress is high. Snapped to grid, never below the floor.
+  Coord dim(Coord floor_v, Coord range) const {
+    double u = rng.uniform();
+    double w = std::pow(u, 1.0 + 3.0 * cfg.stress);
+    Coord v =
+        floor_v + snap(static_cast<Coord>(w * static_cast<double>(range)));
+    return std::max(v, floor_v);
+  }
+
+  Coord line_width() const {
+    return dim(cfg.rules.min_width, 3 * cfg.rules.min_width);
+  }
+  Coord line_space() const {
+    // Under stress, a fraction of arrays is drawn with sub-rule spacing —
+    // the aggressive pitches where real layouts go marginal.
+    if (cfg.stress > 0.0 && rng.bernoulli(cfg.stress * 0.25))
+      return dim(std::max(cfg.rules.grid, cfg.rules.min_space / 2),
+                 cfg.rules.min_space);
+    return dim(cfg.rules.min_space, 4 * cfg.rules.min_space);
+  }
+
+  std::vector<Rect> clip_to_window(const std::vector<Rect>& in) const {
+    std::vector<Rect> out;
+    out.reserve(in.size());
+    for (const Rect& r : in) {
+      Rect c = r.intersect(window);
+      if (!c.empty() && c.width() >= cfg.rules.grid &&
+          c.height() >= cfg.rules.grid)
+        out.push_back(c);
+    }
+    return out;
+  }
+
+  /// Horizontal or vertical line/space array filling the window.
+  std::vector<Rect> line_space_array() const {
+    std::vector<Rect> out;
+    const bool horizontal = rng.bernoulli(0.5);
+    const Coord w = line_width();
+    const Coord s = line_space();
+    const Coord pitch = w + s;
+    const Coord offset = snap(rng.uniform_int(0, pitch - 1));
+    if (horizontal) {
+      for (Coord y = window.lo.y - pitch + offset; y < window.hi.y; y += pitch)
+        out.push_back({{window.lo.x, y}, {window.hi.x, y + w}});
+    } else {
+      for (Coord x = window.lo.x - pitch + offset; x < window.hi.x; x += pitch)
+        out.push_back({{x, window.lo.y}, {x + w, window.hi.y}});
+    }
+    return clip_to_window(out);
+  }
+
+  /// Line array interrupted by a tip-to-tip gap column — the classic
+  /// line-end pull-back hotspot structure.
+  std::vector<Rect> tip_to_tip() const {
+    std::vector<Rect> out;
+    const Coord w = line_width();
+    const Coord s = line_space();
+    const Coord pitch = w + s;
+    // Gap dimension: at high stress, close to (or below) min_space.
+    const Coord gap = dim(cfg.rules.min_space / 2, 3 * cfg.rules.min_space);
+    const Coord gap_x =
+        window.lo.x + snap(static_cast<Coord>(
+                          rng.uniform(0.3, 0.7) *
+                          static_cast<double>(window.width())));
+    // Not every track is cut; cut probability rises with stress.
+    const double cut_p = 0.3 + 0.5 * cfg.stress;
+    for (Coord y = window.lo.y; y + w <= window.hi.y; y += pitch) {
+      if (rng.bernoulli(cut_p)) {
+        out.push_back({{window.lo.x, y}, {gap_x, y + w}});
+        out.push_back({{gap_x + gap, y}, {window.hi.x, y + w}});
+      } else {
+        out.push_back({{window.lo.x, y}, {window.hi.x, y + w}});
+      }
+    }
+    return clip_to_window(out);
+  }
+
+  /// Long wires with Z-shaped jogs.
+  std::vector<Rect> l_jog() const {
+    std::vector<Rect> out;
+    const Coord w = line_width();
+    const Coord s = line_space();
+    const Coord pitch = 2 * (w + s);
+    for (Coord y = window.lo.y + pitch; y + w + pitch <= window.hi.y;
+         y += pitch) {
+      const Coord jog_x =
+          window.lo.x + snap(static_cast<Coord>(
+                            rng.uniform(0.25, 0.75) *
+                            static_cast<double>(window.width())));
+      const Coord dy = (w + s) * (rng.bernoulli(0.5) ? 1 : -1);
+      const Coord y2 = y + dy;
+      out.push_back({{window.lo.x, y}, {jog_x + w, y + w}});
+      out.push_back(
+          {{jog_x, std::min(y, y2)}, {jog_x + w, std::max(y, y2) + w}});
+      out.push_back({{jog_x, y2}, {window.hi.x, y2 + w}});
+    }
+    return clip_to_window(out);
+  }
+
+  /// Interdigitated comb fingers from two opposite window edges.
+  std::vector<Rect> comb() const {
+    std::vector<Rect> out;
+    const Coord w = line_width();
+    const Coord s = line_space();
+    const Coord pitch = w + s;
+    const Coord spine = 2 * line_width();
+    const Coord finger_gap = dim(cfg.rules.min_space, 2 * cfg.rules.min_space);
+    out.push_back(
+        {{window.lo.x, window.lo.y}, {window.lo.x + spine, window.hi.y}});
+    out.push_back(
+        {{window.hi.x - spine, window.lo.y}, {window.hi.x, window.hi.y}});
+    bool from_left = true;
+    for (Coord y = window.lo.y + s; y + w <= window.hi.y - s; y += pitch) {
+      if (from_left)
+        out.push_back({{window.lo.x + spine, y},
+                       {window.hi.x - spine - finger_gap, y + w}});
+      else
+        out.push_back({{window.lo.x + spine + finger_gap, y},
+                       {window.hi.x - spine, y + w}});
+      from_left = !from_left;
+    }
+    return clip_to_window(out);
+  }
+
+  /// Square contact/via array; occasional skipped sites make the
+  /// neighbourhood irregular.
+  std::vector<Rect> contacts() const {
+    std::vector<Rect> out;
+    const Coord size = dim(cfg.rules.min_width, cfg.rules.min_width);
+    const Coord gap = dim(cfg.rules.min_space, 3 * cfg.rules.min_space);
+    const Coord pitch = size + gap;
+    const double skip_p = rng.uniform(0.0, 0.3);
+    for (Coord y = window.lo.y + gap; y + size <= window.hi.y; y += pitch)
+      for (Coord x = window.lo.x + gap; x + size <= window.hi.x; x += pitch)
+        if (!rng.bernoulli(skip_p))
+          out.push_back(Rect::from_xywh(x, y, size, size));
+    return clip_to_window(out);
+  }
+
+  /// Random DRC-aware Manhattan segments, greedily packed. Stress lets a
+  /// fraction of placements enforce a sub-rule spacing floor, seeding
+  /// potential bridging sites.
+  std::vector<Rect> random_routing() const {
+    const Coord min_space = cfg.rules.min_space;
+    geom::RectIndex index(window.inflated(4 * min_space), 4 * min_space);
+    const int attempts = 140;
+    for (int i = 0; i < attempts; ++i) {
+      const bool horizontal = rng.bernoulli(0.5);
+      const Coord w = line_width();
+      const Coord len = dim(4 * cfg.rules.min_width, window.width() / 2);
+      const Coord x =
+          window.lo.x + snap(rng.uniform_int(0, window.width() - 1));
+      const Coord y =
+          window.lo.y + snap(rng.uniform_int(0, window.height() - 1));
+      Rect r = horizontal ? Rect::from_xywh(x, y, len, w)
+                          : Rect::from_xywh(x, y, w, len);
+      r = r.intersect(window);
+      if (r.empty() || r.width() < cfg.rules.grid ||
+          r.height() < cfg.rules.grid)
+        continue;
+      const Coord enforce =
+          cfg.stress > 0.0 && rng.bernoulli(cfg.stress * 0.5)
+              ? std::max<Coord>(cfg.rules.grid, min_space / 2)
+              : min_space;
+      if (index.violates_spacing(r, enforce)) continue;
+      index.insert(r);
+    }
+    return clip_to_window(index.rects());
+  }
+
+  /// One isolated feature — prints robustly, anchors the easy end of the
+  /// label distribution.
+  std::vector<Rect> isolated() const {
+    const Coord w = dim(2 * cfg.rules.min_width, 4 * cfg.rules.min_width);
+    const Coord h = dim(2 * cfg.rules.min_width, window.height() / 2);
+    const Coord x =
+        window.lo.x + snap(rng.uniform_int(0, window.width() - w - 1));
+    const Coord y =
+        window.lo.y + snap(rng.uniform_int(0, window.height() - h - 1));
+    return clip_to_window({Rect::from_xywh(x, y, w, h)});
+  }
+
+  std::vector<Rect> emit(Archetype a) const {
+    switch (a) {
+      case Archetype::kLineSpace:
+        return line_space_array();
+      case Archetype::kTipToTip:
+        return tip_to_tip();
+      case Archetype::kLJog:
+        return l_jog();
+      case Archetype::kComb:
+        return comb();
+      case Archetype::kContacts:
+        return contacts();
+      case Archetype::kRandomRouting:
+        return random_routing();
+      case Archetype::kIsolated:
+        return isolated();
+      case Archetype::kMixed:
+        break;  // handled by ClipGenerator::generate
+    }
+    HSDL_CHECK_MSG(false, "emit() called with composite archetype");
+    return {};
+  }
+};
+
+}  // namespace
+
+const char* to_string(Archetype a) {
+  switch (a) {
+    case Archetype::kLineSpace:
+      return "line-space";
+    case Archetype::kTipToTip:
+      return "tip-to-tip";
+    case Archetype::kLJog:
+      return "l-jog";
+    case Archetype::kComb:
+      return "comb";
+    case Archetype::kContacts:
+      return "contacts";
+    case Archetype::kRandomRouting:
+      return "random-routing";
+    case Archetype::kIsolated:
+      return "isolated";
+    case Archetype::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+ClipGenerator::ClipGenerator(const GeneratorConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  HSDL_CHECK(config.clip_size > 0);
+  HSDL_CHECK(config.rules.grid > 0);
+  HSDL_CHECK(config.rules.min_width >= config.rules.grid);
+  HSDL_CHECK(config.rules.min_space >= config.rules.grid);
+  HSDL_CHECK(config.stress >= 0.0 && config.stress <= 1.0);
+  HSDL_CHECK_MSG(config.clip_size % config.rules.grid == 0,
+                 "clip size must be on the manufacturing grid");
+}
+
+Clip ClipGenerator::generate() {
+  const auto pick = static_cast<Archetype>(rng_.index(kNumArchetypes));
+  return generate(pick);
+}
+
+Clip ClipGenerator::generate(Archetype archetype) {
+  Clip clip;
+  clip.window = Rect::from_xywh(0, 0, config_.clip_size, config_.clip_size);
+
+  if (archetype != Archetype::kMixed) {
+    Emitter em{config_, rng_, clip.window};
+    clip.shapes = em.emit(archetype);
+    return clip;
+  }
+
+  // kMixed: two simple archetypes, one per window half.
+  const auto a = static_cast<Archetype>(rng_.index(kNumArchetypes - 1));
+  const auto b = static_cast<Archetype>(rng_.index(kNumArchetypes - 1));
+  const bool vertical_split = rng_.bernoulli(0.5);
+  Rect first = clip.window;
+  Rect second = clip.window;
+  if (vertical_split) {
+    first.hi.x = clip.window.center().x;
+    second.lo.x = first.hi.x + config_.rules.min_space;
+  } else {
+    first.hi.y = clip.window.center().y;
+    second.lo.y = first.hi.y + config_.rules.min_space;
+  }
+  Emitter ea{config_, rng_, first};
+  clip.shapes = ea.emit(a);
+  Emitter eb{config_, rng_, second};
+  const auto more = eb.emit(b);
+  clip.shapes.insert(clip.shapes.end(), more.begin(), more.end());
+  return clip;
+}
+
+}  // namespace hsdl::layout

@@ -1,0 +1,111 @@
+#include "layout/glf.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/string_util.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+HotspotLabel parse_label(const std::string& s, std::size_t lineno) {
+  if (s == "hotspot") return HotspotLabel::kHotspot;
+  if (s == "non-hotspot") return HotspotLabel::kNonHotspot;
+  if (s == "none") return HotspotLabel::kUnknown;
+  HSDL_CHECK_MSG(false, "GLF line " << lineno << ": bad label '" << s << "'");
+  return HotspotLabel::kUnknown;
+}
+
+geom::Rect parse_rect(const std::vector<std::string>& tok, std::size_t lineno) {
+  HSDL_CHECK_MSG(tok.size() >= 5, "GLF line " << lineno << ": expected "
+                                              << "x y w h");
+  const geom::Coord x = std::stoll(tok[1]);
+  const geom::Coord y = std::stoll(tok[2]);
+  const geom::Coord w = std::stoll(tok[3]);
+  const geom::Coord h = std::stoll(tok[4]);
+  HSDL_CHECK_MSG(w > 0 && h > 0,
+                 "GLF line " << lineno << ": non-positive extent");
+  return geom::Rect::from_xywh(x, y, w, h);
+}
+
+}  // namespace
+
+void write_glf(std::ostream& os, const std::vector<LabeledClip>& clips) {
+  os << "GLF 1\n";
+  for (const LabeledClip& lc : clips) {
+    const geom::Rect& w = lc.clip.window;
+    os << "CLIP " << w.lo.x << ' ' << w.lo.y << ' ' << w.width() << ' '
+       << w.height() << ' ' << to_string(lc.label) << '\n';
+    for (const geom::Rect& r : lc.clip.shapes)
+      os << "RECT " << r.lo.x << ' ' << r.lo.y << ' ' << r.width() << ' '
+         << r.height() << '\n';
+    os << "ENDCLIP\n";
+  }
+}
+
+void write_glf_file(const std::string& path,
+                    const std::vector<LabeledClip>& clips) {
+  std::ofstream os(path);
+  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_glf(os, clips);
+  HSDL_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+std::vector<LabeledClip> read_glf(std::istream& is) {
+  std::vector<LabeledClip> out;
+  std::string line;
+  std::size_t lineno = 0;
+
+  bool saw_header = false;
+  bool in_clip = false;
+  LabeledClip current;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> tok = split_ws(sv);
+
+    if (!saw_header) {
+      HSDL_CHECK_MSG(tok.size() == 2 && tok[0] == "GLF" && tok[1] == "1",
+                     "GLF line " << lineno << ": missing 'GLF 1' header");
+      saw_header = true;
+      continue;
+    }
+    if (tok[0] == "CLIP") {
+      HSDL_CHECK_MSG(!in_clip, "GLF line " << lineno << ": nested CLIP");
+      HSDL_CHECK_MSG(tok.size() == 6,
+                     "GLF line " << lineno << ": CLIP needs x y w h label");
+      current = LabeledClip{};
+      current.clip.window = parse_rect(tok, lineno);
+      current.label = parse_label(tok[5], lineno);
+      in_clip = true;
+    } else if (tok[0] == "RECT") {
+      HSDL_CHECK_MSG(in_clip, "GLF line " << lineno << ": RECT outside CLIP");
+      current.clip.shapes.push_back(parse_rect(tok, lineno));
+    } else if (tok[0] == "ENDCLIP") {
+      HSDL_CHECK_MSG(in_clip,
+                     "GLF line " << lineno << ": ENDCLIP outside CLIP");
+      out.push_back(std::move(current));
+      in_clip = false;
+    } else {
+      HSDL_CHECK_MSG(false,
+                     "GLF line " << lineno << ": unknown token '" << tok[0]
+                                 << "'");
+    }
+  }
+  HSDL_CHECK_MSG(!in_clip, "GLF: unterminated CLIP at end of stream");
+  HSDL_CHECK_MSG(saw_header, "GLF: empty stream (no header)");
+  return out;
+}
+
+std::vector<LabeledClip> read_glf_file(const std::string& path) {
+  std::ifstream is(path);
+  HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_glf(is);
+}
+
+}  // namespace hsdl::layout

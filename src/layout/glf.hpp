@@ -1,0 +1,34 @@
+// GLF — a plain-text "geometry list format" for labeled clip sets.
+//
+// GDSII streams are overkill for fixed-window clip exchange; hotspot
+// benchmark suites are commonly shipped as per-clip shape lists. Format:
+//
+//   GLF 1
+//   CLIP <x> <y> <w> <h> <label>     # label: hotspot | non-hotspot | none
+//   RECT <x> <y> <w> <h>             # repeated, absolute nm coordinates
+//   ...
+//   ENDCLIP
+//   ...                              # more CLIP blocks
+//
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "layout/dataset.hpp"
+
+namespace hsdl::layout {
+
+/// Serializes a clip set; labels kUnknown are written as "none".
+void write_glf(std::ostream& os, const std::vector<LabeledClip>& clips);
+void write_glf_file(const std::string& path,
+                    const std::vector<LabeledClip>& clips);
+
+/// Parses a GLF stream. Throws hsdl::CheckError with a line number on
+/// malformed input.
+std::vector<LabeledClip> read_glf(std::istream& is);
+std::vector<LabeledClip> read_glf_file(const std::string& path);
+
+}  // namespace hsdl::layout

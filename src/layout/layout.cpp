@@ -1,0 +1,57 @@
+#include "layout/layout.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+
+Layout::Layout(const geom::Rect& extent, std::vector<geom::Rect> shapes)
+    : extent_(extent), shapes_(std::move(shapes)) {
+  HSDL_CHECK(!extent.empty());
+  // Bin size ~1/32 of the extent keeps queries local for typical designs.
+  const geom::Coord bin =
+      std::max<geom::Coord>(extent.width() / 32, 64);
+  index_ = std::make_unique<geom::RectIndex>(extent, bin);
+  for (const geom::Rect& r : shapes_) {
+    HSDL_CHECK_MSG(extent.contains(r),
+                   "shape escapes the layout extent");
+    index_->insert(r);
+  }
+}
+
+Clip Layout::extract_clip(const geom::Rect& window) const {
+  HSDL_CHECK(!window.empty());
+  Clip clip;
+  clip.window = window;
+  for (const geom::Rect& r : index_->query(window)) {
+    const geom::Rect cut = r.intersect(window);
+    if (!cut.empty()) clip.shapes.push_back(cut);
+  }
+  return clip;
+}
+
+double Layout::density() const {
+  if (shapes_.empty()) return 0.0;
+  return static_cast<double>(geom::union_area(shapes_)) /
+         static_cast<double>(extent_.area());
+}
+
+Layout generate_chip(geom::Coord width, geom::Coord height,
+                     const GeneratorConfig& config, std::uint64_t seed) {
+  HSDL_CHECK(width > 0 && height > 0);
+  HSDL_CHECK_MSG(width % config.clip_size == 0 &&
+                     height % config.clip_size == 0,
+                 "chip dimensions must be multiples of the tile size");
+  ClipGenerator gen(config, seed);
+  std::vector<geom::Rect> shapes;
+  for (geom::Coord y = 0; y < height; y += config.clip_size) {
+    for (geom::Coord x = 0; x < width; x += config.clip_size) {
+      const Clip tile = gen.generate();
+      for (const geom::Rect& r : tile.shapes)
+        shapes.push_back(r.shifted({x, y}));
+    }
+  }
+  return Layout(geom::Rect::from_xywh(0, 0, width, height),
+                std::move(shapes));
+}
+
+}  // namespace hsdl::layout

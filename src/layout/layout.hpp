@@ -1,0 +1,45 @@
+// Full-layout model: a chip-scale shape collection with windowed clip
+// extraction — the substrate for full-chip hotspot scanning, which is the
+// deployment mode the paper motivates (ML detection instead of full-chip
+// lithography simulation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/region.hpp"
+#include "layout/clip.hpp"
+#include "layout/generator.hpp"
+
+namespace hsdl::layout {
+
+class Layout {
+ public:
+  /// Takes ownership of `shapes`; `extent` must cover them.
+  Layout(const geom::Rect& extent, std::vector<geom::Rect> shapes);
+
+  const geom::Rect& extent() const { return extent_; }
+  const std::vector<geom::Rect>& shapes() const { return shapes_; }
+  std::size_t shape_count() const { return shapes_.size(); }
+
+  /// Cuts the clip under `window`: all shapes intersecting it, clipped to
+  /// the window. O(local shape count) via the internal spatial index.
+  Clip extract_clip(const geom::Rect& window) const;
+
+  /// Fraction of the extent covered by shapes.
+  double density() const;
+
+ private:
+  geom::Rect extent_;
+  std::vector<geom::Rect> shapes_;
+  std::unique_ptr<geom::RectIndex> index_;
+};
+
+/// Generates a chip-scale layout by tiling archetype-filled blocks of
+/// `config.clip_size` over a width x height nm area (both must be
+/// multiples of the clip size). Deterministic by seed.
+Layout generate_chip(geom::Coord width, geom::Coord height,
+                     const GeneratorConfig& config, std::uint64_t seed);
+
+}  // namespace hsdl::layout

@@ -1,0 +1,75 @@
+#include "layout/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+
+MaskImage::MaskImage(std::size_t width, std::size_t height, double nm_per_px,
+                     float fill)
+    : width_(width),
+      height_(height),
+      nm_per_px_(nm_per_px),
+      data_(width * height, fill) {
+  HSDL_CHECK(width > 0 && height > 0);
+  HSDL_CHECK(nm_per_px > 0.0);
+}
+
+double MaskImage::mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+double MaskImage::max_abs_diff(const MaskImage& a, const MaskImage& b) {
+  HSDL_CHECK(a.width() == b.width() && a.height() == b.height());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(static_cast<double>(a.data()[i]) -
+                                     static_cast<double>(b.data()[i])));
+  return worst;
+}
+
+MaskImage rasterize(const Clip& clip, double nm_per_px) {
+  HSDL_CHECK(!clip.window.empty());
+  const double wpx = static_cast<double>(clip.window.width()) / nm_per_px;
+  const double hpx = static_cast<double>(clip.window.height()) / nm_per_px;
+  HSDL_CHECK_MSG(std::abs(wpx - std::round(wpx)) < 1e-9 &&
+                     std::abs(hpx - std::round(hpx)) < 1e-9,
+                 "window " << clip.window.width() << "x"
+                           << clip.window.height()
+                           << " nm is not an integer number of pixels at "
+                           << nm_per_px << " nm/px");
+  const auto width = static_cast<std::size_t>(std::llround(wpx));
+  const auto height = static_cast<std::size_t>(std::llround(hpx));
+  MaskImage img(width, height, nm_per_px);
+
+  // Fill pixel spans per shape. Pixel centre of column x sits at
+  // window.lo.x + (x + 0.5) * pitch; it is covered by [r.lo.x, r.hi.x) iff
+  // ceil((r.lo.x - 0.5*p - lo) / p) <= x < ceil((r.hi.x - 0.5*p - lo) / p).
+  auto first_covered = [&](geom::Coord edge, geom::Coord lo) {
+    double v = (static_cast<double>(edge - lo)) / nm_per_px - 0.5;
+    auto c = static_cast<long long>(std::ceil(v - 1e-12));
+    return c;
+  };
+  for (const geom::Rect& shape : clip.shapes) {
+    const geom::Rect r = shape.intersect(clip.window);
+    if (r.empty()) continue;
+    long long x0 = std::max(0LL, first_covered(r.lo.x, clip.window.lo.x));
+    long long x1 = std::min(static_cast<long long>(width),
+                            first_covered(r.hi.x, clip.window.lo.x));
+    long long y0 = std::max(0LL, first_covered(r.lo.y, clip.window.lo.y));
+    long long y1 = std::min(static_cast<long long>(height),
+                            first_covered(r.hi.y, clip.window.lo.y));
+    for (long long y = y0; y < y1; ++y) {
+      float* rowp = img.row(static_cast<std::size_t>(y));
+      std::fill(rowp + x0, rowp + x1, 1.0f);
+    }
+  }
+  return img;
+}
+
+}  // namespace hsdl::layout

@@ -1,0 +1,56 @@
+// Raster mask images and clip rasterization.
+//
+// Both feature extraction (DCT over pixel blocks) and lithography
+// simulation consume a sampled binary mask. MaskImage is a dense row-major
+// float grid with a physical pixel pitch in nanometres.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace hsdl::layout {
+
+/// Dense row-major float image with physical pixel pitch.
+class MaskImage {
+ public:
+  MaskImage() = default;
+  MaskImage(std::size_t width, std::size_t height, double nm_per_px,
+            float fill = 0.0f);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  double nm_per_px() const { return nm_per_px_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(std::size_t x, std::size_t y) { return data_[y * width_ + x]; }
+  float at(std::size_t x, std::size_t y) const { return data_[y * width_ + x]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t y) { return data_.data() + y * width_; }
+  const float* row(std::size_t y) const { return data_.data() + y * width_; }
+
+  /// Mean pixel value (image density for binary masks).
+  double mean() const;
+
+  /// Max |a - b| over all pixels; images must have identical shape.
+  static double max_abs_diff(const MaskImage& a, const MaskImage& b);
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  double nm_per_px_ = 1.0;
+  std::vector<float> data_;
+};
+
+/// Rasterizes a clip to a binary mask (1 inside shapes, 0 outside).
+///
+/// Pixel (x, y) covers the physical square
+/// [window.lo + x*pitch, +pitch) x [window.lo + y*pitch, +pitch); a pixel is
+/// set when its *centre* falls inside a shape, which keeps abutting shapes
+/// seamless. The window extent must be an integer multiple of the pitch.
+MaskImage rasterize(const Clip& clip, double nm_per_px);
+
+}  // namespace hsdl::layout

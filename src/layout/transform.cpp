@@ -1,0 +1,56 @@
+#include "layout/transform.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+
+// All ops act on a square [0, s) x [0, s) window. Each is expressed as a
+// point map applied to rect corners, re-sorted into lo/hi form.
+Rect map_rect(const Rect& r, Coord s, Dihedral op) {
+  // Map the closed-open rect by transforming its corner span per axis:
+  // a mirrored axis [lo, hi) becomes [s - hi, s - lo).
+  const Coord xl = r.lo.x, xh = r.hi.x, yl = r.lo.y, yh = r.hi.y;
+  const Coord mxl = s - xh, mxh = s - xl;  // mirrored x span
+  const Coord myl = s - yh, myh = s - yl;  // mirrored y span
+  switch (op) {
+    case Dihedral::kIdentity:
+      return {{xl, yl}, {xh, yh}};
+    case Dihedral::kRot90:  // (x, y) -> (s - y, x)
+      return {{myl, xl}, {myh, xh}};
+    case Dihedral::kRot180:
+      return {{mxl, myl}, {mxh, myh}};
+    case Dihedral::kRot270:  // (x, y) -> (y, s - x)
+      return {{yl, mxl}, {yh, mxh}};
+    case Dihedral::kFlipX:
+      return {{mxl, yl}, {mxh, yh}};
+    case Dihedral::kFlipY:
+      return {{xl, myl}, {xh, myh}};
+    case Dihedral::kTranspose:  // (x, y) -> (y, x)
+      return {{yl, xl}, {yh, xh}};
+    case Dihedral::kAntiTranspose:  // (x, y) -> (s - y, s - x)
+      return {{myl, mxl}, {myh, mxh}};
+  }
+  HSDL_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+Clip transformed(const Clip& clip, Dihedral op) {
+  HSDL_CHECK_MSG(clip.window.width() == clip.window.height(),
+                 "dihedral transforms need a square window");
+  const Clip base = clip.normalized();
+  const Coord s = base.window.width();
+  Clip out;
+  out.window = base.window;
+  out.shapes.reserve(base.shapes.size());
+  for (const Rect& r : base.shapes)
+    out.shapes.push_back(map_rect(r.intersect(base.window), s, op));
+  return out;
+}
+
+}  // namespace hsdl::layout

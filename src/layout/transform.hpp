@@ -1,0 +1,35 @@
+// Dihedral (square-symmetry) transforms of clips.
+//
+// The lithographic imaging model is isotropic (Gaussian PSF) and the
+// defect rules are orientation-free, so a clip's hotspot label is
+// invariant under the 8 symmetries of its square window. The detector
+// uses this to augment the scarce hotspot class during training.
+#pragma once
+
+#include <array>
+
+#include "layout/clip.hpp"
+
+namespace hsdl::layout {
+
+enum class Dihedral {
+  kIdentity,
+  kRot90,   ///< 90 degrees counter-clockwise
+  kRot180,
+  kRot270,
+  kFlipX,       ///< mirror across the vertical axis
+  kFlipY,       ///< mirror across the horizontal axis
+  kTranspose,   ///< mirror across the main diagonal
+  kAntiTranspose,
+};
+
+inline constexpr std::array<Dihedral, 8> kAllDihedral = {
+    Dihedral::kIdentity,  Dihedral::kRot90,  Dihedral::kRot180,
+    Dihedral::kRot270,    Dihedral::kFlipX,  Dihedral::kFlipY,
+    Dihedral::kTranspose, Dihedral::kAntiTranspose};
+
+/// Applies a square symmetry to a clip. Requires a square window; the
+/// result is normalized to the origin.
+Clip transformed(const Clip& clip, Dihedral op);
+
+}  // namespace hsdl::layout

@@ -1,0 +1,87 @@
+#include "litho/aerial.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::litho {
+
+std::vector<float> gaussian_kernel_1d(double sigma_px) {
+  HSDL_CHECK(sigma_px > 0.0);
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.5 * sigma_px)));
+  std::vector<float> k(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    double v = std::exp(-0.5 * (i / sigma_px) * (i / sigma_px));
+    k[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : k) v = static_cast<float>(v / sum);
+  return k;
+}
+
+layout::MaskImage convolve_separable(const layout::MaskImage& in,
+                                     const std::vector<float>& kernel) {
+  HSDL_CHECK(!kernel.empty() && kernel.size() % 2 == 1);
+  const int radius = static_cast<int>(kernel.size() / 2);
+  const int w = static_cast<int>(in.width());
+  const int h = static_cast<int>(in.height());
+
+  layout::MaskImage tmp(in.width(), in.height(), in.nm_per_px());
+  // Horizontal pass.
+  for (int y = 0; y < h; ++y) {
+    const float* src = in.row(static_cast<std::size_t>(y));
+    float* dst = tmp.row(static_cast<std::size_t>(y));
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      const int lo = std::max(-radius, -x);
+      const int hi = std::min(radius, w - 1 - x);
+      for (int t = lo; t <= hi; ++t)
+        acc += src[x + t] * kernel[static_cast<std::size_t>(t + radius)];
+      dst[x] = acc;
+    }
+  }
+  // Vertical pass (column walk over rows for cache friendliness).
+  layout::MaskImage out(in.width(), in.height(), in.nm_per_px());
+  for (int y = 0; y < h; ++y) {
+    float* dst = out.row(static_cast<std::size_t>(y));
+    const int lo = std::max(-radius, -y);
+    const int hi = std::min(radius, h - 1 - y);
+    for (int x = 0; x < w; ++x) dst[x] = 0.0f;
+    for (int t = lo; t <= hi; ++t) {
+      const float kv = kernel[static_cast<std::size_t>(t + radius)];
+      const float* src = tmp.row(static_cast<std::size_t>(y + t));
+      for (int x = 0; x < w; ++x) dst[x] += kv * src[x];
+    }
+  }
+  return out;
+}
+
+layout::MaskImage aerial_image(const layout::MaskImage& mask,
+                               double sigma_nm) {
+  HSDL_CHECK(sigma_nm > 0.0);
+  const double sigma_px = sigma_nm / mask.nm_per_px();
+  return convolve_separable(mask, gaussian_kernel_1d(sigma_px));
+}
+
+layout::MaskImage aerial_image_mixture(
+    const layout::MaskImage& mask, double sigma_nm,
+    const std::vector<OpticalKernelTerm>& mixture) {
+  if (mixture.empty()) return aerial_image(mask, sigma_nm);
+  double total_weight = 0.0;
+  for (const OpticalKernelTerm& term : mixture) {
+    HSDL_CHECK(term.weight > 0.0 && term.sigma_scale > 0.0);
+    total_weight += term.weight;
+  }
+  layout::MaskImage out(mask.width(), mask.height(), mask.nm_per_px());
+  for (const OpticalKernelTerm& term : mixture) {
+    layout::MaskImage component =
+        aerial_image(mask, sigma_nm * term.sigma_scale);
+    const auto w = static_cast<float>(term.weight / total_weight);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out.data()[i] += w * component.data()[i];
+  }
+  return out;
+}
+
+}  // namespace hsdl::litho

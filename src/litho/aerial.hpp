@@ -1,0 +1,31 @@
+// Aerial image computation: Gaussian PSF convolution of a mask raster.
+#pragma once
+
+#include <vector>
+
+#include "layout/raster.hpp"
+#include "litho/config.hpp"
+
+namespace hsdl::litho {
+
+/// Truncated (±3.5 sigma), normalized 1-D Gaussian kernel sampled at the
+/// pixel pitch. sigma_px must be > 0.
+std::vector<float> gaussian_kernel_1d(double sigma_px);
+
+/// Separable convolution with zero boundary (empty field outside the clip).
+/// The kernel is applied along x then y.
+layout::MaskImage convolve_separable(const layout::MaskImage& in,
+                                     const std::vector<float>& kernel);
+
+/// Aerial image of a mask raster under a Gaussian PSF of `sigma_nm`.
+/// Intensity is normalized so that a large open feature tends to 1.0.
+layout::MaskImage aerial_image(const layout::MaskImage& mask, double sigma_nm);
+
+/// Aerial image under a sum-of-Gaussians kernel (SOCS-style): the weighted
+/// sum of Gaussian convolutions at sigma_nm * term.sigma_scale, weights
+/// normalized to sum 1. An empty mixture means the single-Gaussian model.
+layout::MaskImage aerial_image_mixture(
+    const layout::MaskImage& mask, double sigma_nm,
+    const std::vector<OpticalKernelTerm>& mixture);
+
+}  // namespace hsdl::litho

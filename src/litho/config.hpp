@@ -1,0 +1,100 @@
+// Lithography model configuration.
+//
+// The paper's ground-truth labels come from an industrial simulator; this
+// library substitutes a compact first-principles model: a Gaussian point
+// spread function (the standard single-kernel approximation of a partially
+// coherent 193i system), a constant-threshold resist, and a three-corner
+// process window (nominal / under-dose+defocus / over-dose+defocus).
+// Defaults are calibrated (tests/litho/calibration_test.cpp) so that
+// design-rule-clean relaxed patterns print and rule-floor aggressive
+// patterns fail at realistic rates.
+#pragma once
+
+#include <vector>
+
+namespace hsdl::litho {
+
+/// Exposure/defocus corner. Dose scales aerial intensity; defocus widens
+/// the effective PSF.
+struct ProcessCorner {
+  double dose = 1.0;
+  double defocus_blur = 1.0;  ///< multiplies the PSF sigma
+};
+
+/// One term of a sum-of-Gaussians optical kernel (SOCS-style
+/// approximation of partially coherent imaging). `sigma_scale` multiplies
+/// the base sigma; weights are normalized internally so the open-frame
+/// intensity stays 1.0.
+struct OpticalKernelTerm {
+  double weight = 1.0;
+  double sigma_scale = 1.0;
+};
+
+struct LithoConfig {
+  /// Simulation grid pitch (nm per pixel).
+  double grid_nm = 4.0;
+  /// Optional sum-of-Gaussians kernel mixture. Empty = the single-Gaussian
+  /// model. A typical two-term mixture adds a wide low-weight flare term:
+  ///   {{0.85, 1.0}, {0.15, 2.5}}.
+  std::vector<OpticalKernelTerm> kernel_mixture;
+  /// Gaussian PSF sigma at nominal focus (nm). ~k1*lambda/NA scale; at the
+  /// 40 nm line / 40 nm space rule floor, sigma = 18 nm puts minimum-pitch
+  /// patterns right at the resolution edge (marginal, not hopeless).
+  double sigma_nm = 18.0;
+  /// Constant resist threshold relative to open-frame intensity 1.0.
+  /// 0.5 is the symmetric point for equal line/space gratings.
+  double threshold = 0.5;
+
+  ProcessCorner nominal{1.0, 1.0};
+  ProcessCorner under{0.94, 1.08};  ///< under-dose + defocus: opens/necks
+  ProcessCorner over{1.06, 1.08};   ///< over-dose + defocus: bridges
+
+  // -- defect detection tolerances (nm) --
+  /// Printed CD below this at the under corner is a necking defect.
+  double neck_tol_nm = 18.0;
+  /// Line-end pullback beyond this at nominal is an EPE defect.
+  double epe_tol_nm = 30.0;
+  /// Edge/centerline sampling pitch.
+  double sample_step_nm = 20.0;
+  /// Maximum normal-direction search distance.
+  double max_walk_nm = 100.0;
+
+  // -- labeling margin --
+  // HotspotLabeler classifies with a *mild* and a *harsh* variant of the
+  // process corners: hotspot = defective even at the mild corners,
+  // non-hotspot = clean even at the harsh corners, anything in between is
+  // ambiguous (kUnknown). This mirrors curated benchmark suites, which
+  // keep a severity margin between the two populations.
+  /// Dose delta between mild and harsh corners.
+  double dose_margin = 0.035;
+  /// Defocus-blur delta between mild and harsh corners.
+  double blur_margin = 0.06;
+  /// Fractional widening/narrowing of neck/EPE tolerances.
+  double tol_margin = 0.5;
+};
+
+/// The mild variant (harder to fail) of a config's corner set.
+inline LithoConfig mild_variant(const LithoConfig& base) {
+  LithoConfig c = base;
+  c.under.dose += base.dose_margin;
+  c.over.dose -= base.dose_margin;
+  c.under.defocus_blur -= base.blur_margin;
+  c.over.defocus_blur -= base.blur_margin;
+  c.neck_tol_nm *= 1.0 - base.tol_margin;
+  c.epe_tol_nm *= 1.0 + base.tol_margin;
+  return c;
+}
+
+/// The harsh variant (easier to fail).
+inline LithoConfig harsh_variant(const LithoConfig& base) {
+  LithoConfig c = base;
+  c.under.dose -= base.dose_margin;
+  c.over.dose += base.dose_margin;
+  c.under.defocus_blur += base.blur_margin;
+  c.over.defocus_blur += base.blur_margin;
+  c.neck_tol_nm *= 1.0 + base.tol_margin;
+  c.epe_tol_nm *= 1.0 - base.tol_margin;
+  return c;
+}
+
+}  // namespace hsdl::litho

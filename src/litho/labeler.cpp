@@ -1,0 +1,261 @@
+#include "litho/labeler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::litho {
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+using layout::MaskImage;
+
+/// Pixel-space view of a clip's geometry for defect walks.
+struct PixelFrame {
+  const MaskImage& img;
+  Point origin;      // clip window lower-left, nm
+  double nm_per_px;
+
+  /// Pixel containing the nm-space point; false if outside the raster.
+  bool to_px(Point p, int& x, int& y) const {
+    x = static_cast<int>(
+        std::floor(static_cast<double>(p.x - origin.x) / nm_per_px));
+    y = static_cast<int>(
+        std::floor(static_cast<double>(p.y - origin.y) / nm_per_px));
+    return x >= 0 && y >= 0 && x < static_cast<int>(img.width()) &&
+           y < static_cast<int>(img.height());
+  }
+
+  bool printed(Point p) const {
+    int x, y;
+    if (!to_px(p, x, y)) return false;
+    return img.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) >
+           0.5f;
+  }
+};
+
+/// Measures the printed CD through `center` along direction (dx, dy)
+/// (unit Manhattan step in nm), bounded by max_walk each way.
+double printed_cd(const PixelFrame& frame, Point center, Point step,
+                  double step_nm, double max_walk_nm) {
+  if (!frame.printed(center)) return 0.0;
+  double cd = step_nm;  // the center sample itself
+  const int max_steps = static_cast<int>(max_walk_nm / step_nm);
+  Point p = center;
+  for (int i = 0; i < max_steps; ++i) {
+    p += step;
+    if (!frame.printed(p)) break;
+    cd += step_nm;
+  }
+  p = center;
+  const Point back{-step.x, -step.y};
+  for (int i = 0; i < max_steps; ++i) {
+    p += back;
+    if (!frame.printed(p)) break;
+    cd += step_nm;
+  }
+  return cd;
+}
+
+/// True when the shapes list covers `p` by a shape other than `self`.
+bool covered_by_other(const std::vector<Rect>& shapes, std::size_t self,
+                      Point p) {
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    if (i != self && shapes[i].contains(p)) return true;
+  return false;
+}
+
+bool covered_by_any(const std::vector<Rect>& shapes, Point p) {
+  for (const Rect& r : shapes)
+    if (r.contains(p)) return true;
+  return false;
+}
+
+struct EdgeSample {
+  Point at;       // on the edge, nm
+  Point outward;  // unit outward normal (Manhattan)
+  bool line_end;  // short edge of an elongated rect
+};
+
+/// Samples the boundary of `r` at `step_nm` pitch. Corners are inset by one
+/// step so walks measure edge behaviour, not corner rounding.
+std::vector<EdgeSample> sample_edges(const Rect& r, Coord step_nm) {
+  std::vector<EdgeSample> out;
+  const bool horiz = r.width() >= r.height();  // long axis
+  auto add_edge = [&](Point a, Point b, Point outward, bool is_end) {
+    const Coord len = manhattan_distance(a, b);
+    if (len < step_nm) {
+      // Short edge: single midpoint sample.
+      out.push_back({{(a.x + b.x) / 2, (a.y + b.y) / 2}, outward, is_end});
+      return;
+    }
+    const Point dir{(b.x - a.x) / len, (b.y - a.y) / len};
+    for (Coord d = step_nm / 2; d < len; d += step_nm)
+      out.push_back({a + dir * d, outward, is_end});
+  };
+  // Inset sampling line by one pixel-ish amount (1 nm) so "on the edge"
+  // samples sit just inside the shape.
+  add_edge({r.lo.x, r.lo.y}, {r.hi.x - 1, r.lo.y}, {0, -1}, !horiz);
+  add_edge({r.lo.x, r.hi.y - 1}, {r.hi.x - 1, r.hi.y - 1}, {0, 1}, !horiz);
+  add_edge({r.lo.x, r.lo.y}, {r.lo.x, r.hi.y - 1}, {-1, 0}, horiz);
+  add_edge({r.hi.x - 1, r.lo.y}, {r.hi.x - 1, r.hi.y - 1}, {1, 0}, horiz);
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(DefectType type) {
+  switch (type) {
+    case DefectType::kNecking:
+      return "necking";
+    case DefectType::kBridging:
+      return "bridging";
+    case DefectType::kLineEndPullback:
+      return "line-end-pullback";
+  }
+  return "?";
+}
+
+HotspotLabeler::HotspotLabeler(const LithoConfig& config)
+    : sim_(config),
+      mild_sim_(mild_variant(config)),
+      harsh_sim_(harsh_variant(config)) {}
+
+DefectReport HotspotLabeler::analyze(const layout::Clip& clip) const {
+  return analyze_with(sim_, clip);
+}
+
+DefectReport HotspotLabeler::analyze_with(const LithoSimulator& sim,
+                                          const layout::Clip& clip) const {
+  DefectReport report;
+  if (clip.shapes.empty()) return report;
+
+  const LithoConfig& cfg = sim.config();
+  const PrintedStack stack = sim.print(clip);
+  const Point origin = clip.window.lo;
+  const PixelFrame nominal{stack.nominal, origin, cfg.grid_nm};
+  const PixelFrame under{stack.under, origin, cfg.grid_nm};
+  const PixelFrame over{stack.over, origin, cfg.grid_nm};
+
+  const auto step = static_cast<Coord>(cfg.sample_step_nm);
+  const double walk_step = cfg.grid_nm;
+
+  // Margin: defects whose mechanism lies outside the analysis core are the
+  // neighbouring clip's responsibility; skip samples within one PSF of the
+  // clip edge to avoid boundary artefacts of the zero-field assumption.
+  const auto margin = static_cast<Coord>(3.0 * cfg.sigma_nm);
+  const Rect core = clip.window.inflated(-margin);
+
+  for (std::size_t si = 0; si < clip.shapes.size(); ++si) {
+    const Rect shape = clip.shapes[si].intersect(clip.window);
+    if (shape.empty()) continue;
+
+    // ---- necking: centerline CD at the under-dose corner ----
+    const bool horiz = shape.width() >= shape.height();
+    const Point cross_dir = horiz ? Point{0, 1} : Point{1, 0};
+    const Coord clen = horiz ? shape.width() : shape.height();
+    const Point cstart = horiz ? Point{shape.lo.x, shape.center().y}
+                               : Point{shape.center().x, shape.lo.y};
+    const Point cdir = horiz ? Point{1, 0} : Point{0, 1};
+    // Stay clear of the line ends: tip retreat is the pullback check's
+    // business, and counting it here would double-report every line end
+    // as a neck. Short shapes (contacts, stubs) get a single mid sample.
+    const auto end_inset =
+        static_cast<Coord>(cfg.epe_tol_nm + cfg.grid_nm);
+    std::vector<Coord> centers;
+    if (clen >= 2 * end_inset + step) {
+      for (Coord d = end_inset; d <= clen - end_inset; d += step)
+        centers.push_back(d);
+    } else {
+      centers.push_back(clen / 2);
+    }
+    for (Coord d : centers) {
+      const Point p = cstart + cdir * d;
+      if (!core.contains(p)) continue;
+      // CD measured in grid-sized steps along the cross direction.
+      const Point px_step{cross_dir.x * static_cast<Coord>(walk_step),
+                          cross_dir.y * static_cast<Coord>(walk_step)};
+      const double cd =
+          printed_cd(under, p, px_step, walk_step, cfg.max_walk_nm);
+      if (cd < cfg.neck_tol_nm) {
+        report.defects.push_back(
+            {DefectType::kNecking, p, cfg.neck_tol_nm - cd});
+      }
+    }
+
+    // ---- edge walks: bridging (over corner) and pullback (nominal) ----
+    for (const EdgeSample& es : sample_edges(shape, step)) {
+      if (!core.contains(es.at)) continue;
+
+      // Bridging: walk outward at the over corner; if resist stays printed
+      // across a genuine space until we enter another mask shape, the space
+      // has bridged. The walk must traverse at least one uncovered sample —
+      // abutting/overlapping rectangles of the same wire are not a bridge.
+      {
+        Point p = es.at;
+        const Point stepv{es.outward.x * static_cast<Coord>(walk_step),
+                          es.outward.y * static_cast<Coord>(walk_step)};
+        double walked = 0.0;
+        std::size_t space_steps = 0;
+        bool connected = true;
+        bool reached_other = false;
+        while (walked < cfg.max_walk_nm) {
+          p += stepv;
+          walked += walk_step;
+          if (!covered_by_any(clip.shapes, p)) {
+            ++space_steps;
+            if (!over.printed(p)) {
+              connected = false;
+              break;
+            }
+          } else if (space_steps > 0) {
+            reached_other = true;  // crossed a space into mask geometry
+            break;
+          } else if (!covered_by_other(clip.shapes, si, p)) {
+            break;  // still inside the same shape stack — not a space yet
+          }
+          // Overlapping same-wire rectangle: keep walking until real space.
+        }
+        if (connected && reached_other && space_steps > 0)
+          report.defects.push_back({DefectType::kBridging, es.at, walked});
+      }
+
+      // Line-end pullback: on short edges, walk inward at nominal until the
+      // printed contour is found; deep retreat is an EPE defect.
+      if (es.line_end) {
+        Point p = es.at;
+        const Point stepv{-es.outward.x * static_cast<Coord>(walk_step),
+                          -es.outward.y * static_cast<Coord>(walk_step)};
+        double pullback = 0.0;
+        while (pullback < cfg.max_walk_nm && !nominal.printed(p) &&
+               shape.contains(p)) {
+          p += stepv;
+          pullback += walk_step;
+        }
+        if (pullback > cfg.epe_tol_nm)
+          report.defects.push_back(
+              {DefectType::kLineEndPullback, es.at, pullback});
+      }
+    }
+  }
+  return report;
+}
+
+layout::HotspotLabel HotspotLabeler::label(const layout::Clip& clip) const {
+  // Defective under forgiving conditions: a clear hotspot.
+  if (analyze_with(mild_sim_, clip).is_hotspot())
+    return layout::HotspotLabel::kHotspot;
+  // Clean even under punishing conditions: a clear non-hotspot.
+  if (!analyze_with(harsh_sim_, clip).is_hotspot())
+    return layout::HotspotLabel::kNonHotspot;
+  return layout::HotspotLabel::kUnknown;  // marginal band
+}
+
+void HotspotLabeler::label_all(std::vector<layout::LabeledClip>& clips) const {
+  for (layout::LabeledClip& lc : clips) lc.label = label(lc.clip);
+}
+
+}  // namespace hsdl::litho

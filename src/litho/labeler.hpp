@@ -1,0 +1,64 @@
+// Hotspot labeling by printed-image defect analysis.
+//
+// A clip is a hotspot when its printed image exhibits a lithographic defect
+// anywhere in the process window. Three defect mechanisms are checked —
+// the classic hotspot taxonomy:
+//   * necking / opens : printed CD across a wire falls below neck_tol at
+//     the under-dose corner (measured along shape centerlines);
+//   * bridging        : printed resist connects two distinct mask shapes
+//     across a space at the over-dose corner (measured by outward walks
+//     from shape edges);
+//   * line-end pullback (EPE): the printed contour retreats from a line
+//     end by more than epe_tol at nominal conditions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/dataset.hpp"
+#include "litho/simulator.hpp"
+
+namespace hsdl::litho {
+
+enum class DefectType { kNecking, kBridging, kLineEndPullback };
+
+const char* to_string(DefectType type);
+
+struct Defect {
+  DefectType type;
+  geom::Point location;  ///< nm, in clip coordinates
+  double severity_nm;    ///< CD deficit / intrusion depth / pullback length
+};
+
+struct DefectReport {
+  std::vector<Defect> defects;
+  bool is_hotspot() const { return !defects.empty(); }
+};
+
+class HotspotLabeler {
+ public:
+  explicit HotspotLabeler(const LithoConfig& config = {});
+
+  /// Full defect analysis of one clip at the base (nominal) corner set.
+  DefectReport analyze(const layout::Clip& clip) const;
+
+  /// Margin-aware decision: kHotspot when defective even at the *mild*
+  /// corner variant, kNonHotspot when clean even at the *harsh* variant,
+  /// kUnknown for the marginal band in between (see LithoConfig).
+  layout::HotspotLabel label(const layout::Clip& clip) const;
+
+  /// Labels a batch in place (marginal clips become kUnknown).
+  void label_all(std::vector<layout::LabeledClip>& clips) const;
+
+  const LithoSimulator& simulator() const { return sim_; }
+
+ private:
+  DefectReport analyze_with(const LithoSimulator& sim,
+                            const layout::Clip& clip) const;
+
+  LithoSimulator sim_;
+  LithoSimulator mild_sim_;
+  LithoSimulator harsh_sim_;
+};
+
+}  // namespace hsdl::litho

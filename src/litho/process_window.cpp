@@ -1,0 +1,45 @@
+#include "litho/process_window.hpp"
+
+#include "common/check.hpp"
+#include "litho/labeler.hpp"
+
+namespace hsdl::litho {
+
+ProcessWindowResult measure_process_window(
+    const layout::Clip& clip, const ProcessWindowConfig& config) {
+  HSDL_CHECK(config.dose_steps >= 1 && config.blur_steps >= 1);
+  HSDL_CHECK(config.dose_min <= config.dose_max);
+  HSDL_CHECK(config.blur_min <= config.blur_max);
+
+  ProcessWindowResult result;
+  for (std::size_t di = 0; di < config.dose_steps; ++di) {
+    const double dose =
+        config.dose_steps == 1
+            ? config.dose_min
+            : config.dose_min + (config.dose_max - config.dose_min) *
+                                    static_cast<double>(di) /
+                                    static_cast<double>(config.dose_steps - 1);
+    for (std::size_t bi = 0; bi < config.blur_steps; ++bi) {
+      const double blur =
+          config.blur_steps == 1
+              ? config.blur_min
+              : config.blur_min +
+                    (config.blur_max - config.blur_min) *
+                        static_cast<double>(bi) /
+                        static_cast<double>(config.blur_steps - 1);
+      // A single-condition "window": all three corners collapse onto the
+      // sampled (dose, blur) point; the defect analysis then reports the
+      // defects present exactly there.
+      LithoConfig point = config.litho;
+      point.nominal = {dose, blur};
+      point.under = {dose, blur};
+      point.over = {dose, blur};
+      HotspotLabeler labeler(point);
+      ++result.conditions;
+      if (!labeler.analyze(clip).is_hotspot()) ++result.clean;
+    }
+  }
+  return result;
+}
+
+}  // namespace hsdl::litho

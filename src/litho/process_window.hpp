@@ -1,0 +1,45 @@
+// Process-window analysis.
+//
+// The paper defines hotspots as "layout patterns with a smaller process
+// window" (Section 2). This module measures that window directly: the
+// fraction of a (dose x defocus) grid at which a clip prints without
+// defects. The margin-aware labeler is a 3-corner approximation of this
+// measurement; here the full map is available for analysis and for
+// validating the labeler itself.
+#pragma once
+
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "litho/config.hpp"
+
+namespace hsdl::litho {
+
+struct ProcessWindowConfig {
+  LithoConfig litho;
+  double dose_min = 0.90;
+  double dose_max = 1.10;
+  std::size_t dose_steps = 5;
+  double blur_min = 1.0;
+  double blur_max = 1.12;
+  std::size_t blur_steps = 3;
+};
+
+struct ProcessWindowResult {
+  std::size_t conditions = 0;  ///< grid points evaluated
+  std::size_t clean = 0;       ///< grid points with zero defects
+
+  /// Process-window area as the clean fraction of the sampled grid.
+  double window_fraction() const {
+    return conditions == 0
+               ? 0.0
+               : static_cast<double>(clean) /
+                     static_cast<double>(conditions);
+  }
+};
+
+/// Evaluates defect-freedom across the (dose, defocus) grid.
+ProcessWindowResult measure_process_window(const layout::Clip& clip,
+                                           const ProcessWindowConfig& config);
+
+}  // namespace hsdl::litho

@@ -1,0 +1,53 @@
+#include "litho/simulator.hpp"
+
+#include "common/check.hpp"
+#include "litho/aerial.hpp"
+
+namespace hsdl::litho {
+
+LithoSimulator::LithoSimulator(const LithoConfig& config) : config_(config) {
+  HSDL_CHECK(config.grid_nm > 0.0);
+  HSDL_CHECK(config.sigma_nm > 0.0);
+  HSDL_CHECK(config.threshold > 0.0 && config.threshold < 1.0);
+}
+
+layout::MaskImage LithoSimulator::rasterize(const layout::Clip& clip) const {
+  return layout::rasterize(clip, config_.grid_nm);
+}
+
+layout::MaskImage LithoSimulator::aerial(const layout::MaskImage& mask,
+                                         const ProcessCorner& corner) const {
+  return aerial_image_mixture(mask, config_.sigma_nm * corner.defocus_blur,
+                              config_.kernel_mixture);
+}
+
+layout::MaskImage LithoSimulator::develop(const layout::MaskImage& aerial_img,
+                                          const ProcessCorner& corner) const {
+  layout::MaskImage printed(aerial_img.width(), aerial_img.height(),
+                            aerial_img.nm_per_px());
+  const double th = config_.threshold;
+  for (std::size_t i = 0; i < aerial_img.size(); ++i)
+    printed.data()[i] =
+        (static_cast<double>(aerial_img.data()[i]) * corner.dose >= th)
+            ? 1.0f
+            : 0.0f;
+  return printed;
+}
+
+PrintedStack LithoSimulator::print(const layout::Clip& clip) const {
+  const layout::MaskImage mask = rasterize(clip);
+  // Nominal and defocused corners have different PSFs; under/over share the
+  // defocused aerial image and differ only in dose.
+  const layout::MaskImage a_nom = aerial(mask, config_.nominal);
+  const layout::MaskImage a_under = aerial(mask, config_.under);
+  const bool same_blur =
+      config_.over.defocus_blur == config_.under.defocus_blur;
+  const layout::MaskImage a_over =
+      same_blur ? a_under : aerial(mask, config_.over);
+  PrintedStack stack{develop(a_nom, config_.nominal),
+                     develop(a_under, config_.under),
+                     develop(a_over, config_.over)};
+  return stack;
+}
+
+}  // namespace hsdl::litho

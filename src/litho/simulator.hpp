@@ -1,0 +1,42 @@
+// Lithography simulator: clip -> printed resist images at process corners.
+#pragma once
+
+#include "layout/clip.hpp"
+#include "layout/raster.hpp"
+#include "litho/config.hpp"
+
+namespace hsdl::litho {
+
+/// Printed resist images at the three process-window corners.
+struct PrintedStack {
+  layout::MaskImage nominal;
+  layout::MaskImage under;  ///< under-dose + defocus (risk: opens/necks)
+  layout::MaskImage over;   ///< over-dose + defocus (risk: bridges)
+};
+
+class LithoSimulator {
+ public:
+  explicit LithoSimulator(const LithoConfig& config = {});
+
+  const LithoConfig& config() const { return config_; }
+
+  /// Rasterizes the clip at the simulation grid.
+  layout::MaskImage rasterize(const layout::Clip& clip) const;
+
+  /// Aerial image at a given corner (dose applied by the resist step, so
+  /// the aerial image itself only depends on defocus).
+  layout::MaskImage aerial(const layout::MaskImage& mask,
+                           const ProcessCorner& corner) const;
+
+  /// Constant-threshold resist: printed = (aerial * dose >= threshold).
+  layout::MaskImage develop(const layout::MaskImage& aerial_img,
+                            const ProcessCorner& corner) const;
+
+  /// Full pipeline for all three corners.
+  PrintedStack print(const layout::Clip& clip) const;
+
+ private:
+  LithoConfig config_;
+};
+
+}  // namespace hsdl::litho

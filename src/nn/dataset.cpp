@@ -1,0 +1,93 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+
+ClassificationDataset::ClassificationDataset(
+    std::vector<std::size_t> feature_shape, std::size_t num_classes)
+    : feature_shape_(std::move(feature_shape)), num_classes_(num_classes) {
+  HSDL_CHECK(!feature_shape_.empty());
+  HSDL_CHECK(num_classes >= 2);
+  feature_numel_ = 1;
+  for (std::size_t e : feature_shape_) {
+    HSDL_CHECK(e > 0);
+    feature_numel_ *= e;
+  }
+}
+
+void ClassificationDataset::add(std::vector<float> features,
+                                std::size_t label) {
+  HSDL_CHECK_MSG(features.size() == feature_numel_,
+                 "sample has " << features.size() << " values, expected "
+                               << feature_numel_);
+  HSDL_CHECK(label < num_classes_);
+  storage_.insert(storage_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+const float* ClassificationDataset::features(std::size_t i) const {
+  HSDL_CHECK(i < size());
+  return storage_.data() + i * feature_numel_;
+}
+
+std::size_t ClassificationDataset::count_label(std::size_t label) const {
+  return static_cast<std::size_t>(
+      std::count(labels_.begin(), labels_.end(), label));
+}
+
+Tensor ClassificationDataset::gather(
+    const std::vector<std::size_t>& idx) const {
+  HSDL_CHECK(!idx.empty());
+  std::vector<std::size_t> shape;
+  shape.push_back(idx.size());
+  shape.insert(shape.end(), feature_shape_.begin(), feature_shape_.end());
+  Tensor out(shape);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = features(idx[i]);
+    std::copy(src, src + feature_numel_, out.data() + i * feature_numel_);
+  }
+  return out;
+}
+
+Tensor ClassificationDataset::gather_onehot(
+    const std::vector<std::size_t>& idx) const {
+  Tensor out({idx.size(), num_classes_});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HSDL_CHECK(idx[i] < size());
+    out.at(i, labels_[idx[i]]) = 1.0f;
+  }
+  return out;
+}
+
+std::vector<std::size_t> ClassificationDataset::sample_batch(
+    std::size_t batch, Rng& rng) const {
+  HSDL_CHECK(batch > 0 && !empty());
+  std::vector<std::size_t> idx(batch);
+  for (std::size_t& v : idx) v = rng.index(size());
+  return idx;
+}
+
+std::vector<std::size_t> ClassificationDataset::sample_batch_balanced(
+    std::size_t batch, Rng& rng) const {
+  HSDL_CHECK(batch > 0 && !empty());
+  // Index pool per class (built per call; dataset mutation stays cheap).
+  std::vector<std::vector<std::size_t>> pools(num_classes_);
+  for (std::size_t i = 0; i < size(); ++i) pools[labels_[i]].push_back(i);
+  for (const auto& pool : pools)
+    HSDL_CHECK_MSG(!pool.empty(),
+                   "balanced sampling requires every class present");
+  // Random rotation offset so batches smaller than the class count (e.g.
+  // the SGD mode's batch of 1) still draw every class over time.
+  const std::size_t start = rng.index(num_classes_);
+  std::vector<std::size_t> idx(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto& pool = pools[(start + i) % num_classes_];
+    idx[i] = pool[rng.index(pool.size())];
+  }
+  return idx;
+}
+
+}  // namespace hsdl::nn

@@ -1,0 +1,63 @@
+// In-memory classification dataset and mini-batch assembly.
+//
+// Samples share one fixed feature shape (e.g. [k, n, n] feature tensors).
+// Mini-batch gradient descent (paper Algorithm 1 line 5) draws uniformly
+// random batches; evaluation walks the set sequentially.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace hsdl::nn {
+
+class ClassificationDataset {
+ public:
+  /// `feature_shape` excludes the batch axis, e.g. {32, 12, 12}.
+  explicit ClassificationDataset(std::vector<std::size_t> feature_shape,
+                                 std::size_t num_classes = 2);
+
+  const std::vector<std::size_t>& feature_shape() const {
+    return feature_shape_;
+  }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t feature_numel() const { return feature_numel_; }
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Appends a sample; `features` must have feature_numel() elements and
+  /// `label` must be < num_classes.
+  void add(std::vector<float> features, std::size_t label);
+
+  std::size_t label(std::size_t i) const { return labels_[i]; }
+  const float* features(std::size_t i) const;
+
+  /// Number of samples with the given label.
+  std::size_t count_label(std::size_t label) const;
+
+  /// Assembles a batch tensor [idx.size(), feature_shape...].
+  Tensor gather(const std::vector<std::size_t>& idx) const;
+
+  /// One-hot targets [idx.size(), num_classes].
+  Tensor gather_onehot(const std::vector<std::size_t>& idx) const;
+
+  /// Uniformly random batch indices (with replacement — the paper samples
+  /// each batch independently from the training set).
+  std::vector<std::size_t> sample_batch(std::size_t batch, Rng& rng) const;
+
+  /// Class-balanced batch: indices drawn uniformly per class, classes
+  /// interleaved. Requires every class to be non-empty.
+  std::vector<std::size_t> sample_batch_balanced(std::size_t batch,
+                                                 Rng& rng) const;
+
+ private:
+  std::vector<std::size_t> feature_shape_;
+  std::size_t num_classes_;
+  std::size_t feature_numel_;
+  std::vector<float> storage_;       // samples back to back
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace hsdl::nn

@@ -1,0 +1,44 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+
+Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(&rng) {
+  HSDL_CHECK(p >= 0.0 && p < 1.0);
+}
+
+std::string Dropout::name() const {
+  std::ostringstream os;
+  os << "dropout(" << p_ << ")";
+  return os.str();
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || p_ == 0.0) {
+    // Identity; mark mask as all-ones so a stray backward stays correct.
+    mask_ = Tensor(input.shape(), 1.0f);
+    return input;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float m = rng_->bernoulli(p_) ? 0.0f : keep_scale;
+    mask_[i] = m;
+    out[i] = input[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  HSDL_CHECK_MSG(same_shape(grad_output, mask_), "backward before forward");
+  Tensor grad_in(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.numel(); ++i)
+    grad_in[i] = grad_output[i] * mask_[i];
+  return grad_in;
+}
+
+}  // namespace hsdl::nn

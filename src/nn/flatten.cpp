@@ -1,0 +1,25 @@
+#include "nn/flatten.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+
+std::vector<std::size_t> Flatten::output_shape(
+    const std::vector<std::size_t>& in) const {
+  HSDL_CHECK(in.size() >= 2);
+  std::size_t features = 1;
+  for (std::size_t i = 1; i < in.size(); ++i) features *= in[i];
+  return {in[0], features};
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  in_shape_ = input.shape();
+  return input.reshaped(output_shape(in_shape_));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  HSDL_CHECK_MSG(!in_shape_.empty(), "backward before forward");
+  return grad_output.reshaped(in_shape_);
+}
+
+}  // namespace hsdl::nn

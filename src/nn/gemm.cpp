@@ -1,0 +1,79 @@
+#include "nn/gemm.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+/// Core row-major kernel: C[m x n] += alpha * A[m x k] * B[k x n].
+/// A and B are contiguous row-major with the given leading dimensions.
+void kernel_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const float* a, std::size_t lda, const float* b,
+               std::size_t ldb, float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  // Scale C by beta first.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  if (!trans_a && !trans_b) {
+    kernel_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // Transposed operands: materialize the transpose once. The matrices in
+  // this library are small (<= a few hundred per side), so the copy is
+  // cheap and keeps the hot kernel simple and branch-free.
+  std::vector<float> abuf, bbuf;
+  const float* ap = a;
+  std::size_t alda = lda;
+  if (trans_a) {
+    abuf.resize(m * k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) abuf[i * k + p] = a[p * lda + i];
+    ap = abuf.data();
+    alda = k;
+  }
+  const float* bp = b;
+  std::size_t bldb = ldb;
+  if (trans_b) {
+    bbuf.resize(k * n);
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j) bbuf[p * n + j] = b[j * ldb + p];
+    bp = bbuf.data();
+    bldb = n;
+  }
+  kernel_nn(m, n, k, alpha, ap, alda, bp, bldb, c, ldc);
+}
+
+void matmul(std::size_t m, std::size_t n, std::size_t k, const float* a,
+            const float* b, float* c) {
+  gemm(false, false, m, n, k, 1.0f, a, k, b, n, 0.0f, c, n);
+}
+
+}  // namespace hsdl::nn

@@ -1,0 +1,23 @@
+// Minimal single-precision GEMM.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, with op = identity or
+// transpose. The kernel orders loops (i, k, j) so the innermost loop
+// streams both B and C rows — on the small matrices of this network
+// (hundreds per side) that is within a small factor of a tuned BLAS and
+// keeps the library dependency-free.
+#pragma once
+
+#include <cstddef>
+
+namespace hsdl::nn {
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc);
+
+/// Convenience: C[mxn] = A[mxk] * B[kxn] (no transposes, alpha=1, beta=0).
+void matmul(std::size_t m, std::size_t n, std::size_t k, const float* a,
+            const float* b, float* c);
+
+}  // namespace hsdl::nn

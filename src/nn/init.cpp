@@ -1,0 +1,25 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+
+void he_normal_init(Tensor& w, std::size_t fan_in, Rng& rng) {
+  HSDL_CHECK(fan_in > 0);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void glorot_uniform_init(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                         Rng& rng) {
+  HSDL_CHECK(fan_in > 0 && fan_out > 0);
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+}  // namespace hsdl::nn

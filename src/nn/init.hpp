@@ -1,0 +1,18 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace hsdl::nn {
+
+/// He-normal: N(0, sqrt(2 / fan_in)) — the standard choice for ReLU nets.
+void he_normal_init(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// Glorot-uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform_init(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                         Rng& rng);
+
+}  // namespace hsdl::nn

@@ -1,0 +1,74 @@
+#include "nn/linear.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "nn/gemm.hpp"
+#include "nn/init.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+Tensor make_linear_weight(std::size_t in, std::size_t out, Rng& rng) {
+  Tensor w({out, in});
+  he_normal_init(w, in, rng);
+  return w;
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("weight", make_linear_weight(in_features, out_features, rng)),
+      bias_("bias", Tensor({out_features})) {
+  HSDL_CHECK(in_features > 0 && out_features > 0);
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "fc(" << in_ << "->" << out_ << ")";
+  return os.str();
+}
+
+std::vector<std::size_t> Linear::output_shape(
+    const std::vector<std::size_t>& in) const {
+  HSDL_CHECK(in.size() == 2 && in[1] == in_);
+  return {in[0], out_};
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  HSDL_CHECK_MSG(input.dim() == 2 && input.extent(1) == in_,
+                 "linear expects [N," << in_ << "], got "
+                                      << input.shape_str());
+  input_ = input;
+  const std::size_t n = input.extent(0);
+  Tensor out({n, out_});
+  // out = x [n x in] * W^T [in x out]
+  gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
+       weight_.value.data(), in_, 0.0f, out.data(), out_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_.value[j];
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  HSDL_CHECK_MSG(!input_.empty(), "backward before forward");
+  const std::size_t n = input_.extent(0);
+  HSDL_CHECK(grad_output.shape() == std::vector<std::size_t>({n, out_}));
+
+  // dW += gout^T [out x n] * x [n x in]
+  gemm(true, false, out_, in_, n, 1.0f, grad_output.data(), out_,
+       input_.data(), in_, 1.0f, weight_.grad.data(), in_);
+  // db += column sums of gout
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j)
+      bias_.grad[j] += grad_output.at(i, j);
+  // dx = gout [n x out] * W [out x in]
+  Tensor grad_in({n, in_});
+  gemm(false, false, n, in_, out_, 1.0f, grad_output.data(), out_,
+       weight_.value.data(), in_, 0.0f, grad_in.data(), in_);
+  return grad_in;
+}
+
+}  // namespace hsdl::nn

@@ -1,0 +1,33 @@
+// Fully connected (dense) layer.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hsdl::nn {
+
+/// y = x W^T + b with x: [N, in], W: [out, in], b: [out].
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  std::string name() const override;
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::vector<std::size_t> output_shape(
+      const std::vector<std::size_t>& input_shape) const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;
+  Param bias_;
+  Tensor input_;
+};
+
+}  // namespace hsdl::nn

@@ -1,0 +1,33 @@
+// Softmax cross-entropy with arbitrary target distributions.
+//
+// The paper's biased learning (Section 4.3) trains the non-hotspot class
+// toward the soft target [1-eps, eps] instead of the one-hot [1, 0], so the
+// loss must accept full target distributions, not class indices.
+// forward() computes Equations (6)-(7); backward() returns the well-known
+// (softmax - target) / N gradient.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace hsdl::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, C]; targets: [N, C] rows summing to 1. Returns mean loss.
+  double forward(const Tensor& logits, const Tensor& targets);
+
+  /// dLoss/dLogits for the last forward() call.
+  Tensor backward() const;
+
+  /// Softmax probabilities of the last forward() call ([N, C]).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  Tensor targets_;
+};
+
+/// Standalone row-wise softmax (numerically stabilized).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace hsdl::nn

@@ -1,0 +1,87 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+
+SgdOptimizer::SgdOptimizer(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  HSDL_CHECK(learning_rate > 0.0);
+  HSDL_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void SgdOptimizer::set_learning_rate(double lr) {
+  HSDL_CHECK(lr > 0.0);
+  lr_ = lr;
+}
+
+void SgdOptimizer::step(const std::vector<Param*>& params) {
+  const auto flr = static_cast<float>(lr_);
+  if (momentum_ == 0.0) {
+    for (Param* p : params) p->value.axpy(-flr, p->grad);
+    return;
+  }
+  const auto fm = static_cast<float>(momentum_);
+  for (Param* p : params) {
+    Tensor* v = nullptr;
+    for (auto& [key, vel] : velocity_)
+      if (key == p) {
+        v = &vel;
+        break;
+      }
+    if (v == nullptr) {
+      velocity_.emplace_back(p, Tensor(p->value.shape()));
+      v = &velocity_.back().second;
+    }
+    // v <- m*v + g; w <- w - lr*v
+    v->scale(fm);
+    v->add(p->grad);
+    p->value.axpy(-flr, *v);
+  }
+}
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1,
+                             double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
+  HSDL_CHECK(learning_rate > 0.0);
+  HSDL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  HSDL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  HSDL_CHECK(epsilon > 0.0);
+}
+
+void AdamOptimizer::set_learning_rate(double lr) {
+  HSDL_CHECK(lr > 0.0);
+  lr_ = lr;
+}
+
+AdamOptimizer::State& AdamOptimizer::state_for(const Param* p) {
+  for (State& s : states_)
+    if (s.key == p) return s;
+  states_.push_back({p, Tensor(p->value.shape()), Tensor(p->value.shape())});
+  return states_.back();
+}
+
+void AdamOptimizer::step(const std::vector<Param*>& params) {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    State& s = state_for(p);
+    HSDL_CHECK(same_shape(s.m, p->value));
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const double g = p->grad[i];
+      const double m = beta1_ * s.m[i] + (1.0 - beta1_) * g;
+      const double v = beta2_ * s.v[i] + (1.0 - beta2_) * g * g;
+      s.m[i] = static_cast<float>(m);
+      s.v[i] = static_cast<float>(v);
+      const double m_hat = m / bias1;
+      const double v_hat = v / bias2;
+      p->value[i] -=
+          static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+}  // namespace hsdl::nn

@@ -1,0 +1,61 @@
+// Gradient-descent optimizers.
+//
+// The paper trains with (mini-batch) SGD and step learning-rate decay
+// (Algorithm 1 lines 10-14). Decay scheduling lives in the trainer; the
+// optimizer just applies W <- W - lr * G (optionally with momentum, off by
+// default to match the paper).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hsdl::nn {
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0);
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+  /// Applies one update using the gradients accumulated in the params.
+  void step(const std::vector<Param*>& params);
+
+ private:
+  double lr_;
+  double momentum_;
+  // Velocity buffers keyed by parameter pointer order of first use.
+  std::vector<std::pair<const Param*, Tensor>> velocity_;
+};
+
+/// Adam (Kingma & Ba) — not used by the paper (kept faithful to plain
+/// MGD there) but provided as the modern alternative; the ablation bench
+/// contrasts the two.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8);
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+  void step(const std::vector<Param*>& params);
+
+ private:
+  struct State {
+    const Param* key;
+    Tensor m;  // first moment
+    Tensor v;  // second moment
+  };
+  State& state_for(const Param* p);
+
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<State> states_;
+};
+
+}  // namespace hsdl::nn

@@ -1,0 +1,52 @@
+#include "nn/sequential.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::size_t> Sequential::output_shape(
+    const std::vector<std::size_t>& input_shape) const {
+  std::vector<std::size_t> s = input_shape;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+std::vector<std::pair<std::string, std::vector<std::size_t>>>
+Sequential::summary(const std::vector<std::size_t>& input_shape) const {
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> out;
+  std::vector<std::size_t> s = input_shape;
+  for (const auto& l : layers_) {
+    s = l->output_shape(s);
+    out.emplace_back(l->name(), s);
+  }
+  return out;
+}
+
+std::size_t Sequential::param_count() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace hsdl::nn

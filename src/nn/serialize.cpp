@@ -1,0 +1,111 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+constexpr char kMagic[] = "HSDLNN1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  HSDL_CHECK_MSG(is.good(), "truncated checkpoint");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  HSDL_CHECK_MSG(n < (1u << 20), "implausible string length in checkpoint");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  HSDL_CHECK_MSG(is.good(), "truncated checkpoint");
+  return s;
+}
+
+}  // namespace
+
+void save_params(std::ostream& os, const std::vector<Param*>& params) {
+  os.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+  write_u64(os, params.size());
+  for (const Param* p : params) {
+    write_string(os, p->name);
+    write_u64(os, p->value.dim());
+    for (std::size_t e : p->value.shape()) write_u64(os, e);
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  HSDL_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+void load_params(std::istream& is, const std::vector<Param*>& params) {
+  char magic[kMagicLen];
+  is.read(magic, static_cast<std::streamsize>(kMagicLen));
+  HSDL_CHECK_MSG(is.good() && std::string(magic, kMagicLen) == kMagic,
+                 "not an HSDL checkpoint");
+  const std::uint64_t n = read_u64(is);
+  HSDL_CHECK_MSG(n == params.size(), "checkpoint has " << n
+                                                       << " params, model has "
+                                                       << params.size());
+  for (Param* p : params) {
+    const std::string name = read_string(is);
+    HSDL_CHECK_MSG(name == p->name, "checkpoint param '"
+                                        << name << "' where model expects '"
+                                        << p->name << "'");
+    const std::uint64_t ndim = read_u64(is);
+    std::vector<std::size_t> shape(ndim);
+    for (auto& e : shape) e = read_u64(is);
+    HSDL_CHECK_MSG(shape == p->value.shape(),
+                   "shape mismatch for param '" << name << "'");
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    HSDL_CHECK_MSG(is.good(), "truncated checkpoint payload");
+  }
+}
+
+void save_params_file(const std::string& path,
+                      const std::vector<Param*>& params) {
+  std::ofstream os(path, std::ios::binary);
+  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  save_params(os, params);
+}
+
+void load_params_file(const std::string& path,
+                      const std::vector<Param*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  load_params(is, params);
+}
+
+std::vector<Tensor> snapshot_params(const std::vector<Param*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const Param* p : params) out.push_back(p->value);
+  return out;
+}
+
+void restore_params(const std::vector<Tensor>& snapshot,
+                    const std::vector<Param*>& params) {
+  HSDL_CHECK(snapshot.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    HSDL_CHECK(same_shape(snapshot[i], params[i]->value));
+    params[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace hsdl::nn

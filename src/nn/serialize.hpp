@@ -1,0 +1,32 @@
+// Model parameter serialization.
+//
+// Binary format ("HSDLNN1\n" magic): parameter count, then per parameter a
+// name, shape, and raw float payload. Loading verifies that names and
+// shapes match the target network, so a checkpoint can only be restored
+// into the architecture that produced it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hsdl::nn {
+
+void save_params(std::ostream& os, const std::vector<Param*>& params);
+void save_params_file(const std::string& path,
+                      const std::vector<Param*>& params);
+
+/// Restores values in place. Throws CheckError on magic/name/shape
+/// mismatch or truncated payloads.
+void load_params(std::istream& is, const std::vector<Param*>& params);
+void load_params_file(const std::string& path,
+                      const std::vector<Param*>& params);
+
+/// Deep-copies parameter values (for best-on-validation snapshots).
+std::vector<Tensor> snapshot_params(const std::vector<Param*>& params);
+void restore_params(const std::vector<Tensor>& snapshot,
+                    const std::vector<Param*>& params);
+
+}  // namespace hsdl::nn

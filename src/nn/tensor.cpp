@@ -1,0 +1,133 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t e : shape) n *= e;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {
+  for (std::size_t e : shape_) HSDL_CHECK_MSG(e > 0, "zero-extent axis");
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape, float fill)
+    : Tensor(std::vector<std::size_t>(shape), fill) {}
+
+Tensor Tensor::from_data(std::vector<std::size_t> shape,
+                         std::vector<float> data) {
+  Tensor t;
+  HSDL_CHECK_MSG(shape_numel(shape) == data.size(),
+                 "data size " << data.size() << " does not match shape");
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+std::size_t Tensor::extent(std::size_t axis) const {
+  HSDL_CHECK(axis < shape_.size());
+  return shape_[axis];
+}
+
+std::size_t Tensor::offset2(std::size_t i, std::size_t j) const {
+  HSDL_DCHECK(dim() == 2 && i < shape_[0] && j < shape_[1]);
+  return i * shape_[1] + j;
+}
+
+std::size_t Tensor::offset3(std::size_t i, std::size_t j,
+                            std::size_t k) const {
+  HSDL_DCHECK(dim() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+std::size_t Tensor::offset4(std::size_t i, std::size_t j, std::size_t k,
+                            std::size_t l) const {
+  HSDL_DCHECK(dim() == 4 && i < shape_[0] && j < shape_[1] && k < shape_[2] &&
+              l < shape_[3]);
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) { return data_[offset2(i, j)]; }
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return data_[offset2(i, j)];
+}
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  return data_[offset3(i, j, k)];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return data_[offset3(i, j, k)];
+}
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                  std::size_t l) {
+  return data_[offset4(i, j, k, l)];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                 std::size_t l) const {
+  return data_[offset4(i, j, k, l)];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  HSDL_CHECK_MSG(shape_numel(new_shape) == numel(),
+                 "reshape to incompatible element count");
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add(const Tensor& other) { axpy(1.0f, other); }
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  HSDL_CHECK(same_shape(*this, other));
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+float Tensor::min() const {
+  HSDL_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  HSDL_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  return os.str();
+}
+
+}  // namespace hsdl::nn

@@ -1,0 +1,82 @@
+// Dense float tensor with dynamic shape.
+//
+// The network code uses NCHW layout for feature maps ([batch, channels,
+// height, width]) and [batch, features] for fully connected activations.
+// Tensors are plain value types: copyable, movable, contiguous row-major.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hsdl::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+  Tensor(std::initializer_list<std::size_t> shape, float fill = 0.0f);
+
+  static Tensor from_data(std::vector<std::size_t> shape,
+                          std::vector<float> data);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t dim() const { return shape_.size(); }
+  std::size_t extent(std::size_t axis) const;
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Multi-dimensional accessors for the common ranks.
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  /// Reinterprets the shape; total element count must be unchanged.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void add(const Tensor& other);
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale(float alpha);
+
+  /// Sum / min / max / L2-norm over all elements.
+  double sum() const;
+  float min() const;
+  float max() const;
+  double l2_norm() const;
+
+  /// "2x3x4" style shape string for diagnostics.
+  std::string shape_str() const;
+
+  friend bool same_shape(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_;
+  }
+
+ private:
+  std::size_t offset2(std::size_t i, std::size_t j) const;
+  std::size_t offset3(std::size_t i, std::size_t j, std::size_t k) const;
+  std::size_t offset4(std::size_t i, std::size_t j, std::size_t k,
+                      std::size_t l) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace hsdl::nn

@@ -1,0 +1,84 @@
+#include "opc/rule_opc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "geom/region.hpp"
+
+namespace hsdl::opc {
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+
+/// True if `candidate` keeps min spacing against every other shape
+/// (overlaps with other shapes are allowed — that is connected metal).
+bool spacing_ok(const Rect& candidate, std::size_t self,
+                const std::vector<Rect>& shapes, Coord min_space) {
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (i == self) continue;
+    const Rect& other = shapes[i];
+    if (other.empty() || candidate.overlaps(other)) continue;
+    const Coord gap = geom::rect_spacing(candidate, other);
+    if (gap > 0 && gap < min_space) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OpcResult correct(const layout::Clip& clip, const OpcConfig& config) {
+  HSDL_CHECK(config.line_end_extension >= 0);
+  HSDL_CHECK(config.small_feature_bias >= 0);
+  OpcResult result;
+  result.corrected = clip;
+  std::vector<Rect>& shapes = result.corrected.shapes;
+
+  const Coord snap = config.rules.grid;
+  const Coord ext = (config.line_end_extension / snap) * snap;
+  const Coord bias = (config.small_feature_bias / snap) * snap;
+
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Rect original = shapes[i];
+    if (original.empty()) continue;
+    const Coord w = std::min(original.width(), original.height());
+    const Coord l = std::max(original.width(), original.height());
+
+    if (static_cast<double>(l) >=
+            config.line_aspect * static_cast<double>(w) &&
+        ext > 0) {
+      // Line: try to extend each end independently.
+      const bool horizontal = original.width() >= original.height();
+      for (int end = 0; end < 2; ++end) {
+        Rect candidate = shapes[i];
+        if (horizontal) {
+          (end == 0 ? candidate.lo.x : candidate.hi.x) +=
+              (end == 0 ? -ext : ext);
+        } else {
+          (end == 0 ? candidate.lo.y : candidate.hi.y) +=
+              (end == 0 ? -ext : ext);
+        }
+        candidate = candidate.intersect(clip.window);
+        if (candidate == shapes[i]) continue;  // window blocked it
+        if (spacing_ok(candidate, i, shapes, config.spacing_guard)) {
+          shapes[i] = candidate;
+          ++result.ends_extended;
+        } else {
+          ++result.corrections_skipped;
+        }
+      }
+    } else if (w < config.small_feature_limit && l < 2 * w && bias > 0) {
+      // Small compact feature: bias outward on all sides.
+      Rect candidate = original.inflated(bias).intersect(clip.window);
+      if (spacing_ok(candidate, i, shapes, config.spacing_guard)) {
+        shapes[i] = candidate;
+        ++result.features_upsized;
+      } else {
+        ++result.corrections_skipped;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hsdl::opc

@@ -1,0 +1,50 @@
+// Rule-based optical proximity correction (OPC-lite).
+//
+// The classic first-generation OPC moves the paper's own motivation in
+// the opposite direction: instead of detecting patterns that print badly,
+// pre-distort the mask so they print better. Two rules are implemented:
+//   * line-end extension — elongated shapes grow at their short edges to
+//     compensate pull-back, when the extension keeps min spacing;
+//   * small-feature upsizing — near-minimum squares (contacts) are biased
+//     outward to survive the under-dose corner, when spacing allows.
+// Both corrections are spacing-aware: a correction that would create a
+// sub-rule gap (and thereby trade a pullback defect for a bridge) is
+// skipped. The companion experiment (bench_ablation_sweeps /
+// tests/opc) measures the hotspot-rate reduction through the litho
+// labeler.
+#pragma once
+
+#include "layout/clip.hpp"
+#include "layout/generator.hpp"
+
+namespace hsdl::opc {
+
+struct OpcConfig {
+  layout::DesignRules rules;
+  /// Line-end extension length (nm, snapped to grid).
+  geom::Coord line_end_extension = 20;
+  /// Shapes with min dimension below this are upsizing candidates.
+  geom::Coord small_feature_limit = 50;
+  /// Outward bias per side for small features (nm).
+  geom::Coord small_feature_bias = 10;
+  /// Aspect ratio (long/short) above which a shape counts as a line.
+  double line_aspect = 2.0;
+  /// Minimum post-correction gap to any other shape. Plain DRC legality
+  /// (min_space) is not enough: a correction that leaves exactly the
+  /// rule-floor gap trades a pull-back defect for a bridging risk at the
+  /// over-dose corner, so corrections keep extra headroom.
+  geom::Coord spacing_guard = 60;
+};
+
+struct OpcResult {
+  layout::Clip corrected;
+  std::size_t ends_extended = 0;
+  std::size_t features_upsized = 0;
+  std::size_t corrections_skipped = 0;  ///< blocked by the spacing guard
+};
+
+/// Applies both correction rules to a clip. Shapes never leave the clip
+/// window; corrections that would violate min spacing are skipped.
+OpcResult correct(const layout::Clip& clip, const OpcConfig& config);
+
+}  // namespace hsdl::opc

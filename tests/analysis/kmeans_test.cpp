@@ -1,0 +1,107 @@
+#include "analysis/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::analysis {
+namespace {
+
+/// `per` points around each of the given 2-D centers.
+std::vector<float> blobs(const std::vector<std::pair<float, float>>& centers,
+                         std::size_t per, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data;
+  for (auto [cx, cy] : centers)
+    for (std::size_t i = 0; i < per; ++i) {
+      data.push_back(cx + static_cast<float>(rng.normal(0, 0.1)));
+      data.push_back(cy + static_cast<float>(rng.normal(0, 0.1)));
+    }
+  return data;
+}
+
+TEST(SquaredDistanceTest, Basics) {
+  const float a[] = {0, 0, 0};
+  const float b[] = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b, 3), 9.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, a, 3), 0.0);
+}
+
+TEST(KmeansTest, RecoversWellSeparatedBlobs) {
+  auto data = blobs({{0, 0}, {10, 0}, {0, 10}}, 30, 1);
+  KmeansConfig cfg;
+  cfg.clusters = 3;
+  cfg.seed = 2;
+  KmeansResult r = kmeans(data.data(), 90, 2, cfg);
+  // Each blob's 30 points share one label.
+  for (int b = 0; b < 3; ++b) {
+    const std::size_t label = r.assignment[static_cast<std::size_t>(b) * 30];
+    for (std::size_t i = 0; i < 30; ++i)
+      EXPECT_EQ(r.assignment[static_cast<std::size_t>(b) * 30 + i], label);
+  }
+  // And the three labels are distinct.
+  EXPECT_NE(r.assignment[0], r.assignment[30]);
+  EXPECT_NE(r.assignment[30], r.assignment[60]);
+  EXPECT_NE(r.assignment[0], r.assignment[60]);
+}
+
+TEST(KmeansTest, InertiaDecreasesWithMoreClusters) {
+  auto data = blobs({{0, 0}, {5, 5}, {10, 0}, {0, 10}}, 25, 3);
+  auto run = [&](std::size_t k) {
+    KmeansConfig cfg;
+    cfg.clusters = k;
+    cfg.seed = 4;
+    return kmeans(data.data(), 100, 2, cfg).inertia;
+  };
+  EXPECT_GT(run(1), run(2));
+  EXPECT_GT(run(2), run(4));
+}
+
+TEST(KmeansTest, SingleClusterCentroidIsMean) {
+  std::vector<float> data = {0, 0, 2, 0, 4, 0, 6, 0};
+  KmeansConfig cfg;
+  cfg.clusters = 1;
+  KmeansResult r = kmeans(data.data(), 4, 2, cfg);
+  EXPECT_NEAR(r.centroids[0][0], 3.0f, 1e-5f);
+  EXPECT_NEAR(r.centroids[0][1], 0.0f, 1e-5f);
+}
+
+TEST(KmeansTest, DeterministicBySeed) {
+  auto data = blobs({{0, 0}, {8, 8}}, 20, 5);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  cfg.seed = 6;
+  KmeansResult a = kmeans(data.data(), 40, 2, cfg);
+  KmeansResult b = kmeans(data.data(), 40, 2, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KmeansTest, IdenticalPointsHandled) {
+  std::vector<float> data(20, 1.0f);  // 10 identical 2-D points
+  KmeansConfig cfg;
+  cfg.clusters = 3;
+  KmeansResult r = kmeans(data.data(), 10, 2, cfg);
+  EXPECT_DOUBLE_EQ(r.inertia, 0.0);
+}
+
+TEST(KmeansTest, ConvergesBeforeMaxIters) {
+  auto data = blobs({{0, 0}, {20, 20}}, 50, 7);
+  KmeansConfig cfg;
+  cfg.clusters = 2;
+  cfg.max_iters = 100;
+  KmeansResult r = kmeans(data.data(), 100, 2, cfg);
+  EXPECT_LT(r.iterations, 20u);
+}
+
+TEST(KmeansTest, ValidationErrors) {
+  std::vector<float> data = {1, 2};
+  KmeansConfig cfg;
+  cfg.clusters = 3;
+  EXPECT_THROW(kmeans(data.data(), 1, 2, cfg), hsdl::CheckError);
+  cfg.clusters = 0;
+  EXPECT_THROW(kmeans(data.data(), 1, 2, cfg), hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::analysis

@@ -1,0 +1,75 @@
+#include "analysis/pattern_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "layout/generator.hpp"
+
+namespace hsdl::analysis {
+namespace {
+
+std::vector<layout::Clip> archetype_mix(std::uint64_t seed) {
+  layout::GeneratorConfig cfg;
+  layout::ClipGenerator gen(cfg, seed);
+  std::vector<layout::Clip> clips;
+  // Two visually distinct families: dense line arrays vs contact grids.
+  for (int i = 0; i < 12; ++i)
+    clips.push_back(gen.generate(layout::Archetype::kLineSpace));
+  for (int i = 0; i < 12; ++i)
+    clips.push_back(gen.generate(layout::Archetype::kContacts));
+  return clips;
+}
+
+TEST(PatternClusterTest, SeparatesArchetypeFamilies) {
+  auto clips = archetype_mix(31);
+  PatternClusterConfig cfg;
+  cfg.kmeans.clusters = 2;
+  cfg.kmeans.seed = 5;
+  PatternClusterResult r = cluster_patterns(clips, cfg);
+  ASSERT_EQ(r.assignment.size(), clips.size());
+  // Majority label of each family must differ.
+  int family0_label1 = 0, family1_label1 = 0;
+  for (int i = 0; i < 12; ++i) family0_label1 += r.assignment[i] == 1;
+  for (int i = 12; i < 24; ++i)
+    family1_label1 += r.assignment[static_cast<std::size_t>(i)] == 1;
+  const bool family0_is_1 = family0_label1 >= 6;
+  const bool family1_is_1 = family1_label1 >= 6;
+  EXPECT_NE(family0_is_1, family1_is_1);
+}
+
+TEST(PatternClusterTest, ClusterSizesSumToInput) {
+  auto clips = archetype_mix(32);
+  PatternClusterConfig cfg;
+  cfg.kmeans.clusters = 4;
+  PatternClusterResult r = cluster_patterns(clips, cfg);
+  std::size_t total = 0;
+  for (const PatternCluster& c : r.clusters) total += c.size;
+  EXPECT_EQ(total, clips.size());
+}
+
+TEST(PatternClusterTest, MedoidBelongsToItsCluster) {
+  auto clips = archetype_mix(33);
+  PatternClusterConfig cfg;
+  cfg.kmeans.clusters = 3;
+  PatternClusterResult r = cluster_patterns(clips, cfg);
+  for (std::size_t c = 0; c < r.clusters.size(); ++c) {
+    if (r.clusters[c].size == 0) continue;
+    EXPECT_EQ(r.assignment[r.clusters[c].medoid], c);
+  }
+}
+
+TEST(PatternClusterTest, MeanDistanceNonNegative) {
+  auto clips = archetype_mix(34);
+  PatternClusterConfig cfg;
+  cfg.kmeans.clusters = 3;
+  for (const PatternCluster& c : cluster_patterns(clips, cfg).clusters)
+    EXPECT_GE(c.mean_distance, 0.0);
+}
+
+TEST(PatternClusterTest, EmptyInputThrows) {
+  PatternClusterConfig cfg;
+  EXPECT_THROW(cluster_patterns({}, cfg), hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::analysis

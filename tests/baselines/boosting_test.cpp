@@ -1,0 +1,179 @@
+#include "baselines/boosting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hsdl::baselines {
+namespace {
+
+/// Two Gaussian blobs in 2-D, mostly separable.
+nn::ClassificationDataset blobs(std::size_t n_per_class, double gap,
+                                std::uint64_t seed) {
+  hsdl::Rng rng(seed);
+  nn::ClassificationDataset d({2});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    d.add({static_cast<float>(rng.normal(-gap / 2, 1.0)),
+           static_cast<float>(rng.normal(0, 1.0))},
+          0);
+    d.add({static_cast<float>(rng.normal(gap / 2, 1.0)),
+           static_cast<float>(rng.normal(0, 1.0))},
+          1);
+  }
+  return d;
+}
+
+double error_rate(const BoostedStumps& b, const nn::ClassificationDataset& d,
+                  double bias = 0.0) {
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < d.size(); ++i)
+    wrong += b.predict(d.features(i), bias) != (d.label(i) == 1);
+  return static_cast<double>(wrong) / static_cast<double>(d.size());
+}
+
+TEST(BoostingTest, LearnsSeparableBlobs) {
+  auto train = blobs(100, 6.0, 1);
+  BoostedStumps b;
+  b.train(train);
+  EXPECT_LT(error_rate(b, train), 0.02);
+  auto test = blobs(100, 6.0, 2);
+  EXPECT_LT(error_rate(b, test), 0.05);
+}
+
+TEST(BoostingTest, XorNeedsManyRounds) {
+  // XOR-ish checkerboard: single stump ~50 %, boosted ensemble much better.
+  hsdl::Rng rng(3);
+  nn::ClassificationDataset d({2});
+  for (int i = 0; i < 400; ++i) {
+    float x = static_cast<float>(rng.uniform(-1, 1));
+    float y = static_cast<float>(rng.uniform(-1, 1));
+    d.add({x, y}, (x > 0) == (y > 0) ? 1 : 0);
+  }
+  BoostConfig cfg;
+  cfg.rounds = 150;
+  BoostedStumps b(cfg);
+  b.train(d);
+  EXPECT_LT(error_rate(b, d), 0.32);
+}
+
+TEST(BoostingTest, ScoreSignMatchesPrediction) {
+  auto train = blobs(50, 5.0, 4);
+  BoostedStumps b;
+  b.train(train);
+  for (std::size_t i = 0; i < train.size(); i += 7) {
+    const double s = b.score(train.features(i));
+    EXPECT_EQ(b.predict(train.features(i)), s > 0.0);
+  }
+}
+
+TEST(BoostingTest, BiasShiftsOperatingPoint) {
+  auto train = blobs(100, 3.0, 5);
+  BoostedStumps b;
+  b.train(train);
+  std::size_t pos_low = 0, pos_high = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    pos_low += b.predict(train.features(i), -1.0);
+    pos_high += b.predict(train.features(i), 1.0);
+  }
+  EXPECT_GT(pos_low, pos_high);  // lower threshold flags more positives
+}
+
+TEST(BoostingTest, SmoothCappedSchemeAlsoLearns) {
+  auto train = blobs(100, 5.0, 6);
+  BoostConfig cfg;
+  cfg.scheme = WeightScheme::kSmoothCapped;
+  BoostedStumps b(cfg);
+  b.train(train);
+  EXPECT_LT(error_rate(b, train), 0.05);
+}
+
+TEST(BoostingTest, ImbalancedDataStillFindsMinority) {
+  hsdl::Rng rng(7);
+  nn::ClassificationDataset d({1});
+  for (int i = 0; i < 300; ++i)
+    d.add({static_cast<float>(rng.normal(0, 1))}, 0);
+  for (int i = 0; i < 20; ++i)
+    d.add({static_cast<float>(rng.normal(5, 1))}, 1);
+  BoostedStumps b;  // balance_classes defaults on
+  b.train(d);
+  std::size_t found = 0;
+  for (std::size_t i = 300; i < 320; ++i)
+    found += b.predict(d.features(i));
+  EXPECT_GE(found, 18u);
+}
+
+TEST(BoostingTest, RoundsTrainedBounded) {
+  auto train = blobs(50, 8.0, 8);
+  BoostConfig cfg;
+  cfg.rounds = 40;
+  BoostedStumps b(cfg);
+  b.train(train);
+  EXPECT_GE(b.rounds_trained(), 1u);
+  EXPECT_LE(b.rounds_trained(), 40u);
+}
+
+TEST(BoostingTest, OnlineUpdateMovesScoreTowardLabel) {
+  auto train = blobs(50, 4.0, 9);
+  BoostedStumps b;
+  b.train(train);
+  // Take a sample, push it toward the opposite class repeatedly.
+  const float* x = train.features(0);  // class 0
+  const double before = b.score(x);
+  for (int i = 0; i < 50; ++i) b.update_online(x, 1, 0.1);
+  EXPECT_GT(b.score(x), before);
+}
+
+TEST(BoostingTest, TuneBiasBalancedImprovesMinorityRecall) {
+  hsdl::Rng rng(10);
+  nn::ClassificationDataset d({1});
+  // Overlapping classes, 10:1 imbalance.
+  for (int i = 0; i < 400; ++i)
+    d.add({static_cast<float>(rng.normal(0, 1))}, 0);
+  for (int i = 0; i < 40; ++i)
+    d.add({static_cast<float>(rng.normal(1.5, 1))}, 1);
+  BoostedStumps b;
+  b.train(d);
+  const double bias = b.tune_bias_balanced(d);
+  std::size_t recall_default = 0, recall_tuned = 0;
+  for (std::size_t i = 400; i < 440; ++i) {
+    recall_default += b.predict(d.features(i));
+    recall_tuned += b.predict(d.features(i), bias);
+  }
+  EXPECT_GE(recall_tuned, recall_default);
+  EXPECT_GE(recall_tuned, 20u);
+}
+
+TEST(BoostingTest, ValidationAndErrors) {
+  BoostConfig bad;
+  bad.rounds = 0;
+  EXPECT_THROW(BoostedStumps{bad}, hsdl::CheckError);
+  bad = BoostConfig{};
+  bad.smooth_cap = 1.0;
+  EXPECT_THROW(BoostedStumps{bad}, hsdl::CheckError);
+
+  BoostedStumps untrained;
+  float x = 0.0f;
+  EXPECT_THROW(untrained.score(&x), hsdl::CheckError);
+  EXPECT_THROW(untrained.update_online(&x, 0), hsdl::CheckError);
+
+  nn::ClassificationDataset single_class({1});
+  single_class.add({1.0f}, 0);
+  single_class.add({2.0f}, 0);
+  BoostedStumps b;
+  EXPECT_THROW(b.train(single_class), hsdl::CheckError);
+}
+
+TEST(BoostingTest, DeterministicTraining) {
+  auto train = blobs(60, 4.0, 11);
+  BoostedStumps a, b;
+  a.train(train);
+  b.train(train);
+  for (std::size_t i = 0; i < train.size(); i += 5)
+    EXPECT_DOUBLE_EQ(a.score(train.features(i)), b.score(train.features(i)));
+}
+
+}  // namespace
+}  // namespace hsdl::baselines

@@ -1,0 +1,118 @@
+#include "baselines/stump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::baselines {
+namespace {
+
+nn::ClassificationDataset make_1d(const std::vector<float>& xs) {
+  nn::ClassificationDataset d({1});
+  for (float x : xs) d.add({x}, 0);  // labels supplied separately
+  return d;
+}
+
+TEST(StumpTest, PredictRespectsPolarity) {
+  Stump s{0, 0.5f, 1};
+  float lo = 0.0f, hi = 1.0f;
+  EXPECT_EQ(s.predict(&hi), 1);
+  EXPECT_EQ(s.predict(&lo), -1);
+  s.polarity = -1;
+  EXPECT_EQ(s.predict(&hi), -1);
+  EXPECT_EQ(s.predict(&lo), 1);
+}
+
+TEST(TrainStumpTest, PerfectlySeparableData) {
+  auto d = make_1d({0.1f, 0.2f, 0.3f, 0.7f, 0.8f, 0.9f});
+  std::vector<int> y = {-1, -1, -1, 1, 1, 1};
+  std::vector<double> w(6, 1.0);
+  double err = 1.0;
+  Stump s = train_stump(d, y, w, &err);
+  EXPECT_DOUBLE_EQ(err, 0.0);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(s.predict(d.features(i)), y[i]);
+}
+
+TEST(TrainStumpTest, InvertedSeparableDataUsesNegativePolarity) {
+  auto d = make_1d({0.1f, 0.2f, 0.8f, 0.9f});
+  std::vector<int> y = {1, 1, -1, -1};
+  std::vector<double> w(4, 1.0);
+  double err = 1.0;
+  Stump s = train_stump(d, y, w, &err);
+  EXPECT_DOUBLE_EQ(err, 0.0);
+  EXPECT_EQ(s.polarity, -1);
+}
+
+TEST(TrainStumpTest, PicksMostDiscriminativeFeature) {
+  nn::ClassificationDataset d({3});
+  // Feature 1 separates; features 0 and 2 are constant.
+  d.add({0.5f, 0.1f, 0.5f}, 0);
+  d.add({0.5f, 0.2f, 0.5f}, 0);
+  d.add({0.5f, 0.8f, 0.5f}, 0);
+  d.add({0.5f, 0.9f, 0.5f}, 0);
+  std::vector<int> y = {-1, -1, 1, 1};
+  std::vector<double> w(4, 1.0);
+  double err = 1.0;
+  Stump s = train_stump(d, y, w, &err);
+  EXPECT_EQ(s.feature, 1u);
+  EXPECT_DOUBLE_EQ(err, 0.0);
+}
+
+TEST(TrainStumpTest, WeightsChangeTheOptimum) {
+  auto d = make_1d({0.1f, 0.5f, 0.9f});
+  std::vector<int> y = {-1, 1, -1};  // not separable by one threshold
+  // Weight the middle sample heavily: stump should get it right.
+  std::vector<double> w = {0.1, 10.0, 0.1};
+  double err = 1.0;
+  Stump s = train_stump(d, y, w, &err);
+  EXPECT_EQ(s.predict(d.features(1)), 1);
+}
+
+TEST(TrainStumpTest, ErrorIsWeightedFraction) {
+  auto d = make_1d({0.1f, 0.9f});
+  std::vector<int> y = {1, 1};  // positive everywhere: polarity trick wins
+  std::vector<double> w = {1.0, 3.0};
+  double err = 1.0;
+  train_stump(d, y, w, &err);
+  EXPECT_DOUBLE_EQ(err, 0.0);  // predict-all-positive threshold exists
+}
+
+TEST(TrainStumpTest, UnseparableDataHasNonzeroError) {
+  // Identical features, opposite labels: best error is the lighter class.
+  nn::ClassificationDataset d({1});
+  d.add({0.5f}, 0);
+  d.add({0.5f}, 0);
+  std::vector<int> y = {1, -1};
+  std::vector<double> w = {1.0, 1.0};
+  double err = 0.0;
+  train_stump(d, y, w, &err);
+  EXPECT_DOUBLE_EQ(err, 0.5);
+}
+
+TEST(TrainStumpTest, TiedFeatureValuesHandled) {
+  auto d = make_1d({0.5f, 0.5f, 0.5f, 0.9f});
+  std::vector<int> y = {-1, -1, -1, 1};
+  std::vector<double> w(4, 1.0);
+  double err = 1.0;
+  Stump s = train_stump(d, y, w, &err);
+  EXPECT_DOUBLE_EQ(err, 0.0);
+  // Threshold must sit strictly between 0.5 and 0.9.
+  EXPECT_GT(s.threshold, 0.5f);
+  EXPECT_LT(s.threshold, 0.9f);
+}
+
+TEST(TrainStumpTest, RejectsDegenerateInputs) {
+  nn::ClassificationDataset d({1});
+  std::vector<int> y;
+  std::vector<double> w;
+  EXPECT_THROW(train_stump(d, y, w, nullptr), hsdl::CheckError);
+
+  d.add({1.0f}, 0);
+  y = {1};
+  w = {0.0};
+  EXPECT_THROW(train_stump(d, y, w, nullptr), hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::baselines

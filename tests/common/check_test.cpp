@@ -1,0 +1,61 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(HSDL_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(HSDL_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, MessageIncludesExpressionAndLocation) {
+  try {
+    HSDL_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckMsgCarriesStreamedDetails) {
+  try {
+    int got = 7;
+    HSDL_CHECK_MSG(got == 3, "got " << got << " instead of 3");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("got 7 instead of 3"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageSideEffectsOnlyOnFailure) {
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  HSDL_CHECK_MSG(true, "never built " << count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(HSDL_DCHECK(false));
+#else
+  EXPECT_THROW(HSDL_DCHECK(false), CheckError);
+#endif
+}
+
+TEST(CheckTest, CheckErrorIsARuntimeError) {
+  static_assert(std::is_base_of_v<std::runtime_error, CheckError>);
+}
+
+}  // namespace
+}  // namespace hsdl

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdDoesNotCrash) {
+  set_log_level(LogLevel::kError);
+  HSDL_LOG(kDebug) << "suppressed " << 42;
+  HSDL_LOG(kInfo) << "also suppressed";
+}
+
+TEST_F(LoggingTest, EmitAtThresholdDoesNotCrash) {
+  set_log_level(LogLevel::kError);
+  HSDL_LOG(kError) << "emitted " << 3.14;
+}
+
+TEST_F(LoggingTest, StreamsArbitraryTypes) {
+  set_log_level(LogLevel::kError);  // keep test output clean
+  HSDL_LOG(kInfo) << "int " << 1 << " double " << 2.5 << " str "
+                  << std::string("s");
+}
+
+TEST_F(LoggingTest, LevelOrderingIsMonotonic) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace hsdl

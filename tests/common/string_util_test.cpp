@@ -1,0 +1,75 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl {
+namespace {
+
+TEST(SplitTest, BasicDelimiter) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterIsSingleField) {
+  auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitTest, EmptyStringIsOneEmptyField) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWsTest, CollapsesRuns) {
+  auto parts = split_ws("  foo \t bar\n baz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWsTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(starts_with("CLIP 1 2", "CLIP"));
+  EXPECT_FALSE(starts_with("CLI", "CLIP"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StrfmtTest, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("%s", "plain"), "plain");
+}
+
+TEST(StrfmtTest, EmptyFormat) { EXPECT_EQ(strfmt("%s", ""), ""); }
+
+TEST(StrfmtTest, LongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(strfmt("%s", big.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace hsdl

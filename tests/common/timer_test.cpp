@@ -1,0 +1,44 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hsdl {
+namespace {
+
+TEST(WallTimerTest, StartsNearZero) {
+  WallTimer t;
+  EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(WallTimerTest, Monotonic) {
+  WallTimer t;
+  double a = t.seconds();
+  double b = t.seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimerTest, MeasuresSleep) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GE(t.millis(), 25.0);
+  EXPECT_LT(t.millis(), 2000.0);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  t.reset();
+  EXPECT_LT(t.millis(), 25.0);
+}
+
+TEST(WallTimerTest, MillisMatchesSeconds) {
+  WallTimer t;
+  double s = t.seconds();
+  double ms = t.millis();
+  EXPECT_NEAR(ms, s * 1e3, 10.0);
+}
+
+}  // namespace
+}  // namespace hsdl

@@ -1,0 +1,125 @@
+#include "features/ccs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::features {
+namespace {
+
+using geom::Rect;
+using layout::Clip;
+using layout::MaskImage;
+
+TEST(CcsTest, DimensionMatchesConfig) {
+  MaskImage img(100, 100, 1.0);
+  CcsConfig cfg;
+  cfg.circles = 5;
+  cfg.samples_per_circle = 8;
+  EXPECT_EQ(ccs_feature(img, cfg).size(), 40u);
+}
+
+TEST(CcsTest, EmptyMaskAllZero) {
+  MaskImage img(100, 100, 1.0);
+  for (float v : ccs_feature(img)) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(CcsTest, FullMaskNearOne) {
+  MaskImage img(100, 100, 1.0, 1.0f);
+  CcsConfig cfg;
+  cfg.circles = 6;  // keep circles away from the image border
+  for (float v : ccs_feature(img, cfg)) EXPECT_GT(v, 0.5f);
+}
+
+TEST(CcsTest, ValuesInUnitInterval) {
+  MaskImage img(100, 100, 1.0);
+  for (std::size_t y = 30; y < 70; ++y)
+    for (std::size_t x = 30; x < 70; ++x) img.at(x, y) = 1.0f;
+  for (float v : ccs_feature(img)) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(CcsTest, CentralFeatureLightsInnerCirclesOnly) {
+  MaskImage img(200, 200, 1.0);
+  // Disc-ish block around the centre, radius ~ 30 px.
+  for (std::size_t y = 70; y < 130; ++y)
+    for (std::size_t x = 70; x < 130; ++x) img.at(x, y) = 1.0f;
+  CcsConfig cfg;
+  cfg.circles = 10;
+  cfg.samples_per_circle = 16;
+  auto f = ccs_feature(img, cfg);
+  // Innermost circle (radius ~10): fully inside the block.
+  double inner = 0, outer = 0;
+  for (std::size_t s = 0; s < 16; ++s) inner += f[s];
+  for (std::size_t s = 0; s < 16; ++s) outer += f[9 * 16 + s];
+  EXPECT_GT(inner / 16, 0.9);
+  EXPECT_LT(outer / 16, 0.1);
+}
+
+TEST(CcsTest, RotationShiftsAngularSamples) {
+  // A feature on the +x axis lights sample 0 of some circle; after moving
+  // it to +y it lights the quarter-turn sample instead.
+  auto make = [](bool on_y) {
+    MaskImage img(200, 200, 1.0);
+    for (int dy = -8; dy <= 8; ++dy)
+      for (int dx = -8; dx <= 8; ++dx) {
+        std::size_t x = (on_y ? 100 : 160) + dx;
+        std::size_t y = (on_y ? 160 : 100) + dy;
+        img.at(x, y) = 1.0f;
+      }
+    return img;
+  };
+  CcsConfig cfg;
+  cfg.circles = 10;
+  cfg.samples_per_circle = 4;  // samples at 0, 90, 180, 270 degrees
+  auto fx = ccs_feature(make(false), cfg);
+  auto fy = ccs_feature(make(true), cfg);
+  // Circle index for radius 60 of max 99: ~ circle 5 (radii 9.9 * (i+1)).
+  bool found = false;
+  for (std::size_t ci = 0; ci < cfg.circles; ++ci) {
+    const float vx = fx[ci * 4 + 0];
+    const float vy = fy[ci * 4 + 1];
+    if (vx > 0.5f) {
+      EXPECT_NEAR(vy, vx, 0.3f) << "circle " << ci;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CcsTest, ClipOverloadMatchesRaster) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = {Rect::from_xywh(500, 500, 200, 200)};
+  CcsConfig cfg;
+  auto via_clip = ccs_feature(c, cfg);
+  auto via_raster = ccs_feature(layout::rasterize(c, cfg.nm_per_px), cfg);
+  EXPECT_EQ(via_clip, via_raster);
+}
+
+TEST(CcsTest, InvalidConfigThrows) {
+  MaskImage img(100, 100, 1.0);
+  CcsConfig cfg;
+  cfg.circles = 0;
+  EXPECT_THROW(ccs_feature(img, cfg), hsdl::CheckError);
+}
+
+TEST(CcsTest, FlattenedFeatureLosesPosition) {
+  // The weakness the paper highlights: translating a pattern changes the
+  // CCS vector wholesale — there is no spatial axis along which the
+  // feature moves. We just document the behaviour: the two vectors differ.
+  auto make = [](std::size_t cx) {
+    MaskImage img(200, 200, 1.0);
+    for (std::size_t y = 90; y < 110; ++y)
+      for (std::size_t x = cx - 10; x < cx + 10; ++x) img.at(x, y) = 1.0f;
+    return img;
+  };
+  auto a = ccs_feature(make(60));
+  auto b = ccs_feature(make(140));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hsdl::features

@@ -1,0 +1,80 @@
+#include "features/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::features {
+namespace {
+
+using geom::Rect;
+using layout::Clip;
+using layout::MaskImage;
+
+TEST(DensityTest, EmptyRasterAllZero) {
+  MaskImage img(40, 40, 1.0);
+  auto f = density_feature(img, 4);
+  EXPECT_EQ(f.size(), 16u);
+  for (float v : f) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(DensityTest, FullRasterAllOne) {
+  MaskImage img(40, 40, 1.0, 1.0f);
+  for (float v : density_feature(img, 4)) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(DensityTest, TileLocalization) {
+  MaskImage img(40, 40, 1.0);
+  // Fill only the top-left 10x10 tile (row-major index 0).
+  for (std::size_t y = 0; y < 10; ++y)
+    for (std::size_t x = 0; x < 10; ++x) img.at(x, y) = 1.0f;
+  auto f = density_feature(img, 4);
+  EXPECT_FLOAT_EQ(f[0], 1.0f);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_FLOAT_EQ(f[i], 0.0f);
+}
+
+TEST(DensityTest, PartialTile) {
+  MaskImage img(40, 40, 1.0);
+  for (std::size_t y = 0; y < 5; ++y)
+    for (std::size_t x = 0; x < 10; ++x) img.at(x, y) = 1.0f;
+  auto f = density_feature(img, 4);
+  EXPECT_FLOAT_EQ(f[0], 0.5f);
+}
+
+TEST(DensityTest, MeanOfFeatureEqualsImageMean) {
+  MaskImage img(60, 60, 1.0);
+  for (std::size_t y = 7; y < 31; ++y)
+    for (std::size_t x = 3; x < 47; ++x) img.at(x, y) = 1.0f;
+  auto f = density_feature(img, 6);
+  double mean = 0;
+  for (float v : f) mean += v;
+  mean /= static_cast<double>(f.size());
+  EXPECT_NEAR(mean, img.mean(), 1e-6);
+}
+
+TEST(DensityTest, ClipOverloadMatchesManualRaster) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = {Rect::from_xywh(100, 100, 300, 200)};
+  DensityConfig cfg;
+  auto via_clip = density_feature(c, cfg);
+  auto via_raster =
+      density_feature(layout::rasterize(c, cfg.nm_per_px), cfg.grid_n);
+  EXPECT_EQ(via_clip, via_raster);
+}
+
+TEST(DensityTest, DefaultConfigDimension) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  DensityConfig cfg;
+  EXPECT_EQ(density_feature(c, cfg).size(), cfg.grid_n * cfg.grid_n);
+}
+
+TEST(DensityTest, IndivisibleGridThrows) {
+  MaskImage img(40, 40, 1.0);
+  EXPECT_THROW(density_feature(img, 7), hsdl::CheckError);
+  EXPECT_THROW(density_feature(img, 0), hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::features

@@ -1,0 +1,156 @@
+#include "fte/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hsdl::fte {
+namespace {
+
+std::vector<float> random_block(std::size_t b, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(b * b);
+  for (float& v : out) v = static_cast<float>(rng.uniform());
+  return out;
+}
+
+class DctRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DctRoundTripTest, InverseRecoversInput) {
+  const std::size_t b = GetParam();
+  DctPlan plan(b);
+  auto in = random_block(b, 42 + b);
+  std::vector<float> coeffs(b * b), out(b * b);
+  plan.forward(in.data(), coeffs.data());
+  plan.inverse(coeffs.data(), out.data());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_NEAR(in[i], out[i], 1e-4f) << "block " << b << " idx " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, DctRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 50, 100));
+
+TEST(DctTest, DcCoefficientIsScaledMean) {
+  const std::size_t b = 8;
+  DctPlan plan(b);
+  std::vector<float> in(b * b, 0.5f);
+  std::vector<float> coeffs(b * b);
+  plan.forward(in.data(), coeffs.data());
+  // Orthonormal DCT: X(0,0) = B * mean.
+  EXPECT_NEAR(coeffs[0], 0.5f * b, 1e-4f);
+  // A constant block has no AC energy.
+  for (std::size_t i = 1; i < coeffs.size(); ++i)
+    EXPECT_NEAR(coeffs[i], 0.0f, 1e-4f);
+}
+
+TEST(DctTest, ParsevalEnergyPreserved) {
+  const std::size_t b = 16;
+  DctPlan plan(b);
+  auto in = random_block(b, 7);
+  std::vector<float> coeffs(b * b);
+  plan.forward(in.data(), coeffs.data());
+  double e_in = 0, e_out = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    e_in += static_cast<double>(in[i]) * in[i];
+    e_out += static_cast<double>(coeffs[i]) * coeffs[i];
+  }
+  EXPECT_NEAR(e_in, e_out, 1e-2);
+}
+
+TEST(DctTest, Linearity) {
+  const std::size_t b = 8;
+  DctPlan plan(b);
+  auto a = random_block(b, 1), c = random_block(b, 2);
+  std::vector<float> sum(b * b), ca(b * b), cc(b * b), csum(b * b);
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] + 2.0f * c[i];
+  plan.forward(a.data(), ca.data());
+  plan.forward(c.data(), cc.data());
+  plan.forward(sum.data(), csum.data());
+  for (std::size_t i = 0; i < sum.size(); ++i)
+    EXPECT_NEAR(csum[i], ca[i] + 2.0f * cc[i], 1e-3f);
+}
+
+TEST(DctTest, PartialMatchesFullCorner) {
+  const std::size_t b = 50;
+  DctPlan plan(b);
+  auto in = random_block(b, 11);
+  std::vector<float> full(b * b);
+  plan.forward(in.data(), full.data());
+  for (std::size_t kp : {1u, 3u, 8u, 17u}) {
+    std::vector<float> corner(kp * kp);
+    plan.partial(in.data(), kp, corner.data());
+    for (std::size_t m = 0; m < kp; ++m)
+      for (std::size_t n = 0; n < kp; ++n)
+        EXPECT_NEAR(corner[m * kp + n], full[m * b + n], 1e-4f)
+            << "kp " << kp << " (" << m << "," << n << ")";
+  }
+}
+
+TEST(DctTest, PartialFullSizeEqualsForward) {
+  const std::size_t b = 12;
+  DctPlan plan(b);
+  auto in = random_block(b, 13);
+  std::vector<float> full(b * b), part(b * b);
+  plan.forward(in.data(), full.data());
+  plan.partial(in.data(), b, part.data());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_FLOAT_EQ(full[i], part[i]);
+}
+
+TEST(DctTest, InversePartialIsLowPassReconstruction) {
+  const std::size_t b = 16, kp = 4;
+  DctPlan plan(b);
+  auto in = random_block(b, 17);
+  // Full coefficients, zero out everything outside the kp corner, invert.
+  std::vector<float> coeffs(b * b);
+  plan.forward(in.data(), coeffs.data());
+  std::vector<float> truncated(b * b, 0.0f);
+  std::vector<float> corner(kp * kp);
+  for (std::size_t m = 0; m < kp; ++m)
+    for (std::size_t n = 0; n < kp; ++n) {
+      truncated[m * b + n] = coeffs[m * b + n];
+      corner[m * kp + n] = coeffs[m * b + n];
+    }
+  std::vector<float> ref(b * b), out(b * b);
+  plan.inverse(truncated.data(), ref.data());
+  plan.inverse_partial(corner.data(), kp, out.data());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(out[i], ref[i], 1e-4f);
+}
+
+TEST(DctTest, HighFrequencySparsityOnSmoothInput) {
+  // A smooth ramp concentrates energy in low frequencies.
+  const std::size_t b = 32;
+  DctPlan plan(b);
+  std::vector<float> in(b * b);
+  for (std::size_t y = 0; y < b; ++y)
+    for (std::size_t x = 0; x < b; ++x)
+      in[y * b + x] = static_cast<float>(x + y) / (2.0f * b);
+  std::vector<float> coeffs(b * b);
+  plan.forward(in.data(), coeffs.data());
+  double low = 0, high = 0;
+  for (std::size_t m = 0; m < b; ++m)
+    for (std::size_t n = 0; n < b; ++n) {
+      double e = static_cast<double>(coeffs[m * b + n]) * coeffs[m * b + n];
+      if (m + n < 4)
+        low += e;
+      else
+        high += e;
+    }
+  EXPECT_GT(low, 100 * high);
+}
+
+TEST(DctTest, RejectsInvalidArguments) {
+  EXPECT_THROW(DctPlan(0), hsdl::CheckError);
+  DctPlan plan(8);
+  std::vector<float> buf(64);
+  EXPECT_THROW(plan.partial(buf.data(), 0, buf.data()), hsdl::CheckError);
+  EXPECT_THROW(plan.partial(buf.data(), 9, buf.data()), hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::fte

@@ -1,0 +1,138 @@
+#include "fte/zigzag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace hsdl::fte {
+namespace {
+
+TEST(ZigzagTest, JpegReferenceOrder8x8Prefix) {
+  // First ten positions of the canonical JPEG zig-zag.
+  auto order = zigzag_order(8);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 0}, {0, 1}, {1, 0}, {2, 0}, {1, 1},
+      {0, 2}, {0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  ASSERT_GE(order.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(order[i], expected[i]) << "position " << i;
+}
+
+TEST(ZigzagTest, IsAPermutation) {
+  for (std::size_t b : {1u, 2u, 5u, 12u, 50u}) {
+    auto order = zigzag_order(b);
+    EXPECT_EQ(order.size(), b * b);
+    std::set<std::pair<std::size_t, std::size_t>> seen(order.begin(),
+                                                       order.end());
+    EXPECT_EQ(seen.size(), b * b) << "duplicates at b=" << b;
+    for (auto [r, c] : order) {
+      EXPECT_LT(r, b);
+      EXPECT_LT(c, b);
+    }
+  }
+}
+
+TEST(ZigzagTest, FrequencyMonotoneAcrossDiagonals) {
+  // Scan index order never decreases the diagonal number r+c.
+  auto order = zigzag_order(12);
+  std::size_t prev_diag = 0;
+  for (auto [r, c] : order) {
+    EXPECT_GE(r + c, prev_diag == 0 ? 0 : prev_diag - 1);
+    prev_diag = r + c;
+  }
+}
+
+TEST(ZigzagTest, PrefixInCornerTriangleNumbers) {
+  // For kp < B the prefix is the kp-th triangle number.
+  EXPECT_EQ(zigzag_prefix_in_corner(50, 1), 1u);
+  EXPECT_EQ(zigzag_prefix_in_corner(50, 2), 3u);
+  EXPECT_EQ(zigzag_prefix_in_corner(50, 8), 36u);
+  EXPECT_EQ(zigzag_prefix_in_corner(100, 8), 36u);
+}
+
+TEST(ZigzagTest, PrefixFullBlockIsEverything) {
+  EXPECT_EQ(zigzag_prefix_in_corner(8, 8), 64u);
+}
+
+TEST(ZigzagTest, CornerForPrefix) {
+  EXPECT_EQ(corner_for_prefix(50, 1), 1u);
+  EXPECT_EQ(corner_for_prefix(50, 3), 2u);
+  EXPECT_EQ(corner_for_prefix(50, 4), 3u);
+  EXPECT_EQ(corner_for_prefix(50, 32), 8u);   // 36 >= 32
+  EXPECT_EQ(corner_for_prefix(50, 36), 8u);
+  EXPECT_EQ(corner_for_prefix(50, 37), 9u);
+  EXPECT_EQ(corner_for_prefix(4, 16), 4u);
+}
+
+TEST(ZigzagTest, CornerForPrefixBounds) {
+  EXPECT_THROW(corner_for_prefix(4, 0), hsdl::CheckError);
+  EXPECT_THROW(corner_for_prefix(4, 17), hsdl::CheckError);
+}
+
+TEST(ZigzagTest, TakeMatchesOrder) {
+  const std::size_t b = 4;
+  std::vector<float> block(b * b);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = static_cast<float>(i);
+  std::vector<float> scan(b * b);
+  zigzag_take(block.data(), b, b * b, scan.data());
+  auto order = zigzag_order(b);
+  for (std::size_t i = 0; i < scan.size(); ++i)
+    EXPECT_FLOAT_EQ(scan[i], block[order[i].first * b + order[i].second]);
+}
+
+TEST(ZigzagTest, TakePutRoundTrip) {
+  const std::size_t b = 6;
+  std::vector<float> block(b * b);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = static_cast<float>(i) * 0.5f;
+  std::vector<float> scan(b * b), back(b * b);
+  zigzag_take(block.data(), b, b * b, scan.data());
+  zigzag_put(scan.data(), b * b, b, back.data());
+  EXPECT_EQ(block, back);
+}
+
+TEST(ZigzagTest, PutZeroesUnsetPositions) {
+  const std::size_t b = 4;
+  std::vector<float> scan = {1.0f, 2.0f, 3.0f};
+  std::vector<float> block(b * b, 99.0f);
+  zigzag_put(scan.data(), 3, b, block.data());
+  // Positions 0..2 set, everything else zero.
+  int nonzero = 0;
+  for (float v : block) nonzero += (v != 0.0f);
+  EXPECT_EQ(nonzero, 3);
+  EXPECT_FLOAT_EQ(block[0], 1.0f);          // (0,0)
+  EXPECT_FLOAT_EQ(block[1], 2.0f);          // (0,1)
+  EXPECT_FLOAT_EQ(block[1 * b + 0], 3.0f);  // (1,0)
+}
+
+TEST(ZigzagTest, PartialCornerTakeAgreesWithFullBlockTake) {
+  // The key property that lets extraction use a partial DCT: for
+  // k <= kp(kp+1)/2, taking from the kp x kp corner equals taking from the
+  // full B x B block.
+  const std::size_t b = 50, k = 32;
+  const std::size_t kp = corner_for_prefix(b, k);
+  std::vector<float> block(b * b);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = static_cast<float>((i * 31) % 97);
+  std::vector<float> corner(kp * kp);
+  for (std::size_t m = 0; m < kp; ++m)
+    for (std::size_t n = 0; n < kp; ++n)
+      corner[m * kp + n] = block[m * b + n];
+  std::vector<float> from_full(k), from_corner(k);
+  zigzag_take(block.data(), b, k, from_full.data());
+  zigzag_take(corner.data(), kp, k, from_corner.data());
+  EXPECT_EQ(from_full, from_corner);
+}
+
+TEST(ZigzagTest, TakeRejectsOverlongPrefix) {
+  std::vector<float> block(4);
+  std::vector<float> scan(5);
+  EXPECT_THROW(zigzag_take(block.data(), 2, 5, scan.data()),
+               hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::fte

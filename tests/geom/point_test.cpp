@@ -1,0 +1,43 @@
+#include "geom/point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl::geom {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  Point a{3, 4}, b{1, -2};
+  EXPECT_EQ(a + b, (Point{4, 2}));
+  EXPECT_EQ(a - b, (Point{2, 6}));
+  EXPECT_EQ(a * 3, (Point{9, 12}));
+}
+
+TEST(PointTest, CompoundAssignment) {
+  Point p{1, 1};
+  p += {2, 3};
+  EXPECT_EQ(p, (Point{3, 4}));
+  p -= {1, 1};
+  EXPECT_EQ(p, (Point{2, 3}));
+}
+
+TEST(PointTest, Ordering) {
+  EXPECT_LT((Point{1, 5}), (Point{2, 0}));
+  EXPECT_LT((Point{1, 2}), (Point{1, 3}));
+  EXPECT_EQ((Point{4, 4}), (Point{4, 4}));
+}
+
+TEST(PointTest, ManhattanDistance) {
+  EXPECT_EQ(manhattan_distance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan_distance({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan_distance({-2, -2}, {2, 2}), 8);
+  EXPECT_EQ(manhattan_distance({5, 5}, {5, 5}), 0);
+}
+
+TEST(PointTest, DefaultIsOrigin) {
+  Point p;
+  EXPECT_EQ(p.x, 0);
+  EXPECT_EQ(p.y, 0);
+}
+
+}  // namespace
+}  // namespace hsdl::geom

@@ -1,0 +1,137 @@
+#include "geom/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "geom/region.hpp"
+
+namespace hsdl::geom {
+namespace {
+
+std::vector<Point> l_shape_ring() {
+  // An L: 10x10 with the top-right 5x5 notch removed, CCW.
+  return {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}};
+}
+
+TEST(RectilinearRingTest, AcceptsValidRings) {
+  EXPECT_TRUE(is_rectilinear_ring(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}}));
+  EXPECT_TRUE(is_rectilinear_ring(l_shape_ring()));
+}
+
+TEST(RectilinearRingTest, RejectsShortRings) {
+  EXPECT_FALSE(is_rectilinear_ring({{0, 0}, {1, 0}, {1, 1}}));
+  EXPECT_FALSE(is_rectilinear_ring({}));
+}
+
+TEST(RectilinearRingTest, RejectsDiagonalEdges) {
+  EXPECT_FALSE(is_rectilinear_ring({{0, 0}, {4, 4}, {0, 4}, {0, 2}}));
+}
+
+TEST(RectilinearRingTest, RejectsCollinearVertices) {
+  // Two consecutive horizontal edges.
+  EXPECT_FALSE(is_rectilinear_ring(
+      {{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 2}}));
+}
+
+TEST(PolygonTest, ConstructorValidates) {
+  EXPECT_NO_THROW(Polygon{l_shape_ring()});
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}, {0, 2}, {0, 1}}), CheckError);
+}
+
+TEST(PolygonTest, FromRect) {
+  Polygon p = Polygon::from_rect(Rect::from_xywh(1, 2, 3, 4));
+  EXPECT_EQ(p.ring().size(), 4u);
+  EXPECT_EQ(p.area(), 12);
+  EXPECT_EQ(p.bbox(), Rect::from_xywh(1, 2, 3, 4));
+}
+
+TEST(PolygonTest, SignedAreaPositiveForCcw) {
+  Polygon ccw({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_EQ(ccw.signed_area(), 16);
+  Polygon cw({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  EXPECT_EQ(cw.signed_area(), -16);
+  EXPECT_EQ(cw.area(), 16);
+}
+
+TEST(PolygonTest, LShapeArea) {
+  Polygon l(l_shape_ring());
+  EXPECT_EQ(l.area(), 75);  // 100 - 25 notch
+}
+
+TEST(PolygonTest, ContainsPoint) {
+  Polygon l(l_shape_ring());
+  EXPECT_TRUE(l.contains({2, 2}));
+  EXPECT_TRUE(l.contains({8, 2}));   // in the foot
+  EXPECT_TRUE(l.contains({2, 8}));   // in the leg
+  EXPECT_FALSE(l.contains({8, 8}));  // in the notch
+  EXPECT_FALSE(l.contains({-1, 2}));
+  EXPECT_FALSE(l.contains({11, 2}));
+}
+
+TEST(PolygonTest, DecomposeCoversExactArea) {
+  Polygon l(l_shape_ring());
+  auto rects = l.decompose();
+  ASSERT_FALSE(rects.empty());
+  Area total = 0;
+  for (const Rect& r : rects) {
+    EXPECT_FALSE(r.empty());
+    total += r.area();
+  }
+  EXPECT_EQ(total, l.area());
+  // Rectangles must be pairwise disjoint.
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    for (std::size_t j = i + 1; j < rects.size(); ++j)
+      EXPECT_FALSE(rects[i].overlaps(rects[j]));
+  // Union area agrees (no double counting).
+  EXPECT_EQ(union_area(rects), l.area());
+}
+
+TEST(PolygonTest, DecomposeRectIsItself) {
+  Polygon p = Polygon::from_rect(Rect::from_xywh(3, 4, 5, 6));
+  auto rects = p.decompose();
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], Rect::from_xywh(3, 4, 5, 6));
+}
+
+TEST(PolygonTest, DecomposeMatchesContainment) {
+  Polygon l(l_shape_ring());
+  auto rects = l.decompose();
+  for (Coord y = -1; y <= 11; ++y) {
+    for (Coord x = -1; x <= 11; ++x) {
+      bool in_poly = l.contains({x, y});
+      bool in_rects = false;
+      for (const Rect& r : rects) in_rects |= r.contains(Point{x, y});
+      EXPECT_EQ(in_poly, in_rects) << "at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(PolygonTest, ShiftedMovesEverything) {
+  Polygon l(l_shape_ring());
+  Polygon moved = l.shifted({100, 200});
+  EXPECT_EQ(moved.area(), l.area());
+  EXPECT_EQ(moved.bbox(), l.bbox().shifted({100, 200}));
+  EXPECT_TRUE(moved.contains({102, 202}));
+  EXPECT_FALSE(moved.contains({2, 2}));
+}
+
+TEST(PolygonTest, UShapeDecomposition) {
+  // U shape: outer 12x10 minus inner 4x6 slot from the top.
+  Polygon u({{0, 0},
+             {12, 0},
+             {12, 10},
+             {8, 10},
+             {8, 4},
+             {4, 4},
+             {4, 10},
+             {0, 10}});
+  EXPECT_EQ(u.area(), 120 - 24);
+  auto rects = u.decompose();
+  EXPECT_EQ(union_area(rects), u.area());
+}
+
+}  // namespace
+}  // namespace hsdl::geom

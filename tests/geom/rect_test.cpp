@@ -1,0 +1,106 @@
+#include "geom/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl::geom {
+namespace {
+
+TEST(RectTest, FromXywh) {
+  Rect r = Rect::from_xywh(10, 20, 30, 40);
+  EXPECT_EQ(r.lo, (Point{10, 20}));
+  EXPECT_EQ(r.hi, (Point{40, 60}));
+  EXPECT_EQ(r.width(), 30);
+  EXPECT_EQ(r.height(), 40);
+}
+
+TEST(RectTest, AreaAndEmpty) {
+  EXPECT_EQ(Rect::from_xywh(0, 0, 5, 4).area(), 20);
+  Rect degenerate{{5, 5}, {5, 10}};
+  EXPECT_TRUE(degenerate.empty());
+  EXPECT_EQ(degenerate.area(), 0);
+  Rect inverted{{5, 5}, {0, 0}};
+  EXPECT_TRUE(inverted.empty());
+  EXPECT_EQ(inverted.area(), 0);
+}
+
+TEST(RectTest, Center) {
+  EXPECT_EQ(Rect::from_xywh(0, 0, 10, 20).center(), (Point{5, 10}));
+}
+
+TEST(RectTest, ContainsPointClosedOpen) {
+  Rect r = Rect::from_xywh(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9, 9}));
+  EXPECT_FALSE(r.contains(Point{10, 5}));
+  EXPECT_FALSE(r.contains(Point{5, 10}));
+  EXPECT_FALSE(r.contains(Point{-1, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer = Rect::from_xywh(0, 0, 10, 10);
+  EXPECT_TRUE(outer.contains(Rect::from_xywh(2, 2, 3, 3)));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect::from_xywh(8, 8, 5, 5)));
+  EXPECT_FALSE(outer.contains(Rect{{1, 1}, {1, 5}}));  // empty rect
+}
+
+TEST(RectTest, OverlapsInteriorsOnly) {
+  Rect a = Rect::from_xywh(0, 0, 10, 10);
+  EXPECT_TRUE(a.overlaps(Rect::from_xywh(5, 5, 10, 10)));
+  // Touching edges do not overlap.
+  EXPECT_FALSE(a.overlaps(Rect::from_xywh(10, 0, 5, 10)));
+  EXPECT_FALSE(a.overlaps(Rect::from_xywh(0, 10, 10, 5)));
+  EXPECT_FALSE(a.overlaps(Rect::from_xywh(20, 20, 5, 5)));
+}
+
+TEST(RectTest, IntersectBasics) {
+  Rect a = Rect::from_xywh(0, 0, 10, 10);
+  Rect b = Rect::from_xywh(5, 5, 10, 10);
+  Rect i = a.intersect(b);
+  EXPECT_EQ(i, Rect::from_xywh(5, 5, 5, 5));
+  EXPECT_TRUE(a.intersect(Rect::from_xywh(20, 20, 5, 5)).empty());
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(RectTest, BboxUnion) {
+  Rect a = Rect::from_xywh(0, 0, 2, 2);
+  Rect b = Rect::from_xywh(10, 10, 2, 2);
+  EXPECT_EQ(a.bbox_union(b), (Rect{{0, 0}, {12, 12}}));
+  Rect empty;
+  EXPECT_EQ(a.bbox_union(empty), a);
+  EXPECT_EQ(empty.bbox_union(b), b);
+}
+
+TEST(RectTest, Inflated) {
+  Rect r = Rect::from_xywh(10, 10, 10, 10);
+  EXPECT_EQ(r.inflated(5), Rect::from_xywh(5, 5, 20, 20));
+  EXPECT_EQ(r.inflated(-3), Rect::from_xywh(13, 13, 4, 4));
+  EXPECT_TRUE(r.inflated(-6).empty());
+}
+
+TEST(RectTest, Shifted) {
+  Rect r = Rect::from_xywh(1, 2, 3, 4);
+  EXPECT_EQ(r.shifted({10, -2}), Rect::from_xywh(11, 0, 3, 4));
+}
+
+TEST(RectSpacingTest, DisjointAxisGap) {
+  Rect a = Rect::from_xywh(0, 0, 10, 10);
+  EXPECT_EQ(rect_spacing(a, Rect::from_xywh(15, 0, 5, 10)), 5);
+  EXPECT_EQ(rect_spacing(a, Rect::from_xywh(0, 13, 10, 5)), 3);
+}
+
+TEST(RectSpacingTest, OverlapAndTouchAreZero) {
+  Rect a = Rect::from_xywh(0, 0, 10, 10);
+  EXPECT_EQ(rect_spacing(a, Rect::from_xywh(5, 5, 10, 10)), 0);
+  EXPECT_EQ(rect_spacing(a, Rect::from_xywh(10, 0, 5, 10)), 0);
+}
+
+TEST(RectSpacingTest, DiagonalUsesMaxAxisGap) {
+  Rect a = Rect::from_xywh(0, 0, 10, 10);
+  Rect b = Rect::from_xywh(13, 17, 5, 5);
+  EXPECT_EQ(rect_spacing(a, b), 7);
+  EXPECT_EQ(rect_spacing(b, a), 7);  // symmetric
+}
+
+}  // namespace
+}  // namespace hsdl::geom

@@ -1,0 +1,164 @@
+#include "geom/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hsdl::geom {
+namespace {
+
+TEST(UnionAreaTest, EmptyAndSingle) {
+  EXPECT_EQ(union_area({}), 0);
+  EXPECT_EQ(union_area({Rect::from_xywh(0, 0, 5, 5)}), 25);
+}
+
+TEST(UnionAreaTest, DisjointAdds) {
+  EXPECT_EQ(union_area({Rect::from_xywh(0, 0, 5, 5),
+                        Rect::from_xywh(10, 10, 5, 5)}),
+            50);
+}
+
+TEST(UnionAreaTest, OverlapCountedOnce) {
+  EXPECT_EQ(union_area({Rect::from_xywh(0, 0, 10, 10),
+                        Rect::from_xywh(5, 5, 10, 10)}),
+            100 + 100 - 25);
+}
+
+TEST(UnionAreaTest, ContainedRectIgnored) {
+  EXPECT_EQ(union_area({Rect::from_xywh(0, 0, 10, 10),
+                        Rect::from_xywh(2, 2, 3, 3)}),
+            100);
+}
+
+TEST(UnionAreaTest, IdenticalRects) {
+  Rect r = Rect::from_xywh(1, 1, 4, 4);
+  EXPECT_EQ(union_area({r, r, r}), 16);
+}
+
+TEST(UnionAreaTest, EmptyRectsSkipped) {
+  EXPECT_EQ(union_area({Rect{}, Rect::from_xywh(0, 0, 2, 2)}), 4);
+}
+
+TEST(UnionAreaTest, MatchesBruteForceOnRandomSets) {
+  hsdl::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Rect> rects;
+    for (int i = 0; i < 6; ++i) {
+      Coord x = rng.uniform_int(0, 30);
+      Coord y = rng.uniform_int(0, 30);
+      rects.push_back(Rect::from_xywh(x, y, rng.uniform_int(1, 10),
+                                      rng.uniform_int(1, 10)));
+    }
+    // Brute-force pixel count over the 0..40 grid.
+    Area brute = 0;
+    for (Coord y = 0; y < 45; ++y)
+      for (Coord x = 0; x < 45; ++x) {
+        for (const Rect& r : rects)
+          if (r.contains(Point{x, y})) {
+            ++brute;
+            break;
+          }
+      }
+    EXPECT_EQ(union_area(rects), brute) << "trial " << trial;
+  }
+}
+
+class RectIndexTest : public ::testing::Test {
+ protected:
+  RectIndexTest() : index_(Rect::from_xywh(0, 0, 1000, 1000), 100) {}
+  RectIndex index_;
+};
+
+TEST_F(RectIndexTest, EmptyIndexFindsNothing) {
+  EXPECT_TRUE(index_.query(Rect::from_xywh(0, 0, 1000, 1000)).empty());
+  EXPECT_FALSE(
+      index_.violates_spacing(Rect::from_xywh(50, 50, 10, 10), 20));
+}
+
+TEST_F(RectIndexTest, FindsInsertedRect) {
+  index_.insert(Rect::from_xywh(100, 100, 50, 50));
+  auto hits = index_.query(Rect::from_xywh(120, 120, 10, 10));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], Rect::from_xywh(100, 100, 50, 50));
+}
+
+TEST_F(RectIndexTest, QueryMissesFarRect) {
+  index_.insert(Rect::from_xywh(100, 100, 50, 50));
+  EXPECT_TRUE(index_.query(Rect::from_xywh(800, 800, 10, 10)).empty());
+}
+
+TEST_F(RectIndexTest, QueryMarginExtendsReach) {
+  index_.insert(Rect::from_xywh(100, 100, 50, 50));
+  // 30 away; plain query misses, margin 40 reaches.
+  Rect probe = Rect::from_xywh(180, 100, 10, 50);
+  EXPECT_TRUE(index_.query(probe).empty());
+  EXPECT_EQ(index_.query(probe, 40).size(), 1u);
+}
+
+TEST_F(RectIndexTest, SpacingViolationOnOverlap) {
+  index_.insert(Rect::from_xywh(100, 100, 50, 50));
+  EXPECT_TRUE(index_.violates_spacing(Rect::from_xywh(120, 120, 50, 50), 0));
+}
+
+TEST_F(RectIndexTest, SpacingViolationWithinMinSpace) {
+  index_.insert(Rect::from_xywh(100, 100, 50, 50));
+  // Gap of 10 < min spacing 20.
+  EXPECT_TRUE(index_.violates_spacing(Rect::from_xywh(160, 100, 20, 50), 20));
+  // Gap of 30 >= 20 is fine.
+  EXPECT_FALSE(
+      index_.violates_spacing(Rect::from_xywh(180, 100, 20, 50), 20));
+  // Gap exactly at the rule is legal.
+  EXPECT_FALSE(
+      index_.violates_spacing(Rect::from_xywh(170, 100, 20, 50), 20));
+}
+
+TEST_F(RectIndexTest, RectSpanningManyBinsFoundOnce) {
+  index_.insert(Rect::from_xywh(0, 450, 1000, 100));  // spans all x bins
+  auto hits = index_.query(Rect::from_xywh(0, 0, 1000, 1000));
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(RectIndexTest, ShapesOutsideExtentStillWork) {
+  // Clamping keeps out-of-extent shapes queryable.
+  index_.insert(Rect::from_xywh(-50, -50, 40, 40));
+  EXPECT_TRUE(index_.violates_spacing(Rect::from_xywh(-45, -45, 10, 10), 0));
+}
+
+TEST(RectIndexValidationTest, RejectsBadConstruction) {
+  EXPECT_THROW(RectIndex(Rect{}, 10), hsdl::CheckError);
+  EXPECT_THROW(RectIndex(Rect::from_xywh(0, 0, 10, 10), 0), hsdl::CheckError);
+}
+
+TEST(RectIndexValidationTest, RejectsEmptyInsert) {
+  RectIndex idx(Rect::from_xywh(0, 0, 100, 100), 10);
+  EXPECT_THROW(idx.insert(Rect{}), hsdl::CheckError);
+}
+
+TEST(RectIndexStressTest, AgreesWithLinearScan) {
+  hsdl::Rng rng(7);
+  RectIndex idx(Rect::from_xywh(0, 0, 2000, 2000), 128);
+  std::vector<Rect> all;
+  for (int i = 0; i < 200; ++i) {
+    Rect r = Rect::from_xywh(rng.uniform_int(0, 1900),
+                             rng.uniform_int(0, 1900),
+                             rng.uniform_int(5, 80), rng.uniform_int(5, 80));
+    idx.insert(r);
+    all.push_back(r);
+  }
+  for (int probe = 0; probe < 100; ++probe) {
+    Rect q = Rect::from_xywh(rng.uniform_int(0, 1900),
+                             rng.uniform_int(0, 1900),
+                             rng.uniform_int(5, 120),
+                             rng.uniform_int(5, 120));
+    const Coord spacing = rng.uniform_int(0, 40);
+    bool linear = false;
+    for (const Rect& r : all)
+      if (r.overlaps(q) || (spacing > 0 && rect_spacing(r, q) < spacing))
+        linear = true;
+    EXPECT_EQ(idx.violates_spacing(q, spacing), linear) << "probe " << probe;
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::geom

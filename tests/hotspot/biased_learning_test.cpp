@@ -1,0 +1,140 @@
+#include "hotspot/biased.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+HotspotCnnConfig tiny_cnn() {
+  HotspotCnnConfig cfg;
+  cfg.input_channels = 2;
+  cfg.input_side = 4;
+  cfg.stage1_maps = 4;
+  cfg.stage2_maps = 8;
+  cfg.fc_nodes = 16;
+  cfg.dropout = 0.0;
+  return cfg;
+}
+
+/// Overlapping classes: hotspot recall below 1 at convergence, leaving
+/// room for biased learning to act.
+nn::ClassificationDataset overlapping_set(std::size_t n_per_class,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  nn::ClassificationDataset d({2, 4, 4});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (std::size_t label = 0; label < 2; ++label) {
+      std::vector<float> x(32);
+      for (float& v : x)
+        v = static_cast<float>(rng.normal(label == 1 ? 0.4 : 0.0, 0.3));
+      d.add(std::move(x), label);
+    }
+  }
+  return d;
+}
+
+BiasedLearningConfig fast_biased(std::size_t rounds) {
+  BiasedLearningConfig cfg;
+  cfg.rounds = rounds;
+  cfg.delta = 0.1;
+  cfg.initial.learning_rate = 5e-3;
+  cfg.initial.max_iters = 250;
+  cfg.initial.decay_step = 150;
+  cfg.initial.validate_every = 50;
+  cfg.initial.patience = 20;
+  cfg.initial.batch = 16;
+  cfg.finetune = cfg.initial;
+  cfg.finetune.max_iters = 100;
+  cfg.finetune.learning_rate = 2e-3;
+  return cfg;
+}
+
+TEST(BiasedLearnerTest, ConfigValidation) {
+  BiasedLearningConfig bad = fast_biased(2);
+  bad.rounds = 0;
+  EXPECT_THROW(BiasedLearner{bad}, hsdl::CheckError);
+  // eps schedule must stay below 0.5 (Theorem 1's validity bound).
+  bad = fast_biased(2);
+  bad.epsilon0 = 0.3;
+  bad.delta = 0.2;
+  bad.rounds = 3;  // 0.3, 0.5, 0.7 — crosses the line
+  EXPECT_THROW(BiasedLearner{bad}, hsdl::CheckError);
+}
+
+TEST(BiasedLearnerTest, RunsRequestedRounds) {
+  HotspotCnn model(tiny_cnn());
+  auto train = overlapping_set(30, 1);
+  auto val = overlapping_set(10, 2);
+  BiasedLearner learner(fast_biased(3));
+  Rng rng(3);
+  BiasedLearningResult result = learner.train(model, train, val, rng);
+  ASSERT_EQ(result.rounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.rounds[0].epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(result.rounds[1].epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(result.rounds[2].epsilon, 0.2);
+}
+
+TEST(BiasedLearnerTest, Theorem1AccuracyDoesNotDegrade) {
+  // The paper's Theorem 1: fine-tuning with eps > 0 cannot reduce hotspot
+  // detection accuracy. Checked on the validation set across rounds with
+  // a small slack for finite-sample noise.
+  HotspotCnn model(tiny_cnn());
+  auto train = overlapping_set(40, 4);
+  auto val = overlapping_set(20, 5);
+  BiasedLearner learner(fast_biased(4));
+  Rng rng(6);
+  BiasedLearningResult result = learner.train(model, train, val, rng);
+  const double first = result.rounds.front().val_confusion.accuracy();
+  const double last = result.rounds.back().val_confusion.accuracy();
+  EXPECT_GE(last, first - 0.05);
+}
+
+TEST(BiasedLearnerTest, BiasRaisesHotspotPredictionRate) {
+  // Raising eps systematically shifts predictions toward hotspot: the
+  // number of detected instances must not go down across rounds.
+  HotspotCnn model(tiny_cnn());
+  auto train = overlapping_set(40, 7);
+  auto val = overlapping_set(20, 8);
+  BiasedLearner learner(fast_biased(4));
+  Rng rng(9);
+  BiasedLearningResult result = learner.train(model, train, val, rng);
+  EXPECT_GE(result.rounds.back().val_confusion.detected() + 2,
+            result.rounds.front().val_confusion.detected());
+}
+
+TEST(BiasedLearnerTest, FinalValAccuracyAccessor) {
+  BiasedLearningResult r;
+  EXPECT_DOUBLE_EQ(r.final_val_accuracy(), 0.0);
+  BiasedRound round;
+  round.val_confusion.tp = 3;
+  round.val_confusion.fn = 1;
+  r.rounds.push_back(round);
+  EXPECT_DOUBLE_EQ(r.final_val_accuracy(), 0.75);
+}
+
+TEST(BiasedLearnerTest, SingleRoundEqualsPlainMgd) {
+  auto train = overlapping_set(20, 10);
+  auto val = overlapping_set(10, 11);
+
+  HotspotCnn a(tiny_cnn());
+  BiasedLearner learner(fast_biased(1));
+  Rng rng_a(12);
+  auto res = learner.train(a, train, val, rng_a);
+
+  HotspotCnn b(tiny_cnn());
+  MgdTrainer plain(fast_biased(1).initial);
+  Rng rng_b(12);
+  plain.train(b, train, val, rng_b);
+
+  // Same seeds, same schedule => identical models.
+  Confusion ca = evaluate(a, val);
+  Confusion cb = evaluate(b, val);
+  EXPECT_EQ(ca.tp, cb.tp);
+  EXPECT_EQ(ca.fp, cb.fp);
+  EXPECT_EQ(res.rounds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

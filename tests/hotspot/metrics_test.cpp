@@ -1,0 +1,72 @@
+#include "hotspot/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl::hotspot {
+namespace {
+
+TEST(ConfusionTest, AddRoutesCorrectly) {
+  Confusion c;
+  c.add(true, true);    // tp
+  c.add(true, false);   // fn
+  c.add(false, true);   // fp
+  c.add(false, false);  // tn
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ConfusionTest, AccuracyIsHotspotRecall) {
+  // Paper Definition 1: correctly predicted hotspots / all real hotspots.
+  Confusion c;
+  c.tp = 9;
+  c.fn = 1;
+  c.fp = 100;  // false alarms do not enter accuracy
+  c.tn = 0;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.9);
+}
+
+TEST(ConfusionTest, AccuracyWithNoHotspotsIsOne) {
+  Confusion c;
+  c.tn = 10;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(ConfusionTest, FalseAlarmsAreFp) {
+  Confusion c;
+  c.fp = 42;
+  EXPECT_EQ(c.false_alarms(), 42u);
+}
+
+TEST(ConfusionTest, DetectedIsTpPlusFp) {
+  Confusion c;
+  c.tp = 3;
+  c.fp = 4;
+  EXPECT_EQ(c.detected(), 7u);
+}
+
+TEST(ConfusionTest, OdstDefinition3) {
+  // ODST = 10 s per detected hotspot (real + false alarm) + eval time.
+  Confusion c;
+  c.tp = 5;
+  c.fp = 2;
+  c.fn = 1;
+  c.tn = 10;
+  EXPECT_DOUBLE_EQ(c.odst_seconds(3.5), 10.0 * 7 + 3.5);
+}
+
+TEST(ConfusionTest, OdstZeroDetections) {
+  Confusion c;
+  c.tn = 5;
+  c.fn = 5;
+  EXPECT_DOUBLE_EQ(c.odst_seconds(1.0), 1.0);
+}
+
+TEST(ConfusionTest, SimTimeConstantMatchesPaper) {
+  EXPECT_DOUBLE_EQ(kLithoSimSecondsPerClip, 10.0);
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

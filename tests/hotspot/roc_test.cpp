@@ -1,0 +1,112 @@
+#include "hotspot/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "hotspot/trainer.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+HotspotCnnConfig tiny_cnn() {
+  HotspotCnnConfig cfg;
+  cfg.input_channels = 2;
+  cfg.input_side = 4;
+  cfg.stage1_maps = 4;
+  cfg.stage2_maps = 8;
+  cfg.fc_nodes = 16;
+  cfg.dropout = 0.0;
+  return cfg;
+}
+
+nn::ClassificationDataset separable_set(std::size_t n_per_class,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  nn::ClassificationDataset d({2, 4, 4});
+  for (std::size_t i = 0; i < n_per_class; ++i)
+    for (std::size_t label = 0; label < 2; ++label) {
+      std::vector<float> x(32);
+      for (float& v : x)
+        v = static_cast<float>(rng.normal(label == 1 ? 0.7 : 0.0, 0.2));
+      d.add(std::move(x), label);
+    }
+  return d;
+}
+
+HotspotCnn trained_model(const nn::ClassificationDataset& data) {
+  HotspotCnn model(tiny_cnn());
+  MgdConfig cfg;
+  cfg.learning_rate = 5e-3;
+  cfg.max_iters = 250;
+  cfg.decay_step = 150;
+  cfg.validate_every = 50;
+  cfg.patience = 20;
+  MgdTrainer trainer(cfg);
+  Rng rng(3);
+  trainer.train(model, data, data, rng);
+  return model;
+}
+
+TEST(RocTest, CurveMonotoneInShift) {
+  auto data = separable_set(25, 1);
+  HotspotCnn model = trained_model(data);
+  auto curve = roc_curve(model, data, {-0.3, -0.1, 0.0, 0.1, 0.3});
+  ASSERT_EQ(curve.size(), 5u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    // Larger shift flags more: accuracy and FA rate both non-decreasing.
+    EXPECT_GE(curve[i].accuracy, curve[i - 1].accuracy);
+    EXPECT_GE(curve[i].fa_rate, curve[i - 1].fa_rate);
+  }
+}
+
+TEST(RocTest, ExtremeShiftsHitCorners) {
+  auto data = separable_set(20, 2);
+  HotspotCnn model = trained_model(data);
+  auto curve = roc_curve(model, data, {-0.5, 0.5});
+  // shift -0.5 => threshold 1.0 => nothing flagged.
+  EXPECT_DOUBLE_EQ(curve[0].accuracy, 0.0);
+  EXPECT_EQ(curve[0].false_alarms, 0u);
+  // shift +0.5 => threshold 0.0 => everything flagged.
+  EXPECT_DOUBLE_EQ(curve[1].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].fa_rate, 1.0);
+}
+
+TEST(RocTest, PointAtZeroMatchesEvaluate) {
+  auto data = separable_set(20, 3);
+  HotspotCnn model = trained_model(data);
+  auto curve = roc_curve(model, data, {0.0});
+  Confusion c = evaluate(model, data, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].accuracy, c.accuracy());
+  EXPECT_EQ(curve[0].false_alarms, c.false_alarms());
+}
+
+TEST(RocTest, AucHighOnSeparableData) {
+  auto data = separable_set(25, 4);
+  HotspotCnn model = trained_model(data);
+  EXPECT_GT(roc_auc(model, data), 0.9);
+}
+
+TEST(RocTest, AucNearChanceForUntrainedModel) {
+  auto data = separable_set(25, 5);
+  HotspotCnn model(tiny_cnn());  // random weights
+  const double auc = roc_auc(model, data);
+  EXPECT_GT(auc, 0.2);
+  EXPECT_LT(auc, 0.85);
+}
+
+TEST(RocTest, AucBounds) {
+  auto data = separable_set(10, 6);
+  HotspotCnn model = trained_model(data);
+  const double auc = roc_auc(model, data, 51);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0 + 1e-9);
+}
+
+TEST(RocTest, EmptyDataThrows) {
+  HotspotCnn model(tiny_cnn());
+  nn::ClassificationDataset empty({2, 4, 4});
+  EXPECT_THROW(roc_curve(model, empty, {0.0}), hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

@@ -1,0 +1,106 @@
+#include "hotspot/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+/// Deterministic stand-in detector: flags windows whose clip density
+/// exceeds a threshold.
+class DensityThresholdDetector final : public Detector {
+ public:
+  explicit DensityThresholdDetector(double threshold)
+      : threshold_(threshold) {}
+  std::string name() const override { return "density-threshold"; }
+  void train(const std::vector<layout::LabeledClip>&) override {}
+  bool predict(const layout::Clip& clip) override {
+    ++calls;
+    return clip.density() > threshold_;
+  }
+  int calls = 0;
+
+ private:
+  double threshold_;
+};
+
+layout::Layout dense_corner_chip() {
+  // 2400x2400 chip: the lower-left 1200-tile is solid, the rest sparse.
+  std::vector<geom::Rect> shapes = {
+      geom::Rect::from_xywh(0, 0, 1100, 1100),
+      geom::Rect::from_xywh(1300, 1300, 50, 50)};
+  return layout::Layout(geom::Rect::from_xywh(0, 0, 2400, 2400),
+                        std::move(shapes));
+}
+
+TEST(ScannerTest, WindowCountMatchesGrid) {
+  layout::Layout chip = dense_corner_chip();
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  DensityThresholdDetector det(0.5);
+  ScanReport report = scanner.scan(chip, det);
+  EXPECT_EQ(report.windows_scanned, 4u);
+  EXPECT_EQ(det.calls, 4);
+}
+
+TEST(ScannerTest, StrideControlsOverlap) {
+  layout::Layout chip = dense_corner_chip();
+  ChipScanner scanner(ScanConfig{1200, 600});
+  DensityThresholdDetector det(0.5);
+  ScanReport report = scanner.scan(chip, det);
+  EXPECT_EQ(report.windows_scanned, 9u);  // 3x3 positions
+}
+
+TEST(ScannerTest, FlagsOnlyDenseWindows) {
+  layout::Layout chip = dense_corner_chip();
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  DensityThresholdDetector det(0.5);
+  ScanReport report = scanner.scan(chip, det);
+  ASSERT_EQ(report.hits.size(), 1u);
+  EXPECT_EQ(report.hits[0].window, geom::Rect::from_xywh(0, 0, 1200, 1200));
+  EXPECT_DOUBLE_EQ(report.flagged_fraction(), 0.25);
+}
+
+TEST(ScannerTest, OdstAccountsFlaggedOnly) {
+  layout::Layout chip = dense_corner_chip();
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  DensityThresholdDetector det(0.5);
+  ScanReport report = scanner.scan(chip, det);
+  EXPECT_NEAR(report.odst_seconds(), 10.0 + report.scan_seconds, 1e-9);
+  EXPECT_DOUBLE_EQ(report.full_simulation_seconds(), 40.0);
+  EXPECT_LT(report.odst_seconds(), report.full_simulation_seconds());
+}
+
+TEST(ScannerTest, LayoutSmallerThanWindowThrows) {
+  layout::Layout tiny(geom::Rect::from_xywh(0, 0, 600, 600),
+                      {geom::Rect::from_xywh(0, 0, 100, 100)});
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  DensityThresholdDetector det(0.5);
+  EXPECT_THROW(scanner.scan(tiny, det), hsdl::CheckError);
+}
+
+TEST(ScannerTest, ConfigValidation) {
+  EXPECT_THROW(ChipScanner(ScanConfig{0, 1200}), hsdl::CheckError);
+  EXPECT_THROW(ChipScanner(ScanConfig{1200, 0}), hsdl::CheckError);
+}
+
+TEST(ScannerTest, ClipsPassedNormalized) {
+  // Detectors expect origin-normalized clips (their rasterizer does too);
+  // check the scanner normalizes far-from-origin windows.
+  class WindowProbe final : public Detector {
+   public:
+    std::string name() const override { return "probe"; }
+    void train(const std::vector<layout::LabeledClip>&) override {}
+    bool predict(const layout::Clip& clip) override {
+      EXPECT_EQ(clip.window.lo, (geom::Point{0, 0}));
+      return false;
+    }
+  };
+  layout::Layout chip = dense_corner_chip();
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  WindowProbe probe;
+  scanner.scan(chip, probe);
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

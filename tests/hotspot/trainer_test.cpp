@@ -1,0 +1,208 @@
+#include "hotspot/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+/// Tiny CNN config for fast tests.
+HotspotCnnConfig tiny_cnn() {
+  HotspotCnnConfig cfg;
+  cfg.input_channels = 2;
+  cfg.input_side = 4;
+  cfg.stage1_maps = 4;
+  cfg.stage2_maps = 8;
+  cfg.fc_nodes = 16;
+  cfg.dropout = 0.0;  // deterministic for convergence tests
+  return cfg;
+}
+
+/// Linearly separable synthetic "feature tensors": class decides the mean
+/// of channel 0.
+nn::ClassificationDataset separable_set(std::size_t n_per_class,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  nn::ClassificationDataset d({2, 4, 4});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (std::size_t label = 0; label < 2; ++label) {
+      std::vector<float> x(32);
+      for (float& v : x)
+        v = static_cast<float>(rng.normal(label == 1 ? 0.8 : 0.0, 0.15));
+      d.add(std::move(x), label);
+    }
+  }
+  return d;
+}
+
+MgdConfig fast_mgd() {
+  MgdConfig cfg;
+  cfg.learning_rate = 5e-3;
+  cfg.max_iters = 300;
+  cfg.decay_step = 150;
+  cfg.validate_every = 50;
+  cfg.patience = 20;
+  cfg.batch = 16;
+  return cfg;
+}
+
+TEST(BiasedTargetsTest, UnbiasedMatchesPaperGroundTruth) {
+  nn::Tensor t = biased_targets({kHotspotIndex, kNonHotspotIndex}, 0.0);
+  // y*_h = [0, 1], y*_n = [1, 0].
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 0.0f);
+}
+
+TEST(BiasedTargetsTest, EpsilonRelaxesNonHotspotOnly) {
+  nn::Tensor t = biased_targets({kHotspotIndex, kNonHotspotIndex}, 0.2);
+  // Hotspot truth fixed at [0, 1] (Algorithm 2 line 1).
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 1.0f);
+  // Non-hotspot truth [1-eps, eps].
+  EXPECT_FLOAT_EQ(t.at(1, 0), 0.8f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 0.2f);
+}
+
+TEST(BiasedTargetsTest, RowsSumToOne) {
+  nn::Tensor t = biased_targets({0, 1, 0, 1}, 0.3);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(t.at(i, 0) + t.at(i, 1), 1.0f, 1e-6f);
+}
+
+TEST(BiasedTargetsTest, EpsilonBoundsEnforced) {
+  EXPECT_THROW(biased_targets({0}, 0.5), hsdl::CheckError);
+  EXPECT_THROW(biased_targets({0}, -0.1), hsdl::CheckError);
+}
+
+TEST(MgdTrainerTest, ConfigValidation) {
+  MgdConfig bad = fast_mgd();
+  bad.learning_rate = 0;
+  EXPECT_THROW(MgdTrainer{bad}, hsdl::CheckError);
+  bad = fast_mgd();
+  bad.decay = 0.0;
+  EXPECT_THROW(MgdTrainer{bad}, hsdl::CheckError);
+  bad = fast_mgd();
+  bad.batch = 0;
+  EXPECT_THROW(MgdTrainer{bad}, hsdl::CheckError);
+}
+
+TEST(MgdTrainerTest, LearnsSeparableData) {
+  HotspotCnn model(tiny_cnn());
+  auto train = separable_set(40, 1);
+  auto val = separable_set(15, 2);
+  MgdTrainer trainer(fast_mgd());
+  Rng rng(3);
+  TrainResult result = trainer.train(model, train, val, rng);
+  EXPECT_GT(result.best_val_accuracy, 0.95);
+  Confusion c = evaluate(model, val);
+  EXPECT_GT(c.accuracy(), 0.9);
+}
+
+TEST(MgdTrainerTest, HistoryIsMonotoneInIterAndTime) {
+  HotspotCnn model(tiny_cnn());
+  auto train = separable_set(20, 4);
+  auto val = separable_set(8, 5);
+  MgdTrainer trainer(fast_mgd());
+  Rng rng(6);
+  TrainResult result = trainer.train(model, train, val, rng);
+  ASSERT_GE(result.history.size(), 2u);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GT(result.history[i].iter, result.history[i - 1].iter);
+    EXPECT_GE(result.history[i].seconds, result.history[i - 1].seconds);
+  }
+}
+
+TEST(MgdTrainerTest, CallbackInvokedPerValidation) {
+  HotspotCnn model(tiny_cnn());
+  auto train = separable_set(10, 7);
+  auto val = separable_set(5, 8);
+  MgdConfig cfg = fast_mgd();
+  cfg.max_iters = 100;
+  cfg.validate_every = 25;
+  MgdTrainer trainer(cfg);
+  int calls = 0;
+  trainer.set_callback([&](const TrainPoint&) { ++calls; });
+  Rng rng(9);
+  TrainResult result = trainer.train(model, train, val, rng);
+  EXPECT_EQ(static_cast<std::size_t>(calls), result.history.size());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(MgdTrainerTest, EarlyStoppingByPatience) {
+  HotspotCnn model(tiny_cnn());
+  auto train = separable_set(10, 10);
+  auto val = separable_set(5, 11);
+  MgdConfig cfg = fast_mgd();
+  cfg.max_iters = 100000;  // patience must cut this short
+  cfg.validate_every = 10;
+  cfg.patience = 3;
+  MgdTrainer trainer(cfg);
+  Rng rng(12);
+  TrainResult result = trainer.train(model, train, val, rng);
+  EXPECT_LT(result.iters_run, 100000u);
+}
+
+TEST(MgdTrainerTest, RestoresBestSnapshot) {
+  // After training, the model must score the recorded best validation
+  // accuracy (not whatever the last iterate was).
+  HotspotCnn model(tiny_cnn());
+  auto train = separable_set(30, 13);
+  auto val = separable_set(10, 14);
+  MgdTrainer trainer(fast_mgd());
+  Rng rng(15);
+  TrainResult result = trainer.train(model, train, val, rng);
+  Confusion c = evaluate(model, val);
+  const double hs = c.accuracy();
+  const double nhs =
+      static_cast<double>(c.tn) / static_cast<double>(c.fp + c.tn);
+  EXPECT_NEAR(0.5 * (hs + nhs), result.best_val_accuracy, 1e-9);
+}
+
+TEST(MgdTrainerTest, DeterministicGivenSeeds) {
+  auto train = separable_set(15, 16);
+  auto val = separable_set(5, 17);
+  auto run = [&]() {
+    HotspotCnn model(tiny_cnn());
+    MgdTrainer trainer(fast_mgd());
+    Rng rng(18);
+    return trainer.train(model, train, val, rng).best_val_accuracy;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(MgdTrainerTest, SgdModeIsBatchOne) {
+  HotspotCnn model(tiny_cnn());
+  auto train = separable_set(10, 19);
+  auto val = separable_set(5, 20);
+  MgdConfig cfg = fast_mgd();
+  cfg.batch = 1;  // Figure 3's SGD comparison
+  cfg.max_iters = 800;
+  cfg.learning_rate = 2e-3;  // single-instance gradients need a lower rate
+  MgdTrainer trainer(cfg);
+  Rng rng(21);
+  TrainResult result = trainer.train(model, train, val, rng);
+  EXPECT_GT(result.best_val_accuracy, 0.6);
+}
+
+TEST(EvaluateTest, ShiftMovesBoundary) {
+  // Equation (11): positive shift flags more hotspots.
+  HotspotCnn model(tiny_cnn());
+  auto data = separable_set(20, 22);
+  Confusion neutral = evaluate(model, data, 0.0);
+  Confusion shifted = evaluate(model, data, 0.4);
+  EXPECT_GE(shifted.detected(), neutral.detected());
+}
+
+TEST(EvaluateTest, CountsMatchDatasetSize) {
+  HotspotCnn model(tiny_cnn());
+  auto data = separable_set(12, 23);
+  Confusion c = evaluate(model, data);
+  EXPECT_EQ(c.total(), data.size());
+  EXPECT_EQ(c.hotspots(), data.count_label(kHotspotIndex));
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

@@ -1,0 +1,125 @@
+// Integration tests spanning the full pipeline: generator -> litho
+// labeling -> GLF round trip -> feature tensors -> CNN with biased
+// learning -> metrics, mirroring the paper's flow end to end at miniature
+// scale.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fte/feature_tensor.hpp"
+#include "hotspot/benchmark_factory.hpp"
+#include "hotspot/detector.hpp"
+#include "layout/glf.hpp"
+#include "layout/transform.hpp"
+#include "litho/labeler.hpp"
+#include "nn/serialize.hpp"
+
+namespace hsdl {
+namespace {
+
+const layout::BenchmarkData& shared_bench() {
+  static const layout::BenchmarkData data = [] {
+    hotspot::BenchmarkSpec spec = hotspot::industry2_spec(0.004);
+    return hotspot::build_benchmark(spec);
+  }();
+  return data;
+}
+
+TEST(EndToEndTest, BenchmarkThroughGlfRoundTrip) {
+  const auto& bench = shared_bench();
+  std::stringstream ss;
+  layout::write_glf(ss, bench.train);
+  auto loaded = layout::read_glf(ss);
+  ASSERT_EQ(loaded.size(), bench.train.size());
+  // Feature tensors of round-tripped clips are bit-identical.
+  fte::FeatureTensorExtractor ex;
+  for (std::size_t i = 0; i < loaded.size(); i += 29) {
+    auto a = ex.extract(bench.train[i].clip);
+    auto b = ex.extract(loaded[i].clip);
+    EXPECT_EQ(a.data, b.data) << "clip " << i;
+  }
+}
+
+TEST(EndToEndTest, DihedralAugmentationPreservesLabels) {
+  // The label-invariance assumption behind hotspot augmentation, verified
+  // against the actual litho labeler on real generated clips.
+  const auto& bench = shared_bench();
+  litho::HotspotLabeler labeler;
+  int checked = 0, agreed = 0;
+  for (std::size_t i = 0; i < bench.train.size() && checked < 6; i += 23) {
+    const auto& lc = bench.train[i];
+    for (layout::Dihedral op :
+         {layout::Dihedral::kRot90, layout::Dihedral::kFlipX,
+          layout::Dihedral::kTranspose}) {
+      ++checked;
+      agreed += labeler.label(layout::transformed(lc.clip, op)) == lc.label;
+    }
+  }
+  // Pixel-grid asymmetries allow rare flips; the overwhelming majority
+  // must agree.
+  EXPECT_GE(agreed * 10, checked * 9);
+}
+
+TEST(EndToEndTest, FullDetectorPipelineOnFreshClips) {
+  // Train on the benchmark, then classify newly generated clips that were
+  // never part of any dataset, comparing against fresh litho labels.
+  const auto& bench = shared_bench();
+  hotspot::CnnDetectorConfig cfg;
+  cfg.biased.rounds = 2;
+  cfg.biased.initial.max_iters = 500;
+  cfg.biased.initial.learning_rate = 8e-3;
+  cfg.biased.initial.decay_step = 250;
+  cfg.biased.initial.validate_every = 50;
+  cfg.biased.finetune.max_iters = 80;
+  hotspot::CnnDetector det(cfg);
+  det.train(bench.train);
+
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.45;
+  layout::ClipGenerator gen(gen_cfg, 777);
+  litho::HotspotLabeler labeler;
+  hotspot::Confusion c;
+  int labeled = 0;
+  while (labeled < 40) {
+    layout::Clip clip = gen.generate();
+    auto label = labeler.label(clip);
+    if (label == layout::HotspotLabel::kUnknown) continue;
+    ++labeled;
+    c.add(label == layout::HotspotLabel::kHotspot, det.predict(clip));
+  }
+  EXPECT_EQ(c.total(), 40u);
+  // Sanity: meaningfully better than predicting one class everywhere.
+  EXPECT_GT(c.tp + c.tn, 22u);
+}
+
+TEST(EndToEndTest, CheckpointReloadKeepsPredictions) {
+  const auto& bench = shared_bench();
+  hotspot::CnnDetectorConfig cfg;
+  cfg.biased.rounds = 1;
+  cfg.biased.initial.max_iters = 120;
+  cfg.biased.initial.validate_every = 40;
+  hotspot::CnnDetector a(cfg);
+  a.train(bench.train);
+
+  std::stringstream ss;
+  nn::save_params(ss, a.model().net().params());
+  hotspot::CnnDetector b(cfg);  // fresh weights
+  nn::load_params(ss, b.model().net().params());
+
+  for (std::size_t i = 0; i < bench.test.size(); i += 13)
+    EXPECT_EQ(a.predict(bench.test[i].clip), b.predict(bench.test[i].clip));
+}
+
+TEST(EndToEndTest, OdstAccountingConsistent) {
+  const auto& bench = shared_bench();
+  hotspot::AdaBoostDensityDetector det;
+  det.train(bench.train);
+  hotspot::DetectorEval eval = det.evaluate(bench.test);
+  EXPECT_DOUBLE_EQ(
+      eval.odst(),
+      10.0 * static_cast<double>(eval.confusion.detected()) +
+          eval.eval_seconds);
+}
+
+}  // namespace
+}  // namespace hsdl

@@ -1,0 +1,64 @@
+#include "layout/clip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Rect;
+
+TEST(ClipTest, DensityEmptyClip) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 100, 100);
+  EXPECT_DOUBLE_EQ(c.density(), 0.0);
+}
+
+TEST(ClipTest, DensityFullCoverage) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 100, 100);
+  c.shapes = {Rect::from_xywh(0, 0, 100, 100)};
+  EXPECT_DOUBLE_EQ(c.density(), 1.0);
+}
+
+TEST(ClipTest, DensityPartial) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 100, 100);
+  c.shapes = {Rect::from_xywh(0, 0, 50, 100)};
+  EXPECT_DOUBLE_EQ(c.density(), 0.5);
+}
+
+TEST(ClipTest, DensityClipsShapesToWindow) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 100, 100);
+  // Half of this shape hangs outside the window.
+  c.shapes = {Rect::from_xywh(50, 0, 100, 100)};
+  EXPECT_DOUBLE_EQ(c.density(), 0.5);
+}
+
+TEST(ClipTest, DensityEmptyWindow) {
+  Clip c;
+  EXPECT_DOUBLE_EQ(c.density(), 0.0);
+}
+
+TEST(ClipTest, NormalizedMovesToOrigin) {
+  Clip c;
+  c.window = Rect::from_xywh(500, 300, 100, 100);
+  c.shapes = {Rect::from_xywh(510, 310, 20, 20)};
+  Clip n = c.normalized();
+  EXPECT_EQ(n.window, Rect::from_xywh(0, 0, 100, 100));
+  EXPECT_EQ(n.shapes[0], Rect::from_xywh(10, 10, 20, 20));
+  // Density invariant under normalization.
+  EXPECT_DOUBLE_EQ(n.density(), c.density());
+}
+
+TEST(ClipTest, NormalizedIdempotent) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 50, 50);
+  c.shapes = {Rect::from_xywh(5, 5, 10, 10)};
+  Clip n = c.normalized().normalized();
+  EXPECT_EQ(n.window, c.window);
+  EXPECT_EQ(n.shapes, c.shapes);
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,107 @@
+#include "layout/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+std::vector<LabeledClip> make_clips(std::size_t hotspots,
+                                    std::size_t non_hotspots) {
+  std::vector<LabeledClip> out;
+  for (std::size_t i = 0; i < hotspots; ++i) {
+    LabeledClip lc;
+    lc.clip.window = geom::Rect::from_xywh(0, 0, 100, 100);
+    lc.label = HotspotLabel::kHotspot;
+    out.push_back(lc);
+  }
+  for (std::size_t i = 0; i < non_hotspots; ++i) {
+    LabeledClip lc;
+    lc.clip.window = geom::Rect::from_xywh(0, 0, 100, 100);
+    lc.label = HotspotLabel::kNonHotspot;
+    out.push_back(lc);
+  }
+  return out;
+}
+
+TEST(DatasetTest, LabelNames) {
+  EXPECT_STREQ(to_string(HotspotLabel::kHotspot), "hotspot");
+  EXPECT_STREQ(to_string(HotspotLabel::kNonHotspot), "non-hotspot");
+  EXPECT_STREQ(to_string(HotspotLabel::kUnknown), "none");
+}
+
+TEST(DatasetTest, CountHotspots) {
+  EXPECT_EQ(count_hotspots(make_clips(3, 7)), 3u);
+  EXPECT_EQ(count_hotspots({}), 0u);
+}
+
+TEST(DatasetTest, BenchmarkDataCounts) {
+  BenchmarkData data;
+  data.train = make_clips(5, 10);
+  data.test = make_clips(2, 8);
+  EXPECT_EQ(data.train_hotspots(), 5u);
+  EXPECT_EQ(data.train_non_hotspots(), 10u);
+  EXPECT_EQ(data.test_hotspots(), 2u);
+  EXPECT_EQ(data.test_non_hotspots(), 8u);
+}
+
+TEST(SplitValidationTest, SizesMatchFraction) {
+  auto all = make_clips(20, 80);
+  Rng rng(1);
+  std::vector<LabeledClip> train, val;
+  split_validation(all, 0.25, rng, train, val);
+  EXPECT_EQ(val.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+}
+
+TEST(SplitValidationTest, ZeroFraction) {
+  auto all = make_clips(5, 5);
+  Rng rng(1);
+  std::vector<LabeledClip> train, val;
+  split_validation(all, 0.0, rng, train, val);
+  EXPECT_TRUE(val.empty());
+  EXPECT_EQ(train.size(), all.size());
+}
+
+TEST(SplitValidationTest, PartitionIsComplete) {
+  auto all = make_clips(10, 30);
+  Rng rng(2);
+  std::vector<LabeledClip> train, val;
+  split_validation(all, 0.3, rng, train, val);
+  EXPECT_EQ(train.size() + val.size(), all.size());
+  EXPECT_EQ(count_hotspots(train) + count_hotspots(val), 10u);
+}
+
+TEST(SplitValidationTest, DeterministicByRngSeed) {
+  auto all = make_clips(10, 30);
+  std::vector<LabeledClip> t1, v1, t2, v2;
+  Rng r1(7), r2(7);
+  split_validation(all, 0.25, r1, t1, v1);
+  split_validation(all, 0.25, r2, t2, v2);
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i)
+    EXPECT_EQ(v1[i].label, v2[i].label);
+}
+
+TEST(SplitValidationTest, ActuallyShuffles) {
+  // Labels grouped in input; the split should mix them.
+  auto all = make_clips(50, 50);
+  Rng rng(3);
+  std::vector<LabeledClip> train, val;
+  split_validation(all, 0.5, rng, train, val);
+  // If no shuffling, val would take the first 50 == all hotspots.
+  EXPECT_NE(count_hotspots(val), 50u);
+  EXPECT_GT(count_hotspots(val), 10u);
+}
+
+TEST(SplitValidationTest, InvalidFractionThrows) {
+  auto all = make_clips(2, 2);
+  Rng rng(1);
+  std::vector<LabeledClip> train, val;
+  EXPECT_THROW(split_validation(all, 1.0, rng, train, val), CheckError);
+  EXPECT_THROW(split_validation(all, -0.1, rng, train, val), CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,123 @@
+#include "layout/drc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Rect;
+
+Clip make_clip(std::vector<Rect> shapes) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = std::move(shapes);
+  return c;
+}
+
+DesignRules default_rules() { return DesignRules{}; }  // 40/40/10
+
+TEST(DrcTest, CleanClipPasses) {
+  DrcReport r = check_rules(
+      make_clip({Rect::from_xywh(100, 100, 200, 40),
+                 Rect::from_xywh(100, 200, 200, 40)}),
+      default_rules());
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(DrcTest, EmptyClipPasses) {
+  EXPECT_TRUE(check_rules(make_clip({}), default_rules()).clean());
+}
+
+TEST(DrcTest, NarrowShapeFlagged) {
+  DrcReport r = check_rules(make_clip({Rect::from_xywh(0, 0, 200, 30)}),
+                            default_rules());
+  ASSERT_EQ(r.count(DrcViolationType::kMinWidth), 1u);
+  EXPECT_EQ(r.violations[0].measured, 30);
+  EXPECT_EQ(r.violations[0].required, 40);
+}
+
+TEST(DrcTest, WidthAtRuleIsLegal) {
+  EXPECT_TRUE(
+      check_rules(make_clip({Rect::from_xywh(0, 0, 40, 40)}), default_rules())
+          .clean());
+}
+
+TEST(DrcTest, TightSpacingFlagged) {
+  DrcReport r = check_rules(make_clip({Rect::from_xywh(0, 0, 100, 40),
+                                       Rect::from_xywh(0, 70, 100, 40)}),
+                            default_rules());
+  ASSERT_EQ(r.count(DrcViolationType::kMinSpacing), 1u);
+  EXPECT_EQ(r.violations[0].measured, 30);
+}
+
+TEST(DrcTest, SpacingAtRuleIsLegal) {
+  EXPECT_TRUE(check_rules(make_clip({Rect::from_xywh(0, 0, 100, 40),
+                                     Rect::from_xywh(0, 80, 100, 40)}),
+                          default_rules())
+                  .clean());
+}
+
+TEST(DrcTest, OverlappingShapesAreConnectedNotSpacing) {
+  EXPECT_TRUE(check_rules(make_clip({Rect::from_xywh(0, 0, 100, 40),
+                                     Rect::from_xywh(50, 20, 100, 40)}),
+                          default_rules())
+                  .clean());
+}
+
+TEST(DrcTest, TouchingShapesAreConnected) {
+  EXPECT_TRUE(check_rules(make_clip({Rect::from_xywh(0, 0, 100, 40),
+                                     Rect::from_xywh(100, 0, 100, 40)}),
+                          default_rules())
+                  .clean());
+}
+
+TEST(DrcTest, OffGridFlagged) {
+  DrcReport r = check_rules(make_clip({Rect::from_xywh(5, 0, 100, 40)}),
+                            default_rules());
+  EXPECT_EQ(r.count(DrcViolationType::kOffGrid), 1u);
+}
+
+TEST(DrcTest, MultipleViolationTypes) {
+  // Narrow AND off-grid AND too close to a neighbour.
+  DrcReport r = check_rules(make_clip({Rect::from_xywh(3, 0, 100, 30),
+                                       Rect::from_xywh(0, 50, 100, 40)}),
+                            default_rules());
+  EXPECT_EQ(r.count(DrcViolationType::kMinWidth), 1u);
+  EXPECT_EQ(r.count(DrcViolationType::kOffGrid), 1u);
+  EXPECT_EQ(r.count(DrcViolationType::kMinSpacing), 1u);
+  EXPECT_EQ(r.violations.size(), 3u);
+}
+
+TEST(DrcTest, GeneratorAtZeroStressIsMostlyClean) {
+  GeneratorConfig cfg;
+  cfg.stress = 0.0;
+  ClipGenerator gen(cfg, 77);
+  int spacing_violations = 0;
+  for (int i = 0; i < 20; ++i) {
+    DrcReport r = check_rules(gen.generate(), cfg.rules);
+    spacing_violations +=
+        static_cast<int>(r.count(DrcViolationType::kMinSpacing));
+  }
+  EXPECT_EQ(spacing_violations, 0);
+}
+
+TEST(DrcTest, StressedGeneratorViolatesSpacing) {
+  GeneratorConfig cfg;
+  cfg.stress = 1.0;
+  ClipGenerator gen(cfg, 78);
+  int spacing_violations = 0;
+  for (int i = 0; i < 20; ++i)
+    spacing_violations += static_cast<int>(
+        check_rules(gen.generate(), cfg.rules)
+            .count(DrcViolationType::kMinSpacing));
+  EXPECT_GT(spacing_violations, 0);
+}
+
+TEST(DrcTest, ViolationTypeNames) {
+  EXPECT_STREQ(to_string(DrcViolationType::kMinWidth), "min-width");
+  EXPECT_STREQ(to_string(DrcViolationType::kMinSpacing), "min-spacing");
+  EXPECT_STREQ(to_string(DrcViolationType::kOffGrid), "off-grid");
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,279 @@
+#include "layout/gdsii.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "layout/generator.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Polygon;
+using geom::Rect;
+
+TEST(GdsRealTest, ZeroRoundTrips) {
+  EXPECT_EQ(to_gds_real(0.0), 0u);
+  EXPECT_DOUBLE_EQ(from_gds_real(0), 0.0);
+}
+
+TEST(GdsRealTest, KnownEncodingOfOne) {
+  // 1.0 = 1/16 * 16^1: exponent 65, mantissa 2^52.
+  const std::uint64_t bits = to_gds_real(1.0);
+  EXPECT_EQ(bits >> 56, 65u);
+  EXPECT_DOUBLE_EQ(from_gds_real(bits), 1.0);
+}
+
+TEST(GdsRealTest, RoundTripsTypicalValues) {
+  for (double v : {1e-9, 1e-3, 0.5, 2.0, 1e6, 3.14159265358979,
+                   6.25e-10}) {
+    EXPECT_NEAR(from_gds_real(to_gds_real(v)), v, v * 1e-12) << v;
+    EXPECT_NEAR(from_gds_real(to_gds_real(-v)), -v, v * 1e-12) << -v;
+  }
+}
+
+TEST(GdsRealTest, SignBit) {
+  EXPECT_EQ(to_gds_real(-1.0) >> 63, 1u);
+  EXPECT_EQ(to_gds_real(1.0) >> 63, 0u);
+}
+
+Clip demo_clip() {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = {Rect::from_xywh(100, 100, 300, 40),
+              Rect::from_xywh(600, 200, 40, 500),
+              Rect::from_xywh(0, 900, 1200, 60)};
+  return c;
+}
+
+TEST(GdsiiTest, ClipRoundTrip) {
+  const Clip original = demo_clip();
+  std::stringstream ss;
+  write_gds(ss, clip_to_gds(original, 7, "TESTCLIP"));
+  GdsLibrary lib = read_gds(ss);
+  ASSERT_EQ(lib.cells.size(), 1u);
+  EXPECT_EQ(lib.cells[0].name, "TESTCLIP");
+  Clip loaded = gds_to_clip(lib, 7);
+  // Same rectangles (decomposition of a rect boundary is itself).
+  ASSERT_EQ(loaded.shapes.size(), original.shapes.size());
+  auto sorted = [](std::vector<Rect> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(loaded.shapes), sorted(original.shapes));
+}
+
+TEST(GdsiiTest, UnitsRoundTrip) {
+  GdsLibrary lib = clip_to_gds(demo_clip());
+  lib.db_unit_meters = 1e-9;
+  lib.user_unit = 1e-3;
+  std::stringstream ss;
+  write_gds(ss, lib);
+  GdsLibrary loaded = read_gds(ss);
+  EXPECT_NEAR(loaded.db_unit_meters, 1e-9, 1e-21);
+  EXPECT_NEAR(loaded.user_unit, 1e-3, 1e-15);
+}
+
+TEST(GdsiiTest, LibraryNamePreserved) {
+  GdsLibrary lib = clip_to_gds(demo_clip());
+  lib.name = "MYLIB";
+  std::stringstream ss;
+  write_gds(ss, lib);
+  EXPECT_EQ(read_gds(ss).name, "MYLIB");
+}
+
+TEST(GdsiiTest, LayerFiltering) {
+  Clip c = demo_clip();
+  GdsLibrary lib = clip_to_gds(c, 1);
+  // Add one extra boundary on layer 2.
+  lib.cells[0].boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(0, 0, 10, 10)));
+  lib.cells[0].layers.push_back(2);
+  std::stringstream ss;
+  write_gds(ss, lib);
+  GdsLibrary loaded = read_gds(ss);
+  EXPECT_EQ(loaded.cells[0].rects_on_layer(1).size(), c.shapes.size());
+  EXPECT_EQ(loaded.cells[0].rects_on_layer(2).size(), 1u);
+  EXPECT_TRUE(loaded.cells[0].rects_on_layer(3).empty());
+}
+
+TEST(GdsiiTest, LShapedBoundaryDecomposes) {
+  GdsLibrary lib;
+  GdsCell cell;
+  cell.name = "L";
+  cell.boundaries.push_back(Polygon(
+      {{0, 0}, {100, 0}, {100, 50}, {50, 50}, {50, 100}, {0, 100}}));
+  cell.layers.push_back(1);
+  lib.cells.push_back(cell);
+  std::stringstream ss;
+  write_gds(ss, lib);
+  GdsLibrary loaded = read_gds(ss);
+  auto rects = loaded.cells[0].rects_on_layer(1);
+  geom::Area area = 0;
+  for (const Rect& r : rects) area += r.area();
+  EXPECT_EQ(area, 100 * 100 - 50 * 50);
+}
+
+TEST(GdsiiTest, MultipleCells) {
+  GdsLibrary lib = clip_to_gds(demo_clip(), 1, "A");
+  GdsCell second;
+  second.name = "B";
+  second.boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(5, 5, 20, 20)));
+  second.layers.push_back(1);
+  lib.cells.push_back(second);
+  std::stringstream ss;
+  write_gds(ss, lib);
+  GdsLibrary loaded = read_gds(ss);
+  ASSERT_EQ(loaded.cells.size(), 2u);
+  EXPECT_EQ(loaded.cells[1].name, "B");
+}
+
+TEST(GdsiiTest, NegativeCoordinates) {
+  GdsLibrary lib;
+  GdsCell cell;
+  cell.name = "NEG";
+  cell.boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(-500, -300, 100, 100)));
+  cell.layers.push_back(1);
+  lib.cells.push_back(cell);
+  std::stringstream ss;
+  write_gds(ss, lib);
+  auto rects = read_gds(ss).cells[0].rects_on_layer(1);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0].lo, (geom::Point{-500, -300}));
+}
+
+TEST(GdsiiTest, GeneratedClipsRoundTrip) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 99);
+  for (int i = 0; i < 5; ++i) {
+    Clip c = gen.generate();
+    std::stringstream ss;
+    write_gds(ss, clip_to_gds(c));
+    Clip loaded = gds_to_clip(read_gds(ss));
+    geom::Area orig_area = 0, loaded_area = 0;
+    for (const Rect& r : c.shapes) orig_area += r.area();
+    for (const Rect& r : loaded.shapes) loaded_area += r.area();
+    EXPECT_EQ(orig_area, loaded_area) << "clip " << i;
+  }
+}
+
+GdsLibrary hierarchical_lib() {
+  GdsLibrary lib;
+  GdsCell leaf;
+  leaf.name = "VIA";
+  leaf.boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(0, 0, 40, 40)));
+  leaf.layers.push_back(1);
+
+  GdsCell mid;
+  mid.name = "PAIR";
+  mid.refs.push_back({"VIA", {0, 0}});
+  mid.refs.push_back({"VIA", {100, 0}});
+
+  GdsCell top;
+  top.name = "TOP";
+  top.boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(500, 500, 60, 60)));
+  top.layers.push_back(1);
+  top.refs.push_back({"PAIR", {0, 0}});
+  top.refs.push_back({"PAIR", {0, 200}});
+
+  lib.cells = {leaf, mid, top};
+  return lib;
+}
+
+TEST(GdsiiSrefTest, RefsRoundTrip) {
+  std::stringstream ss;
+  write_gds(ss, hierarchical_lib());
+  GdsLibrary loaded = read_gds(ss);
+  ASSERT_EQ(loaded.cells.size(), 3u);
+  const GdsCell& top = loaded.cells[2];
+  ASSERT_EQ(top.refs.size(), 2u);
+  EXPECT_EQ(top.refs[0].cell, "PAIR");
+  EXPECT_EQ(top.refs[1].at, (geom::Point{0, 200}));
+}
+
+TEST(GdsiiSrefTest, FlattenResolvesHierarchy) {
+  GdsLibrary lib = hierarchical_lib();
+  auto rects = flatten_cell(lib, "TOP", 1);
+  // 1 own boundary + 2 PAIR x 2 VIA = 5 rects.
+  ASSERT_EQ(rects.size(), 5u);
+  // The deepest instance: VIA at PAIR(0,200) + VIA(100,0).
+  bool found = false;
+  for (const Rect& r : rects)
+    found |= r == Rect::from_xywh(100, 200, 40, 40);
+  EXPECT_TRUE(found);
+}
+
+TEST(GdsiiSrefTest, FlattenAfterRoundTrip) {
+  std::stringstream ss;
+  write_gds(ss, hierarchical_lib());
+  GdsLibrary loaded = read_gds(ss);
+  auto a = flatten_cell(hierarchical_lib(), "TOP", 1);
+  auto b = flatten_cell(loaded, "TOP", 1);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(GdsiiSrefTest, FlattenLeafIsItsOwnGeometry) {
+  auto rects = flatten_cell(hierarchical_lib(), "VIA", 1);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], Rect::from_xywh(0, 0, 40, 40));
+}
+
+TEST(GdsiiSrefTest, UnknownCellThrows) {
+  EXPECT_THROW(flatten_cell(hierarchical_lib(), "NOPE", 1),
+               hsdl::CheckError);
+}
+
+TEST(GdsiiSrefTest, ReferenceCycleDetected) {
+  GdsLibrary lib;
+  GdsCell a;
+  a.name = "A";
+  a.refs.push_back({"B", {0, 0}});
+  GdsCell b;
+  b.name = "B";
+  b.refs.push_back({"A", {10, 10}});
+  lib.cells = {a, b};
+  EXPECT_THROW(flatten_cell(lib, "A", 1), hsdl::CheckError);
+}
+
+TEST(GdsiiTest, TruncatedStreamThrows) {
+  std::stringstream ss;
+  write_gds(ss, clip_to_gds(demo_clip()));
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_gds(cut), hsdl::CheckError);
+}
+
+TEST(GdsiiTest, EmptyStreamThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_gds(ss), hsdl::CheckError);
+}
+
+TEST(GdsiiTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/clip.gds";
+  write_gds_file(path, clip_to_gds(demo_clip()));
+  Clip loaded = gds_to_clip(read_gds_file(path));
+  EXPECT_EQ(loaded.shapes.size(), demo_clip().shapes.size());
+}
+
+TEST(GdsiiTest, UnknownRecordsSkipped) {
+  // Inject a TEXT-ish record (type 0x0C) between elements; reader must
+  // skip it.
+  std::stringstream ss;
+  write_gds(ss, clip_to_gds(demo_clip()));
+  std::string data = ss.str();
+  // Append before ENDLIB (last 4 bytes): a 4-byte unknown record.
+  std::string unknown = {0x00, 0x04, 0x0C, 0x00};
+  data.insert(data.size() - 4, unknown);
+  std::stringstream patched(data);
+  EXPECT_NO_THROW(read_gds(patched));
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,165 @@
+#include "layout/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "geom/region.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Rect;
+
+TEST(ClipGeneratorTest, DeterministicBySeed) {
+  GeneratorConfig cfg;
+  ClipGenerator a(cfg, 42), b(cfg, 42);
+  for (int i = 0; i < 10; ++i) {
+    Clip ca = a.generate();
+    Clip cb = b.generate();
+    EXPECT_EQ(ca.shapes, cb.shapes);
+  }
+}
+
+TEST(ClipGeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig cfg;
+  ClipGenerator a(cfg, 1), b(cfg, 2);
+  int identical = 0;
+  for (int i = 0; i < 10; ++i)
+    identical += (a.generate().shapes == b.generate().shapes);
+  EXPECT_LT(identical, 3);
+}
+
+TEST(ClipGeneratorTest, WindowMatchesConfig) {
+  GeneratorConfig cfg;
+  cfg.clip_size = 800;
+  ClipGenerator gen(cfg, 3);
+  Clip c = gen.generate();
+  EXPECT_EQ(c.window, Rect::from_xywh(0, 0, 800, 800));
+}
+
+TEST(ClipGeneratorTest, ShapesStayInsideWindow) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 5);
+  for (int i = 0; i < 40; ++i) {
+    Clip c = gen.generate();
+    for (const Rect& r : c.shapes) {
+      EXPECT_TRUE(c.window.contains(r))
+          << "shape " << r.lo.x << "," << r.lo.y << " escapes window";
+    }
+  }
+}
+
+TEST(ClipGeneratorTest, ShapesMeetMinimumGridSize) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 7);
+  for (int i = 0; i < 40; ++i) {
+    for (const Rect& r : gen.generate().shapes) {
+      EXPECT_GE(r.width(), cfg.rules.grid);
+      EXPECT_GE(r.height(), cfg.rules.grid);
+    }
+  }
+}
+
+TEST(ClipGeneratorTest, EveryArchetypeProducesShapes) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 11);
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    Clip c = gen.generate(static_cast<Archetype>(a));
+    EXPECT_FALSE(c.shapes.empty())
+        << "archetype " << to_string(static_cast<Archetype>(a));
+  }
+}
+
+TEST(ClipGeneratorTest, IsolatedArchetypeHasOneShape) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 13);
+  Clip c = gen.generate(Archetype::kIsolated);
+  EXPECT_EQ(c.shapes.size(), 1u);
+}
+
+TEST(ClipGeneratorTest, LineSpaceShapesAreParallel) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 17);
+  for (int i = 0; i < 10; ++i) {
+    Clip c = gen.generate(Archetype::kLineSpace);
+    ASSERT_GT(c.shapes.size(), 1u);
+    // All lines share orientation: either all full-width or all full-height.
+    bool horizontal = c.shapes[0].width() >= c.shapes[0].height();
+    for (const Rect& r : c.shapes)
+      EXPECT_EQ(r.width() >= r.height(), horizontal);
+  }
+}
+
+TEST(ClipGeneratorTest, RoutingRespectsSomeSpacing) {
+  GeneratorConfig cfg;
+  cfg.stress = 0.0;  // no sub-rule placements allowed
+  ClipGenerator gen(cfg, 19);
+  for (int i = 0; i < 5; ++i) {
+    Clip c = gen.generate(Archetype::kRandomRouting);
+    for (std::size_t a = 0; a < c.shapes.size(); ++a)
+      for (std::size_t b = a + 1; b < c.shapes.size(); ++b)
+        EXPECT_GE(geom::rect_spacing(c.shapes[a], c.shapes[b]),
+                  cfg.rules.min_space);
+  }
+}
+
+TEST(ClipGeneratorTest, StressShrinksPitch) {
+  // With high stress, line/space pitches concentrate at the rule floor, so
+  // arrays pack more lines into the same window.
+  auto mean_lines = [](double stress, std::uint64_t seed) {
+    GeneratorConfig cfg;
+    cfg.stress = stress;
+    ClipGenerator gen(cfg, seed);
+    double sum = 0;
+    for (int i = 0; i < 30; ++i)
+      sum += static_cast<double>(
+          gen.generate(Archetype::kLineSpace).shapes.size());
+    return sum / 30;
+  };
+  EXPECT_GT(mean_lines(1.0, 23), mean_lines(0.0, 23) * 1.3);
+}
+
+TEST(ClipGeneratorTest, MixedCombinesTwoHalves) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 29);
+  Clip c = gen.generate(Archetype::kMixed);
+  EXPECT_FALSE(c.shapes.empty());
+  for (const Rect& r : c.shapes) EXPECT_TRUE(c.window.contains(r));
+}
+
+TEST(ClipGeneratorTest, ConfigValidation) {
+  GeneratorConfig bad;
+  bad.clip_size = 0;
+  EXPECT_THROW(ClipGenerator(bad, 1), hsdl::CheckError);
+
+  bad = GeneratorConfig{};
+  bad.stress = 1.5;
+  EXPECT_THROW(ClipGenerator(bad, 1), hsdl::CheckError);
+
+  bad = GeneratorConfig{};
+  bad.clip_size = 1205;  // off-grid
+  EXPECT_THROW(ClipGenerator(bad, 1), hsdl::CheckError);
+
+  bad = GeneratorConfig{};
+  bad.rules.min_width = 5;  // below grid
+  EXPECT_THROW(ClipGenerator(bad, 1), hsdl::CheckError);
+}
+
+TEST(ClipGeneratorTest, ArchetypeNames) {
+  EXPECT_STREQ(to_string(Archetype::kLineSpace), "line-space");
+  EXPECT_STREQ(to_string(Archetype::kMixed), "mixed");
+  EXPECT_STREQ(to_string(Archetype::kTipToTip), "tip-to-tip");
+}
+
+TEST(ClipGeneratorTest, DensityInPlausibleBand) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 31);
+  for (int i = 0; i < 30; ++i) {
+    double d = gen.generate().density();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.9);  // mask layers never approach full coverage
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::layout

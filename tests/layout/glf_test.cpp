@@ -1,0 +1,143 @@
+#include "layout/glf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Rect;
+
+std::vector<LabeledClip> sample_clips() {
+  std::vector<LabeledClip> clips(2);
+  clips[0].clip.window = Rect::from_xywh(0, 0, 1200, 1200);
+  clips[0].clip.shapes = {Rect::from_xywh(0, 0, 100, 40),
+                          Rect::from_xywh(200, 300, 40, 400)};
+  clips[0].label = HotspotLabel::kHotspot;
+  clips[1].clip.window = Rect::from_xywh(100, 100, 1200, 1200);
+  clips[1].clip.shapes = {Rect::from_xywh(150, 150, 60, 60)};
+  clips[1].label = HotspotLabel::kNonHotspot;
+  return clips;
+}
+
+TEST(GlfTest, RoundTripPreservesEverything) {
+  auto clips = sample_clips();
+  std::stringstream ss;
+  write_glf(ss, clips);
+  auto loaded = read_glf(ss);
+  ASSERT_EQ(loaded.size(), clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    EXPECT_EQ(loaded[i].clip.window, clips[i].clip.window);
+    EXPECT_EQ(loaded[i].clip.shapes, clips[i].clip.shapes);
+    EXPECT_EQ(loaded[i].label, clips[i].label);
+  }
+}
+
+TEST(GlfTest, UnknownLabelRoundTrips) {
+  std::vector<LabeledClip> clips(1);
+  clips[0].clip.window = Rect::from_xywh(0, 0, 10, 10);
+  clips[0].label = HotspotLabel::kUnknown;
+  std::stringstream ss;
+  write_glf(ss, clips);
+  EXPECT_NE(ss.str().find(" none"), std::string::npos);
+  auto loaded = read_glf(ss);
+  EXPECT_EQ(loaded[0].label, HotspotLabel::kUnknown);
+}
+
+TEST(GlfTest, EmptyClipListRoundTrips) {
+  std::stringstream ss;
+  write_glf(ss, {});
+  EXPECT_TRUE(read_glf(ss).empty());
+}
+
+TEST(GlfTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "GLF 1\n"
+      "# a comment\n"
+      "\n"
+      "CLIP 0 0 100 100 hotspot\n"
+      "  # indented comment\n"
+      "RECT 1 2 3 4\n"
+      "ENDCLIP\n");
+  auto clips = read_glf(ss);
+  ASSERT_EQ(clips.size(), 1u);
+  EXPECT_EQ(clips[0].clip.shapes[0], Rect::from_xywh(1, 2, 3, 4));
+}
+
+TEST(GlfTest, MissingHeaderThrows) {
+  std::stringstream ss("CLIP 0 0 10 10 none\nENDCLIP\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, EmptyStreamThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, UnterminatedClipThrows) {
+  std::stringstream ss("GLF 1\nCLIP 0 0 10 10 none\nRECT 0 0 1 1\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, NestedClipThrows) {
+  std::stringstream ss(
+      "GLF 1\nCLIP 0 0 10 10 none\nCLIP 0 0 10 10 none\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, RectOutsideClipThrows) {
+  std::stringstream ss("GLF 1\nRECT 0 0 1 1\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, BadLabelThrows) {
+  std::stringstream ss("GLF 1\nCLIP 0 0 10 10 maybe\nENDCLIP\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, NonPositiveExtentThrows) {
+  std::stringstream ss(
+      "GLF 1\nCLIP 0 0 10 10 none\nRECT 0 0 0 5\nENDCLIP\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, UnknownTokenThrows) {
+  std::stringstream ss("GLF 1\nBOGUS 1 2 3\n");
+  EXPECT_THROW(read_glf(ss), hsdl::CheckError);
+}
+
+TEST(GlfTest, ErrorMessageIncludesLineNumber) {
+  std::stringstream ss("GLF 1\nCLIP 0 0 10 10 bogus\n");
+  try {
+    read_glf(ss);
+    FAIL();
+  } catch (const hsdl::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GlfTest, FileRoundTrip) {
+  auto clips = sample_clips();
+  const std::string path = ::testing::TempDir() + "/glf_test.glf";
+  write_glf_file(path, clips);
+  auto loaded = read_glf_file(path);
+  EXPECT_EQ(loaded.size(), clips.size());
+}
+
+TEST(GlfTest, MissingFileThrows) {
+  EXPECT_THROW(read_glf_file("/nonexistent/nope.glf"), hsdl::CheckError);
+}
+
+TEST(GlfTest, NegativeCoordinatesSupported) {
+  std::stringstream ss(
+      "GLF 1\nCLIP -100 -100 200 200 none\nRECT -50 -50 30 30\nENDCLIP\n");
+  auto clips = read_glf(ss);
+  EXPECT_EQ(clips[0].clip.window.lo.x, -100);
+  EXPECT_EQ(clips[0].clip.shapes[0].lo, (geom::Point{-50, -50}));
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,90 @@
+#include "layout/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Rect;
+
+TEST(LayoutTest, ConstructionValidation) {
+  EXPECT_THROW(Layout(Rect{}, {}), hsdl::CheckError);
+  // Shape outside the extent rejected.
+  EXPECT_THROW(Layout(Rect::from_xywh(0, 0, 100, 100),
+                      {Rect::from_xywh(200, 0, 10, 10)}),
+               hsdl::CheckError);
+}
+
+TEST(LayoutTest, ExtractClipCutsShapes) {
+  Layout chip(Rect::from_xywh(0, 0, 1000, 1000),
+              {Rect::from_xywh(0, 480, 1000, 40),     // crossing wire
+               Rect::from_xywh(100, 100, 50, 50),     // inside window
+               Rect::from_xywh(800, 800, 50, 50)});   // outside window
+  Clip clip = chip.extract_clip(Rect::from_xywh(0, 0, 500, 500));
+  ASSERT_EQ(clip.shapes.size(), 2u);
+  // The crossing wire (y 480..520) is clipped to the window: 500x20 left.
+  bool found_wire = false;
+  for (const Rect& r : clip.shapes)
+    if (r.width() == 500) {
+      EXPECT_EQ(r.height(), 20);
+      found_wire = true;
+    }
+  EXPECT_TRUE(found_wire);
+}
+
+TEST(LayoutTest, ExtractClipEmptyRegion) {
+  Layout chip(Rect::from_xywh(0, 0, 1000, 1000),
+              {Rect::from_xywh(0, 0, 100, 100)});
+  Clip clip = chip.extract_clip(Rect::from_xywh(500, 500, 200, 200));
+  EXPECT_TRUE(clip.shapes.empty());
+  EXPECT_EQ(clip.window, Rect::from_xywh(500, 500, 200, 200));
+}
+
+TEST(LayoutTest, DensityMatchesUnionArea) {
+  Layout chip(Rect::from_xywh(0, 0, 100, 100),
+              {Rect::from_xywh(0, 0, 50, 100),
+               Rect::from_xywh(25, 0, 50, 100)});  // overlapping
+  EXPECT_DOUBLE_EQ(chip.density(), 0.75);
+}
+
+TEST(GenerateChipTest, DimensionsValidated) {
+  GeneratorConfig cfg;  // clip_size 1200
+  EXPECT_THROW(generate_chip(1000, 2400, cfg, 1), hsdl::CheckError);
+  EXPECT_THROW(generate_chip(0, 1200, cfg, 1), hsdl::CheckError);
+}
+
+TEST(GenerateChipTest, CoversRequestedArea) {
+  GeneratorConfig cfg;
+  Layout chip = generate_chip(2400, 2400, cfg, 7);
+  EXPECT_EQ(chip.extent(), Rect::from_xywh(0, 0, 2400, 2400));
+  EXPECT_GT(chip.shape_count(), 10u);
+  // Shapes in every quadrant (each tile emits geometry).
+  bool quadrant[2][2] = {{false, false}, {false, false}};
+  for (const Rect& r : chip.shapes())
+    quadrant[r.lo.y / 1200 == 0 ? 0 : 1][r.lo.x / 1200 == 0 ? 0 : 1] = true;
+  EXPECT_TRUE(quadrant[0][0] && quadrant[0][1] && quadrant[1][0] &&
+              quadrant[1][1]);
+}
+
+TEST(GenerateChipTest, DeterministicBySeed) {
+  GeneratorConfig cfg;
+  Layout a = generate_chip(2400, 1200, cfg, 11);
+  Layout b = generate_chip(2400, 1200, cfg, 11);
+  EXPECT_EQ(a.shapes(), b.shapes());
+  Layout c = generate_chip(2400, 1200, cfg, 12);
+  EXPECT_NE(a.shapes(), c.shapes());
+}
+
+TEST(GenerateChipTest, TileClipsMatchDirectExtraction) {
+  GeneratorConfig cfg;
+  Layout chip = generate_chip(2400, 2400, cfg, 13);
+  // Extracting a tile-aligned window returns exactly that tile's shapes.
+  Clip tile = chip.extract_clip(Rect::from_xywh(1200, 0, 1200, 1200));
+  for (const Rect& r : tile.shapes)
+    EXPECT_TRUE(tile.window.contains(r));
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,132 @@
+#include "layout/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "layout/generator.hpp"
+#include "layout/raster.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+using geom::Rect;
+
+Clip asym_clip() {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 100, 100);
+  c.shapes = {Rect::from_xywh(10, 20, 30, 10),
+              Rect::from_xywh(60, 70, 10, 20)};
+  return c;
+}
+
+TEST(TransformTest, IdentityIsNoOp) {
+  Clip c = asym_clip();
+  Clip t = transformed(c, Dihedral::kIdentity);
+  EXPECT_EQ(t.shapes, c.shapes);
+  EXPECT_EQ(t.window, c.window);
+}
+
+TEST(TransformTest, AreaInvariantUnderAllOps) {
+  Clip c = asym_clip();
+  for (Dihedral op : kAllDihedral) {
+    Clip t = transformed(c, op);
+    EXPECT_DOUBLE_EQ(t.density(), c.density());
+    EXPECT_EQ(t.shapes.size(), c.shapes.size());
+    for (const Rect& r : t.shapes)
+      EXPECT_TRUE(t.window.contains(r)) << "op " << static_cast<int>(op);
+  }
+}
+
+TEST(TransformTest, Rot90FourTimesIsIdentity) {
+  Clip c = asym_clip();
+  Clip t = c;
+  for (int i = 0; i < 4; ++i) t = transformed(t, Dihedral::kRot90);
+  auto sorted = [](std::vector<Rect> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(t.shapes), sorted(c.shapes));
+}
+
+TEST(TransformTest, FlipsAreInvolutions) {
+  Clip c = asym_clip();
+  for (Dihedral op : {Dihedral::kFlipX, Dihedral::kFlipY,
+                      Dihedral::kTranspose, Dihedral::kAntiTranspose,
+                      Dihedral::kRot180}) {
+    Clip t = transformed(transformed(c, op), op);
+    auto sorted = [](std::vector<Rect> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(sorted(t.shapes), sorted(c.shapes))
+        << "op " << static_cast<int>(op);
+  }
+}
+
+TEST(TransformTest, Rot90MatchesRasterRotation) {
+  Clip c = asym_clip();
+  MaskImage orig = rasterize(c, 1.0);
+  MaskImage rot = rasterize(transformed(c, Dihedral::kRot90), 1.0);
+  // kRot90 maps (x, y) -> (s - y, x): pixel (x, y) of the original should
+  // appear at (s-1-y, x) in the rotated raster.
+  const std::size_t s = orig.width();
+  for (std::size_t y = 0; y < s; y += 7) {
+    for (std::size_t x = 0; x < s; x += 7) {
+      EXPECT_FLOAT_EQ(rot.at(s - 1 - y, x), orig.at(x, y))
+          << "pixel " << x << "," << y;
+    }
+  }
+}
+
+TEST(TransformTest, FlipXMatchesRasterMirror) {
+  Clip c = asym_clip();
+  MaskImage orig = rasterize(c, 1.0);
+  MaskImage flip = rasterize(transformed(c, Dihedral::kFlipX), 1.0);
+  const std::size_t s = orig.width();
+  for (std::size_t y = 0; y < s; y += 5)
+    for (std::size_t x = 0; x < s; x += 5)
+      EXPECT_FLOAT_EQ(flip.at(s - 1 - x, y), orig.at(x, y));
+}
+
+TEST(TransformTest, TransposeMatchesRasterTranspose) {
+  Clip c = asym_clip();
+  MaskImage orig = rasterize(c, 1.0);
+  MaskImage tr = rasterize(transformed(c, Dihedral::kTranspose), 1.0);
+  const std::size_t s = orig.width();
+  for (std::size_t y = 0; y < s; y += 5)
+    for (std::size_t x = 0; x < s; x += 5)
+      EXPECT_FLOAT_EQ(tr.at(y, x), orig.at(x, y));
+}
+
+TEST(TransformTest, NonSquareWindowThrows) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 100, 200);
+  EXPECT_THROW(transformed(c, Dihedral::kRot90), hsdl::CheckError);
+}
+
+TEST(TransformTest, OffsetWindowNormalized) {
+  Clip c;
+  c.window = Rect::from_xywh(500, 500, 100, 100);
+  c.shapes = {Rect::from_xywh(510, 520, 30, 10)};
+  Clip t = transformed(c, Dihedral::kFlipX);
+  EXPECT_EQ(t.window, Rect::from_xywh(0, 0, 100, 100));
+  // flip_x of [10, 40) is [60, 90).
+  EXPECT_EQ(t.shapes[0], Rect::from_xywh(60, 20, 30, 10));
+}
+
+TEST(TransformTest, GeneratedClipsSurviveAllOps) {
+  GeneratorConfig cfg;
+  ClipGenerator gen(cfg, 123);
+  for (int i = 0; i < 8; ++i) {
+    Clip c = gen.generate();
+    for (Dihedral op : kAllDihedral) {
+      Clip t = transformed(c, op);
+      EXPECT_NEAR(t.density(), c.density(), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::layout

@@ -1,0 +1,136 @@
+#include "litho/aerial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace hsdl::litho {
+namespace {
+
+using layout::MaskImage;
+
+TEST(GaussianKernelTest, NormalizedToOne) {
+  for (double sigma : {0.5, 1.0, 3.0, 7.5}) {
+    auto k = gaussian_kernel_1d(sigma);
+    double sum = std::accumulate(k.begin(), k.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "sigma " << sigma;
+  }
+}
+
+TEST(GaussianKernelTest, SymmetricAndPeakedAtCenter) {
+  auto k = gaussian_kernel_1d(2.0);
+  ASSERT_EQ(k.size() % 2, 1u);
+  const std::size_t mid = k.size() / 2;
+  for (std::size_t i = 0; i < mid; ++i)
+    EXPECT_FLOAT_EQ(k[i], k[k.size() - 1 - i]);
+  for (std::size_t i = 0; i < k.size(); ++i) EXPECT_LE(k[i], k[mid]);
+}
+
+TEST(GaussianKernelTest, RadiusCoversThreeSigma) {
+  auto k = gaussian_kernel_1d(4.0);
+  EXPECT_GE(k.size(), 2 * std::size_t(3 * 4.0) + 1);
+}
+
+TEST(GaussianKernelTest, RejectsNonPositiveSigma) {
+  EXPECT_THROW(gaussian_kernel_1d(0.0), hsdl::CheckError);
+  EXPECT_THROW(gaussian_kernel_1d(-1.0), hsdl::CheckError);
+}
+
+TEST(ConvolveTest, IdentityKernel) {
+  MaskImage img(8, 8, 1.0);
+  img.at(3, 4) = 1.0f;
+  auto out = convolve_separable(img, {1.0f});
+  EXPECT_DOUBLE_EQ(MaskImage::max_abs_diff(img, out), 0.0);
+}
+
+TEST(ConvolveTest, PreservesTotalMassAwayFromBoundary) {
+  MaskImage img(64, 64, 1.0);
+  img.at(32, 32) = 1.0f;
+  auto out = convolve_separable(img, gaussian_kernel_1d(2.0));
+  double mass = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) mass += out.data()[i];
+  EXPECT_NEAR(mass, 1.0, 1e-5);
+}
+
+TEST(ConvolveTest, UniformImageStaysUniformInCenter) {
+  MaskImage img(64, 64, 1.0, 1.0f);
+  auto out = convolve_separable(img, gaussian_kernel_1d(3.0));
+  EXPECT_NEAR(out.at(32, 32), 1.0f, 1e-5);
+  // Boundary (zero field outside) attenuates toward 0.5 at the edge.
+  EXPECT_LT(out.at(0, 32), 0.7f);
+}
+
+TEST(ConvolveTest, RejectsEvenKernel) {
+  MaskImage img(8, 8, 1.0);
+  EXPECT_THROW(convolve_separable(img, {0.5f, 0.5f}), hsdl::CheckError);
+}
+
+TEST(AerialImageTest, OpenFrameIntensityNearOne) {
+  MaskImage mask(128, 128, 4.0, 1.0f);
+  auto aerial = aerial_image(mask, 18.0);
+  EXPECT_NEAR(aerial.at(64, 64), 1.0f, 1e-4);
+}
+
+TEST(AerialImageTest, IsolatedLinePeakMatchesErf) {
+  // A long vertical line of width w has peak intensity erf(w / (2*sqrt(2)*sigma)).
+  const double grid = 2.0, sigma = 18.0, width = 40.0;
+  MaskImage mask(200, 200, grid);
+  const std::size_t x0 = 80, x1 = x0 + std::size_t(width / grid);
+  for (std::size_t y = 0; y < 200; ++y)
+    for (std::size_t x = x0; x < x1; ++x) mask.at(x, y) = 1.0f;
+  auto aerial = aerial_image(mask, sigma);
+  const double expected = std::erf(width / (2.0 * std::sqrt(2.0) * sigma));
+  EXPECT_NEAR(aerial.at((x0 + x1) / 2, 100), expected, 0.03);
+}
+
+TEST(AerialImageTest, BlurMonotoneInSigma) {
+  // More blur -> lower peak on a thin feature.
+  MaskImage mask(100, 100, 2.0);
+  for (std::size_t y = 0; y < 100; ++y)
+    for (std::size_t x = 45; x < 55; ++x) mask.at(x, y) = 1.0f;
+  auto sharp = aerial_image(mask, 10.0);
+  auto blurry = aerial_image(mask, 30.0);
+  EXPECT_GT(sharp.at(50, 50), blurry.at(50, 50));
+}
+
+TEST(AerialImageTest, IntensityBounded) {
+  MaskImage mask(100, 100, 2.0);
+  for (std::size_t y = 20; y < 80; ++y)
+    for (std::size_t x = 20; x < 80; ++x) mask.at(x, y) = 1.0f;
+  auto aerial = aerial_image(mask, 12.0);
+  for (std::size_t i = 0; i < aerial.size(); ++i) {
+    EXPECT_GE(aerial.data()[i], 0.0f);
+    EXPECT_LE(aerial.data()[i], 1.0f + 1e-5f);
+  }
+}
+
+TEST(AerialImageTest, SeparabilityMatchesFull2d) {
+  // Separable Gaussian equals the dense 2-D convolution.
+  MaskImage mask(32, 32, 1.0);
+  mask.at(10, 12) = 1.0f;
+  mask.at(20, 8) = 1.0f;
+  const double sigma = 2.0;
+  auto out = aerial_image(mask, sigma);
+  auto kern = gaussian_kernel_1d(sigma);
+  const int radius = static_cast<int>(kern.size() / 2);
+  for (int yy : {12, 8, 15}) {
+    for (int xx : {10, 20, 16}) {
+      double acc = 0.0;
+      for (int dy = -radius; dy <= radius; ++dy)
+        for (int dx = -radius; dx <= radius; ++dx) {
+          int sx = xx + dx, sy = yy + dy;
+          if (sx < 0 || sy < 0 || sx >= 32 || sy >= 32) continue;
+          acc += kern[std::size_t(dx + radius)] *
+                 kern[std::size_t(dy + radius)] *
+                 mask.at(std::size_t(sx), std::size_t(sy));
+        }
+      EXPECT_NEAR(out.at(std::size_t(xx), std::size_t(yy)), acc, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::litho

@@ -1,0 +1,90 @@
+// Calibration invariants of the default litho model.
+//
+// These tests pin down the population statistics that the benchmark
+// factory relies on: the default model must label generated clips with a
+// hotspot rate that (a) is far from both degenerate extremes and (b) grows
+// with generator stress. If a litho default is retuned, these tests keep
+// the learning problem well-posed.
+#include <gtest/gtest.h>
+
+#include "layout/generator.hpp"
+#include "litho/labeler.hpp"
+
+namespace hsdl::litho {
+namespace {
+
+struct Rates {
+  double hotspot;
+  double unknown;
+};
+
+Rates measure(double stress, int n = 120, std::uint64_t seed = 555) {
+  layout::GeneratorConfig cfg;
+  cfg.stress = stress;
+  layout::ClipGenerator gen(cfg, seed);
+  HotspotLabeler labeler;
+  int hs = 0, unk = 0;
+  for (int i = 0; i < n; ++i) {
+    switch (labeler.label(gen.generate())) {
+      case layout::HotspotLabel::kHotspot:
+        ++hs;
+        break;
+      case layout::HotspotLabel::kUnknown:
+        ++unk;
+        break;
+      default:
+        break;
+    }
+  }
+  return {static_cast<double>(hs) / n, static_cast<double>(unk) / n};
+}
+
+TEST(CalibrationTest, LowStressHotspotRateModerate) {
+  Rates r = measure(0.25);
+  EXPECT_GT(r.hotspot, 0.03);
+  EXPECT_LT(r.hotspot, 0.40);
+}
+
+TEST(CalibrationTest, HighStressHotspotRateHigher) {
+  Rates low = measure(0.25);
+  Rates high = measure(0.75);
+  EXPECT_GT(high.hotspot, low.hotspot);
+}
+
+TEST(CalibrationTest, HighStressNotDegenerate) {
+  Rates r = measure(0.75);
+  EXPECT_LT(r.hotspot, 0.75);
+  EXPECT_GT(r.hotspot, 0.10);
+}
+
+TEST(CalibrationTest, AmbiguousBandIsMinority) {
+  Rates r = measure(0.5);
+  EXPECT_LT(r.unknown, 0.5);
+}
+
+TEST(CalibrationTest, IsolatedArchetypeAlmostNeverHotspot) {
+  layout::GeneratorConfig cfg;
+  cfg.stress = 0.5;
+  layout::ClipGenerator gen(cfg, 556);
+  HotspotLabeler labeler;
+  int hs = 0;
+  for (int i = 0; i < 40; ++i)
+    hs += labeler.label(gen.generate(layout::Archetype::kIsolated)) ==
+          layout::HotspotLabel::kHotspot;
+  EXPECT_LE(hs, 2);
+}
+
+TEST(CalibrationTest, StressedTipToTipOftenHotspot) {
+  layout::GeneratorConfig cfg;
+  cfg.stress = 0.9;
+  layout::ClipGenerator gen(cfg, 557);
+  HotspotLabeler labeler;
+  int hs = 0;
+  for (int i = 0; i < 40; ++i)
+    hs += labeler.label(gen.generate(layout::Archetype::kTipToTip)) ==
+          layout::HotspotLabel::kHotspot;
+  EXPECT_GE(hs, 4);
+}
+
+}  // namespace
+}  // namespace hsdl::litho

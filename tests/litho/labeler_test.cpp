@@ -1,0 +1,162 @@
+#include "litho/labeler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/generator.hpp"
+
+namespace hsdl::litho {
+namespace {
+
+using geom::Rect;
+using layout::Clip;
+using layout::HotspotLabel;
+
+Clip clip_1200(std::vector<Rect> shapes) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = std::move(shapes);
+  return c;
+}
+
+TEST(LabelerTest, EmptyClipIsClean) {
+  HotspotLabeler labeler;
+  Clip empty = clip_1200({});
+  EXPECT_FALSE(labeler.analyze(empty).is_hotspot());
+  EXPECT_EQ(labeler.label(empty), HotspotLabel::kNonHotspot);
+}
+
+TEST(LabelerTest, RobustIsolatedBlockIsClean) {
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(400, 400, 300, 300)});
+  EXPECT_EQ(labeler.label(c), HotspotLabel::kNonHotspot);
+}
+
+TEST(LabelerTest, RelaxedLineSpaceArrayIsClean) {
+  // 80 nm lines at 160 nm space: comfortably printable.
+  std::vector<Rect> shapes;
+  for (geom::Coord y = 0; y + 80 <= 1200; y += 240)
+    shapes.push_back(Rect::from_xywh(0, y, 1200, 80));
+  HotspotLabeler labeler;
+  EXPECT_EQ(labeler.label(clip_1200(shapes)), HotspotLabel::kNonHotspot);
+}
+
+TEST(LabelerTest, DeepSubRuleGapBridges) {
+  // Two wide lines with a 20 nm gap in the clip core.
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(400, 200, 80, 800),
+                      Rect::from_xywh(500, 200, 80, 800)});
+  auto report = labeler.analyze(c);
+  bool has_bridge = false;
+  for (const Defect& d : report.defects)
+    has_bridge |= d.type == DefectType::kBridging;
+  EXPECT_TRUE(has_bridge);
+  EXPECT_EQ(labeler.label(c), HotspotLabel::kHotspot);
+}
+
+TEST(LabelerTest, TinyContactNecksOrVanishes) {
+  // A 36 nm contact is below the printable size at the under corner.
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(580, 580, 36, 36)});
+  auto report = labeler.analyze(c);
+  EXPECT_TRUE(report.is_hotspot());
+}
+
+TEST(LabelerTest, LargeContactIsClean) {
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(560, 560, 80, 80)});
+  EXPECT_EQ(labeler.label(c), HotspotLabel::kNonHotspot);
+}
+
+TEST(LabelerTest, AbuttingRectsOfSameWireAreNotBridges) {
+  // An L built from two overlapping rects: no space is crossed, so the
+  // junction must not be reported as bridging.
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(300, 500, 600, 80),
+                      Rect::from_xywh(560, 300, 80, 600)});
+  auto report = labeler.analyze(c);
+  for (const Defect& d : report.defects)
+    EXPECT_NE(d.type, DefectType::kBridging)
+        << "bridge at " << d.location.x << "," << d.location.y;
+}
+
+TEST(LabelerTest, DefectsOutsideCoreMarginIgnored) {
+  // A defect-prone tiny contact hugging the clip boundary is the
+  // neighbouring clip's responsibility.
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(2, 2, 36, 36)});
+  EXPECT_FALSE(labeler.analyze(c).is_hotspot());
+}
+
+TEST(LabelerTest, DefectLocationInsideClip) {
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(400, 200, 80, 800),
+                      Rect::from_xywh(500, 200, 80, 800)});
+  for (const Defect& d : labeler.analyze(c).defects)
+    EXPECT_TRUE(c.window.contains(d.location));
+}
+
+TEST(LabelerTest, SeverityPositive) {
+  HotspotLabeler labeler;
+  Clip c = clip_1200({Rect::from_xywh(580, 580, 36, 36)});
+  for (const Defect& d : labeler.analyze(c).defects)
+    EXPECT_GT(d.severity_nm, 0.0);
+}
+
+TEST(LabelerTest, LabelAllFillsLabels) {
+  HotspotLabeler labeler;
+  std::vector<layout::LabeledClip> clips(2);
+  clips[0].clip = clip_1200({Rect::from_xywh(400, 400, 300, 300)});
+  clips[1].clip = clip_1200({Rect::from_xywh(400, 200, 80, 800),
+                             Rect::from_xywh(500, 200, 80, 800)});
+  labeler.label_all(clips);
+  EXPECT_EQ(clips[0].label, HotspotLabel::kNonHotspot);
+  EXPECT_EQ(clips[1].label, HotspotLabel::kHotspot);
+}
+
+TEST(LabelerTest, DefectTypeNames) {
+  EXPECT_STREQ(to_string(DefectType::kNecking), "necking");
+  EXPECT_STREQ(to_string(DefectType::kBridging), "bridging");
+  EXPECT_STREQ(to_string(DefectType::kLineEndPullback),
+               "line-end-pullback");
+}
+
+TEST(LabelerTest, MildHarshOrdering) {
+  // Anything hotspot under mild corners must also be hotspot under harsh
+  // ones; sample generated clips to exercise the property.
+  layout::GeneratorConfig gcfg;
+  gcfg.stress = 0.5;
+  layout::ClipGenerator gen(gcfg, 2024);
+  LithoConfig cfg;
+  HotspotLabeler mild(mild_variant(cfg));
+  HotspotLabeler harsh(harsh_variant(cfg));
+  for (int i = 0; i < 15; ++i) {
+    Clip c = gen.generate();
+    if (mild.analyze(c).is_hotspot())
+      EXPECT_TRUE(harsh.analyze(c).is_hotspot()) << "clip " << i;
+  }
+}
+
+TEST(LabelerTest, LabelConsistentWithVariantAnalysis) {
+  layout::GeneratorConfig gcfg;
+  gcfg.stress = 0.5;
+  layout::ClipGenerator gen(gcfg, 77);
+  LithoConfig cfg;
+  HotspotLabeler labeler(cfg);
+  HotspotLabeler mild(mild_variant(cfg));
+  HotspotLabeler harsh(harsh_variant(cfg));
+  for (int i = 0; i < 10; ++i) {
+    Clip c = gen.generate();
+    HotspotLabel l = labeler.label(c);
+    const bool mild_hs = mild.analyze(c).is_hotspot();
+    const bool harsh_hs = harsh.analyze(c).is_hotspot();
+    if (l == HotspotLabel::kHotspot) EXPECT_TRUE(mild_hs);
+    if (l == HotspotLabel::kNonHotspot) EXPECT_FALSE(harsh_hs);
+    if (l == HotspotLabel::kUnknown) {
+      EXPECT_FALSE(mild_hs);
+      EXPECT_TRUE(harsh_hs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::litho

@@ -1,0 +1,130 @@
+#include "litho/process_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "litho/aerial.hpp"
+#include "litho/labeler.hpp"
+
+namespace hsdl::litho {
+namespace {
+
+using geom::Rect;
+using layout::Clip;
+
+Clip clip_1200(std::vector<Rect> shapes) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = std::move(shapes);
+  return c;
+}
+
+TEST(ProcessWindowTest, RobustPatternHasFullWindow) {
+  Clip c = clip_1200({Rect::from_xywh(400, 400, 300, 300)});
+  ProcessWindowConfig cfg;
+  ProcessWindowResult r = measure_process_window(c, cfg);
+  EXPECT_EQ(r.conditions, cfg.dose_steps * cfg.blur_steps);
+  EXPECT_DOUBLE_EQ(r.window_fraction(), 1.0);
+}
+
+TEST(ProcessWindowTest, SevereDefectHasNarrowWindow) {
+  // 20 nm gap bridges across most of the dose range.
+  Clip c = clip_1200({Rect::from_xywh(400, 200, 80, 800),
+                      Rect::from_xywh(500, 200, 80, 800)});
+  ProcessWindowConfig cfg;
+  ProcessWindowResult r = measure_process_window(c, cfg);
+  EXPECT_LT(r.window_fraction(), 0.5);
+}
+
+TEST(ProcessWindowTest, HotspotsHaveSmallerWindows) {
+  // The paper's Section 2 definition, checked directly: the labeler's
+  // hotspot class must have a smaller measured process window than its
+  // non-hotspot class.
+  Clip clean = clip_1200({Rect::from_xywh(300, 300, 200, 600)});
+  Clip marginal = clip_1200({Rect::from_xywh(560, 560, 40, 40)});
+  ProcessWindowConfig cfg;
+  EXPECT_GT(measure_process_window(clean, cfg).window_fraction(),
+            measure_process_window(marginal, cfg).window_fraction());
+}
+
+TEST(ProcessWindowTest, SingleConditionGrid) {
+  Clip c = clip_1200({Rect::from_xywh(400, 400, 300, 300)});
+  ProcessWindowConfig cfg;
+  cfg.dose_steps = 1;
+  cfg.blur_steps = 1;
+  ProcessWindowResult r = measure_process_window(c, cfg);
+  EXPECT_EQ(r.conditions, 1u);
+}
+
+TEST(ProcessWindowTest, EmptyClipAlwaysClean) {
+  ProcessWindowConfig cfg;
+  ProcessWindowResult r = measure_process_window(clip_1200({}), cfg);
+  EXPECT_DOUBLE_EQ(r.window_fraction(), 1.0);
+}
+
+TEST(ProcessWindowTest, ValidationErrors) {
+  ProcessWindowConfig cfg;
+  cfg.dose_steps = 0;
+  EXPECT_THROW(measure_process_window(clip_1200({}), cfg),
+               hsdl::CheckError);
+  cfg = ProcessWindowConfig{};
+  cfg.dose_min = 1.2;
+  cfg.dose_max = 1.0;
+  EXPECT_THROW(measure_process_window(clip_1200({}), cfg),
+               hsdl::CheckError);
+}
+
+TEST(AerialMixtureTest, EmptyMixtureMatchesSingleGaussian) {
+  layout::MaskImage mask(100, 100, 4.0);
+  for (std::size_t y = 40; y < 60; ++y)
+    for (std::size_t x = 0; x < 100; ++x) mask.at(x, y) = 1.0f;
+  auto single = aerial_image(mask, 18.0);
+  auto mixture = aerial_image_mixture(mask, 18.0, {});
+  EXPECT_DOUBLE_EQ(layout::MaskImage::max_abs_diff(single, mixture), 0.0);
+}
+
+TEST(AerialMixtureTest, DegenerateOneTermMatchesSingle) {
+  layout::MaskImage mask(100, 100, 4.0);
+  mask.at(50, 50) = 1.0f;
+  auto single = aerial_image(mask, 18.0);
+  auto mixture = aerial_image_mixture(mask, 18.0, {{2.0, 1.0}});
+  EXPECT_LT(layout::MaskImage::max_abs_diff(single, mixture), 1e-6);
+}
+
+TEST(AerialMixtureTest, OpenFrameStaysNormalized) {
+  layout::MaskImage mask(128, 128, 4.0, 1.0f);
+  auto mixture =
+      aerial_image_mixture(mask, 18.0, {{0.85, 1.0}, {0.15, 2.5}});
+  EXPECT_NEAR(mixture.at(64, 64), 1.0f, 1e-4f);
+}
+
+TEST(AerialMixtureTest, FlareTermSpreadsIntensity) {
+  // Adding a wide second kernel lowers the peak and raises the tails.
+  layout::MaskImage mask(200, 200, 4.0);
+  for (std::size_t y = 95; y < 105; ++y)
+    for (std::size_t x = 0; x < 200; ++x) mask.at(x, y) = 1.0f;
+  auto sharp = aerial_image_mixture(mask, 18.0, {});
+  auto flared =
+      aerial_image_mixture(mask, 18.0, {{0.7, 1.0}, {0.3, 3.0}});
+  EXPECT_LT(flared.at(100, 100), sharp.at(100, 100));
+  EXPECT_GT(flared.at(100, 140), sharp.at(100, 140));
+}
+
+TEST(AerialMixtureTest, MixtureLabelingStillWorks) {
+  LithoConfig cfg;
+  cfg.kernel_mixture = {{0.85, 1.0}, {0.15, 2.0}};
+  HotspotLabeler labeler(cfg);
+  Clip clean = clip_1200({Rect::from_xywh(400, 400, 300, 300)});
+  EXPECT_EQ(labeler.label(clean), layout::HotspotLabel::kNonHotspot);
+}
+
+TEST(AerialMixtureTest, InvalidTermsRejected) {
+  layout::MaskImage mask(32, 32, 4.0);
+  EXPECT_THROW(aerial_image_mixture(mask, 18.0, {{0.0, 1.0}}),
+               hsdl::CheckError);
+  EXPECT_THROW(aerial_image_mixture(mask, 18.0, {{1.0, -1.0}}),
+               hsdl::CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::litho

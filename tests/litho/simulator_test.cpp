@@ -1,0 +1,135 @@
+#include "litho/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::litho {
+namespace {
+
+using geom::Rect;
+using layout::Clip;
+using layout::MaskImage;
+
+Clip line_clip(geom::Coord width, geom::Coord clip_size = 1200) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, clip_size, clip_size);
+  c.shapes = {Rect::from_xywh((clip_size - width) / 2, 0, width, clip_size)};
+  return c;
+}
+
+double printed_fraction(const MaskImage& img) { return img.mean(); }
+
+TEST(SimulatorTest, ConfigValidation) {
+  LithoConfig bad;
+  bad.grid_nm = 0;
+  EXPECT_THROW(LithoSimulator{bad}, hsdl::CheckError);
+  bad = LithoConfig{};
+  bad.threshold = 1.5;
+  EXPECT_THROW(LithoSimulator{bad}, hsdl::CheckError);
+  bad = LithoConfig{};
+  bad.sigma_nm = -3;
+  EXPECT_THROW(LithoSimulator{bad}, hsdl::CheckError);
+}
+
+TEST(SimulatorTest, RasterizeUsesSimulationGrid) {
+  LithoSimulator sim;
+  MaskImage m = sim.rasterize(line_clip(200));
+  EXPECT_EQ(m.width(), std::size_t(1200 / sim.config().grid_nm));
+}
+
+TEST(SimulatorTest, WideLinePrintsAtAllCorners) {
+  LithoSimulator sim;
+  PrintedStack stack = sim.print(line_clip(200));
+  // Sample the line centre mid-height.
+  const std::size_t cx = stack.nominal.width() / 2;
+  const std::size_t cy = stack.nominal.height() / 2;
+  EXPECT_FLOAT_EQ(stack.nominal.at(cx, cy), 1.0f);
+  EXPECT_FLOAT_EQ(stack.under.at(cx, cy), 1.0f);
+  EXPECT_FLOAT_EQ(stack.over.at(cx, cy), 1.0f);
+}
+
+TEST(SimulatorTest, EmptyMaskPrintsNothing) {
+  LithoSimulator sim;
+  Clip empty;
+  empty.window = Rect::from_xywh(0, 0, 1200, 1200);
+  PrintedStack stack = sim.print(empty);
+  EXPECT_DOUBLE_EQ(printed_fraction(stack.nominal), 0.0);
+  EXPECT_DOUBLE_EQ(printed_fraction(stack.over), 0.0);
+}
+
+TEST(SimulatorTest, DoseOrderingUnderNominalOver) {
+  // Higher dose prints more resist: under <= nominal(defocus aside) ... the
+  // robust ordering is under <= over (same aerial, different dose).
+  LithoSimulator sim;
+  PrintedStack stack = sim.print(line_clip(60));
+  EXPECT_LE(printed_fraction(stack.under), printed_fraction(stack.over));
+}
+
+TEST(SimulatorTest, PrintedCdGrowsWithMaskCd) {
+  LithoSimulator sim;
+  double narrow = printed_fraction(sim.print(line_clip(44)).nominal);
+  double wide = printed_fraction(sim.print(line_clip(120)).nominal);
+  EXPECT_LT(narrow, wide);
+}
+
+TEST(SimulatorTest, SubResolutionFeatureVanishes) {
+  // A 10 nm sliver is far below the resolution limit: nothing prints.
+  LithoSimulator sim;
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = {Rect::from_xywh(600, 0, 10, 1200)};
+  PrintedStack stack = sim.print(c);
+  EXPECT_DOUBLE_EQ(printed_fraction(stack.nominal), 0.0);
+}
+
+TEST(SimulatorTest, DevelopIsThreshold) {
+  LithoSimulator sim;
+  MaskImage aerial(4, 4, 4.0);
+  aerial.at(0, 0) = 0.6f;
+  aerial.at(1, 0) = 0.49f;
+  aerial.at(2, 0) = 0.51f;
+  MaskImage printed = sim.develop(aerial, ProcessCorner{1.0, 1.0});
+  EXPECT_FLOAT_EQ(printed.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(printed.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(printed.at(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(printed.at(3, 3), 0.0f);
+}
+
+TEST(SimulatorTest, DoseScalesEffectiveThreshold) {
+  LithoSimulator sim;
+  MaskImage aerial(2, 2, 4.0);
+  aerial.at(0, 0) = 0.48f;
+  // At dose 1.0, 0.48 < 0.5 does not print; at dose 1.1 it does.
+  EXPECT_FLOAT_EQ(sim.develop(aerial, {1.0, 1.0}).at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(sim.develop(aerial, {1.1, 1.0}).at(0, 0), 1.0f);
+}
+
+TEST(SimulatorTest, TightPitchBridgesAtOverCorner) {
+  // Two lines separated by a deeply sub-rule 20 nm gap: over-dose closes it.
+  LithoSimulator sim;
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = {Rect::from_xywh(500, 0, 80, 1200),
+              Rect::from_xywh(600, 0, 80, 1200)};
+  PrintedStack stack = sim.print(c);
+  // Gap centre at x=590 nm.
+  const auto gx = static_cast<std::size_t>(590 / sim.config().grid_nm);
+  const std::size_t cy = stack.over.height() / 2;
+  EXPECT_FLOAT_EQ(stack.over.at(gx, cy), 1.0f) << "gap should bridge";
+}
+
+TEST(SimulatorTest, RelaxedPitchDoesNotBridge) {
+  LithoSimulator sim;
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = {Rect::from_xywh(400, 0, 80, 1200),
+              Rect::from_xywh(600, 0, 80, 1200)};  // 120 nm gap
+  PrintedStack stack = sim.print(c);
+  const auto gx = static_cast<std::size_t>(540 / sim.config().grid_nm);
+  const std::size_t cy = stack.over.height() / 2;
+  EXPECT_FLOAT_EQ(stack.over.at(gx, cy), 0.0f);
+}
+
+}  // namespace
+}  // namespace hsdl::litho

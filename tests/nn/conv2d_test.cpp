@@ -1,0 +1,204 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+Conv2dConfig cfg(std::size_t in, std::size_t out, std::size_t kernel = 3,
+                 std::size_t stride = 1, std::size_t padding = 1) {
+  Conv2dConfig c;
+  c.in_channels = in;
+  c.out_channels = out;
+  c.kernel = kernel;
+  c.stride = stride;
+  c.padding = padding;
+  return c;
+}
+
+TEST(Im2colTest, SinglePixelKernel) {
+  // 1x1 kernel, no padding: im2col is the identity.
+  std::vector<float> in = {1, 2, 3, 4};
+  std::vector<float> out(4);
+  im2col(in.data(), 1, 2, 2, 1, 1, 0, out.data());
+  EXPECT_EQ(out, in);
+}
+
+TEST(Im2colTest, PaddingYieldsZeros) {
+  std::vector<float> in = {5};
+  std::vector<float> out(9);  // 3x3 kernel over 1x1 input with padding 1
+  im2col(in.data(), 1, 1, 1, 3, 1, 1, out.data());
+  // Only the kernel centre hits the pixel.
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_FLOAT_EQ(out[i], i == 4 ? 5.0f : 0.0f);
+}
+
+TEST(Im2colTest, StrideSkipsPositions) {
+  // 4x4 input, 2x2 kernel, stride 2, no padding -> 2x2 output positions.
+  std::vector<float> in(16);
+  for (std::size_t i = 0; i < 16; ++i) in[i] = static_cast<float>(i);
+  std::vector<float> out(4 * 4);  // (1*2*2) rows x (2*2) cols
+  im2col(in.data(), 1, 4, 4, 2, 2, 0, out.data());
+  // Row 0 of the col matrix is kernel offset (0,0) at positions
+  // (0,0),(0,2),(2,0),(2,2).
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 8.0f);
+  EXPECT_FLOAT_EQ(out[3], 10.0f);
+}
+
+TEST(Col2imTest, InverseOfIm2colFor1x1) {
+  std::vector<float> cols = {1, 2, 3, 4};
+  std::vector<float> img(4, 0.0f);
+  col2im(cols.data(), 1, 2, 2, 1, 1, 0, img.data());
+  EXPECT_EQ(img, cols);
+}
+
+TEST(Col2imTest, OverlapAccumulates) {
+  // 3x3 kernel, stride 1, padding 1 on 2x2: every input pixel is visited
+  // by several kernel offsets; scattering all-ones cols counts visits.
+  const std::size_t rows = 9, cols_n = 4;
+  std::vector<float> cols(rows * cols_n, 1.0f);
+  std::vector<float> img(4, 0.0f);
+  col2im(cols.data(), 1, 2, 2, 3, 1, 1, img.data());
+  // Each pixel of a 2x2 image under 3x3/pad1 appears in exactly 4 patches.
+  for (float v : img) EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+TEST(Conv2dTest, OutputShapeSamePadding) {
+  Rng rng(1);
+  Conv2d conv(cfg(3, 8), rng);
+  EXPECT_EQ(conv.output_shape({2, 3, 12, 12}),
+            (std::vector<std::size_t>{2, 8, 12, 12}));
+}
+
+TEST(Conv2dTest, OutputShapeValidPadding) {
+  Rng rng(1);
+  Conv2d conv(cfg(1, 4, 3, 1, 0), rng);
+  EXPECT_EQ(conv.output_shape({1, 1, 12, 12}),
+            (std::vector<std::size_t>{1, 4, 10, 10}));
+}
+
+TEST(Conv2dTest, KnownConvolutionValue) {
+  Rng rng(1);
+  Conv2d conv(cfg(1, 1, 3, 1, 1), rng);
+  // Set kernel to an averaging filter and bias to 0.
+  conv.weight().value.fill(1.0f);
+  conv.bias().value.zero();
+  Tensor x({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i + 1);
+  Tensor y = conv.forward(x, false);
+  // Centre output = sum of all 9 inputs = 45.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 45.0f);
+  // Corner output (0,0) = 1+2+4+5 = 12 (others padded).
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 12.0f);
+}
+
+TEST(Conv2dTest, BiasAddsToEveryPixel) {
+  Rng rng(2);
+  Conv2d conv(cfg(1, 2), rng);
+  conv.weight().value.zero();
+  conv.bias().value[0] = 1.5f;
+  conv.bias().value[1] = -2.0f;
+  Tensor x({1, 1, 4, 4}, 3.0f);
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 2, 2), -2.0f);
+}
+
+TEST(Conv2dTest, MultiChannelSumsContributions) {
+  Rng rng(3);
+  Conv2d conv(cfg(2, 1, 1, 1, 0), rng);
+  conv.weight().value[0] = 2.0f;  // channel 0 weight
+  conv.weight().value[1] = 3.0f;  // channel 1 weight
+  conv.bias().value.zero();
+  Tensor x({1, 2, 2, 2});
+  x.at(0, 0, 0, 0) = 1.0f;
+  x.at(0, 1, 0, 0) = 10.0f;
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2.0f * 1.0f + 3.0f * 10.0f);
+}
+
+TEST(Conv2dTest, TranslationEquivariance) {
+  Rng rng(4);
+  Conv2d conv(cfg(1, 4), rng);
+  Tensor a({1, 1, 8, 8});
+  a.at(0, 0, 3, 3) = 1.0f;
+  Tensor b({1, 1, 8, 8});
+  b.at(0, 0, 4, 5) = 1.0f;  // shifted by (+1, +2)
+  Tensor ya = conv.forward(a, false);
+  Tensor yb = conv.forward(b, false);
+  // Away from boundaries the responses are shifted copies.
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t dy = 0; dy < 3; ++dy)
+      for (std::size_t dx = 0; dx < 3; ++dx)
+        EXPECT_NEAR(ya.at(0, c, 2 + dy, 2 + dx),
+                    yb.at(0, c, 3 + dy, 4 + dx), 1e-6f);
+}
+
+TEST(Conv2dTest, BatchIndependence) {
+  Rng rng(5);
+  Conv2d conv(cfg(1, 2), rng);
+  Tensor x({2, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  // Second sample identical to first.
+  for (std::size_t i = 0; i < 16; ++i) x[16 + i] = x[i];
+  Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < y.numel() / 2; ++i)
+    EXPECT_FLOAT_EQ(y[i], y[y.numel() / 2 + i]);
+}
+
+TEST(Conv2dTest, BackwardShapesAndAccumulation) {
+  Rng rng(6);
+  Conv2d conv(cfg(2, 3), rng);
+  Tensor x({2, 2, 6, 6}, 0.5f);
+  Tensor y = conv.forward(x, true);
+  Tensor gy(y.shape(), 1.0f);
+  conv.zero_grad();
+  Tensor gx = conv.backward(gy);
+  EXPECT_EQ(gx.shape(), x.shape());
+  // Gradients accumulate across backward calls.
+  const float g0 = conv.weight().grad[0];
+  conv.forward(x, true);
+  conv.backward(gy);
+  EXPECT_NEAR(conv.weight().grad[0], 2.0f * g0, 1e-4f);
+}
+
+TEST(Conv2dTest, BackwardBeforeForwardThrows) {
+  Rng rng(7);
+  Conv2d conv(cfg(1, 1), rng);
+  Tensor g({1, 1, 4, 4});
+  EXPECT_THROW(conv.backward(g), CheckError);
+}
+
+TEST(Conv2dTest, WrongChannelCountThrows) {
+  Rng rng(8);
+  Conv2d conv(cfg(3, 4), rng);
+  Tensor x({1, 2, 8, 8});
+  EXPECT_THROW(conv.forward(x, false), CheckError);
+}
+
+TEST(Conv2dTest, NameDescribesShape) {
+  Rng rng(9);
+  Conv2d conv(cfg(16, 32), rng);
+  EXPECT_EQ(conv.name(), "conv3x3(16->32)");
+}
+
+TEST(Conv2dTest, HeInitStatistics) {
+  Rng rng(10);
+  Conv2d conv(cfg(8, 64), rng);
+  const Tensor& w = conv.weight().value;
+  double mean = w.sum() / static_cast<double>(w.numel());
+  double var = 0;
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    var += (w[i] - mean) * (w[i] - mean);
+  var /= static_cast<double>(w.numel());
+  const double expected_var = 2.0 / (8 * 3 * 3);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, expected_var, expected_var * 0.3);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

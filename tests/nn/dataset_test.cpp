@@ -1,0 +1,113 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+ClassificationDataset two_class_set() {
+  ClassificationDataset d({2, 2});
+  d.add({1, 2, 3, 4}, 0);
+  d.add({5, 6, 7, 8}, 1);
+  d.add({9, 10, 11, 12}, 0);
+  return d;
+}
+
+TEST(DatasetTest, SizesAndShapes) {
+  ClassificationDataset d({3, 4, 5});
+  EXPECT_EQ(d.feature_numel(), 60u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_TRUE(d.empty());
+  d.add(std::vector<float>(60, 0.0f), 1);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DatasetTest, AddValidation) {
+  ClassificationDataset d({4});
+  EXPECT_THROW(d.add({1, 2, 3}, 0), CheckError);     // wrong size
+  EXPECT_THROW(d.add({1, 2, 3, 4}, 2), CheckError);  // label out of range
+}
+
+TEST(DatasetTest, FeaturesAndLabelsStored) {
+  auto d = two_class_set();
+  EXPECT_EQ(d.label(1), 1u);
+  EXPECT_FLOAT_EQ(d.features(1)[0], 5.0f);
+  EXPECT_FLOAT_EQ(d.features(2)[3], 12.0f);
+}
+
+TEST(DatasetTest, CountLabel) {
+  auto d = two_class_set();
+  EXPECT_EQ(d.count_label(0), 2u);
+  EXPECT_EQ(d.count_label(1), 1u);
+}
+
+TEST(DatasetTest, GatherBuildsBatchTensor) {
+  auto d = two_class_set();
+  Tensor batch = d.gather({2, 0});
+  EXPECT_EQ(batch.shape(), (std::vector<std::size_t>{2, 2, 2}));
+  EXPECT_FLOAT_EQ(batch.at(0, 0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(batch.at(1, 0, 0), 1.0f);
+}
+
+TEST(DatasetTest, GatherOnehot) {
+  auto d = two_class_set();
+  Tensor t = d.gather_onehot({0, 1});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 1.0f);
+}
+
+TEST(DatasetTest, SampleBatchIndicesValid) {
+  auto d = two_class_set();
+  Rng rng(1);
+  auto idx = d.sample_batch(10, rng);
+  EXPECT_EQ(idx.size(), 10u);
+  for (std::size_t i : idx) EXPECT_LT(i, d.size());
+}
+
+TEST(DatasetTest, SampleBatchCoversSet) {
+  auto d = two_class_set();
+  Rng rng(2);
+  std::vector<bool> seen(3, false);
+  for (int trial = 0; trial < 20; ++trial)
+    for (std::size_t i : d.sample_batch(4, rng)) seen[i] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(DatasetTest, BalancedBatchAlternatesClasses) {
+  ClassificationDataset d({1});
+  for (int i = 0; i < 20; ++i) d.add({static_cast<float>(i)}, 0);
+  d.add({100.0f}, 1);  // single positive
+  Rng rng(3);
+  auto idx = d.sample_batch_balanced(8, rng);
+  int pos = 0;
+  for (std::size_t i : idx) pos += (d.label(i) == 1);
+  EXPECT_EQ(pos, 4);  // exactly half
+}
+
+TEST(DatasetTest, BalancedBatchNeedsBothClasses) {
+  ClassificationDataset d({1});
+  d.add({1.0f}, 0);
+  Rng rng(4);
+  EXPECT_THROW(d.sample_batch_balanced(4, rng), CheckError);
+}
+
+TEST(DatasetTest, ConstructionValidation) {
+  EXPECT_THROW(ClassificationDataset({}), CheckError);
+  EXPECT_THROW(ClassificationDataset({0, 2}), CheckError);
+  EXPECT_THROW(ClassificationDataset({4}, 1), CheckError);
+}
+
+TEST(DatasetTest, MultiClassOnehot) {
+  ClassificationDataset d({1}, 3);
+  d.add({0.0f}, 2);
+  Tensor t = d.gather_onehot({0});
+  EXPECT_FLOAT_EQ(t.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

@@ -1,0 +1,124 @@
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+/// Naive reference: C = alpha * op(A) * op(B) + beta * C.
+void ref_gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k,
+              float alpha, const std::vector<float>& a, std::size_t lda,
+              const std::vector<float>& b, std::size_t ldb, float beta,
+              std::vector<float>& c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        float av = ta ? a[p * lda + i] : a[i * lda + p];
+        float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] =
+          static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+}
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(GemmTest, Identity2x2) {
+  std::vector<float> a = {1, 0, 0, 1};
+  std::vector<float> b = {3, 4, 5, 6};
+  std::vector<float> c(4, 0.0f);
+  matmul(2, 2, 2, a.data(), b.data(), c.data());
+  EXPECT_EQ(c, b);
+}
+
+TEST(GemmTest, Known3x2x4) {
+  // A: 3x2, B: 2x4.
+  std::vector<float> a = {1, 2, 3, 4, 5, 6};
+  std::vector<float> b = {1, 0, 1, 0, 0, 1, 0, 1};
+  std::vector<float> c(12, -1.0f);
+  matmul(3, 4, 2, a.data(), b.data(), c.data());
+  std::vector<float> expected = {1, 2, 1, 2, 3, 4, 3, 4, 5, 6, 5, 6};
+  EXPECT_EQ(c, expected);
+}
+
+struct GemmCase {
+  bool ta, tb;
+  std::size_t m, n, k;
+  float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const GemmCase& p = GetParam();
+  Rng rng(p.m * 131 + p.n * 17 + p.k);
+  const std::size_t lda = p.ta ? p.m : p.k;
+  const std::size_t ldb = p.tb ? p.k : p.n;
+  auto a = random_vec((p.ta ? p.k : p.m) * lda, rng);
+  auto b = random_vec((p.tb ? p.n : p.k) * ldb, rng);
+  auto c = random_vec(p.m * p.n, rng);
+  auto expected = c;
+  ref_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, lda, b, ldb, p.beta,
+           expected, p.n);
+  gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(), ldb,
+       p.beta, c.data(), p.n);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expected[i], 1e-3f) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(GemmCase{false, false, 4, 5, 6, 1.0f, 0.0f},
+                      GemmCase{true, false, 4, 5, 6, 1.0f, 0.0f},
+                      GemmCase{false, true, 4, 5, 6, 1.0f, 0.0f},
+                      GemmCase{true, true, 4, 5, 6, 1.0f, 0.0f},
+                      GemmCase{false, false, 1, 1, 1, 2.0f, 0.5f},
+                      GemmCase{false, false, 17, 3, 29, -1.5f, 1.0f},
+                      GemmCase{true, false, 8, 8, 8, 1.0f, 1.0f},
+                      GemmCase{false, true, 32, 16, 9, 0.25f, 0.0f},
+                      GemmCase{false, false, 64, 64, 64, 1.0f, 0.0f}));
+
+TEST(GemmTest, BetaZeroOverwritesNaNs) {
+  // beta = 0 must not propagate garbage from C.
+  std::vector<float> a = {1, 1};
+  std::vector<float> b = {2, 2};
+  std::vector<float> c = {std::nanf(""), std::nanf("")};
+  gemm(false, false, 1, 2, 1, 1.0f, a.data(), 1, b.data(), 2, 0.0f, c.data(),
+       2);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+  EXPECT_FLOAT_EQ(c[1], 2.0f);
+}
+
+TEST(GemmTest, AlphaZeroOnlyScalesC) {
+  std::vector<float> a = {5};
+  std::vector<float> b = {7};
+  std::vector<float> c = {4};
+  gemm(false, false, 1, 1, 1, 0.0f, a.data(), 1, b.data(), 1, 0.5f, c.data(),
+       1);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+}
+
+TEST(GemmTest, AccumulatesWithBetaOne) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {3, 4};
+  std::vector<float> c = {10};
+  // [1 2] . [3 4]^T = 11; plus beta*10 = 21.
+  gemm(false, true, 1, 1, 2, 1.0f, a.data(), 2, b.data(), 2, 1.0f, c.data(),
+       1);
+  EXPECT_FLOAT_EQ(c[0], 21.0f);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

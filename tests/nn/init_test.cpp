@@ -1,0 +1,81 @@
+#include "nn/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+double mean_of(const Tensor& t) {
+  return t.sum() / static_cast<double>(t.numel());
+}
+
+double var_of(const Tensor& t) {
+  const double m = mean_of(t);
+  double v = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    v += (t[i] - m) * (t[i] - m);
+  return v / static_cast<double>(t.numel());
+}
+
+TEST(HeInitTest, MomentsMatchFanIn) {
+  Rng rng(1);
+  Tensor w({64, 128});
+  he_normal_init(w, 128, rng);
+  EXPECT_NEAR(mean_of(w), 0.0, 0.01);
+  EXPECT_NEAR(var_of(w), 2.0 / 128, 0.2 * 2.0 / 128);
+}
+
+TEST(HeInitTest, VarianceScalesInverselyWithFanIn) {
+  Rng rng(2);
+  Tensor a({64, 64}), b({64, 64});
+  he_normal_init(a, 16, rng);
+  he_normal_init(b, 1024, rng);
+  EXPECT_GT(var_of(a), var_of(b) * 10);
+}
+
+TEST(HeInitTest, DeterministicByRngState) {
+  Rng r1(3), r2(3);
+  Tensor a({10, 10}), b({10, 10});
+  he_normal_init(a, 10, r1);
+  he_normal_init(b, 10, r2);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(HeInitTest, RejectsZeroFanIn) {
+  Rng rng(4);
+  Tensor w({4});
+  EXPECT_THROW(he_normal_init(w, 0, rng), CheckError);
+}
+
+TEST(GlorotInitTest, BoundedUniform) {
+  Rng rng(5);
+  Tensor w({32, 32});
+  glorot_uniform_init(w, 32, 32, rng);
+  const double a = std::sqrt(6.0 / 64);
+  EXPECT_GE(w.min(), -a);
+  EXPECT_LE(w.max(), a);
+  // Fills most of the range.
+  EXPECT_LT(w.min(), -0.5 * a);
+  EXPECT_GT(w.max(), 0.5 * a);
+}
+
+TEST(GlorotInitTest, MeanNearZero) {
+  Rng rng(6);
+  Tensor w({100, 100});
+  glorot_uniform_init(w, 100, 100, rng);
+  EXPECT_NEAR(mean_of(w), 0.0, 0.005);
+}
+
+TEST(GlorotInitTest, RejectsZeroFans) {
+  Rng rng(7);
+  Tensor w({4});
+  EXPECT_THROW(glorot_uniform_init(w, 0, 4, rng), CheckError);
+  EXPECT_THROW(glorot_uniform_init(w, 4, 0, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

@@ -1,0 +1,200 @@
+// Tests for the stateless-ish layers: ReLU, Sigmoid, MaxPool, Dropout,
+// Flatten.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pool.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  Tensor x = Tensor::from_data({5}, {-2, -0.5, 0, 0.5, 2});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.5f);
+  EXPECT_FLOAT_EQ(y[4], 2.0f);
+}
+
+TEST(ReluTest, OutputNonNegative) {
+  // The property Theorem 1's proof leans on.
+  Relu relu;
+  Rng rng(1);
+  Tensor x({100});
+  for (std::size_t i = 0; i < 100; ++i)
+    x[i] = static_cast<float>(rng.normal());
+  Tensor y = relu.forward(x, true);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(ReluTest, BackwardMasksGradient) {
+  Relu relu;
+  Tensor x = Tensor::from_data({4}, {-1, 2, -3, 4});
+  relu.forward(x, true);
+  Tensor g({4}, 1.0f);
+  Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+  EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(ReluTest, ShapePassThrough) {
+  Relu relu;
+  EXPECT_EQ(relu.output_shape({3, 4, 5}), (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(SigmoidTest, KnownValues) {
+  Sigmoid s;
+  Tensor x = Tensor::from_data({3}, {0.0f, 100.0f, -100.0f});
+  Tensor y = s.forward(x, true);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(SigmoidTest, BackwardMatchesDerivative) {
+  Sigmoid s;
+  Tensor x = Tensor::from_data({1}, {0.3f});
+  Tensor y = s.forward(x, true);
+  Tensor gx = s.backward(Tensor({1}, 1.0f));
+  EXPECT_NEAR(gx[0], y[0] * (1 - y[0]), 1e-6f);
+}
+
+TEST(MaxPoolTest, ForwardPicksMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPoolTest, NegativeValuesHandled) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, -5.0f);
+  x.at(0, 0, 1, 0) = -1.0f;
+  Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmaxOnly) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x.at(0, 0, 0, 1) = 3.0f;  // the max
+  pool.forward(x, true);
+  Tensor g({1, 1, 1, 1}, 2.0f);
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 0, 1, 1), 0.0f);
+}
+
+TEST(MaxPoolTest, PerChannelIndependent) {
+  MaxPool2d pool(2);
+  Tensor x({1, 2, 2, 2});
+  x.at(0, 0, 0, 0) = 1.0f;
+  x.at(0, 1, 1, 1) = 5.0f;
+  Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 5.0f);
+}
+
+TEST(MaxPoolTest, IndivisibleInputThrows) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 5, 4});
+  EXPECT_THROW(pool.forward(x, true), CheckError);
+}
+
+TEST(MaxPoolTest, NameIncludesWindow) {
+  EXPECT_EQ(MaxPool2d(2).name(), "maxpool2x2");
+  EXPECT_EQ(MaxPool2d(3).name(), "maxpool3x3");
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Rng rng(1);
+  Dropout drop(0.5, rng);
+  Tensor x({100}, 2.0f);
+  Tensor y = drop.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FLOAT_EQ(y[i], 2.0f);
+}
+
+TEST(DropoutTest, TrainingZeroesAboutPFraction) {
+  Rng rng(2);
+  Dropout drop(0.5, rng);
+  Tensor x({10000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  int zeros = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) zeros += (y[i] == 0.0f);
+  EXPECT_NEAR(zeros, 5000, 300);
+}
+
+TEST(DropoutTest, SurvivorsScaledByKeepInverse) {
+  Rng rng(3);
+  Dropout drop(0.25, rng);
+  Tensor x({1000}, 3.0f);
+  Tensor y = drop.forward(x, true);
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    EXPECT_TRUE(y[i] == 0.0f || std::abs(y[i] - 4.0f) < 1e-5f);
+}
+
+TEST(DropoutTest, ExpectationPreserved) {
+  Rng rng(4);
+  Dropout drop(0.5, rng);
+  Tensor x({20000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(y.sum() / 20000.0, 1.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(5);
+  Dropout drop(0.5, rng);
+  Tensor x({1000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  Tensor gx = drop.backward(Tensor({1000}, 1.0f));
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_FLOAT_EQ(gx[i], y[i]);
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityInTraining) {
+  Rng rng(6);
+  Dropout drop(0.0, rng);
+  Tensor x({50}, 7.0f);
+  Tensor y = drop.forward(x, true);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_FLOAT_EQ(y[i], 7.0f);
+}
+
+TEST(DropoutTest, InvalidProbabilityThrows) {
+  Rng rng(7);
+  EXPECT_THROW(Dropout(1.0, rng), CheckError);
+  EXPECT_THROW(Dropout(-0.1, rng), CheckError);
+}
+
+TEST(FlattenTest, ForwardAndBackwardShapes) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 60}));
+  Tensor gx = flat.backward(Tensor({2, 60}, 1.0f));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(FlattenTest, DataOrderPreserved) {
+  Flatten flat;
+  Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  Tensor y = flat.forward(x, true);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

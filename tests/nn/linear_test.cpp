@@ -1,0 +1,102 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(LinearTest, KnownAffineMap) {
+  Rng rng(1);
+  Linear fc(2, 2, rng);
+  // W = [[1, 2], [3, 4]], b = [10, 20]; y = x W^T + b.
+  fc.weight().value = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  fc.bias().value = Tensor::from_data({2}, {10, 20});
+  Tensor x = Tensor::from_data({1, 2}, {1, 1});
+  Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 2 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3 + 4 + 20);
+}
+
+TEST(LinearTest, BatchRowsIndependent) {
+  Rng rng(2);
+  Linear fc(3, 4, rng);
+  Tensor x({2, 3});
+  for (std::size_t i = 0; i < 3; ++i) {
+    x.at(0, i) = static_cast<float>(i);
+    x.at(1, i) = static_cast<float>(i);
+  }
+  Tensor y = fc.forward(x, false);
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_FLOAT_EQ(y.at(0, j), y.at(1, j));
+}
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(3);
+  Linear fc(288, 250, rng);
+  EXPECT_EQ(fc.output_shape({7, 288}), (std::vector<std::size_t>{7, 250}));
+  EXPECT_THROW(fc.output_shape({7, 100}), CheckError);
+}
+
+TEST(LinearTest, BackwardInputGradient) {
+  Rng rng(4);
+  Linear fc(2, 1, rng);
+  fc.weight().value = Tensor::from_data({1, 2}, {3, -2});
+  fc.bias().value.zero();
+  Tensor x = Tensor::from_data({1, 2}, {1, 1});
+  fc.forward(x, true);
+  fc.zero_grad();
+  Tensor gx = fc.backward(Tensor({1, 1}, 1.0f));
+  // dx = g * W.
+  EXPECT_FLOAT_EQ(gx.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 1), -2.0f);
+}
+
+TEST(LinearTest, BackwardWeightGradient) {
+  Rng rng(5);
+  Linear fc(2, 1, rng);
+  Tensor x = Tensor::from_data({1, 2}, {5, 7});
+  fc.forward(x, true);
+  fc.zero_grad();
+  fc.backward(Tensor({1, 1}, 1.0f));
+  // dW = g^T x.
+  EXPECT_FLOAT_EQ(fc.weight().grad.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(fc.weight().grad.at(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(fc.bias().grad[0], 1.0f);
+}
+
+TEST(LinearTest, GradAccumulatesOverBatch) {
+  Rng rng(6);
+  Linear fc(1, 1, rng);
+  Tensor x = Tensor::from_data({2, 1}, {1, 2});
+  fc.forward(x, true);
+  fc.zero_grad();
+  fc.backward(Tensor({2, 1}, 1.0f));
+  EXPECT_FLOAT_EQ(fc.weight().grad[0], 3.0f);  // 1 + 2
+  EXPECT_FLOAT_EQ(fc.bias().grad[0], 2.0f);    // two samples
+}
+
+TEST(LinearTest, ParamsExposesWeightAndBias) {
+  Rng rng(7);
+  Linear fc(4, 3, rng);
+  auto params = fc.params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->value.shape(), (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(params[1]->value.shape(), (std::vector<std::size_t>{3}));
+}
+
+TEST(LinearTest, WrongInputWidthThrows) {
+  Rng rng(8);
+  Linear fc(4, 3, rng);
+  Tensor x({2, 5});
+  EXPECT_THROW(fc.forward(x, false), CheckError);
+}
+
+TEST(LinearTest, NameDescribesShape) {
+  Rng rng(9);
+  EXPECT_EQ(Linear(288, 250, rng).name(), "fc(288->250)");
+}
+
+}  // namespace
+}  // namespace hsdl::nn

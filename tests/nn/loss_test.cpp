@@ -1,0 +1,154 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits = Tensor::from_data({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double row = p.at(i, 0) + p.at(i, 1) + p.at(i, 2);
+    EXPECT_NEAR(row, 1.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxTest, UniformLogitsUniformProbs) {
+  Tensor logits({1, 4}, 2.0f);
+  Tensor p = softmax(logits);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(p.at(0, j), 0.25f, 1e-6f);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  Tensor a = Tensor::from_data({1, 2}, {1.0f, 3.0f});
+  Tensor b = Tensor::from_data({1, 2}, {101.0f, 103.0f});
+  Tensor pa = softmax(a), pb = softmax(b);
+  EXPECT_NEAR(pa.at(0, 0), pb.at(0, 0), 1e-6f);
+}
+
+TEST(SoftmaxTest, NumericallyStableAtExtremes) {
+  Tensor logits = Tensor::from_data({1, 2}, {1000.0f, -1000.0f});
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(p.at(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(p.at(0, 1), 0.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+}
+
+TEST(SoftmaxTest, MatchesPaperEquation6) {
+  // y(0) = exp(xh) / (exp(xh) + exp(xn)) with x = [xh, xn].
+  const float xh = 0.7f, xn = -0.4f;
+  Tensor logits = Tensor::from_data({1, 2}, {xh, xn});
+  Tensor p = softmax(logits);
+  const double denom = std::exp(xh) + std::exp(xn);
+  EXPECT_NEAR(p.at(0, 0), std::exp(xh) / denom, 1e-6);
+  EXPECT_NEAR(p.at(0, 1), std::exp(xn) / denom, 1e-6);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::from_data({1, 2}, {20.0f, -20.0f});
+  Tensor target = Tensor::from_data({1, 2}, {1.0f, 0.0f});
+  EXPECT_NEAR(loss.forward(logits, target), 0.0, 1e-6);
+}
+
+TEST(CrossEntropyTest, UniformPredictionIsLog2) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2}, 0.0f);
+  Tensor target = Tensor::from_data({1, 2}, {0.0f, 1.0f});
+  EXPECT_NEAR(loss.forward(logits, target), std::log(2.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, SoftTargetLoss) {
+  // Biased label [1-eps, eps]: loss = -(1-eps) log p0 - eps log p1.
+  SoftmaxCrossEntropy loss;
+  const double eps = 0.1;
+  Tensor logits = Tensor::from_data({1, 2}, {1.0f, 0.0f});
+  Tensor target = Tensor::from_data(
+      {1, 2}, {static_cast<float>(1 - eps), static_cast<float>(eps)});
+  Tensor p = softmax(logits);
+  const double expected =
+      -(1 - eps) * std::log(p.at(0, 0)) - eps * std::log(p.at(0, 1));
+  EXPECT_NEAR(loss.forward(logits, target), expected, 1e-6);
+}
+
+TEST(CrossEntropyTest, ZeroTargetEntrySkipped) {
+  // Paper Equation (8): 0 * log(0) = 0 — a hard one-hot target with a
+  // vanishing predicted probability on the *other* class must not NaN.
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::from_data({1, 2}, {-50.0f, 50.0f});
+  Tensor target = Tensor::from_data({1, 2}, {0.0f, 1.0f});
+  const double l = loss.forward(logits, target);
+  EXPECT_FALSE(std::isnan(l));
+  EXPECT_NEAR(l, 0.0, 1e-6);
+}
+
+TEST(CrossEntropyTest, MeanOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({4, 2}, 0.0f);
+  Tensor target({4, 2}, 0.5f);
+  const double l4 = loss.forward(logits, target);
+  Tensor logits1({1, 2}, 0.0f);
+  Tensor target1({1, 2}, 0.5f);
+  const double l1 = loss.forward(logits1, target1);
+  EXPECT_NEAR(l4, l1, 1e-9);
+}
+
+TEST(CrossEntropyTest, BackwardIsSoftmaxMinusTargetOverN) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::from_data({2, 2}, {1, -1, 0.5, 0.5});
+  Tensor target = Tensor::from_data({2, 2}, {1, 0, 0, 1});
+  loss.forward(logits, target);
+  Tensor g = loss.backward();
+  Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(g.at(i, j), (p.at(i, j) - target.at(i, j)) / 2.0f, 1e-6f);
+}
+
+TEST(CrossEntropyTest, BackwardRowsSumToZero) {
+  // Because both softmax and targets sum to 1 per row.
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::from_data({1, 2}, {0.3f, -0.7f});
+  Tensor target = Tensor::from_data({1, 2}, {0.9f, 0.1f});
+  loss.forward(logits, target);
+  Tensor g = loss.backward();
+  EXPECT_NEAR(g.at(0, 0) + g.at(0, 1), 0.0f, 1e-7f);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::from_data({1, 2}, {0.4f, -0.2f});
+  Tensor target = Tensor::from_data({1, 2}, {0.8f, 0.2f});
+  loss.forward(logits, target);
+  Tensor g = loss.backward();
+  const float h = 1e-3f;
+  for (std::size_t j = 0; j < 2; ++j) {
+    Tensor lp = logits, lm = logits;
+    lp.at(0, j) += h;
+    lm.at(0, j) -= h;
+    SoftmaxCrossEntropy tmp;
+    const double num =
+        (tmp.forward(lp, target) - tmp.forward(lm, target)) / (2 * h);
+    EXPECT_NEAR(g.at(0, j), num, 1e-4);
+  }
+}
+
+TEST(CrossEntropyTest, ShapeMismatchThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 2});
+  Tensor target({2, 3});
+  EXPECT_THROW(loss.forward(logits, target), CheckError);
+}
+
+TEST(CrossEntropyTest, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.backward(), CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

@@ -1,0 +1,142 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(SgdTest, PlainStep) {
+  Param p("w", Tensor({2}, 1.0f));
+  p.grad = Tensor::from_data({2}, {0.5f, -0.5f});
+  SgdOptimizer opt(0.1);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 1.0f + 0.1f * 0.5f);
+}
+
+TEST(SgdTest, LearningRateUpdate) {
+  SgdOptimizer opt(1e-3);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1e-3);
+  opt.set_learning_rate(5e-4);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 5e-4);
+  EXPECT_THROW(opt.set_learning_rate(0.0), CheckError);
+}
+
+TEST(SgdTest, InvalidConstruction) {
+  EXPECT_THROW(SgdOptimizer(0.0), CheckError);
+  EXPECT_THROW(SgdOptimizer(0.1, 1.0), CheckError);
+  EXPECT_THROW(SgdOptimizer(0.1, -0.1), CheckError);
+}
+
+TEST(SgdTest, MultipleParams) {
+  Param a("a", Tensor({1}, 0.0f));
+  Param b("b", Tensor({1}, 0.0f));
+  a.grad[0] = 1.0f;
+  b.grad[0] = 2.0f;
+  SgdOptimizer opt(1.0);
+  opt.step({&a, &b});
+  EXPECT_FLOAT_EQ(a.value[0], -1.0f);
+  EXPECT_FLOAT_EQ(b.value[0], -2.0f);
+}
+
+TEST(SgdTest, MomentumAcceleratesRepeatedGradients) {
+  Param plain("p", Tensor({1}, 0.0f));
+  Param with_m("m", Tensor({1}, 0.0f));
+  SgdOptimizer opt_plain(0.1);
+  SgdOptimizer opt_m(0.1, 0.9);
+  for (int i = 0; i < 5; ++i) {
+    plain.grad[0] = 1.0f;
+    with_m.grad[0] = 1.0f;
+    opt_plain.step({&plain});
+    opt_m.step({&with_m});
+  }
+  // Momentum accumulates velocity, so it travels further.
+  EXPECT_LT(with_m.value[0], plain.value[0]);
+}
+
+TEST(SgdTest, MomentumFirstStepEqualsPlain) {
+  Param a("a", Tensor({1}, 0.0f));
+  Param b("b", Tensor({1}, 0.0f));
+  a.grad[0] = b.grad[0] = 2.0f;
+  SgdOptimizer plain(0.1);
+  SgdOptimizer momentum(0.1, 0.9);
+  plain.step({&a});
+  momentum.step({&b});
+  EXPECT_FLOAT_EQ(a.value[0], b.value[0]);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 by following df/dw = 2(w - 3).
+  Param w("w", Tensor({1}, 0.0f));
+  SgdOptimizer opt(0.1);
+  for (int i = 0; i < 100; ++i) {
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    opt.step({&w});
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Param w("w", Tensor({1}, 0.0f));
+  AdamOptimizer opt(0.2);
+  for (int i = 0; i < 200; ++i) {
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    opt.step({&w});
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr regardless of the
+  // gradient scale.
+  Param big("b", Tensor({1}, 0.0f));
+  Param small("s", Tensor({1}, 0.0f));
+  AdamOptimizer o1(0.1), o2(0.1);
+  big.grad[0] = 100.0f;
+  small.grad[0] = 0.01f;
+  o1.step({&big});
+  o2.step({&small});
+  EXPECT_NEAR(big.value[0], -0.1f, 1e-3f);
+  EXPECT_NEAR(small.value[0], -0.1f, 1e-2f);
+}
+
+TEST(AdamTest, StepDirectionFollowsGradientSign) {
+  Param w("w", Tensor({2}, 0.0f));
+  AdamOptimizer opt(0.01);
+  w.grad[0] = 1.0f;
+  w.grad[1] = -1.0f;
+  opt.step({&w});
+  EXPECT_LT(w.value[0], 0.0f);
+  EXPECT_GT(w.value[1], 0.0f);
+}
+
+TEST(AdamTest, ValidationErrors) {
+  EXPECT_THROW(AdamOptimizer(0.0), CheckError);
+  EXPECT_THROW(AdamOptimizer(0.1, 1.0), CheckError);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 1.0), CheckError);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 0.999, 0.0), CheckError);
+}
+
+TEST(AdamTest, LearningRateUpdate) {
+  AdamOptimizer opt(1e-3);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1e-3);
+  opt.set_learning_rate(5e-4);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 5e-4);
+}
+
+TEST(SgdTest, DecayedRateTakesSmallerSteps) {
+  Param w("w", Tensor({1}, 0.0f));
+  SgdOptimizer opt(1.0);
+  w.grad[0] = 1.0f;
+  opt.step({&w});
+  const float first_step = -w.value[0];
+  opt.set_learning_rate(0.5);
+  const float before = w.value[0];
+  opt.step({&w});
+  EXPECT_FLOAT_EQ(before - w.value[0], first_step * 0.5f);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

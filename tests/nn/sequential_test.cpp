@@ -1,0 +1,119 @@
+#include "nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(SequentialTest, EmptyForwardThrows) {
+  Sequential seq;
+  EXPECT_THROW(seq.forward(Tensor({1, 2}), false), CheckError);
+}
+
+TEST(SequentialTest, SingleLayerPassThrough) {
+  Sequential seq;
+  seq.emplace<Relu>();
+  Tensor x = Tensor::from_data({1, 3}, {-1, 0, 2});
+  Tensor y = seq.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(SequentialTest, ComposesShapes) {
+  Rng rng(1);
+  Sequential seq;
+  Conv2dConfig c;
+  c.in_channels = 4;
+  c.out_channels = 8;
+  seq.emplace<Conv2d>(c, rng);
+  seq.emplace<Relu>();
+  seq.emplace<MaxPool2d>(2);
+  seq.emplace<Flatten>();
+  seq.emplace<Linear>(8 * 4 * 4, 10, rng);
+  EXPECT_EQ(seq.output_shape({3, 4, 8, 8}),
+            (std::vector<std::size_t>{3, 10}));
+  Tensor y = seq.forward(Tensor({3, 4, 8, 8}, 0.1f), false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{3, 10}));
+}
+
+TEST(SequentialTest, ParamsAggregatesAllLayers) {
+  Rng rng(2);
+  Sequential seq;
+  Conv2dConfig c;
+  seq.emplace<Conv2d>(c, rng);
+  seq.emplace<Relu>();
+  seq.emplace<Linear>(4, 2, rng);
+  // conv W+b plus linear W+b.
+  EXPECT_EQ(seq.params().size(), 4u);
+}
+
+TEST(SequentialTest, ParamCount) {
+  Rng rng(3);
+  Sequential seq;
+  seq.emplace<Linear>(10, 5, rng);  // 50 + 5
+  seq.emplace<Linear>(5, 2, rng);   // 10 + 2
+  EXPECT_EQ(seq.param_count(), 67u);
+}
+
+TEST(SequentialTest, ZeroGradClearsEverything) {
+  Rng rng(4);
+  Sequential seq;
+  seq.emplace<Linear>(3, 3, rng);
+  for (Param* p : seq.params()) p->grad.fill(1.0f);
+  seq.zero_grad();
+  for (Param* p : seq.params())
+    for (std::size_t i = 0; i < p->grad.numel(); ++i)
+      EXPECT_FLOAT_EQ(p->grad[i], 0.0f);
+}
+
+TEST(SequentialTest, BackwardReversesOrder) {
+  Rng rng(5);
+  Sequential seq;
+  seq.emplace<Linear>(2, 2, rng);
+  seq.emplace<Relu>();
+  Tensor x({1, 2}, 1.0f);
+  Tensor y = seq.forward(x, true);
+  Tensor gx = seq.backward(Tensor(y.shape(), 1.0f));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(SequentialTest, SummaryListsLayerShapes) {
+  Rng rng(6);
+  Sequential seq;
+  Conv2dConfig c;
+  c.in_channels = 2;
+  c.out_channels = 4;
+  seq.emplace<Conv2d>(c, rng);
+  seq.emplace<MaxPool2d>(2);
+  auto summary = seq.summary({1, 2, 8, 8});
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].first, "conv3x3(2->4)");
+  EXPECT_EQ(summary[0].second, (std::vector<std::size_t>{1, 4, 8, 8}));
+  EXPECT_EQ(summary[1].second, (std::vector<std::size_t>{1, 4, 4, 4}));
+}
+
+TEST(SequentialTest, LayerAccessors) {
+  Rng rng(7);
+  Sequential seq;
+  seq.emplace<Relu>();
+  seq.emplace<Flatten>();
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq.layer(0).name(), "relu");
+  EXPECT_EQ(seq.layer(1).name(), "flatten");
+}
+
+TEST(SequentialTest, AppendTakesOwnership) {
+  Sequential seq;
+  seq.append(std::make_unique<Relu>());
+  EXPECT_EQ(seq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

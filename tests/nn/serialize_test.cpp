@@ -1,0 +1,129 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+Sequential make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential seq;
+  seq.emplace<Linear>(4, 3, rng);
+  seq.emplace<Linear>(3, 2, rng);
+  return seq;
+}
+
+TEST(SerializeTest, RoundTripRestoresValues) {
+  Sequential a = make_net(1);
+  Sequential b = make_net(2);  // different weights
+  std::stringstream ss;
+  save_params(ss, a.params());
+  load_params(ss, b.params());
+  auto pa = a.params(), pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j)
+      EXPECT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(SerializeTest, RoundTripPredictionsIdentical) {
+  Sequential a = make_net(3);
+  Sequential b = make_net(4);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  load_params(ss, b.params());
+  Tensor x({2, 4}, 0.7f);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  Sequential net = make_net(5);
+  std::stringstream ss("NOTACKPT________garbage");
+  EXPECT_THROW(load_params(ss, net.params()), CheckError);
+}
+
+TEST(SerializeTest, TruncatedPayloadRejected) {
+  Sequential a = make_net(6);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  std::string data = ss.str();
+  std::stringstream cut(data.substr(0, data.size() / 2));
+  Sequential b = make_net(7);
+  EXPECT_THROW(load_params(cut, b.params()), CheckError);
+}
+
+TEST(SerializeTest, ParamCountMismatchRejected) {
+  Sequential a = make_net(8);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  Rng rng(9);
+  Sequential small;
+  small.emplace<Linear>(4, 3, rng);
+  EXPECT_THROW(load_params(ss, small.params()), CheckError);
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Sequential a = make_net(10);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  Rng rng(11);
+  Sequential different;
+  different.emplace<Linear>(5, 3, rng);  // wrong fan-in
+  different.emplace<Linear>(3, 2, rng);
+  EXPECT_THROW(load_params(ss, different.params()), CheckError);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Sequential a = make_net(12);
+  Sequential b = make_net(13);
+  const std::string path = ::testing::TempDir() + "/ckpt_test.bin";
+  save_params_file(path, a.params());
+  load_params_file(path, b.params());
+  Tensor x({1, 4}, 1.0f);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  Sequential a = make_net(14);
+  EXPECT_THROW(load_params_file("/nonexistent/x.bin", a.params()),
+               CheckError);
+}
+
+TEST(SnapshotTest, SnapshotRestoreRoundTrip) {
+  Sequential net = make_net(15);
+  auto snap = snapshot_params(net.params());
+  // Mutate, then restore.
+  for (Param* p : net.params()) p->value.fill(0.0f);
+  restore_params(snap, net.params());
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    for (std::size_t j = 0; j < snap[i].numel(); ++j)
+      EXPECT_FLOAT_EQ(net.params()[i]->value[j], snap[i][j]);
+}
+
+TEST(SnapshotTest, SnapshotIsDeepCopy) {
+  Sequential net = make_net(16);
+  auto snap = snapshot_params(net.params());
+  const float orig = snap[0][0];
+  net.params()[0]->value[0] = orig + 100.0f;
+  EXPECT_FLOAT_EQ(snap[0][0], orig);
+}
+
+TEST(SnapshotTest, SizeMismatchThrows) {
+  Sequential net = make_net(17);
+  std::vector<Tensor> wrong(1);
+  EXPECT_THROW(restore_params(wrong, net.params()), CheckError);
+}
+
+}  // namespace
+}  // namespace hsdl::nn

@@ -1,0 +1,121 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(), 3u);
+  EXPECT_EQ(t.extent(0), 2u);
+  EXPECT_EQ(t.extent(1), 3u);
+  EXPECT_EQ(t.extent(2), 4u);
+  EXPECT_EQ(t.numel(), 24u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({2, 2}, 3.5f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 3.5f);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(TensorTest, ZeroExtentThrows) {
+  EXPECT_THROW(Tensor({2, 0, 3}), CheckError);
+}
+
+TEST(TensorTest, FromData) {
+  Tensor t = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FromDataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(TensorTest, MultiDimIndexingRowMajor) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+  Tensor q({2, 2, 2, 2});
+  q.at(1, 0, 1, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(q[1 * 8 + 0 * 4 + 1 * 2 + 0], 5.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), CheckError);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t({3, 3}, 1.0f);
+  t.fill(2.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 18.0);
+  t.zero();
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+}
+
+TEST(TensorTest, AddAndAxpy) {
+  Tensor a({2, 2}, 1.0f);
+  Tensor b({2, 2}, 2.0f);
+  a.add(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 3.0f);
+  a.axpy(-0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 2.0f);
+}
+
+TEST(TensorTest, AddShapeMismatchThrows) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_THROW(a.add(b), CheckError);
+}
+
+TEST(TensorTest, Scale) {
+  Tensor t({2}, 3.0f);
+  t.scale(2.0f);
+  EXPECT_FLOAT_EQ(t[0], 6.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::from_data({4}, {-2, 0, 1, 3});
+  EXPECT_DOUBLE_EQ(t.sum(), 2.0);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(4 + 0 + 1 + 9), 1e-6);
+}
+
+TEST(TensorTest, ShapeStr) {
+  EXPECT_EQ(Tensor({2, 3, 4}).shape_str(), "2x3x4");
+  EXPECT_EQ(Tensor({7}).shape_str(), "7");
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(same_shape(Tensor({2, 3}), Tensor({2, 3})));
+  EXPECT_FALSE(same_shape(Tensor({2, 3}), Tensor({3, 2})));
+  EXPECT_FALSE(same_shape(Tensor({6}), Tensor({2, 3})));
+}
+
+TEST(TensorTest, CopySemantics) {
+  Tensor a({2, 2}, 1.0f);
+  Tensor b = a;
+  b.at(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);  // deep copy
+}
+
+}  // namespace
+}  // namespace hsdl::nn

@@ -1,0 +1,120 @@
+#include "opc/rule_opc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/drc.hpp"
+#include "litho/labeler.hpp"
+
+namespace hsdl::opc {
+namespace {
+
+using geom::Rect;
+using layout::Clip;
+
+Clip make_clip(std::vector<Rect> shapes) {
+  Clip c;
+  c.window = Rect::from_xywh(0, 0, 1200, 1200);
+  c.shapes = std::move(shapes);
+  return c;
+}
+
+TEST(RuleOpcTest, ExtendsIsolatedLineEnds) {
+  Clip c = make_clip({Rect::from_xywh(300, 500, 400, 40)});
+  OpcResult r = correct(c, OpcConfig{});
+  EXPECT_EQ(r.ends_extended, 2u);
+  EXPECT_EQ(r.corrected.shapes[0], Rect::from_xywh(280, 500, 440, 40));
+}
+
+TEST(RuleOpcTest, VerticalLineExtendsVertically) {
+  Clip c = make_clip({Rect::from_xywh(500, 300, 40, 400)});
+  OpcResult r = correct(c, OpcConfig{});
+  EXPECT_EQ(r.corrected.shapes[0], Rect::from_xywh(500, 280, 40, 440));
+}
+
+TEST(RuleOpcTest, SpacingGuardBlocksExtensionIntoTightGap) {
+  // Facing line ends with exactly min-space gap: extending either end
+  // would create a sub-rule gap, so both inner corrections are skipped.
+  Clip c = make_clip({Rect::from_xywh(0, 500, 500, 40),
+                      Rect::from_xywh(540, 500, 500, 40)});
+  OpcResult r = correct(c, OpcConfig{});
+  // Outer ends (at the window boundary) cannot extend either; the inner
+  // ones are skipped by the spacing guard.
+  EXPECT_GE(r.corrections_skipped, 2u);
+  for (const Rect& s : r.corrected.shapes) {
+    // The 40 nm gap must not have shrunk.
+    EXPECT_TRUE(s.hi.x <= 500 || s.lo.x >= 540);
+  }
+}
+
+TEST(RuleOpcTest, UpsizesSmallContacts) {
+  Clip c = make_clip({Rect::from_xywh(580, 580, 40, 40)});
+  OpcResult r = correct(c, OpcConfig{});
+  EXPECT_EQ(r.features_upsized, 1u);
+  EXPECT_EQ(r.corrected.shapes[0], Rect::from_xywh(570, 570, 60, 60));
+}
+
+TEST(RuleOpcTest, LargeBlockUntouched) {
+  Clip c = make_clip({Rect::from_xywh(400, 400, 300, 300)});
+  OpcResult r = correct(c, OpcConfig{});
+  EXPECT_EQ(r.corrected.shapes, c.shapes);
+  EXPECT_EQ(r.ends_extended + r.features_upsized, 0u);
+}
+
+TEST(RuleOpcTest, CorrectionsStayInWindow) {
+  Clip c = make_clip({Rect::from_xywh(0, 500, 400, 40),       // at left edge
+                      Rect::from_xywh(1190, 0, 10, 10)});     // corner sliver
+  OpcResult r = correct(c, OpcConfig{});
+  for (const Rect& s : r.corrected.shapes)
+    EXPECT_TRUE(c.window.contains(s));
+}
+
+TEST(RuleOpcTest, CorrectionsNeverCreateDrcSpacingViolations) {
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.0;  // DRC-clean input
+  layout::ClipGenerator gen(gen_cfg, 9);
+  OpcConfig cfg;
+  for (int i = 0; i < 10; ++i) {
+    Clip c = gen.generate();
+    // Only check clips that start spacing-clean.
+    if (layout::check_rules(c, cfg.rules)
+            .count(layout::DrcViolationType::kMinSpacing) != 0)
+      continue;
+    OpcResult r = correct(c, cfg);
+    EXPECT_EQ(layout::check_rules(r.corrected, cfg.rules)
+                  .count(layout::DrcViolationType::kMinSpacing),
+              0u)
+        << "clip " << i;
+  }
+}
+
+TEST(RuleOpcTest, ReducesHotspotRateOnStressedPatterns) {
+  // The headline property: litho-labeled hotspot rate drops after OPC.
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.6;
+  layout::ClipGenerator gen(gen_cfg, 10);
+  litho::HotspotLabeler labeler;
+  OpcConfig cfg;
+  int before = 0, after = 0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    Clip c = gen.generate();
+    before += labeler.label(c) == layout::HotspotLabel::kHotspot;
+    after += labeler.label(correct(c, cfg).corrected) ==
+             layout::HotspotLabel::kHotspot;
+  }
+  EXPECT_LE(after, before);
+  EXPECT_GT(before, 0);  // the experiment must have something to fix
+}
+
+TEST(RuleOpcTest, ZeroConfigIsIdentity) {
+  OpcConfig cfg;
+  cfg.line_end_extension = 0;
+  cfg.small_feature_bias = 0;
+  Clip c = make_clip({Rect::from_xywh(300, 500, 400, 40),
+                      Rect::from_xywh(580, 100, 40, 40)});
+  OpcResult r = correct(c, cfg);
+  EXPECT_EQ(r.corrected.shapes, c.shapes);
+}
+
+}  // namespace
+}  // namespace hsdl::opc
