@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sweeps.dir/ablation_sweeps.cpp.o"
+  "CMakeFiles/bench_ablation_sweeps.dir/ablation_sweeps.cpp.o.d"
+  "bench_ablation_sweeps"
+  "bench_ablation_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_feature_tensor.dir/fig1_feature_tensor.cpp.o"
+  "CMakeFiles/bench_fig1_feature_tensor.dir/fig1_feature_tensor.cpp.o.d"
+  "bench_fig1_feature_tensor"
+  "bench_fig1_feature_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_feature_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sgd_vs_mgd.dir/fig3_sgd_vs_mgd.cpp.o"
+  "CMakeFiles/bench_fig3_sgd_vs_mgd.dir/fig3_sgd_vs_mgd.cpp.o.d"
+  "bench_fig3_sgd_vs_mgd"
+  "bench_fig3_sgd_vs_mgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sgd_vs_mgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

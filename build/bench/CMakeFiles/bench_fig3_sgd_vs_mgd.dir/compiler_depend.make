@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_sgd_vs_mgd.
+# This may be replaced when dependencies are built.

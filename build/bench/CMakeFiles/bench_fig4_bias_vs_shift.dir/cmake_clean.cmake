@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bias_vs_shift.dir/fig4_bias_vs_shift.cpp.o"
+  "CMakeFiles/bench_fig4_bias_vs_shift.dir/fig4_bias_vs_shift.cpp.o.d"
+  "bench_fig4_bias_vs_shift"
+  "bench_fig4_bias_vs_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bias_vs_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cpp" "bench/CMakeFiles/bench_micro_kernels.dir/micro_kernels.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_kernels.dir/micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hotspot/CMakeFiles/hsdl_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hsdl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hsdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fte/CMakeFiles/hsdl_fte.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/hsdl_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsdl_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsdl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsdl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

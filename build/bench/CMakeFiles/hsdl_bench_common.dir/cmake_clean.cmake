@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_bench_common.dir/common.cpp.o"
+  "CMakeFiles/hsdl_bench_common.dir/common.cpp.o.d"
+  "libhsdl_bench_common.a"
+  "libhsdl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_flow.dir/benchmark_flow.cpp.o"
+  "CMakeFiles/benchmark_flow.dir/benchmark_flow.cpp.o.d"
+  "benchmark_flow"
+  "benchmark_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

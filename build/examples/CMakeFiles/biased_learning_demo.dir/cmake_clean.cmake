@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_learning_demo.dir/biased_learning_demo.cpp.o"
+  "CMakeFiles/biased_learning_demo.dir/biased_learning_demo.cpp.o.d"
+  "biased_learning_demo"
+  "biased_learning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_learning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

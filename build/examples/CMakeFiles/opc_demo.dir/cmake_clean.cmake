@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opc_demo.dir/opc_demo.cpp.o"
+  "CMakeFiles/opc_demo.dir/opc_demo.cpp.o.d"
+  "opc_demo"
+  "opc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_clustering.dir/pattern_clustering.cpp.o"
+  "CMakeFiles/pattern_clustering.dir/pattern_clustering.cpp.o.d"
+  "pattern_clustering"
+  "pattern_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_analysis.dir/kmeans.cpp.o"
+  "CMakeFiles/hsdl_analysis.dir/kmeans.cpp.o.d"
+  "CMakeFiles/hsdl_analysis.dir/pattern_cluster.cpp.o"
+  "CMakeFiles/hsdl_analysis.dir/pattern_cluster.cpp.o.d"
+  "libhsdl_analysis.a"
+  "libhsdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/boosting.cpp" "src/baselines/CMakeFiles/hsdl_baselines.dir/boosting.cpp.o" "gcc" "src/baselines/CMakeFiles/hsdl_baselines.dir/boosting.cpp.o.d"
+  "/root/repo/src/baselines/stump.cpp" "src/baselines/CMakeFiles/hsdl_baselines.dir/stump.cpp.o" "gcc" "src/baselines/CMakeFiles/hsdl_baselines.dir/stump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hsdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_baselines.dir/boosting.cpp.o"
+  "CMakeFiles/hsdl_baselines.dir/boosting.cpp.o.d"
+  "CMakeFiles/hsdl_baselines.dir/stump.cpp.o"
+  "CMakeFiles/hsdl_baselines.dir/stump.cpp.o.d"
+  "libhsdl_baselines.a"
+  "libhsdl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

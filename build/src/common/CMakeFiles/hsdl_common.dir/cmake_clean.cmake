@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_common.dir/logging.cpp.o"
+  "CMakeFiles/hsdl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hsdl_common.dir/rng.cpp.o"
+  "CMakeFiles/hsdl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hsdl_common.dir/string_util.cpp.o"
+  "CMakeFiles/hsdl_common.dir/string_util.cpp.o.d"
+  "libhsdl_common.a"
+  "libhsdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

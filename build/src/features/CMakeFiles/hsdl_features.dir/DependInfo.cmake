@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/ccs.cpp" "src/features/CMakeFiles/hsdl_features.dir/ccs.cpp.o" "gcc" "src/features/CMakeFiles/hsdl_features.dir/ccs.cpp.o.d"
+  "/root/repo/src/features/density.cpp" "src/features/CMakeFiles/hsdl_features.dir/density.cpp.o" "gcc" "src/features/CMakeFiles/hsdl_features.dir/density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hsdl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsdl_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_features.dir/ccs.cpp.o"
+  "CMakeFiles/hsdl_features.dir/ccs.cpp.o.d"
+  "CMakeFiles/hsdl_features.dir/density.cpp.o"
+  "CMakeFiles/hsdl_features.dir/density.cpp.o.d"
+  "libhsdl_features.a"
+  "libhsdl_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_fte.dir/dct.cpp.o"
+  "CMakeFiles/hsdl_fte.dir/dct.cpp.o.d"
+  "CMakeFiles/hsdl_fte.dir/feature_tensor.cpp.o"
+  "CMakeFiles/hsdl_fte.dir/feature_tensor.cpp.o.d"
+  "CMakeFiles/hsdl_fte.dir/zigzag.cpp.o"
+  "CMakeFiles/hsdl_fte.dir/zigzag.cpp.o.d"
+  "libhsdl_fte.a"
+  "libhsdl_fte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_fte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hsdl_fte.
+# This may be replaced when dependencies are built.

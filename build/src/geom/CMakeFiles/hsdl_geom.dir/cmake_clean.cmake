@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_geom.dir/polygon.cpp.o"
+  "CMakeFiles/hsdl_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/hsdl_geom.dir/region.cpp.o"
+  "CMakeFiles/hsdl_geom.dir/region.cpp.o.d"
+  "libhsdl_geom.a"
+  "libhsdl_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

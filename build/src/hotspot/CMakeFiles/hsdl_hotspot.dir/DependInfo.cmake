@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hotspot/benchmark_factory.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/benchmark_factory.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/benchmark_factory.cpp.o.d"
+  "/root/repo/src/hotspot/biased.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/biased.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/biased.cpp.o.d"
+  "/root/repo/src/hotspot/cnn.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/cnn.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/cnn.cpp.o.d"
+  "/root/repo/src/hotspot/detector.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/detector.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/detector.cpp.o.d"
+  "/root/repo/src/hotspot/metrics.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/metrics.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/metrics.cpp.o.d"
+  "/root/repo/src/hotspot/roc.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/roc.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/roc.cpp.o.d"
+  "/root/repo/src/hotspot/scanner.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/scanner.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/scanner.cpp.o.d"
+  "/root/repo/src/hotspot/trainer.cpp" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/trainer.cpp.o" "gcc" "src/hotspot/CMakeFiles/hsdl_hotspot.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hsdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fte/CMakeFiles/hsdl_fte.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/hsdl_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsdl_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsdl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hsdl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsdl_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

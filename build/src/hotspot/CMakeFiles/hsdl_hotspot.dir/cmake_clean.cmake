@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_hotspot.dir/benchmark_factory.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/benchmark_factory.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/biased.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/biased.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/cnn.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/cnn.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/detector.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/detector.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/metrics.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/metrics.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/roc.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/roc.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/scanner.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/scanner.cpp.o.d"
+  "CMakeFiles/hsdl_hotspot.dir/trainer.cpp.o"
+  "CMakeFiles/hsdl_hotspot.dir/trainer.cpp.o.d"
+  "libhsdl_hotspot.a"
+  "libhsdl_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

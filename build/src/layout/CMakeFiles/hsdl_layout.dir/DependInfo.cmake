@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/dataset.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/dataset.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/dataset.cpp.o.d"
+  "/root/repo/src/layout/drc.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/drc.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/gdsii.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/gdsii.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/gdsii.cpp.o.d"
+  "/root/repo/src/layout/generator.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/generator.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/generator.cpp.o.d"
+  "/root/repo/src/layout/glf.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/glf.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/glf.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/raster.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/raster.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/raster.cpp.o.d"
+  "/root/repo/src/layout/transform.cpp" "src/layout/CMakeFiles/hsdl_layout.dir/transform.cpp.o" "gcc" "src/layout/CMakeFiles/hsdl_layout.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hsdl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_layout.dir/dataset.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/dataset.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/drc.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/drc.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/gdsii.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/gdsii.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/generator.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/generator.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/glf.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/glf.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/layout.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/raster.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/raster.cpp.o.d"
+  "CMakeFiles/hsdl_layout.dir/transform.cpp.o"
+  "CMakeFiles/hsdl_layout.dir/transform.cpp.o.d"
+  "libhsdl_layout.a"
+  "libhsdl_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_litho.dir/aerial.cpp.o"
+  "CMakeFiles/hsdl_litho.dir/aerial.cpp.o.d"
+  "CMakeFiles/hsdl_litho.dir/labeler.cpp.o"
+  "CMakeFiles/hsdl_litho.dir/labeler.cpp.o.d"
+  "CMakeFiles/hsdl_litho.dir/process_window.cpp.o"
+  "CMakeFiles/hsdl_litho.dir/process_window.cpp.o.d"
+  "CMakeFiles/hsdl_litho.dir/simulator.cpp.o"
+  "CMakeFiles/hsdl_litho.dir/simulator.cpp.o.d"
+  "libhsdl_litho.a"
+  "libhsdl_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsdl_litho.a"
+)

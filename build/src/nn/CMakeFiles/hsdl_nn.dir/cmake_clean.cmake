@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_nn.dir/activations.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/dataset.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/flatten.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/gemm.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/init.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/init.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/linear.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/loss.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/pool.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/hsdl_nn.dir/tensor.cpp.o"
+  "CMakeFiles/hsdl_nn.dir/tensor.cpp.o.d"
+  "libhsdl_nn.a"
+  "libhsdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

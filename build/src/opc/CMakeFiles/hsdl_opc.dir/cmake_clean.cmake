@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsdl_opc.dir/rule_opc.cpp.o"
+  "CMakeFiles/hsdl_opc.dir/rule_opc.cpp.o.d"
+  "libhsdl_opc.a"
+  "libhsdl_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsdl_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/check_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/check_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/logging_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/logging_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/string_util_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/string_util_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/timer_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/timer_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

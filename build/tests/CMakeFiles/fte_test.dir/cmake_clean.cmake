@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fte_test.dir/fte/dct_test.cpp.o"
+  "CMakeFiles/fte_test.dir/fte/dct_test.cpp.o.d"
+  "CMakeFiles/fte_test.dir/fte/feature_tensor_test.cpp.o"
+  "CMakeFiles/fte_test.dir/fte/feature_tensor_test.cpp.o.d"
+  "CMakeFiles/fte_test.dir/fte/zigzag_test.cpp.o"
+  "CMakeFiles/fte_test.dir/fte/zigzag_test.cpp.o.d"
+  "fte_test"
+  "fte_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

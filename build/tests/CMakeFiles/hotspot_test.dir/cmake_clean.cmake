@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_test.dir/hotspot/benchmark_factory_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/benchmark_factory_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/biased_learning_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/biased_learning_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/cnn_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/cnn_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/detector_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/detector_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/metrics_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/metrics_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/roc_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/roc_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/scanner_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/scanner_test.cpp.o.d"
+  "CMakeFiles/hotspot_test.dir/hotspot/trainer_test.cpp.o"
+  "CMakeFiles/hotspot_test.dir/hotspot/trainer_test.cpp.o.d"
+  "hotspot_test"
+  "hotspot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

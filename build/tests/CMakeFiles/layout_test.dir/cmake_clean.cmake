@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_test.dir/layout/clip_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/clip_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/dataset_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/dataset_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/drc_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/drc_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/gdsii_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/gdsii_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/generator_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/generator_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/glf_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/glf_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/layout_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/layout_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/raster_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/raster_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/transform_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/transform_test.cpp.o.d"
+  "layout_test"
+  "layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_test.dir/litho/aerial_test.cpp.o"
+  "CMakeFiles/litho_test.dir/litho/aerial_test.cpp.o.d"
+  "CMakeFiles/litho_test.dir/litho/calibration_test.cpp.o"
+  "CMakeFiles/litho_test.dir/litho/calibration_test.cpp.o.d"
+  "CMakeFiles/litho_test.dir/litho/labeler_test.cpp.o"
+  "CMakeFiles/litho_test.dir/litho/labeler_test.cpp.o.d"
+  "CMakeFiles/litho_test.dir/litho/process_window_test.cpp.o"
+  "CMakeFiles/litho_test.dir/litho/process_window_test.cpp.o.d"
+  "CMakeFiles/litho_test.dir/litho/simulator_test.cpp.o"
+  "CMakeFiles/litho_test.dir/litho/simulator_test.cpp.o.d"
+  "litho_test"
+  "litho_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

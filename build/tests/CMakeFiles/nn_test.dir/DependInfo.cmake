@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/conv2d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o.d"
+  "/root/repo/tests/nn/dataset_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/dataset_test.cpp.o.d"
+  "/root/repo/tests/nn/gemm_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/gemm_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/init_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/init_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/init_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/linear_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/linear_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/linear_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/sequential_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/sequential_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hotspot/CMakeFiles/hsdl_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hsdl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hsdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/hsdl_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hsdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fte/CMakeFiles/hsdl_fte.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/hsdl_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsdl_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsdl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsdl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

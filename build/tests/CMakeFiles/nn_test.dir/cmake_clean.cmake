@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/dataset_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/dataset_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/gemm_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/gemm_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/init_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/init_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/linear_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/linear_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/optimizer_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/optimizer_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/sequential_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/sequential_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o.d"
+  "nn_test"
+  "nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
