@@ -4,6 +4,7 @@
 // hotspot labeling, and CNN forward/backward.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "fte/feature_tensor.hpp"
 #include "hotspot/cnn.hpp"
 #include "layout/generator.hpp"
@@ -34,6 +35,34 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n, 1.0f), b(n * n, 0.5f), c(n * n);
+  for (auto _ : state) {
+    nn::gemm_naive(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                   0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+// Arg pair (size, threads); threads = 0 uses the hardware default.
+void BM_GemmThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  set_num_threads(static_cast<std::size_t>(state.range(1)));
+  std::vector<float> a(n * n, 1.0f), b(n * n, 0.5f), c(n * n);
+  for (auto _ : state) {
+    nn::matmul(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_num_threads(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmThreaded)->Args({256, 1})->Args({256, 0});
 
 void BM_DctFull(benchmark::State& state) {
   const auto b = static_cast<std::size_t>(state.range(0));
@@ -77,6 +106,23 @@ void BM_FeatureTensorExtract(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureTensorExtract)->Arg(16)->Arg(32)->Arg(64);
+
+// Arg pair (clips, threads); threads = 0 uses the hardware default.
+void BM_FeatureTensorBatch(benchmark::State& state) {
+  std::vector<layout::Clip> clips;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i)
+    clips.push_back(demo_clip(100 + i));
+  set_num_threads(static_cast<std::size_t>(state.range(1)));
+  fte::FeatureTensorExtractor ex;
+  for (auto _ : state) {
+    auto fts = ex.extract_batch(clips);
+    benchmark::DoNotOptimize(fts.data());
+  }
+  set_num_threads(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FeatureTensorBatch)->Args({16, 1})->Args({16, 0});
 
 void BM_AerialImage(benchmark::State& state) {
   const layout::Clip clip = demo_clip();

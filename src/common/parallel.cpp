@@ -1,0 +1,213 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsdl {
+namespace {
+
+// Set while a thread (worker or caller) executes chunks of a region.
+thread_local bool tl_in_region = false;
+
+std::size_t env_default_threads() {
+  if (const char* env = std::getenv("HSDL_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::atomic<std::size_t> g_thread_override{0};  // 0 = use default
+
+/// Persistent worker pool executing one chunked region at a time. All
+/// participating threads (n-1 workers plus the caller) pull chunk indices
+/// from a shared atomic counter, so load balances itself; chunk->range
+/// mapping is fixed by the caller, so WHAT each chunk computes never
+/// depends on scheduling.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (std::thread& t : workers_)
+      if (t.joinable()) t.join();
+  }
+
+  /// Runs fn(chunk) for chunks [0, chunks) on up to `threads` threads
+  /// (caller included). Returns false without running anything when the
+  /// pool is busy with another top-level region — the caller then runs
+  /// the loop inline, which keeps independent callers deadlock-free.
+  bool try_run(std::size_t chunks, std::size_t threads,
+               const std::function<void(std::size_t)>& fn) {
+    std::unique_lock<std::mutex> run_lock(run_mu_, std::try_to_lock);
+    if (!run_lock.owns_lock()) return false;
+
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const std::size_t want = threads - 1;
+      while (workers_.size() < want) {
+        // New workers are born synced to the current generation so they
+        // never join a region they were not counted into.
+        workers_.emplace_back(
+            [this, id = workers_.size(), gen = generation_] {
+              worker_loop(id, gen);
+            });
+      }
+      job_ = &fn;
+      chunk_count_ = chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      error_ = nullptr;
+      // Helpers beyond chunks-1 would only wake to find no work.
+      helpers_ = std::min(want, chunks > 0 ? chunks - 1 : 0);
+      pending_ = helpers_;
+      ++generation_;
+    }
+    cv_job_.notify_all();
+
+    drain();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+    return true;
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void worker_loop(std::size_t id, std::uint64_t seen) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_job_.wait(lock, [&] {
+          return stop_ || (generation_ != seen && id < helpers_);
+        });
+        if (stop_) return;
+        seen = generation_;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  void drain() {
+    tl_in_region = true;
+    for (;;) {
+      const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunk_count_) break;
+      try {
+        (*job_)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    tl_in_region = false;
+  }
+
+  std::mutex run_mu_;  // serializes top-level regions
+
+  std::mutex mu_;
+  std::condition_variable cv_job_, cv_done_;
+  std::vector<std::thread> workers_;
+  std::uint64_t generation_ = 0;
+  std::size_t helpers_ = 0;  // workers participating in this generation
+  std::size_t pending_ = 0;  // participants that have not finished yet
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t chunk_count_ = 0;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  static const std::size_t n = env_default_threads();
+  return n;
+}
+
+std::size_t num_threads() {
+  const std::size_t o = g_thread_override.load(std::memory_order_relaxed);
+  return o > 0 ? o : hardware_threads();
+}
+
+void set_num_threads(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  const std::size_t threads = num_threads();
+  if (grain == 0) {
+    grain = (range + threads * 4 - 1) / (threads * 4);
+    if (grain == 0) grain = 1;
+  }
+  const std::size_t chunks = (range + grain - 1) / grain;
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t cb = begin + c * grain;
+    body(cb, std::min(cb + grain, end));
+  };
+  // Serial paths: one chunk, one thread, or nested inside a region.
+  if (chunks <= 1 || threads <= 1 || tl_in_region) {
+    body(begin, end);
+    return;
+  }
+  if (!ThreadPool::instance().try_run(chunks, threads, run_chunk)) {
+    body(begin, end);
+  }
+}
+
+void parallel_for_2d(
+    std::size_t rows, std::size_t cols, std::size_t row_grain,
+    std::size_t col_grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)>& body) {
+  if (rows == 0 || cols == 0) return;
+  if (row_grain == 0) row_grain = 1;
+  if (col_grain == 0) col_grain = cols;
+  const std::size_t row_tiles = (rows + row_grain - 1) / row_grain;
+  const std::size_t col_tiles = (cols + col_grain - 1) / col_grain;
+  parallel_for(0, row_tiles * col_tiles, 1,
+               [&](std::size_t tb, std::size_t te) {
+                 for (std::size_t t = tb; t < te; ++t) {
+                   const std::size_t rt = t / col_tiles;
+                   const std::size_t ct = t % col_tiles;
+                   const std::size_t r0 = rt * row_grain;
+                   const std::size_t c0 = ct * col_grain;
+                   body(r0, std::min(r0 + row_grain, rows), c0,
+                        std::min(c0 + col_grain, cols));
+                 }
+               });
+}
+
+}  // namespace hsdl

@@ -1,0 +1,58 @@
+// Shared parallel-execution substrate: a lazily initialized global thread
+// pool with chunked parallel-for primitives.
+//
+// Design rules (every caller in this library relies on them):
+//   * Determinism: parallel_for partitions an index range into disjoint
+//     chunks; callers only ever write disjoint outputs per chunk, so the
+//     result is bitwise identical to serial execution for any thread
+//     count. Never parallelize over a reduction dimension — reduce
+//     partials in a fixed order on the calling thread instead.
+//   * Reentrancy: a parallel_for issued from inside a parallel region
+//     (nested parallelism) executes inline on the calling thread, so
+//     composed parallel code (e.g. gemm inside a per-sample conv loop)
+//     cannot deadlock or oversubscribe.
+//   * Exceptions thrown by the body are captured and rethrown on the
+//     calling thread after all workers finish the region.
+//
+// The worker count defaults to std::thread::hardware_concurrency(), is
+// overridable process-wide by the HSDL_THREADS environment variable
+// (checked once, at first use), and at runtime by set_num_threads().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hsdl {
+
+/// Default thread count: HSDL_THREADS if set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+std::size_t hardware_threads();
+
+/// Current effective thread count (always >= 1).
+std::size_t num_threads();
+
+/// Overrides the thread count; 0 restores the HSDL_THREADS/hardware
+/// default. Takes effect on the next parallel_for.
+void set_num_threads(std::size_t n);
+
+/// True while executing inside a parallel_for body on any thread of the
+/// pool (including the calling thread). Nested parallel_for calls run
+/// inline serially.
+bool in_parallel_region();
+
+/// Runs body(chunk_begin, chunk_end) over disjoint chunks covering
+/// [begin, end). `grain` is the maximum chunk length (0 picks an
+/// automatic grain of ~4 chunks per thread). Chunk boundaries depend only
+/// on (begin, end, grain), never on the thread count.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// 2-D tiled variant: body(row_begin, row_end, col_begin, col_end) over
+/// disjoint row_grain x col_grain tiles covering [0, rows) x [0, cols).
+void parallel_for_2d(
+    std::size_t rows, std::size_t cols, std::size_t row_grain,
+    std::size_t col_grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)>& body);
+
+}  // namespace hsdl

@@ -22,8 +22,32 @@ DctPlan::DctPlan(std::size_t block_size) : block_(block_size) {
                            static_cast<double>(m)));
     }
   }
-  scratch_.resize(B * B);
 }
+
+namespace {
+
+/// Per-call scratch for the separable passes: stack storage for the
+/// common small kp x B case, heap beyond. Keeping scratch out of the plan
+/// is what makes concurrent partial()/inverse_partial() calls on one
+/// plan safe.
+class Scratch {
+ public:
+  explicit Scratch(std::size_t n) {
+    if (n > kStack) {
+      heap_.resize(n);
+      ptr_ = heap_.data();
+    }
+  }
+  float* data() { return ptr_; }
+
+ private:
+  static constexpr std::size_t kStack = 4096;
+  float stack_[kStack];
+  std::vector<float> heap_;
+  float* ptr_ = stack_;
+};
+
+}  // namespace
 
 // out = C * in * C^T, evaluated as tmp = in * C^T (rows transformed),
 // then out = C * tmp (columns transformed).
@@ -34,7 +58,8 @@ void DctPlan::forward(const float* in, float* out) const {
 void DctPlan::partial(const float* in, std::size_t kp, float* out) const {
   HSDL_CHECK(kp > 0 && kp <= block_);
   const std::size_t B = block_;
-  float* tmp = scratch_.data();  // kp x B: rows = frequency m, cols = x
+  Scratch scratch(kp * B);
+  float* tmp = scratch.data();  // kp x B: rows = frequency m, cols = x
   // tmp[m][x] = sum_y C[m][y] * in[y][x]  (transform columns)
   for (std::size_t m = 0; m < kp; ++m) {
     const float* cm = &basis_[m * B];
@@ -66,7 +91,8 @@ void DctPlan::inverse_partial(const float* in, std::size_t kp,
                               float* out) const {
   HSDL_CHECK(kp > 0 && kp <= block_);
   const std::size_t B = block_;
-  float* tmp = scratch_.data();  // kp x B: tmp[m][x] = sum_n in[m][n] C[n][x]
+  Scratch scratch(kp * B);
+  float* tmp = scratch.data();  // kp x B: tmp[m][x] = sum_n in[m][n] C[n][x]
   for (std::size_t m = 0; m < kp; ++m) {
     float* trow = &tmp[m * B];
     for (std::size_t x = 0; x < B; ++x) trow[x] = 0.0f;

@@ -17,7 +17,10 @@
 
 namespace hsdl::fte {
 
-/// Precomputed DCT plan for a fixed block size B.
+/// Precomputed DCT plan for a fixed block size B. Immutable after
+/// construction: every member function is const and touches no shared
+/// state, so one plan can serve many threads concurrently (batched
+/// feature extraction parallelizes over clips against a single plan).
 class DctPlan {
  public:
   explicit DctPlan(std::size_t block_size);
@@ -42,7 +45,6 @@ class DctPlan {
   std::size_t block_;
   // basis_[m * B + x] = s_m * cos(pi/B * (x + 0.5) * m)
   std::vector<float> basis_;
-  mutable std::vector<float> scratch_;  // B*B temp for the separable passes
 };
 
 }  // namespace hsdl::fte

@@ -1,6 +1,7 @@
 #include "fte/feature_tensor.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "fte/zigzag.hpp"
 
 namespace hsdl::fte {
@@ -14,10 +15,11 @@ FeatureTensorExtractor::FeatureTensorExtractor(
 }
 
 const DctPlan& FeatureTensorExtractor::plan_for(std::size_t block) const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
   for (const auto& [size, plan] : plans_)
-    if (size == block) return plan;
-  plans_.emplace_back(block, DctPlan(block));
-  return plans_.back().second;
+    if (size == block) return *plan;
+  plans_.emplace_back(block, std::make_unique<DctPlan>(block));
+  return *plans_.back().second;
 }
 
 std::size_t FeatureTensorExtractor::block_px(
@@ -73,6 +75,15 @@ FeatureTensor FeatureTensorExtractor::extract(
 
 FeatureTensor FeatureTensorExtractor::extract(const layout::Clip& clip) const {
   return extract(layout::rasterize(clip, config_.nm_per_px));
+}
+
+std::vector<FeatureTensor> FeatureTensorExtractor::extract_batch(
+    std::span<const layout::Clip> clips) const {
+  std::vector<FeatureTensor> out(clips.size());
+  parallel_for(0, clips.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out[i] = extract(clips[i]);
+  });
+  return out;
 }
 
 layout::MaskImage FeatureTensorExtractor::reconstruct(

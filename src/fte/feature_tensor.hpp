@@ -10,6 +10,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "fte/dct.hpp"
@@ -61,6 +64,12 @@ class FeatureTensorExtractor {
   /// Rasterizes at config().nm_per_px and extracts.
   FeatureTensor extract(const layout::Clip& clip) const;
 
+  /// Batched extraction, parallel over clips on the shared thread pool.
+  /// Results are index-aligned with `clips` and bitwise identical to
+  /// calling extract() serially (each clip is an independent output).
+  std::vector<FeatureTensor> extract_batch(
+      std::span<const layout::Clip> clips) const;
+
   /// Inverse: reassembles an approximate raster from a tensor.
   /// `block_px` chooses the output block resolution (use the same value as
   /// extraction for a like-for-like comparison).
@@ -72,7 +81,12 @@ class FeatureTensorExtractor {
 
   FeatureTensorConfig config_;
   // Plans are cached per block size (tests exercise several resolutions).
-  mutable std::vector<std::pair<std::size_t, DctPlan>> plans_;
+  // unique_ptr keeps plan addresses stable across cache growth and the
+  // mutex makes the lazy insert safe under extract_batch's parallelism;
+  // the plans themselves are immutable and shared freely once built.
+  mutable std::mutex plans_mu_;
+  mutable std::vector<std::pair<std::size_t, std::unique_ptr<DctPlan>>>
+      plans_;
 };
 
 }  // namespace hsdl::fte

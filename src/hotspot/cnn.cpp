@@ -57,8 +57,8 @@ nn::Tensor HotspotCnn::logits(const nn::Tensor& input, bool train) {
   return net_.forward(input, train);
 }
 
-nn::Tensor HotspotCnn::probabilities(const nn::Tensor& input) {
-  return nn::softmax(net_.forward(input, /*train=*/false));
+nn::Tensor HotspotCnn::probabilities(const nn::Tensor& input) const {
+  return nn::softmax(net_.infer(input));
 }
 
 }  // namespace hsdl::hotspot

@@ -48,8 +48,10 @@ class HotspotCnn {
   /// Forward pass returning logits [N, 2].
   nn::Tensor logits(const nn::Tensor& input, bool train);
 
-  /// Forward pass returning softmax probabilities [N, 2].
-  nn::Tensor probabilities(const nn::Tensor& input);
+  /// Inference pass returning softmax probabilities [N, 2]. Const and
+  /// thread-safe: uses the stateless Layer::infer path, so one trained
+  /// model can serve concurrent evaluation/scanning threads.
+  nn::Tensor probabilities(const nn::Tensor& input) const;
 
   /// RNG used by dropout (exposed so training is reproducible end-to-end).
   Rng& rng() { return *rng_; }

@@ -1,10 +1,12 @@
 #include "hotspot/detector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "layout/transform.hpp"
 #include "nn/serialize.hpp"
@@ -37,6 +39,18 @@ void run_online_refinement(baselines::BoostedStumps& boost,
 }
 
 }  // namespace
+
+double Detector::predict_probability(const layout::Clip& clip) {
+  return predict(clip) ? 1.0 : 0.0;
+}
+
+std::vector<double> Detector::predict_probabilities(
+    std::span<const layout::Clip> clips) {
+  std::vector<double> probs(clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i)
+    probs[i] = predict_probability(clips[i]);
+  return probs;
+}
 
 DetectorEval Detector::evaluate(
     const std::vector<layout::LabeledClip>& test_clips) {
@@ -73,10 +87,15 @@ nn::ClassificationDataset CnnDetector::extract_dataset(
   nn::ClassificationDataset data(
       {config_.feature.coeffs, config_.feature.blocks_per_side,
        config_.feature.blocks_per_side});
-  for (const layout::LabeledClip& lc : clips) {
-    fte::FeatureTensor ft = extractor_.extract(lc.clip);
-    data.add(std::move(ft.data), label_index(lc.label));
-  }
+  // Extraction is parallel over clips (independent outputs); the dataset is
+  // assembled serially in clip order, so the result matches a serial build.
+  std::vector<fte::FeatureTensor> fts(clips.size());
+  parallel_for(0, clips.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      fts[i] = extractor_.extract(clips[i].clip);
+  });
+  for (std::size_t i = 0; i < clips.size(); ++i)
+    data.add(std::move(fts[i].data), label_index(clips[i].label));
   return data;
 }
 
@@ -166,13 +185,40 @@ void CnnDetector::update_online(
 }
 
 bool CnnDetector::predict(const layout::Clip& clip) {
+  return predict_probability(clip) > decision_threshold();
+}
+
+double CnnDetector::predict_probability(const layout::Clip& clip) {
   fte::FeatureTensor ft = extractor_.extract(clip);
   std::vector<std::size_t> shape = model_.input_shape();
   shape.insert(shape.begin(), 1);
   const nn::Tensor x = nn::Tensor::from_data(shape, std::move(ft.data));
   const nn::Tensor probs = model_.probabilities(x);
-  return static_cast<double>(probs.at(0, kHotspotIndex)) >
-         0.5 - config_.shift;
+  return static_cast<double>(probs.at(0, kHotspotIndex));
+}
+
+std::vector<double> CnnDetector::predict_probabilities(
+    std::span<const layout::Clip> clips) {
+  std::vector<double> out(clips.size());
+  constexpr std::size_t kChunk = 64;
+  const std::size_t feat = config_.feature.coeffs *
+                           config_.feature.blocks_per_side *
+                           config_.feature.blocks_per_side;
+  const std::vector<std::size_t> shape = model_.input_shape();
+  for (std::size_t start = 0; start < clips.size(); start += kChunk) {
+    const std::size_t end = std::min(start + kChunk, clips.size());
+    const std::size_t n = end - start;
+    const std::vector<fte::FeatureTensor> fts =
+        extractor_.extract_batch(clips.subspan(start, n));
+    nn::Tensor x({n, shape[0], shape[1], shape[2]});
+    for (std::size_t i = 0; i < n; ++i)
+      std::copy(fts[i].data.begin(), fts[i].data.end(),
+                x.data() + i * feat);
+    const nn::Tensor probs = model_.probabilities(x);
+    for (std::size_t i = 0; i < n; ++i)
+      out[start + i] = static_cast<double>(probs.at(i, kHotspotIndex));
+  }
+  return out;
 }
 
 DetectorEval CnnDetector::evaluate(
@@ -189,10 +235,14 @@ DetectorEval CnnDetector::evaluate(
     const std::size_t end = std::min(start + kChunk, test_clips.size());
     const std::size_t n = end - start;
     nn::Tensor x({n, shape[0], shape[1], shape[2]});
-    for (std::size_t i = 0; i < n; ++i) {
-      fte::FeatureTensor ft = extractor_.extract(test_clips[start + i].clip);
-      std::copy(ft.data.begin(), ft.data.end(), x.data() + i * feat);
-    }
+    // Each sample fills a disjoint slice of the batch tensor.
+    parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        fte::FeatureTensor ft =
+            extractor_.extract(test_clips[start + i].clip);
+        std::copy(ft.data.begin(), ft.data.end(), x.data() + i * feat);
+      }
+    });
     const nn::Tensor probs = model_.probabilities(x);
     for (std::size_t i = 0; i < n; ++i) {
       const bool predicted =
@@ -240,6 +290,13 @@ bool AdaBoostDensityDetector::predict(const layout::Clip& clip) {
   return boost_.predict(x.data(), config_.bias);
 }
 
+double AdaBoostDensityDetector::predict_probability(
+    const layout::Clip& clip) {
+  const std::vector<float> x = features::density_feature(clip, feature_);
+  // Logistic squash of the bias-shifted margin: > 0.5 iff predict() fires.
+  return 1.0 / (1.0 + std::exp(-(boost_.score(x.data()) - config_.bias)));
+}
+
 SmoothBoostCcsDetector::SmoothBoostCcsDetector(
     const features::CcsConfig& feature, const BoostDetectorConfig& config)
     : feature_(feature), config_(config), boost_(config.boost) {}
@@ -269,6 +326,11 @@ void SmoothBoostCcsDetector::train(
 bool SmoothBoostCcsDetector::predict(const layout::Clip& clip) {
   const std::vector<float> x = features::ccs_feature(clip, feature_);
   return boost_.predict(x.data(), config_.bias);
+}
+
+double SmoothBoostCcsDetector::predict_probability(const layout::Clip& clip) {
+  const std::vector<float> x = features::ccs_feature(clip, feature_);
+  return 1.0 / (1.0 + std::exp(-(boost_.score(x.data()) - config_.bias)));
 }
 
 }  // namespace hsdl::hotspot

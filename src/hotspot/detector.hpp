@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,23 @@ class Detector {
   /// Classifies one clip; true = hotspot.
   virtual bool predict(const layout::Clip& clip) = 0;
 
+  /// Hotspot confidence in [0, 1] for one clip. Consistent with
+  /// predict(): predict(clip) == (predict_probability(clip) >
+  /// decision_threshold()). The default derives a degenerate 0/1
+  /// probability from predict(); detectors with a real confidence
+  /// override it.
+  virtual double predict_probability(const layout::Clip& clip);
+
+  /// Batched probabilities, index-aligned with `clips`. The default
+  /// loops predict_probability(); batch-capable detectors override it
+  /// (the CNN detector extracts features in parallel and runs one
+  /// batched forward pass).
+  virtual std::vector<double> predict_probabilities(
+      std::span<const layout::Clip> clips);
+
+  /// Probability above which a clip counts as a hotspot.
+  virtual double decision_threshold() const { return 0.5; }
+
   /// Classifies a labeled test set and measures evaluation time.
   virtual DetectorEval evaluate(
       const std::vector<layout::LabeledClip>& test_clips);
@@ -74,6 +92,10 @@ class CnnDetector final : public Detector {
   std::string name() const override { return "cnn-feature-tensor"; }
   void train(const std::vector<layout::LabeledClip>& train_clips) override;
   bool predict(const layout::Clip& clip) override;
+  double predict_probability(const layout::Clip& clip) override;
+  std::vector<double> predict_probabilities(
+      std::span<const layout::Clip> clips) override;
+  double decision_threshold() const override { return 0.5 - config_.shift; }
   DetectorEval evaluate(
       const std::vector<layout::LabeledClip>& test_clips) override;
 
@@ -137,6 +159,7 @@ class AdaBoostDensityDetector final : public Detector {
   std::string name() const override { return "adaboost-density"; }
   void train(const std::vector<layout::LabeledClip>& train_clips) override;
   bool predict(const layout::Clip& clip) override;
+  double predict_probability(const layout::Clip& clip) override;
 
   const baselines::BoostedStumps& ensemble() const { return boost_; }
 
@@ -157,6 +180,7 @@ class SmoothBoostCcsDetector final : public Detector {
   std::string name() const override { return "smoothboost-ccs"; }
   void train(const std::vector<layout::LabeledClip>& train_clips) override;
   bool predict(const layout::Clip& clip) override;
+  double predict_probability(const layout::Clip& clip) override;
 
   const baselines::BoostedStumps& ensemble() const { return boost_; }
 

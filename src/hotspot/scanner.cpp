@@ -1,6 +1,10 @@
 #include "hotspot/scanner.hpp"
 
+#include <span>
+#include <vector>
+
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 
 namespace hsdl::hotspot {
@@ -18,15 +22,52 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
                  "layout smaller than the scan window");
   ScanReport report;
   WallTimer timer;
+
+  // Window origins of the scan grid.
+  std::vector<geom::Coord> xs, ys;
+  for (geom::Coord x = extent.lo.x;
+       x + config_.window_size <= extent.hi.x; x += config_.stride)
+    xs.push_back(x);
   for (geom::Coord y = extent.lo.y;
-       y + config_.window_size <= extent.hi.y; y += config_.stride) {
-    for (geom::Coord x = extent.lo.x;
-         x + config_.window_size <= extent.hi.x; x += config_.stride) {
-      const geom::Rect window = geom::Rect::from_xywh(
-          x, y, config_.window_size, config_.window_size);
-      const layout::Clip clip = chip.extract_clip(window).normalized();
-      ++report.windows_scanned;
-      if (detector.predict(clip)) report.hits.push_back({window, 1.0});
+       y + config_.window_size <= extent.hi.y; y += config_.stride)
+    ys.push_back(y);
+  const std::size_t nx = xs.size();
+
+  // Two-phase bands keep the hit list deterministic: clip extraction is
+  // parallel over window rows (each row fills a disjoint slice of the band
+  // buffer), then classification walks the rows serially in scan order, so
+  // hits come out row-major exactly as the serial scan produced them.
+  // Batch-capable detectors parallelize internally over the row's windows.
+  constexpr std::size_t kBandRows = 16;
+  std::vector<layout::Clip> band;
+  for (std::size_t band_lo = 0; band_lo < ys.size(); band_lo += kBandRows) {
+    const std::size_t band_hi =
+        std::min(band_lo + kBandRows, ys.size());
+    const std::size_t rows = band_hi - band_lo;
+    band.assign(rows * nx, layout::Clip{});
+    parallel_for(0, rows, 1, [&](std::size_t rb, std::size_t re) {
+      for (std::size_t r = rb; r < re; ++r) {
+        for (std::size_t i = 0; i < nx; ++i) {
+          const geom::Rect window = geom::Rect::from_xywh(
+              xs[i], ys[band_lo + r], config_.window_size,
+              config_.window_size);
+          band[r * nx + i] = chip.extract_clip(window).normalized();
+        }
+      }
+    });
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::span<const layout::Clip> row(band.data() + r * nx, nx);
+      const std::vector<double> probs = detector.predict_probabilities(row);
+      report.windows_scanned += nx;
+      for (std::size_t i = 0; i < nx; ++i) {
+        if (probs[i] > detector.decision_threshold()) {
+          report.hits.push_back(
+              {geom::Rect::from_xywh(xs[i], ys[band_lo + r],
+                                     config_.window_size,
+                                     config_.window_size),
+               probs[i]});
+        }
+      }
     }
   }
   report.scan_seconds = timer.seconds();

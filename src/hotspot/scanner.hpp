@@ -21,7 +21,9 @@ struct ScanConfig {
 
 struct ScanHit {
   geom::Rect window;
-  double probability = 1.0;  ///< detector confidence where available
+  /// The detector's hotspot probability for this window (degenerates to
+  /// 1.0 for detectors that only expose a binary predict()).
+  double probability = 1.0;
 };
 
 struct ScanReport {

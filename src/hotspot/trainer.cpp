@@ -1,8 +1,10 @@
 #include "hotspot/trainer.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
@@ -29,19 +31,27 @@ Confusion evaluate(HotspotCnn& model, const nn::ClassificationDataset& data,
                    double shift, std::size_t batch) {
   HSDL_CHECK(batch > 0);
   Confusion c;
+  if (data.empty()) return c;
   const double threshold = 0.5 - shift;
-  std::vector<std::size_t> idx;
-  for (std::size_t start = 0; start < data.size(); start += batch) {
-    const std::size_t end = std::min(start + batch, data.size());
-    idx.clear();
-    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
-    const nn::Tensor probs = model.probabilities(data.gather(idx));
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const bool predicted =
-          static_cast<double>(probs.at(i, kHotspotIndex)) > threshold;
-      c.add(data.label(idx[i]) == kHotspotIndex, predicted);
+  const std::size_t batches = (data.size() + batch - 1) / batch;
+  // Batches run in parallel, each writing a disjoint probability slice
+  // (probabilities() is const and thread-safe); the confusion counts are
+  // then accumulated serially in sample order, so the result matches the
+  // serial walk for any thread count. The contiguous gather avoids the
+  // per-batch index-vector rebuild the old loop paid for.
+  std::vector<float> prob_hotspot(data.size());
+  parallel_for(0, batches, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t bi = bb; bi < be; ++bi) {
+      const std::size_t start = bi * batch;
+      const std::size_t end = std::min(start + batch, data.size());
+      const nn::Tensor probs = model.probabilities(data.gather(start, end));
+      for (std::size_t i = start; i < end; ++i)
+        prob_hotspot[i] = probs.at(i - start, kHotspotIndex);
     }
-  }
+  });
+  for (std::size_t i = 0; i < data.size(); ++i)
+    c.add(data.label(i) == kHotspotIndex,
+          static_cast<double>(prob_hotspot[i]) > threshold);
   return c;
 }
 

@@ -17,6 +17,13 @@ Tensor Relu::forward(const Tensor& input, bool /*train*/) {
   return out;
 }
 
+Tensor Relu::infer(const Tensor& input) const {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  return out;
+}
+
 Tensor Relu::backward(const Tensor& grad_output) {
   HSDL_CHECK_MSG(same_shape(grad_output, mask_), "backward before forward");
   Tensor grad_in(grad_output.shape());
@@ -32,6 +39,15 @@ Tensor Sigmoid::forward(const Tensor& input, bool /*train*/) {
         static_cast<float>(1.0 / (1.0 + std::exp(-static_cast<double>(
                                             input[i]))));
   return output_;
+}
+
+Tensor Sigmoid::infer(const Tensor& input) const {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    out[i] =
+        static_cast<float>(1.0 / (1.0 + std::exp(-static_cast<double>(
+                                            input[i]))));
+  return out;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {

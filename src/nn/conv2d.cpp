@@ -1,8 +1,10 @@
 #include "nn/conv2d.hpp"
 
 #include <sstream>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 
@@ -120,20 +122,55 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
 
   cols_ = Tensor({n, kk, ocols});
   Tensor out({n, config_.out_channels, oh, ow});
-  for (std::size_t i = 0; i < n; ++i) {
-    float* col = cols_.data() + i * kk * ocols;
-    im2col(input.data() + i * config_.in_channels * h * w,
-           config_.in_channels, h, w, config_.kernel, config_.stride,
-           config_.padding, col);
-    // out_i = W [out_c x kk] * col [kk x ocols]
-    float* out_i = out.data() + i * config_.out_channels * ocols;
-    matmul(config_.out_channels, ocols, kk, weight_.value.data(), col, out_i);
-    for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
-      const float b = bias_.value[oc];
-      float* orow = out_i + oc * ocols;
-      for (std::size_t j = 0; j < ocols; ++j) orow[j] += b;
+  // Samples are independent: each writes only its own cols_/out slices.
+  hsdl::parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      float* col = cols_.data() + i * kk * ocols;
+      im2col(input.data() + i * config_.in_channels * h * w,
+             config_.in_channels, h, w, config_.kernel, config_.stride,
+             config_.padding, col);
+      // out_i = W [out_c x kk] * col [kk x ocols]
+      float* out_i = out.data() + i * config_.out_channels * ocols;
+      matmul(config_.out_channels, ocols, kk, weight_.value.data(), col,
+             out_i);
+      for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+        const float bv = bias_.value[oc];
+        float* orow = out_i + oc * ocols;
+        for (std::size_t j = 0; j < ocols; ++j) orow[j] += bv;
+      }
     }
-  }
+  });
+  return out;
+}
+
+Tensor Conv2d::infer(const Tensor& input) const {
+  const auto& shp = input.shape();
+  HSDL_CHECK_MSG(shp.size() == 4 && shp[1] == config_.in_channels,
+                 "conv2d expects [N," << config_.in_channels
+                                      << ",H,W], got " << input.shape_str());
+  const std::size_t n = shp[0], h = shp[2], w = shp[3];
+  const std::size_t oh = out_extent(h), ow = out_extent(w);
+  const std::size_t kk =
+      config_.in_channels * config_.kernel * config_.kernel;
+  const std::size_t ocols = oh * ow;
+
+  Tensor out({n, config_.out_channels, oh, ow});
+  hsdl::parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+    std::vector<float> col(kk * ocols);  // per-chunk im2col scratch
+    for (std::size_t i = b; i < e; ++i) {
+      im2col(input.data() + i * config_.in_channels * h * w,
+             config_.in_channels, h, w, config_.kernel, config_.stride,
+             config_.padding, col.data());
+      float* out_i = out.data() + i * config_.out_channels * ocols;
+      matmul(config_.out_channels, ocols, kk, weight_.value.data(),
+             col.data(), out_i);
+      for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+        const float bv = bias_.value[oc];
+        float* orow = out_i + oc * ocols;
+        for (std::size_t j = 0; j < ocols; ++j) orow[j] += bv;
+      }
+    }
+  });
   return out;
 }
 
@@ -149,26 +186,43 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
              std::vector<std::size_t>({n, config_.out_channels, oh, ow}));
 
   Tensor grad_in({n, config_.in_channels, h, w});
-  std::vector<float> dcol(kk * ocols);
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* gout = grad_output.data() + i * config_.out_channels * ocols;
-    const float* col = cols_.data() + i * kk * ocols;
-    // dW += gout [out_c x ocols] * col^T [ocols x kk]
-    gemm(false, true, config_.out_channels, kk, ocols, 1.0f, gout, ocols, col,
-         ocols, 1.0f, weight_.grad.data(), kk);
-    // db += row sums of gout
-    for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
-      float acc = 0.0f;
-      const float* grow = gout + oc * ocols;
-      for (std::size_t j = 0; j < ocols; ++j) acc += grow[j];
-      bias_.grad[oc] += acc;
+  // Per-sample weight/bias gradient partials: samples run in parallel,
+  // then the partials are reduced in fixed sample order on this thread —
+  // the reduction order never depends on the thread count, keeping
+  // results bitwise deterministic.
+  const std::size_t wsz = config_.out_channels * kk;
+  std::vector<float> dw_partial(n * wsz);
+  std::vector<float> db_partial(n * config_.out_channels);
+  hsdl::parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+    std::vector<float> dcol(kk * ocols);  // per-chunk scratch
+    for (std::size_t i = b; i < e; ++i) {
+      const float* gout =
+          grad_output.data() + i * config_.out_channels * ocols;
+      const float* col = cols_.data() + i * kk * ocols;
+      // dW_i = gout [out_c x ocols] * col^T [ocols x kk]
+      gemm(false, true, config_.out_channels, kk, ocols, 1.0f, gout, ocols,
+           col, ocols, 0.0f, dw_partial.data() + i * wsz, kk);
+      // db_i = row sums of gout
+      for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+        float acc = 0.0f;
+        const float* grow = gout + oc * ocols;
+        for (std::size_t j = 0; j < ocols; ++j) acc += grow[j];
+        db_partial[i * config_.out_channels + oc] = acc;
+      }
+      // dcol = W^T [kk x out_c] * gout [out_c x ocols]
+      gemm(true, false, kk, ocols, config_.out_channels, 1.0f,
+           weight_.value.data(), kk, gout, ocols, 0.0f, dcol.data(), ocols);
+      col2im(dcol.data(), config_.in_channels, h, w, config_.kernel,
+             config_.stride, config_.padding,
+             grad_in.data() + i * config_.in_channels * h * w);
     }
-    // dcol = W^T [kk x out_c] * gout [out_c x ocols]
-    gemm(true, false, kk, ocols, config_.out_channels, 1.0f,
-         weight_.value.data(), kk, gout, ocols, 0.0f, dcol.data(), ocols);
-    col2im(dcol.data(), config_.in_channels, h, w, config_.kernel,
-           config_.stride, config_.padding,
-           grad_in.data() + i * config_.in_channels * h * w);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* dw = dw_partial.data() + i * wsz;
+    for (std::size_t j = 0; j < wsz; ++j) weight_.grad[j] += dw[j];
+    const float* db = db_partial.data() + i * config_.out_channels;
+    for (std::size_t oc = 0; oc < config_.out_channels; ++oc)
+      bias_.grad[oc] += db[oc];
   }
   return grad_in;
 }

@@ -52,6 +52,18 @@ Tensor ClassificationDataset::gather(
   return out;
 }
 
+Tensor ClassificationDataset::gather(std::size_t begin,
+                                     std::size_t end) const {
+  HSDL_CHECK(begin < end && end <= size());
+  std::vector<std::size_t> shape;
+  shape.push_back(end - begin);
+  shape.insert(shape.end(), feature_shape_.begin(), feature_shape_.end());
+  Tensor out(shape);
+  const float* src = storage_.data() + begin * feature_numel_;
+  std::copy(src, src + (end - begin) * feature_numel_, out.data());
+  return out;
+}
+
 Tensor ClassificationDataset::gather_onehot(
     const std::vector<std::size_t>& idx) const {
   Tensor out({idx.size(), num_classes_});

@@ -40,6 +40,10 @@ class ClassificationDataset {
   /// Assembles a batch tensor [idx.size(), feature_shape...].
   Tensor gather(const std::vector<std::size_t>& idx) const;
 
+  /// Contiguous-range overload: samples [begin, end) as one memcpy, no
+  /// per-batch index vector (the sequential-evaluation hot path).
+  Tensor gather(std::size_t begin, std::size_t end) const;
+
   /// One-hot targets [idx.size(), num_classes].
   Tensor gather_onehot(const std::vector<std::size_t>& idx) const;
 

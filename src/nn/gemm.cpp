@@ -1,14 +1,36 @@
 #include "nn/gemm.hpp"
 
+#include <algorithm>
 #include <vector>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+
+#define HSDL_RESTRICT __restrict__
 
 namespace hsdl::nn {
 namespace {
 
-/// Core row-major kernel: C[m x n] += alpha * A[m x k] * B[k x n].
-/// A and B are contiguous row-major with the given leading dimensions.
+// Blocking parameters (floats): KC x NR B-panel stripes stay in L1 across
+// a row sweep, MC x KC packed A stays in L2, KC x NC packed B in L3. The
+// register microkernel is MR x NR = 6 x 16 — 12 accumulator vectors of 8
+// floats under AVX2, the classic BLIS shape.
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 16;
+constexpr std::size_t MC = 96;
+constexpr std::size_t KC = 256;
+constexpr std::size_t NC = 1024;
+
+// Below this flop count the packing overhead dominates; use the plain
+// kernel. The cutoff depends only on the problem shape, never on the
+// thread count, so the chosen path is stable for a given call.
+constexpr std::size_t kNaiveFlopCutoff = 48 * 48 * 48;
+
+/// Core row-major reference kernel: C[m x n] += alpha * A * B.
 void kernel_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const float* a, std::size_t lda, const float* b,
                std::size_t ldb, float* c, std::size_t ldc) {
@@ -24,13 +46,8 @@ void kernel_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
   }
 }
 
-}  // namespace
-
-void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
-          std::size_t k, float alpha, const float* a, std::size_t lda,
-          const float* b, std::size_t ldb, float beta, float* c,
-          std::size_t ldc) {
-  // Scale C by beta first.
+void scale_c(std::size_t m, std::size_t n, float beta, float* c,
+             std::size_t ldc) {
   for (std::size_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
     if (beta == 0.0f) {
@@ -39,6 +56,199 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
       for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
     }
   }
+}
+
+/// Element access of op(A) (logical m x k) and op(B) (logical k x n).
+inline float a_at(const float* a, std::size_t lda, bool trans,
+                  std::size_t i, std::size_t p) {
+  return trans ? a[p * lda + i] : a[i * lda + p];
+}
+inline float b_at(const float* b, std::size_t ldb, bool trans,
+                  std::size_t p, std::size_t j) {
+  return trans ? b[j * ldb + p] : b[p * ldb + j];
+}
+
+/// Packs an mc x kc panel of alpha*op(A) into MR-row micro-panels:
+/// ap[(ir/MR) * kc * MR + p * MR + r], zero-padded to a multiple of MR.
+void pack_a(const float* a, std::size_t lda, bool trans, float alpha,
+            std::size_t i0, std::size_t mc, std::size_t p0, std::size_t kc,
+            float* HSDL_RESTRICT ap) {
+  for (std::size_t ir = 0; ir < mc; ir += MR) {
+    const std::size_t rows = std::min(MR, mc - ir);
+    for (std::size_t p = 0; p < kc; ++p) {
+      std::size_t r = 0;
+      for (; r < rows; ++r)
+        ap[p * MR + r] = alpha * a_at(a, lda, trans, i0 + ir + r, p0 + p);
+      for (; r < MR; ++r) ap[p * MR + r] = 0.0f;
+    }
+    ap += kc * MR;
+  }
+}
+
+/// Packs a kc x nc panel of op(B) into NR-column micro-panels:
+/// bp[(jr/NR) * kc * NR + p * NR + c], zero-padded to a multiple of NR.
+void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t p0,
+            std::size_t kc, std::size_t j0, std::size_t nc,
+            float* HSDL_RESTRICT bp) {
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t cols = std::min(NR, nc - jr);
+    if (!trans && cols == NR) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + j0 + jr;
+        float* dst = bp + p * NR;
+        for (std::size_t c = 0; c < NR; ++c) dst[c] = src[c];
+      }
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) {
+        std::size_t c = 0;
+        for (; c < cols; ++c)
+          bp[p * NR + c] = b_at(b, ldb, trans, p0 + p, j0 + jr + c);
+        for (; c < NR; ++c) bp[p * NR + c] = 0.0f;
+      }
+    }
+    bp += kc * NR;
+  }
+}
+
+/// MR x NR register microkernel: accumulates a kc-long rank update of the
+/// packed micro-panels into C (only the valid rows x cols region).
+inline __attribute__((always_inline)) void micro_kernel_body(
+    std::size_t kc, const float* HSDL_RESTRICT ap,
+    const float* HSDL_RESTRICT bp, float* HSDL_RESTRICT c, std::size_t ldc,
+    std::size_t rows, std::size_t cols) {
+  float acc[MR][NR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float ar = a[r];
+      for (std::size_t col = 0; col < NR; ++col)
+        acc[r][col] += ar * b[col];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    for (std::size_t col = 0; col < cols; ++col) crow[col] += acc[r][col];
+  }
+}
+
+using MicroKernelFn = void (*)(std::size_t, const float*, const float*,
+                               float*, std::size_t, std::size_t,
+                               std::size_t);
+
+void micro_kernel_generic(std::size_t kc, const float* HSDL_RESTRICT ap,
+                          const float* HSDL_RESTRICT bp,
+                          float* HSDL_RESTRICT c, std::size_t ldc,
+                          std::size_t rows, std::size_t cols) {
+  micro_kernel_body(kc, ap, bp, c, ldc, rows, cols);
+}
+
+// The 6 x 16 accumulator block needs 12 vector registers of 8 floats —
+// only available with AVX2. The build targets baseline x86-64, so the
+// hot microkernel gets a hand-written AVX2+FMA variant (per-function
+// target attribute) selected at runtime; the generic autovectorized
+// version spills the accumulators to the stack on every k iteration and
+// loses to the naive kernel. The choice depends only on the host CPU,
+// never on thread count or shape, so determinism across thread counts
+// is unaffected (the FMA variant rounds differently than the generic
+// mul+add one, but every call on a given host takes the same path).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HSDL_GEMM_DISPATCH 1
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(
+    std::size_t kc, const float* HSDL_RESTRICT ap,
+    const float* HSDL_RESTRICT bp, float* HSDL_RESTRICT c, std::size_t ldc,
+    std::size_t rows, std::size_t cols) {
+  // 12 accumulators + 2 B vectors + 1 broadcast = 15 of 16 ymm registers.
+  __m256 acc[MR][2];
+  for (std::size_t r = 0; r < MR; ++r)
+    acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * NR);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * NR + 8);
+    const float* a = ap + p * MR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const __m256 ar = _mm256_broadcast_ss(a + r);
+      acc[r][0] = _mm256_fmadd_ps(ar, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(ar, b1, acc[r][1]);
+    }
+  }
+  if (rows == MR && cols == NR) {
+    for (std::size_t r = 0; r < MR; ++r) {
+      float* crow = c + r * ldc;
+      _mm256_storeu_ps(crow,
+                       _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+      _mm256_storeu_ps(
+          crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+    }
+  } else {  // edge tile: spill and add only the valid region
+    alignas(32) float tmp[MR][NR];
+    for (std::size_t r = 0; r < MR; ++r) {
+      _mm256_store_ps(tmp[r], acc[r][0]);
+      _mm256_store_ps(tmp[r] + 8, acc[r][1]);
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* crow = c + r * ldc;
+      for (std::size_t col = 0; col < cols; ++col) crow[col] += tmp[r][col];
+    }
+  }
+}
+#endif
+
+MicroKernelFn select_micro_kernel() {
+#ifdef HSDL_GEMM_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return micro_kernel_avx2;
+#endif
+  return micro_kernel_generic;
+}
+
+void gemm_blocked(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                  std::size_t k, float alpha, const float* a,
+                  std::size_t lda, const float* b, std::size_t ldb, float* c,
+                  std::size_t ldc) {
+  static const MicroKernelFn micro_kernel = select_micro_kernel();
+  const std::size_t nc_max = std::min(n, NC);
+  const std::size_t bp_panels = (nc_max + NR - 1) / NR;
+  std::vector<float> bpack(std::min(k, KC) * bp_panels * NR);
+
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t nc = std::min(NC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kc = std::min(KC, k - pc);
+      pack_b(b, ldb, trans_b, pc, kc, jc, nc, bpack.data());
+
+      // Row panels of C are independent outputs: safe and bitwise
+      // deterministic to split across threads.
+      const std::size_t ic_panels = (m + MC - 1) / MC;
+      parallel_for(0, ic_panels, 1, [&](std::size_t pb, std::size_t pe) {
+        std::vector<float> apack(((MC + MR - 1) / MR) * MR * kc);
+        for (std::size_t panel = pb; panel < pe; ++panel) {
+          const std::size_t ic = panel * MC;
+          const std::size_t mc = std::min(MC, m - ic);
+          pack_a(a, lda, trans_a, alpha, ic, mc, pc, kc, apack.data());
+          for (std::size_t jr = 0; jr < nc; jr += NR) {
+            const std::size_t cols = std::min(NR, nc - jr);
+            const float* bp = bpack.data() + (jr / NR) * kc * NR;
+            for (std::size_t ir = 0; ir < mc; ir += MR) {
+              const std::size_t rows = std::min(MR, mc - ir);
+              const float* ap = apack.data() + (ir / MR) * kc * MR;
+              micro_kernel(kc, ap, bp,
+                           c + (ic + ir) * ldc + jc + jr, ldc, rows, cols);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, std::size_t lda,
+                const float* b, std::size_t ldb, float beta, float* c,
+                std::size_t ldc) {
+  scale_c(m, n, beta, c, ldc);
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
   if (!trans_a && !trans_b) {
@@ -46,9 +256,8 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     return;
   }
 
-  // Transposed operands: materialize the transpose once. The matrices in
-  // this library are small (<= a few hundred per side), so the copy is
-  // cheap and keeps the hot kernel simple and branch-free.
+  // Transposed operands: materialize the transpose once — only tiny
+  // problems reach this path, so the copy is cheap.
   std::vector<float> abuf, bbuf;
   const float* ap = a;
   std::size_t alda = lda;
@@ -69,6 +278,24 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     bldb = n;
   }
   kernel_nn(m, n, k, alpha, ap, alda, bp, bldb, c, ldc);
+}
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    scale_c(m, n, beta, c, ldc);
+    return;
+  }
+  if (m * n * k <= kNaiveFlopCutoff) {
+    gemm_naive(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+               ldc);
+    return;
+  }
+  scale_c(m, n, beta, c, ldc);
+  gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
 }
 
 void matmul(std::size_t m, std::size_t n, std::size_t k, const float* a,

@@ -1,10 +1,15 @@
-// Minimal single-precision GEMM.
+// Single-precision GEMM: cache-blocked, packed, and thread-parallel.
 //
 // C = alpha * op(A) * op(B) + beta * C, row-major, with op = identity or
-// transpose. The kernel orders loops (i, k, j) so the innermost loop
-// streams both B and C rows — on the small matrices of this network
-// (hundreds per side) that is within a small factor of a tuned BLAS and
-// keeps the library dependency-free.
+// transpose. Large problems go through a BLIS-style blocked kernel
+// (MC/KC/NC tiling with packed panels and an MR x NR register
+// microkernel), parallelized over row panels of C via the shared thread
+// pool. Tiny problems fall through to the simple (i, k, j) reference
+// kernel, which has lower fixed overhead.
+//
+// Determinism: the reduction over k is always evaluated in the same
+// order for every element of C — threads only split rows of C — so the
+// result is bitwise identical for any thread count.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +20,14 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, std::size_t lda,
           const float* b, std::size_t ldb, float beta, float* c,
           std::size_t ldc);
+
+/// Unblocked single-threaded reference kernel (the pre-blocking
+/// implementation). Used for tiny problems, correctness tests, and the
+/// blocked-vs-naive benchmark. Same contract as gemm().
+void gemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, std::size_t lda,
+                const float* b, std::size_t ldb, float beta, float* c,
+                std::size_t ldc);
 
 /// Convenience: C[mxn] = A[mxk] * B[kxn] (no transposes, alpha=1, beta=0).
 void matmul(std::size_t m, std::size_t n, std::size_t k, const float* a,

@@ -39,6 +39,12 @@ class Layer {
   /// Computes outputs; `train` enables training-only behaviour (dropout).
   virtual Tensor forward(const Tensor& input, bool train) = 0;
 
+  /// Inference-only forward pass: same outputs as forward(input, false)
+  /// but touches no layer state, so one model can serve many threads
+  /// concurrently (parallel evaluation, full-chip scanning). backward()
+  /// must not be called after infer().
+  virtual Tensor infer(const Tensor& input) const = 0;
+
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must be called after a forward() on the same input.
   virtual Tensor backward(const Tensor& grad_output) = 0;

@@ -38,10 +38,14 @@ std::vector<std::size_t> Linear::output_shape(
 }
 
 Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  input_ = input;
+  return infer(input);
+}
+
+Tensor Linear::infer(const Tensor& input) const {
   HSDL_CHECK_MSG(input.dim() == 2 && input.extent(1) == in_,
                  "linear expects [N," << in_ << "], got "
                                       << input.shape_str());
-  input_ = input;
   const std::size_t n = input.extent(0);
   Tensor out({n, out_});
   // out = x [n x in] * W^T [in x out]

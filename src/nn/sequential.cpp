@@ -11,6 +11,13 @@ Tensor Sequential::forward(const Tensor& input, bool train) {
   return x;
 }
 
+Tensor Sequential::infer(const Tensor& input) const {
+  HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
+  Tensor x = input;
+  for (const auto& l : layers_) x = l->infer(x);
+  return x;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
   HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
   Tensor g = grad_output;

@@ -25,6 +25,7 @@ class Sequential final : public Layer {
 
   std::string name() const override { return "sequential"; }
   Tensor forward(const Tensor& input, bool train) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::vector<std::size_t> output_shape(

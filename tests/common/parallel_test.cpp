@@ -1,0 +1,202 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hsdl {
+namespace {
+
+/// Restores the default thread count when a test exits, so an override
+/// cannot leak into other tests in the binary.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+TEST(ParallelTest, ThreadCountsAreAtLeastOne) {
+  ThreadCountGuard guard;
+  EXPECT_GE(hardware_threads(), 1u);
+  EXPECT_GE(num_threads(), 1u);
+}
+
+TEST(ParallelTest, SetNumThreadsOverridesAndZeroRestores) {
+  ThreadCountGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), hardware_threads());
+}
+
+TEST(ParallelTest, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  bool called = false;
+  parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, GrainLargerThanRangeRunsOneChunk) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(2, 10, 100, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2u);
+  EXPECT_EQ(chunks[0].second, 10u);
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    std::vector<int> hits(1000, 0);
+    parallel_for(0, hits.size(), 7, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++hits[i];  // chunks are disjoint
+    });
+    for (int h : hits) ASSERT_EQ(h, 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, PooledChunksAreGrainAligned) {
+  // On the pooled path every chunk must be [b, min(b + grain, end)) with b
+  // on a grain boundary — the mapping the determinism contract fixes.
+  ThreadCountGuard guard;
+  for (std::size_t threads : {2u, 5u, 8u}) {
+    set_num_threads(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for(10, 110, 16, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::size_t covered = 0;
+    for (const auto& [b, e] : chunks) {
+      EXPECT_EQ((b - 10) % 16, 0u);
+      EXPECT_LE(e - b, 16u);
+      EXPECT_TRUE(e - b == 16u || e == 110u);
+      covered += e - b;
+    }
+    EXPECT_EQ(covered, 100u);
+    EXPECT_EQ(chunks.size(), 7u);  // ceil(100 / 16)
+  }
+}
+
+TEST(ParallelTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 64, 1,
+                            [&](std::size_t b, std::size_t) {
+                              if (b == 13)
+                                throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The region after a throwing one must still run to completion.
+  std::vector<int> hits(64, 0);
+  parallel_for(0, hits.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelTest, NestedParallelForRunsInlineSerially) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_FALSE(in_parallel_region());
+  std::vector<int> hits(16 * 16, 0);
+  std::atomic<bool> saw_region{false};
+  std::atomic<bool> inner_pooled{false};
+  parallel_for(0, 16, 1, [&](std::size_t ob, std::size_t oe) {
+    if (in_parallel_region()) saw_region = true;
+    for (std::size_t o = ob; o < oe; ++o) {
+      // Nested call: must execute inline on this thread, covering the
+      // inner range exactly once with no pool involvement.
+      const auto outer_id = std::this_thread::get_id();
+      parallel_for(0, 16, 1, [&](std::size_t ib, std::size_t ie) {
+        if (std::this_thread::get_id() != outer_id) inner_pooled = true;
+        for (std::size_t i = ib; i < ie; ++i) ++hits[o * 16 + i];
+      });
+    }
+  });
+  EXPECT_FALSE(in_parallel_region());
+  EXPECT_TRUE(saw_region);
+  EXPECT_FALSE(inner_pooled);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelTest, ConcurrentTopLevelCallersComplete) {
+  // Independent threads issuing parallel_for at the same time must all
+  // finish (the pool serves one; the rest fall back to inline execution).
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(512, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      parallel_for(0, hits[t].size(), 8, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[t][i];
+      });
+    });
+  }
+  for (std::thread& c : callers) c.join();
+  for (const auto& h : hits)
+    for (int v : h) ASSERT_EQ(v, 1);
+}
+
+TEST(ParallelFor2dTest, EmptyDimensionNeverInvokesBody) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  bool called = false;
+  const auto body = [&](std::size_t, std::size_t, std::size_t,
+                        std::size_t) { called = true; };
+  parallel_for_2d(0, 10, 2, 2, body);
+  parallel_for_2d(10, 0, 2, 2, body);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor2dTest, CoversEveryCellExactlyOnce) {
+  ThreadCountGuard guard;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    const std::size_t rows = 23, cols = 17;
+    std::vector<int> hits(rows * cols, 0);
+    parallel_for_2d(rows, cols, 4, 5,
+                    [&](std::size_t r0, std::size_t r1, std::size_t c0,
+                        std::size_t c1) {
+                      for (std::size_t r = r0; r < r1; ++r)
+                        for (std::size_t c = c0; c < c1; ++c)
+                          ++hits[r * cols + c];
+                    });
+    for (int h : hits) ASSERT_EQ(h, 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor2dTest, TilesRespectGrains) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  std::mutex mu;
+  bool ok = true;
+  parallel_for_2d(30, 20, 8, 6,
+                  [&](std::size_t r0, std::size_t r1, std::size_t c0,
+                      std::size_t c1) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    ok = ok && r0 % 8 == 0 && c0 % 6 == 0 &&
+                         r1 - r0 <= 8 && c1 - c0 <= 6 && r1 <= 30 &&
+                         c1 <= 20;
+                  });
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace hsdl
