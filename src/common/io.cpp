@@ -1,0 +1,261 @@
+#include "common/io.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace hsdl::io {
+namespace {
+
+std::string format_io_error(const std::string& what, std::uint64_t offset,
+                            const std::string& context) {
+  std::ostringstream os;
+  os << context << ": " << what << " (at byte " << offset << ")";
+  return os.str();
+}
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+IoError::IoError(const std::string& what, std::uint64_t offset,
+                 std::string context)
+    : CheckError(format_io_error(what, offset, context)),
+      offset_(offset),
+      context_(std::move(context)) {}
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+// -- ByteWriter --------------------------------------------------------------
+
+void ByteWriter::u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xFFu));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xFFFFu));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::f32_array(const float* data, std::size_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    bytes(data, n * sizeof(float));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) f32(data[i]);
+  }
+}
+
+void ByteWriter::bytes(const void* data, std::size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+// -- ByteReader --------------------------------------------------------------
+
+ByteReader::ByteReader(std::string_view data, std::string context)
+    : data_(data), context_(std::move(context)) {}
+
+const unsigned char* ByteReader::need(std::size_t n, const char* what) {
+  if (remaining() < n) {
+    std::ostringstream os;
+    os << "truncated: need " << n << " byte(s) for " << what << ", have "
+       << remaining();
+    fail(os.str());
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() { return *need(1, "u8"); }
+
+std::uint16_t ByteReader::u16() {
+  const unsigned char* p = need(2, "u16");
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const unsigned char* p = need(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const unsigned char* p = need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+float ByteReader::f32() { return std::bit_cast<float>(u32()); }
+
+void ByteReader::f32_array(float* out, std::size_t n) {
+  const unsigned char* p = need(n * sizeof(float), "f32 payload");
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, p, n * sizeof(float));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t v = 0;
+      for (int b = 3; b >= 0; --b)
+        v = (v << 8) | p[i * 4 + static_cast<std::size_t>(b)];
+      out[i] = std::bit_cast<float>(v);
+    }
+  }
+}
+
+std::uint16_t ByteReader::u16_be() {
+  const unsigned char* p = need(2, "u16");
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) |
+                                    p[1]);
+}
+
+std::uint32_t ByteReader::u32_be() {
+  const unsigned char* p = need(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::u64_be() {
+  const unsigned char* p = need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  const unsigned char* p = need(n, "raw bytes");
+  return {reinterpret_cast<const char*>(p), n};
+}
+
+std::string ByteReader::str(std::size_t max_len) {
+  const std::uint32_t n = u32();
+  if (n > max_len) {
+    std::ostringstream os;
+    os << "implausible string length " << n << " (limit " << max_len << ")";
+    fail(os.str());
+  }
+  return std::string(bytes(n));
+}
+
+void ByteReader::expect_end() {
+  if (!at_end()) {
+    std::ostringstream os;
+    os << remaining() << " trailing byte(s) after the end of the format";
+    fail(os.str());
+  }
+}
+
+void ByteReader::fail(const std::string& msg) const {
+  throw IoError(msg, pos_, context_);
+}
+
+// -- format header -----------------------------------------------------------
+
+void write_format_header(ByteWriter& w, std::string_view magic,
+                         std::uint32_t version, std::uint32_t flags) {
+  HSDL_CHECK_MSG(magic.size() == kMagicSize,
+                 "format magic must be exactly " << kMagicSize << " bytes");
+  w.bytes(magic.data(), magic.size());
+  w.u32(version);
+  w.u32(flags);
+}
+
+FormatHeader read_format_header(ByteReader& r, std::string_view magic,
+                                std::uint32_t min_version,
+                                std::uint32_t max_version) {
+  HSDL_CHECK_MSG(magic.size() == kMagicSize,
+                 "format magic must be exactly " << kMagicSize << " bytes");
+  const std::string_view got = r.bytes(kMagicSize);
+  if (got != magic) r.fail("bad magic (not a recognized format)");
+  FormatHeader h;
+  h.version = r.u32();
+  h.flags = r.u32();
+  if (h.version < min_version || h.version > max_version) {
+    std::ostringstream os;
+    os << "unsupported format version " << h.version << " (supported "
+       << min_version << ".." << max_version << ")";
+    r.fail(os.str());
+  }
+  return h;
+}
+
+// -- files -------------------------------------------------------------------
+
+void atomic_write_file(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good())
+      throw IoError("cannot open temp file '" + tmp + "' for writing", 0,
+                    path);
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw IoError("write to temp file '" + tmp + "' failed", 0, path);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("rename of temp file onto '" + path + "' failed", 0, path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good())
+    throw IoError("cannot open file for reading", 0, path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  if (is.bad()) throw IoError("read failed", 0, path);
+  return os.str();
+}
+
+std::string read_stream(std::istream& is) {
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace hsdl::io

@@ -1,0 +1,149 @@
+// Binary-format substrate shared by every on-disk format in the library.
+//
+// Persistence used to be ad-hoc: raw native-endian struct writes with no
+// version field, no checksum, and non-atomic file replacement. This header
+// centralizes the wire-format primitives every format (NN checkpoints,
+// detector bundles, GLF clip sets, GDSII streams) builds on:
+//
+//   * ByteWriter / ByteReader — bounds-checked little-endian (plus
+//     big-endian accessors for GDSII) primitives over an in-memory
+//     buffer. Every reader failure throws IoError carrying the byte
+//     offset and a stream context string, so corruption reports point at
+//     the damaged byte instead of saying "truncated".
+//   * {magic, version, flags} container header helpers with version
+//     range enforcement.
+//   * crc32 — the standard reflected CRC-32 (polynomial 0xEDB88320, the
+//     zlib/PNG one), usable incrementally.
+//   * atomic_write_file — write temp + rename, so a crash mid-write can
+//     never destroy the previous good file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace hsdl::io {
+
+/// Structured I/O failure: CheckError (so existing handlers keep
+/// working) plus the byte offset where decoding failed and the context
+/// (file name / format) it failed in.
+class IoError : public CheckError {
+ public:
+  IoError(const std::string& what, std::uint64_t offset, std::string context);
+
+  std::uint64_t offset() const { return offset_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  std::uint64_t offset_;
+  std::string context_;
+};
+
+/// Reflected CRC-32 (polynomial 0xEDB88320). `seed` chains incremental
+/// updates: crc32(ab) == crc32(b, crc32(a)).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+/// Appends little-endian primitives to a growable in-memory buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  /// Bulk float payload; a single memcpy on little-endian hosts.
+  void f32_array(const float* data, std::size_t n);
+  void bytes(const void* data, std::size_t n);
+  /// u32 length prefix followed by the raw bytes.
+  void str(std::string_view s);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over an in-memory buffer. Every accessor
+/// validates the remaining length first and throws IoError (with the
+/// current offset and the reader's context string) instead of reading
+/// past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data, std::string context = "stream");
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  void f32_array(float* out, std::size_t n);
+  /// Big-endian accessors (GDSII is a big-endian stream format).
+  std::uint16_t u16_be();
+  std::uint32_t u32_be();
+  std::uint64_t u64_be();
+  /// Raw view of the next n bytes.
+  std::string_view bytes(std::size_t n);
+  /// u32-length-prefixed string; lengths above `max_len` are rejected.
+  std::string str(std::size_t max_len = 1u << 20);
+
+  std::uint64_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  /// Rejects trailing data: throws IoError unless the buffer is fully
+  /// consumed.
+  void expect_end();
+
+  /// Throws IoError at the current offset with this reader's context.
+  [[noreturn]] void fail(const std::string& msg) const;
+
+ private:
+  const unsigned char* need(std::size_t n, const char* what);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+/// Fixed container prologue for versioned binary formats: an 8-byte
+/// magic, then u32 version and u32 flags (little-endian).
+struct FormatHeader {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+};
+inline constexpr std::size_t kMagicSize = 8;
+inline constexpr std::size_t kFormatHeaderSize = kMagicSize + 8;
+
+/// `magic` must be exactly kMagicSize bytes.
+void write_format_header(ByteWriter& w, std::string_view magic,
+                         std::uint32_t version, std::uint32_t flags);
+/// Verifies the magic and that version lies in [min_version,
+/// max_version]; throws IoError otherwise.
+FormatHeader read_format_header(ByteReader& r, std::string_view magic,
+                                std::uint32_t min_version,
+                                std::uint32_t max_version);
+
+/// Writes `payload` to `path` atomically: the bytes go to "<path>.tmp"
+/// first and the temp file is renamed over the target only after a
+/// successful full write, so an interrupted save leaves any previous
+/// file at `path` intact.
+void atomic_write_file(const std::string& path, std::string_view payload);
+
+/// Reads a whole file (binary) into memory; throws IoError on failure.
+std::string read_file(const std::string& path);
+
+/// Drains the rest of a stream into memory.
+std::string read_stream(std::istream& is);
+
+}  // namespace hsdl::io

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/io.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "layout/transform.hpp"
@@ -133,36 +134,37 @@ void CnnDetector::train(const std::vector<layout::LabeledClip>& train_clips) {
   train_on(train_set, val_set);
 }
 
-void CnnDetector::save(const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
-  // Fingerprint line, then the parameter payload.
+std::string CnnDetector::fingerprint() const {
+  std::ostringstream os;
   os << "HSDLDET1 k=" << config_.feature.coeffs
      << " n=" << config_.feature.blocks_per_side
      << " nmpp=" << config_.feature.nm_per_px
      << " s1=" << model_.config().stage1_maps
      << " s2=" << model_.config().stage2_maps
-     << " fc=" << model_.config().fc_nodes << "\n";
-  nn::save_params(os, model_.net().params());
+     << " fc=" << model_.config().fc_nodes;
+  return os.str();
+}
+
+void CnnDetector::save(const std::string& path) {
+  // Fingerprint line, then the v2 parameter container; the whole bundle
+  // is written atomically so a crash mid-save cannot clobber the
+  // previous checkpoint.
+  io::atomic_write_file(
+      path, fingerprint() + "\n" + nn::serialize_params(model_.net().params()));
 }
 
 void CnnDetector::load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
-  std::string fingerprint;
-  std::getline(is, fingerprint);
-  std::ostringstream expected;
-  expected << "HSDLDET1 k=" << config_.feature.coeffs
-           << " n=" << config_.feature.blocks_per_side
-           << " nmpp=" << config_.feature.nm_per_px
-           << " s1=" << model_.config().stage1_maps
-           << " s2=" << model_.config().stage2_maps
-           << " fc=" << model_.config().fc_nodes;
-  HSDL_CHECK_MSG(fingerprint == expected.str(),
-                 "checkpoint fingerprint mismatch: '"
-                     << fingerprint << "' vs expected '" << expected.str()
-                     << "'");
-  nn::load_params(is, model_.net().params());
+  const std::string data = io::read_file(path);
+  const std::size_t nl = data.find('\n');
+  if (nl == std::string::npos)
+    throw io::IoError("missing fingerprint line", data.size(), path);
+  const std::string expected = fingerprint();
+  const std::string_view got = std::string_view(data).substr(0, nl);
+  HSDL_CHECK_MSG(got == expected, "checkpoint fingerprint mismatch: '"
+                                      << got << "' vs expected '" << expected
+                                      << "'");
+  nn::deserialize_params(std::string_view(data).substr(nl + 1),
+                         model_.net().params(), path);
 }
 
 void CnnDetector::update_online(
@@ -185,7 +187,7 @@ void CnnDetector::update_online(
 }
 
 bool CnnDetector::predict(const layout::Clip& clip) {
-  return predict_probability(clip) > decision_threshold();
+  return is_flagged(predict_probability(clip), decision_threshold());
 }
 
 double CnnDetector::predict_probability(const layout::Clip& clip) {
@@ -245,9 +247,9 @@ DetectorEval CnnDetector::evaluate(
     });
     const nn::Tensor probs = model_.probabilities(x);
     for (std::size_t i = 0; i < n; ++i) {
-      const bool predicted =
-          static_cast<double>(probs.at(i, kHotspotIndex)) >
-          0.5 - config_.shift;
+      const bool predicted = is_flagged(
+          static_cast<double>(probs.at(i, kHotspotIndex)),
+          decision_threshold());
       eval.confusion.add(
           label_index(test_clips[start + i].label) == kHotspotIndex,
           predicted);

@@ -47,7 +47,7 @@ class Detector {
   virtual bool predict(const layout::Clip& clip) = 0;
 
   /// Hotspot confidence in [0, 1] for one clip. Consistent with
-  /// predict(): predict(clip) == (predict_probability(clip) >
+  /// predict(): predict(clip) == is_flagged(predict_probability(clip),
   /// decision_threshold()). The default derives a degenerate 0/1
   /// probability from predict(); detectors with a real confidence
   /// override it.
@@ -60,7 +60,9 @@ class Detector {
   virtual std::vector<double> predict_probabilities(
       std::span<const layout::Clip> clips);
 
-  /// Probability above which a clip counts as a hotspot.
+  /// Probability above which a clip counts as a hotspot (see
+  /// is_flagged in metrics.hpp for the exact predicate; a threshold
+  /// <= 0 flags everything).
   virtual double decision_threshold() const { return 0.5; }
 
   /// Classifies a labeled test set and measures evaluation time.
@@ -123,11 +125,16 @@ class CnnDetector final : public Detector {
 
   /// Saves the trained weights plus the feature/architecture fingerprint;
   /// load() verifies the fingerprint so a checkpoint cannot be restored
-  /// into a detector with a different feature tensor or CNN shape.
+  /// into a detector with a different feature tensor or CNN shape. The
+  /// save is atomic (write temp + rename) and the parameter payload is
+  /// the checksummed v2 container, so a corrupted or truncated bundle is
+  /// rejected with a positioned error (see nn/serialize.hpp).
   void save(const std::string& path);
   void load(const std::string& path);
 
  private:
+  std::string fingerprint() const;
+
   CnnDetectorConfig config_;
   fte::FeatureTensorExtractor extractor_;
   HotspotCnn model_;

@@ -15,6 +15,16 @@ namespace hsdl::hotspot {
 /// Seconds of lithography simulation per detected hotspot (paper §5).
 inline constexpr double kLithoSimSecondsPerClip = 10.0;
 
+/// The decision predicate shared by Detector::predict, the chip
+/// scanner, batched evaluation and the ROC sweep: a hotspot probability
+/// p in [0, 1] is flagged when it exceeds the threshold. A threshold
+/// <= 0 flags everything — including samples with p exactly 0 — so the
+/// full-flag end of a boundary sweep (shift = +0.5 ⇒ threshold 0)
+/// reaches the (1, 1) ROC corner instead of clipping it.
+inline bool is_flagged(double probability, double threshold) {
+  return threshold <= 0.0 || probability > threshold;
+}
+
 struct Confusion {
   std::size_t tp = 0;  ///< hotspot predicted hotspot
   std::size_t fn = 0;  ///< hotspot predicted non-hotspot

@@ -7,44 +7,38 @@
 namespace hsdl::hotspot {
 namespace {
 
-/// p(hotspot) for every sample, computed in chunks.
+/// p(hotspot) for every sample, computed in contiguous chunks (one
+/// gather + one batched forward per chunk).
 std::vector<double> hotspot_probabilities(
     HotspotCnn& model, const nn::ClassificationDataset& data) {
   std::vector<double> probs;
   probs.reserve(data.size());
   constexpr std::size_t kChunk = 128;
-  std::vector<std::size_t> idx;
   for (std::size_t start = 0; start < data.size(); start += kChunk) {
     const std::size_t end = std::min(start + kChunk, data.size());
-    idx.clear();
-    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
-    const nn::Tensor p = model.probabilities(data.gather(idx));
-    for (std::size_t i = 0; i < idx.size(); ++i)
-      probs.push_back(static_cast<double>(p.at(i, kHotspotIndex)));
+    const nn::Tensor p = model.probabilities(data.gather(start, end));
+    for (std::size_t i = start; i < end; ++i)
+      probs.push_back(static_cast<double>(p.at(i - start, kHotspotIndex)));
   }
   return probs;
 }
 
 Confusion confusion_at(const std::vector<double>& probs,
-                       const nn::ClassificationDataset& data,
+                       const std::vector<bool>& is_hotspot,
                        double threshold) {
   Confusion c;
-  for (std::size_t i = 0; i < data.size(); ++i)
-    c.add(data.label(i) == kHotspotIndex, probs[i] > threshold);
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    c.add(is_hotspot[i], is_flagged(probs[i], threshold));
   return c;
 }
 
-}  // namespace
-
-std::vector<RocPoint> roc_curve(HotspotCnn& model,
-                                const nn::ClassificationDataset& data,
-                                const std::vector<double>& shifts) {
-  HSDL_CHECK(!data.empty());
-  const std::vector<double> probs = hotspot_probabilities(model, data);
+std::vector<RocPoint> sweep(const std::vector<double>& probs,
+                            const std::vector<bool>& is_hotspot,
+                            const std::vector<double>& shifts) {
   std::vector<RocPoint> out;
   out.reserve(shifts.size());
   for (double shift : shifts) {
-    const Confusion c = confusion_at(probs, data, 0.5 - shift);
+    const Confusion c = confusion_at(probs, is_hotspot, 0.5 - shift);
     RocPoint p;
     p.shift = shift;
     p.accuracy = c.accuracy();
@@ -54,6 +48,35 @@ std::vector<RocPoint> roc_curve(HotspotCnn& model,
     out.push_back(p);
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(HotspotCnn& model,
+                                const nn::ClassificationDataset& data,
+                                const std::vector<double>& shifts) {
+  HSDL_CHECK(!data.empty());
+  const std::vector<double> probs = hotspot_probabilities(model, data);
+  std::vector<bool> is_hotspot(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    is_hotspot[i] = data.label(i) == kHotspotIndex;
+  return sweep(probs, is_hotspot, shifts);
+}
+
+std::vector<RocPoint> roc_curve(Detector& detector,
+                                const std::vector<layout::LabeledClip>& clips,
+                                const std::vector<double>& shifts) {
+  HSDL_CHECK(!clips.empty());
+  std::vector<layout::Clip> plain;
+  plain.reserve(clips.size());
+  std::vector<bool> is_hotspot;
+  is_hotspot.reserve(clips.size());
+  for (const layout::LabeledClip& lc : clips) {
+    plain.push_back(lc.clip);
+    is_hotspot.push_back(lc.label == layout::HotspotLabel::kHotspot);
+  }
+  const std::vector<double> probs = detector.predict_probabilities(plain);
+  return sweep(probs, is_hotspot, shifts);
 }
 
 double roc_auc(HotspotCnn& model, const nn::ClassificationDataset& data,

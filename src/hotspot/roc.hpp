@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hotspot/cnn.hpp"
+#include "hotspot/detector.hpp"
 #include "hotspot/metrics.hpp"
 #include "nn/dataset.hpp"
 
@@ -20,8 +21,17 @@ struct RocPoint {
 
 /// Evaluates the model at each boundary shift. Probabilities are computed
 /// once; thresholds are swept over them, so large sweeps stay cheap.
+/// Flagging uses the shared is_flagged predicate, so the sweep endpoints
+/// (shift ±0.5) pin to the (0,0)/(1,1) ROC corners.
 std::vector<RocPoint> roc_curve(HotspotCnn& model,
                                 const nn::ClassificationDataset& data,
+                                const std::vector<double>& shifts);
+
+/// Detector-level overload over labeled clips: probabilities come from
+/// one Detector::predict_probabilities batch call (any detector, not
+/// just the CNN), then thresholds are swept over them.
+std::vector<RocPoint> roc_curve(Detector& detector,
+                                const std::vector<layout::LabeledClip>& clips,
                                 const std::vector<double>& shifts);
 
 /// Area under the (fa_rate, accuracy) curve via trapezoids over a dense

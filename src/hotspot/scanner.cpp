@@ -23,14 +23,22 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
   ScanReport report;
   WallTimer timer;
 
-  // Window origins of the scan grid.
+  // Window origins of the scan grid. When the stride does not tile the
+  // extent exactly, a final window clamped to the far edge covers the
+  // trailing band that the bare grid would silently skip (it overlaps
+  // the previous window; positions stay strictly increasing, so the
+  // deterministic row-major merge order is unchanged).
   std::vector<geom::Coord> xs, ys;
   for (geom::Coord x = extent.lo.x;
        x + config_.window_size <= extent.hi.x; x += config_.stride)
     xs.push_back(x);
+  if (xs.back() + config_.window_size < extent.hi.x)
+    xs.push_back(extent.hi.x - config_.window_size);
   for (geom::Coord y = extent.lo.y;
        y + config_.window_size <= extent.hi.y; y += config_.stride)
     ys.push_back(y);
+  if (ys.back() + config_.window_size < extent.hi.y)
+    ys.push_back(extent.hi.y - config_.window_size);
   const std::size_t nx = xs.size();
 
   // Two-phase bands keep the hit list deterministic: clip extraction is
@@ -60,7 +68,7 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
       const std::vector<double> probs = detector.predict_probabilities(row);
       report.windows_scanned += nx;
       for (std::size_t i = 0; i < nx; ++i) {
-        if (probs[i] > detector.decision_threshold()) {
+        if (is_flagged(probs[i], detector.decision_threshold())) {
           report.hits.push_back(
               {geom::Rect::from_xywh(xs[i], ys[band_lo + r],
                                      config_.window_size,

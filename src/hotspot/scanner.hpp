@@ -55,7 +55,10 @@ class ChipScanner {
 
   const ScanConfig& config() const { return config_; }
 
-  /// Classifies every window position on the layout.
+  /// Classifies every window position on the layout. When the stride
+  /// does not tile the extent exactly, the final row/column of windows
+  /// is clamped to the far edge so the trailing band is still scanned
+  /// (those windows overlap their predecessors).
   ScanReport scan(const layout::Layout& chip, Detector& detector) const;
 
  private:

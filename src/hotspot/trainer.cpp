@@ -51,7 +51,7 @@ Confusion evaluate(HotspotCnn& model, const nn::ClassificationDataset& data,
   });
   for (std::size_t i = 0; i < data.size(); ++i)
     c.add(data.label(i) == kHotspotIndex,
-          static_cast<double>(prob_hotspot[i]) > threshold);
+          is_flagged(static_cast<double>(prob_hotspot[i]), threshold));
   return c;
 }
 

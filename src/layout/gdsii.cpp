@@ -5,8 +5,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <string_view>
 
 #include "common/check.hpp"
+#include "common/io.hpp"
 
 namespace hsdl::layout {
 namespace {
@@ -93,51 +95,83 @@ void emit_timestamps(std::ostream& os, std::uint8_t rec) {
 struct Record {
   std::uint8_t type = 0;
   std::uint8_t dtype = 0;
-  std::string payload;
+  std::string_view payload;
 };
 
-bool read_record(std::istream& is, Record& rec) {
-  unsigned char header[4];
-  is.read(reinterpret_cast<char*>(header), 4);
-  if (is.gcount() == 0) return false;  // clean EOF
-  HSDL_CHECK_MSG(is.gcount() == 4, "GDSII: truncated record header");
-  const std::size_t len =
-      (static_cast<std::size_t>(header[0]) << 8) | header[1];
-  HSDL_CHECK_MSG(len >= 4, "GDSII: record length below header size");
-  rec.type = header[2];
-  rec.dtype = header[3];
-  rec.payload.resize(len - 4);
-  is.read(rec.payload.data(), static_cast<std::streamsize>(len - 4));
-  HSDL_CHECK_MSG(is.good() || len == 4, "GDSII: truncated record payload");
-  return true;
-}
+/// Walks the record stream over an in-memory buffer via the shared
+/// bounds-checked reader; every diagnostic carries the record index and
+/// the byte offset where decoding stopped.
+class RecordStream {
+ public:
+  explicit RecordStream(std::string_view data)
+      : reader_(data, "GDSII") {}
 
-std::int16_t get_i16(const std::string& p, std::size_t at) {
-  HSDL_CHECK(at + 2 <= p.size());
+  bool next(Record& rec) {
+    if (reader_.at_end()) return false;
+    const std::uint64_t start = reader_.pos();
+    if (reader_.remaining() < 4)
+      fail_at(start, "truncated record header");
+    const std::uint16_t len = reader_.u16_be();
+    rec.type = reader_.u8();
+    rec.dtype = reader_.u8();
+    if (len < 4) fail_at(start, "record length below header size");
+    if (reader_.remaining() < static_cast<std::size_t>(len) - 4)
+      fail_at(start, "truncated record payload");
+    rec.payload = reader_.bytes(static_cast<std::size_t>(len) - 4);
+    ++index_;
+    return true;
+  }
+
+  /// Trailing bytes after ENDLIB must be NUL tape padding only.
+  void expect_only_padding() {
+    while (!reader_.at_end())
+      if (reader_.u8() != 0)
+        reader_.fail("non-padding trailing data after ENDLIB");
+  }
+
+  std::size_t record_index() const { return index_; }
+  std::uint64_t offset() const { return reader_.pos(); }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    fail_at(reader_.pos(), msg);
+  }
+
+ private:
+  [[noreturn]] void fail_at(std::uint64_t at, const std::string& msg) const {
+    throw io::IoError(msg + " (record #" + std::to_string(index_) + ")", at,
+                      "GDSII");
+  }
+
+  io::ByteReader reader_;
+  std::size_t index_ = 0;  // records fully decoded so far
+};
+
+std::int16_t get_i16(std::string_view p, std::size_t at) {
+  HSDL_CHECK_MSG(at + 2 <= p.size(), "GDSII: record payload too short");
   return static_cast<std::int16_t>(
       (static_cast<std::uint16_t>(static_cast<unsigned char>(p[at])) << 8) |
       static_cast<unsigned char>(p[at + 1]));
 }
 
-std::int32_t get_i32(const std::string& p, std::size_t at) {
-  HSDL_CHECK(at + 4 <= p.size());
+std::int32_t get_i32(std::string_view p, std::size_t at) {
+  HSDL_CHECK_MSG(at + 4 <= p.size(), "GDSII: record payload too short");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i)
     v = (v << 8) | static_cast<unsigned char>(p[at + static_cast<std::size_t>(i)]);
   return static_cast<std::int32_t>(v);
 }
 
-std::uint64_t get_u64(const std::string& p, std::size_t at) {
-  HSDL_CHECK(at + 8 <= p.size());
+std::uint64_t get_u64(std::string_view p, std::size_t at) {
+  HSDL_CHECK_MSG(at + 8 <= p.size(), "GDSII: record payload too short");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i)
     v = (v << 8) | static_cast<unsigned char>(p[at + static_cast<std::size_t>(i)]);
   return v;
 }
 
-std::string trim_nul(std::string s) {
-  while (!s.empty() && s.back() == '\0') s.pop_back();
-  return s;
+std::string trim_nul(std::string_view s) {
+  while (!s.empty() && s.back() == '\0') s.remove_suffix(1);
+  return std::string(s);
 }
 
 }  // namespace
@@ -237,6 +271,8 @@ void write_gds(std::ostream& os, const GdsLibrary& lib) {
 }
 
 GdsLibrary read_gds(std::istream& is) {
+  const std::string data = io::read_stream(is);
+  RecordStream records(data);
   GdsLibrary lib;
   lib.cells.clear();
   Record rec;
@@ -247,7 +283,7 @@ GdsLibrary read_gds(std::istream& is) {
   std::vector<geom::Point> current_ring;
   GdsRef current_ref;
 
-  while (read_record(is, rec)) {
+  while (records.next(rec)) {
     switch (rec.type) {
       case kHeader:
         saw_header = true;
@@ -260,30 +296,28 @@ GdsLibrary read_gds(std::istream& is) {
         lib.db_unit_meters = from_gds_real(get_u64(rec.payload, 8));
         break;
       case kBgnStr:
-        HSDL_CHECK_MSG(!in_struct, "GDSII: nested BGNSTR");
+        if (in_struct) records.fail("nested BGNSTR");
         lib.cells.emplace_back();
         in_struct = true;
         break;
       case kStrName:
-        HSDL_CHECK_MSG(in_struct, "GDSII: STRNAME outside structure");
+        if (!in_struct) records.fail("STRNAME outside structure");
         lib.cells.back().name = trim_nul(rec.payload);
         break;
       case kEndStr:
-        HSDL_CHECK_MSG(in_struct && !in_element,
-                       "GDSII: unbalanced ENDSTR");
+        if (!in_struct || in_element) records.fail("unbalanced ENDSTR");
         in_struct = false;
         break;
       case kBoundary:
-        HSDL_CHECK_MSG(in_struct && !in_element,
-                       "GDSII: BOUNDARY outside structure");
+        if (!in_struct || in_element)
+          records.fail("BOUNDARY outside structure");
         in_element = true;
         element_is_boundary = true;
         current_layer = 0;
         current_ring.clear();
         break;
       case kSref:
-        HSDL_CHECK_MSG(in_struct && !in_element,
-                       "GDSII: SREF outside structure");
+        if (!in_struct || in_element) records.fail("SREF outside structure");
         in_element = true;
         element_is_sref = true;
         current_ref = GdsRef{};
@@ -297,13 +331,12 @@ GdsLibrary read_gds(std::istream& is) {
         break;
       case kXy:
         if (in_element && element_is_sref) {
-          HSDL_CHECK_MSG(rec.payload.size() >= 8, "GDSII: SREF without XY");
+          if (rec.payload.size() < 8) records.fail("SREF without XY");
           current_ref.at = {get_i32(rec.payload, 0),
                             get_i32(rec.payload, 4)};
         }
         if (in_element && element_is_boundary) {
-          HSDL_CHECK_MSG(rec.payload.size() % 8 == 0,
-                         "GDSII: odd XY payload");
+          if (rec.payload.size() % 8 != 0) records.fail("odd XY payload");
           const std::size_t n = rec.payload.size() / 8;
           current_ring.clear();
           for (std::size_t i = 0; i < n; ++i)
@@ -318,14 +351,12 @@ GdsLibrary read_gds(std::istream& is) {
         break;
       case kEndEl:
         if (in_element && element_is_sref) {
-          HSDL_CHECK_MSG(!current_ref.cell.empty(),
-                         "GDSII: SREF without SNAME");
+          if (current_ref.cell.empty()) records.fail("SREF without SNAME");
           lib.cells.back().refs.push_back(current_ref);
         }
         if (in_element && element_is_boundary) {
-          HSDL_CHECK_MSG(
-              geom::is_rectilinear_ring(current_ring),
-              "GDSII: non-rectilinear boundary (unsupported subset)");
+          if (!geom::is_rectilinear_ring(current_ring))
+            records.fail("non-rectilinear boundary (unsupported subset)");
           lib.cells.back().boundaries.emplace_back(current_ring);
           lib.cells.back().layers.push_back(current_layer);
         }
@@ -334,14 +365,14 @@ GdsLibrary read_gds(std::istream& is) {
         element_is_sref = false;
         break;
       case kEndLib:
-        HSDL_CHECK_MSG(saw_header, "GDSII: ENDLIB before HEADER");
+        if (!saw_header) records.fail("ENDLIB before HEADER");
+        records.expect_only_padding();
         return lib;
       default:
-        break;  // skip unsupported records (TEXT, SREF, properties, ...)
+        break;  // skip unsupported records (TEXT, properties, ...)
     }
   }
-  HSDL_CHECK_MSG(false, "GDSII: stream ended without ENDLIB");
-  return lib;
+  records.fail("stream ended without ENDLIB");
 }
 
 void write_gds_file(const std::string& path, const GdsLibrary& lib) {

@@ -1,15 +1,65 @@
 #include "layout/glf.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "common/check.hpp"
+#include "common/io.hpp"
 #include "common/string_util.hpp"
 
 namespace hsdl::layout {
 namespace {
+
+/// Full-match signed integer parse. std::stoll would accept trailing
+/// garbage ("12x" -> 12) and throw bare std::invalid_argument /
+/// std::out_of_range on damage; this keeps every malformed number inside
+/// the positioned CheckError taxonomy.
+geom::Coord parse_coord(const std::string& s, std::size_t lineno) {
+  geom::Coord v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  HSDL_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+                 "GLF line " << lineno << ": bad integer '" << s << "'");
+  return v;
+}
+
+std::uint64_t parse_u64_field(std::string_view token, std::string_view key,
+                              const char* what) {
+  HSDL_CHECK_MSG(token.size() > key.size() &&
+                     token.substr(0, key.size()) == key,
+                 "GLF 2 header: malformed " << what << " field '" << token
+                                            << "'");
+  const std::string_view digits = token.substr(key.size());
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v);
+  HSDL_CHECK_MSG(ec == std::errc{} && ptr == digits.data() + digits.size(),
+                 "GLF 2 header: bad " << what << " value '" << digits << "'");
+  return v;
+}
+
+std::uint32_t parse_crc_field(std::string_view token) {
+  constexpr std::string_view key = "crc32=";
+  HSDL_CHECK_MSG(token.size() == key.size() + 8 &&
+                     token.substr(0, key.size()) == key,
+                 "GLF 2 header: malformed crc32 field '" << token << "'");
+  const std::string_view digits = token.substr(key.size());
+  // Canonical lowercase hex only, so every single-bit corruption of the
+  // field is detectable (base-16 from_chars would also accept 'A'-'F',
+  // making a case-flipped digit parse to the same value).
+  for (char c : digits)
+    HSDL_CHECK_MSG((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'),
+                   "GLF 2 header: bad crc32 value '" << digits << "'");
+  std::uint32_t v = 0;
+  const auto [ptr, ec] = std::from_chars(
+      digits.data(), digits.data() + digits.size(), v, /*base=*/16);
+  HSDL_CHECK_MSG(ec == std::errc{} && ptr == digits.data() + digits.size(),
+                 "GLF 2 header: bad crc32 value '" << digits << "'");
+  return v;
+}
 
 HotspotLabel parse_label(const std::string& s, std::size_t lineno) {
   if (s == "hotspot") return HotspotLabel::kHotspot;
@@ -22,44 +72,26 @@ HotspotLabel parse_label(const std::string& s, std::size_t lineno) {
 geom::Rect parse_rect(const std::vector<std::string>& tok, std::size_t lineno) {
   HSDL_CHECK_MSG(tok.size() >= 5, "GLF line " << lineno << ": expected "
                                               << "x y w h");
-  const geom::Coord x = std::stoll(tok[1]);
-  const geom::Coord y = std::stoll(tok[2]);
-  const geom::Coord w = std::stoll(tok[3]);
-  const geom::Coord h = std::stoll(tok[4]);
+  const geom::Coord x = parse_coord(tok[1], lineno);
+  const geom::Coord y = parse_coord(tok[2], lineno);
+  const geom::Coord w = parse_coord(tok[3], lineno);
+  const geom::Coord h = parse_coord(tok[4], lineno);
   HSDL_CHECK_MSG(w > 0 && h > 0,
                  "GLF line " << lineno << ": non-positive extent");
   return geom::Rect::from_xywh(x, y, w, h);
 }
 
-}  // namespace
-
-void write_glf(std::ostream& os, const std::vector<LabeledClip>& clips) {
-  os << "GLF 1\n";
-  for (const LabeledClip& lc : clips) {
-    const geom::Rect& w = lc.clip.window;
-    os << "CLIP " << w.lo.x << ' ' << w.lo.y << ' ' << w.width() << ' '
-       << w.height() << ' ' << to_string(lc.label) << '\n';
-    for (const geom::Rect& r : lc.clip.shapes)
-      os << "RECT " << r.lo.x << ' ' << r.lo.y << ' ' << r.width() << ' '
-         << r.height() << '\n';
-    os << "ENDCLIP\n";
-  }
-}
-
-void write_glf_file(const std::string& path,
-                    const std::vector<LabeledClip>& clips) {
-  std::ofstream os(path);
-  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
-  write_glf(os, clips);
-  HSDL_CHECK_MSG(os.good(), "write to '" << path << "' failed");
-}
-
-std::vector<LabeledClip> read_glf(std::istream& is) {
+/// Clip list body (the CLIP/RECT/ENDCLIP lines). `lineno_base` offsets
+/// reported line numbers so GLF 2 errors count from the real file line.
+/// When `expect_header` is set the first significant line must be the
+/// legacy "GLF 1" header.
+std::vector<LabeledClip> parse_body(std::istream& is, std::size_t lineno_base,
+                                    bool expect_header) {
   std::vector<LabeledClip> out;
   std::string line;
-  std::size_t lineno = 0;
+  std::size_t lineno = lineno_base;
 
-  bool saw_header = false;
+  bool saw_header = !expect_header;
   bool in_clip = false;
   LabeledClip current;
 
@@ -70,8 +102,12 @@ std::vector<LabeledClip> read_glf(std::istream& is) {
     std::vector<std::string> tok = split_ws(sv);
 
     if (!saw_header) {
-      HSDL_CHECK_MSG(tok.size() == 2 && tok[0] == "GLF" && tok[1] == "1",
+      HSDL_CHECK_MSG(tok.size() == 2 && tok[0] == "GLF",
                      "GLF line " << lineno << ": missing 'GLF 1' header");
+      HSDL_CHECK_MSG(tok[1] == "1", "GLF line "
+                                        << lineno
+                                        << ": unsupported GLF version '"
+                                        << tok[1] << "'");
       saw_header = true;
       continue;
     }
@@ -102,8 +138,97 @@ std::vector<LabeledClip> read_glf(std::istream& is) {
   return out;
 }
 
+std::string render_body(const std::vector<LabeledClip>& clips) {
+  std::ostringstream os;
+  for (const LabeledClip& lc : clips) {
+    const geom::Rect& w = lc.clip.window;
+    os << "CLIP " << w.lo.x << ' ' << w.lo.y << ' ' << w.width() << ' '
+       << w.height() << ' ' << to_string(lc.label) << '\n';
+    for (const geom::Rect& r : lc.clip.shapes)
+      os << "RECT " << r.lo.x << ' ' << r.lo.y << ' ' << r.width() << ' '
+         << r.height() << '\n';
+    os << "ENDCLIP\n";
+  }
+  return os.str();
+}
+
+std::string render_glf(const std::vector<LabeledClip>& clips) {
+  const std::string body = render_body(clips);
+  std::ostringstream os;
+  os << "GLF 2 crc32=";
+  os << std::hex;
+  os.width(8);
+  os.fill('0');
+  os << io::crc32(body);
+  os << std::dec << " bytes=" << body.size() << " clips=" << clips.size()
+     << '\n'
+     << body;
+  return os.str();
+}
+
+/// GLF 2 hardened container: the first line is
+///   GLF 2 crc32=<8 hex> bytes=<N> clips=<M>
+/// and the remaining N bytes are the clip body the CRC-32 covers. Any
+/// bit flip, truncation or header-field mutation fails one of the
+/// checks below with a positioned diagnostic.
+std::vector<LabeledClip> read_glf2(const std::string& data) {
+  const std::size_t nl = data.find('\n');
+  HSDL_CHECK_MSG(nl != std::string::npos,
+                 "GLF 2 header: missing end-of-line");
+  const std::vector<std::string> tok =
+      split_ws(std::string_view(data).substr(0, nl));
+  HSDL_CHECK_MSG(tok.size() == 5 && tok[0] == "GLF" && tok[1] == "2",
+                 "GLF 2 header: expected 'GLF 2 crc32=… bytes=… clips=…', "
+                 "got " << tok.size() << " token(s)");
+  const std::uint32_t want_crc = parse_crc_field(tok[2]);
+  const std::uint64_t want_bytes = parse_u64_field(tok[3], "bytes=", "bytes");
+  const std::uint64_t want_clips = parse_u64_field(tok[4], "clips=", "clips");
+
+  const std::string_view body = std::string_view(data).substr(nl + 1);
+  if (body.size() != want_bytes)
+    throw io::IoError("body is " + std::to_string(body.size()) +
+                          " byte(s), header says " +
+                          std::to_string(want_bytes) +
+                          " (truncated or corrupt)",
+                      nl + 1 + body.size(), "GLF 2");
+  const std::uint32_t got_crc = io::crc32(body);
+  if (got_crc != want_crc)
+    throw io::IoError("body checksum mismatch (corrupt file)", nl + 1,
+                      "GLF 2");
+
+  std::istringstream is{std::string(body)};
+  std::vector<LabeledClip> out =
+      parse_body(is, /*lineno_base=*/1, /*expect_header=*/false);
+  HSDL_CHECK_MSG(out.size() == want_clips,
+                 "GLF 2: body has " << out.size()
+                                    << " clip(s), header says "
+                                    << want_clips);
+  return out;
+}
+
+}  // namespace
+
+void write_glf(std::ostream& os, const std::vector<LabeledClip>& clips) {
+  const std::string data = render_glf(clips);
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+void write_glf_file(const std::string& path,
+                    const std::vector<LabeledClip>& clips) {
+  io::atomic_write_file(path, render_glf(clips));
+}
+
+std::vector<LabeledClip> read_glf(std::istream& is) {
+  const std::string data = io::read_stream(is);
+  if (data.rfind("GLF 2", 0) == 0) return read_glf2(data);
+  // Legacy GLF 1: tolerant line format (comments may precede the
+  // header), no checksum.
+  std::istringstream body(data);
+  return parse_body(body, /*lineno_base=*/0, /*expect_header=*/true);
+}
+
 std::vector<LabeledClip> read_glf_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
   return read_glf(is);
 }

@@ -1,16 +1,22 @@
 // GLF — a plain-text "geometry list format" for labeled clip sets.
 //
 // GDSII streams are overkill for fixed-window clip exchange; hotspot
-// benchmark suites are commonly shipped as per-clip shape lists. Format:
+// benchmark suites are commonly shipped as per-clip shape lists.
+// Current (hardened) container, always written on output:
 //
-//   GLF 1
+//   GLF 2 crc32=<8 hex> bytes=<N> clips=<M>
 //   CLIP <x> <y> <w> <h> <label>     # label: hotspot | non-hotspot | none
 //   RECT <x> <y> <w> <h>             # repeated, absolute nm coordinates
 //   ...
 //   ENDCLIP
 //   ...                              # more CLIP blocks
 //
-// Lines starting with '#' and blank lines are ignored.
+// The header line declares the CRC-32, byte count and clip count of the
+// body that follows, so bit flips and truncations are rejected with a
+// positioned error instead of silently loading damaged geometry. Legacy
+// "GLF 1" files (same body, bare "GLF 1" header, no checksum) still
+// read. Within the body, lines starting with '#' and blank lines are
+// ignored. File writes are atomic (write temp + rename).
 #pragma once
 
 #include <iosfwd>
@@ -26,8 +32,9 @@ void write_glf(std::ostream& os, const std::vector<LabeledClip>& clips);
 void write_glf_file(const std::string& path,
                     const std::vector<LabeledClip>& clips);
 
-/// Parses a GLF stream. Throws hsdl::CheckError with a line number on
-/// malformed input.
+/// Parses a GLF 1 or GLF 2 stream. Throws hsdl::CheckError with a line
+/// number on malformed input and hsdl::io::IoError with a byte offset
+/// on container damage (checksum or byte-count mismatch).
 std::vector<LabeledClip> read_glf(std::istream& is);
 std::vector<LabeledClip> read_glf_file(const std::string& path);
 

@@ -1,95 +1,162 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "common/io.hpp"
 
 namespace hsdl::nn {
 namespace {
 
-constexpr char kMagic[] = "HSDLNN1\n";
-constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+// v2 container (all integers little-endian):
+//   "HSDLNN2\0" | u32 version=2 | u32 flags=0 | u64 param_count
+//   per param, a record starting at offset R:
+//     u32 name_len | name | u32 ndim | u64 dim[ndim]
+//     u64 payload_bytes | f32 payload (little-endian)
+//     u32 record_crc — crc32 of bytes [R, here)
+//   u32 file_crc — crc32 of bytes [0, here)
+// and nothing after: loaders reject trailing data.
+constexpr char kMagicV2[] = "HSDLNN2\0";
+constexpr std::size_t kMaxDims = 16;
 
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+// Legacy v1: "HSDLNN1\n", native-endian u64 fields, raw float payloads,
+// no checksums. Read-only.
+constexpr char kMagicV1[] = "HSDLNN1\n";
+constexpr std::size_t kMagicV1Len = sizeof(kMagicV1) - 1;
 
-std::uint64_t read_u64(std::istream& is) {
+std::uint64_t read_u64_native(io::ByteReader& r) {
   std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  HSDL_CHECK_MSG(is.good(), "truncated checkpoint");
+  const std::string_view b = r.bytes(sizeof(v));
+  std::memcpy(&v, b.data(), sizeof(v));
   return v;
 }
 
-void write_string(std::ostream& os, const std::string& s) {
-  write_u64(os, s.size());
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& is) {
-  const std::uint64_t n = read_u64(is);
-  HSDL_CHECK_MSG(n < (1u << 20), "implausible string length in checkpoint");
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  HSDL_CHECK_MSG(is.good(), "truncated checkpoint");
-  return s;
-}
-
-}  // namespace
-
-void save_params(std::ostream& os, const std::vector<Param*>& params) {
-  os.write(kMagic, static_cast<std::streamsize>(kMagicLen));
-  write_u64(os, params.size());
-  for (const Param* p : params) {
-    write_string(os, p->name);
-    write_u64(os, p->value.dim());
-    for (std::size_t e : p->value.shape()) write_u64(os, e);
-    os.write(reinterpret_cast<const char*>(p->value.data()),
-             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-  }
-  HSDL_CHECK_MSG(os.good(), "checkpoint write failed");
-}
-
-void load_params(std::istream& is, const std::vector<Param*>& params) {
-  char magic[kMagicLen];
-  is.read(magic, static_cast<std::streamsize>(kMagicLen));
-  HSDL_CHECK_MSG(is.good() && std::string(magic, kMagicLen) == kMagic,
-                 "not an HSDL checkpoint");
-  const std::uint64_t n = read_u64(is);
+/// v1 loader: native-endian fields exactly as the original writer
+/// emitted them, now with positioned truncation errors and a strict
+/// end-of-buffer check.
+void load_params_v1(io::ByteReader& r, const std::vector<Param*>& params) {
+  const std::uint64_t n = read_u64_native(r);
   HSDL_CHECK_MSG(n == params.size(), "checkpoint has " << n
                                                        << " params, model has "
                                                        << params.size());
   for (Param* p : params) {
-    const std::string name = read_string(is);
+    const std::uint64_t name_len = read_u64_native(r);
+    if (name_len >= (1u << 20))
+      r.fail("implausible param name length in v1 checkpoint");
+    const std::string name(r.bytes(name_len));
     HSDL_CHECK_MSG(name == p->name, "checkpoint param '"
                                         << name << "' where model expects '"
                                         << p->name << "'");
-    const std::uint64_t ndim = read_u64(is);
+    const std::uint64_t ndim = read_u64_native(r);
+    if (ndim > kMaxDims) r.fail("implausible rank in v1 checkpoint");
     std::vector<std::size_t> shape(ndim);
-    for (auto& e : shape) e = read_u64(is);
+    for (auto& e : shape) e = read_u64_native(r);
     HSDL_CHECK_MSG(shape == p->value.shape(),
                    "shape mismatch for param '" << name << "'");
-    is.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-    HSDL_CHECK_MSG(is.good(), "truncated checkpoint payload");
+    const std::string_view payload =
+        r.bytes(p->value.numel() * sizeof(float));
+    std::memcpy(p->value.data(), payload.data(), payload.size());
   }
+  r.expect_end();
+}
+
+void load_params_v2(io::ByteReader& r, std::string_view data,
+                    const std::vector<Param*>& params) {
+  io::read_format_header(r, std::string_view(kMagicV2, io::kMagicSize),
+                         kCheckpointVersion, kCheckpointVersion);
+  const std::uint64_t n = r.u64();
+  HSDL_CHECK_MSG(n == params.size(), "checkpoint has " << n
+                                                       << " params, model has "
+                                                       << params.size());
+  for (Param* p : params) {
+    const std::size_t record_begin = r.pos();
+    const std::string name = r.str();
+    HSDL_CHECK_MSG(name == p->name, "checkpoint param '"
+                                        << name << "' where model expects '"
+                                        << p->name << "'");
+    const std::uint32_t ndim = r.u32();
+    if (ndim > kMaxDims) r.fail("implausible rank for param '" + name + "'");
+    std::vector<std::size_t> shape(ndim);
+    for (auto& e : shape) e = static_cast<std::size_t>(r.u64());
+    HSDL_CHECK_MSG(shape == p->value.shape(),
+                   "shape mismatch for param '" << name << "'");
+    const std::uint64_t payload_bytes = r.u64();
+    if (payload_bytes != p->value.numel() * sizeof(float))
+      r.fail("payload byte count does not match the shape of param '" +
+             name + "'");
+    r.f32_array(p->value.data(), p->value.numel());
+    const std::uint32_t stored_record_crc = r.u32();
+    const std::uint32_t actual_record_crc = io::crc32(
+        data.substr(record_begin, r.pos() - sizeof(std::uint32_t) -
+                                      record_begin));
+    if (stored_record_crc != actual_record_crc)
+      r.fail("checksum mismatch in record of param '" + name +
+             "' (corrupt checkpoint)");
+  }
+  const std::uint32_t stored_file_crc = r.u32();
+  const std::uint32_t actual_file_crc =
+      io::crc32(data.substr(0, r.pos() - sizeof(std::uint32_t)));
+  if (stored_file_crc != actual_file_crc)
+    r.fail("whole-file checksum mismatch (corrupt checkpoint)");
+  r.expect_end();
+}
+
+}  // namespace
+
+std::string serialize_params(const std::vector<Param*>& params) {
+  io::ByteWriter w;
+  io::write_format_header(w, std::string_view(kMagicV2, io::kMagicSize),
+                          kCheckpointVersion, /*flags=*/0);
+  w.u64(params.size());
+  for (const Param* p : params) {
+    const std::size_t record_begin = w.size();
+    w.str(p->name);
+    w.u32(static_cast<std::uint32_t>(p->value.dim()));
+    for (std::size_t e : p->value.shape()) w.u64(e);
+    w.u64(p->value.numel() * sizeof(float));
+    w.f32_array(p->value.data(), p->value.numel());
+    w.u32(io::crc32(std::string_view(w.buffer()).substr(record_begin)));
+  }
+  w.u32(io::crc32(w.buffer()));
+  return w.take();
+}
+
+void deserialize_params(std::string_view data,
+                        const std::vector<Param*>& params,
+                        const std::string& context) {
+  io::ByteReader r(data, context);
+  if (data.size() >= kMagicV1Len &&
+      data.substr(0, kMagicV1Len) == std::string_view(kMagicV1, kMagicV1Len)) {
+    r.bytes(kMagicV1Len);  // consume the legacy magic
+    load_params_v1(r, params);
+    return;
+  }
+  load_params_v2(r, data, params);
+}
+
+void save_params(std::ostream& os, const std::vector<Param*>& params) {
+  const std::string buf = serialize_params(params);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  HSDL_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+void load_params(std::istream& is, const std::vector<Param*>& params) {
+  deserialize_params(io::read_stream(is), params);
 }
 
 void save_params_file(const std::string& path,
                       const std::vector<Param*>& params) {
-  std::ofstream os(path, std::ios::binary);
-  HSDL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
-  save_params(os, params);
+  io::atomic_write_file(path, serialize_params(params));
 }
 
 void load_params_file(const std::string& path,
                       const std::vector<Param*>& params) {
-  std::ifstream is(path, std::ios::binary);
-  HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
-  load_params(is, params);
+  deserialize_params(io::read_file(path), params, path);
 }
 
 std::vector<Tensor> snapshot_params(const std::vector<Param*>& params) {

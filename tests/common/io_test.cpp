@@ -1,0 +1,188 @@
+#include "common/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace hsdl::io {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string s = "feature tensor generation and deep biased learning";
+  for (std::size_t cut = 0; cut <= s.size(); ++cut) {
+    const std::uint32_t partial =
+        crc32(s.substr(cut), crc32(s.substr(0, cut)));
+    EXPECT_EQ(partial, crc32(s)) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipAlwaysChangesChecksum) {
+  const std::string s = "GLF body bytes under test";
+  const std::uint32_t base = crc32(s);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    for (int b = 0; b < 8; ++b) {
+      std::string m = s;
+      m[i] = static_cast<char>(m[i] ^ (1 << b));
+      EXPECT_NE(crc32(m), base) << "flip byte " << i << " bit " << b;
+    }
+}
+
+TEST(ByteWriterTest, LittleEndianGoldenBytes) {
+  ByteWriter w;
+  w.u16(0x0102);
+  w.u32(0x03040506u);
+  w.u64(0x0708090A0B0C0D0EULL);
+  w.f32(1.0f);  // IEEE-754: 0x3F800000
+  const std::string& b = w.buffer();
+  const unsigned char expect[] = {0x02, 0x01, 0x06, 0x05, 0x04, 0x03,
+                                  0x0E, 0x0D, 0x0C, 0x0B, 0x0A, 0x09,
+                                  0x08, 0x07, 0x00, 0x00, 0x80, 0x3F};
+  ASSERT_EQ(b.size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i)
+    EXPECT_EQ(static_cast<unsigned char>(b[i]), expect[i]) << "byte " << i;
+}
+
+TEST(ByteReaderTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f32(-2.5f);
+  const float fs[3] = {0.0f, 1.5f, -3.25f};
+  w.f32_array(fs, 3);
+  w.str("hello");
+  ByteReader r(w.buffer(), "test");
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_FLOAT_EQ(r.f32(), -2.5f);
+  float back[3];
+  r.f32_array(back, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(back[i], fs[i]);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.at_end());
+  r.expect_end();
+}
+
+TEST(ByteReaderTest, BigEndianAccessors) {
+  const unsigned char raw[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                               0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C,
+                               0x0D, 0x0E};
+  ByteReader r(std::string_view(reinterpret_cast<const char*>(raw),
+                                sizeof(raw)),
+               "be");
+  EXPECT_EQ(r.u16_be(), 0x0102);
+  EXPECT_EQ(r.u32_be(), 0x03040506u);
+  EXPECT_EQ(r.u64_be(), 0x0708090A0B0C0D0EULL);
+}
+
+TEST(ByteReaderTest, TruncationThrowsPositionedIoError) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.buffer(), "ckpt");
+  r.u8();
+  try {
+    r.u32();
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.offset(), 1u);
+    EXPECT_EQ(e.context(), "ckpt");
+    EXPECT_NE(std::string(e.what()).find("byte 1"), std::string::npos);
+  }
+}
+
+TEST(ByteReaderTest, TrailingDataRejected) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0);
+  ByteReader r(w.buffer(), "test");
+  r.u32();
+  EXPECT_THROW(r.expect_end(), IoError);
+}
+
+TEST(ByteReaderTest, ImplausibleStringLengthRejected) {
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);  // length prefix far beyond the buffer
+  EXPECT_THROW(ByteReader(w.buffer(), "test").str(), IoError);
+}
+
+TEST(ByteReaderTest, IoErrorIsACheckError) {
+  ByteReader r("", "test");
+  EXPECT_THROW(r.u8(), CheckError);
+}
+
+TEST(FormatHeaderTest, RoundTrip) {
+  ByteWriter w;
+  write_format_header(w, "HSDLXYZ1", 3, 0x11);
+  EXPECT_EQ(w.size(), kFormatHeaderSize);
+  ByteReader r(w.buffer(), "test");
+  const FormatHeader h = read_format_header(r, "HSDLXYZ1", 1, 5);
+  EXPECT_EQ(h.version, 3u);
+  EXPECT_EQ(h.flags, 0x11u);
+}
+
+TEST(FormatHeaderTest, BadMagicRejected) {
+  ByteWriter w;
+  write_format_header(w, "HSDLXYZ1", 1, 0);
+  ByteReader r(w.buffer(), "test");
+  EXPECT_THROW(read_format_header(r, "HSDLABC1", 1, 5), IoError);
+}
+
+TEST(FormatHeaderTest, VersionOutOfRangeRejected) {
+  ByteWriter w;
+  write_format_header(w, "HSDLXYZ1", 9, 0);
+  ByteReader r(w.buffer(), "test");
+  EXPECT_THROW(read_format_header(r, "HSDLXYZ1", 1, 5), IoError);
+}
+
+TEST(AtomicWriteTest, CreatesAndReplaces) {
+  const std::string path = ::testing::TempDir() + "/atomic_io_test.bin";
+  atomic_write_file(path, "first");
+  EXPECT_EQ(read_file(path), "first");
+  atomic_write_file(path, "second payload");
+  EXPECT_EQ(read_file(path), "second payload");
+  // No temp file is left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, SimulatedCrashBeforeRenameLeavesTargetIntact) {
+  const std::string path = ::testing::TempDir() + "/atomic_crash_test.bin";
+  atomic_write_file(path, "good payload");
+  // A crash mid-save leaves a partial temp file but never touches the
+  // target; the next save simply overwrites the stale temp.
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "partial gar";
+  }
+  EXPECT_EQ(read_file(path), "good payload");
+  atomic_write_file(path, "newer payload");
+  EXPECT_EQ(read_file(path), "newer payload");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(atomic_write_file("/nonexistent-dir/x.bin", "data"), IoError);
+}
+
+TEST(ReadFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/file.bin"), IoError);
+}
+
+}  // namespace
+}  // namespace hsdl::io

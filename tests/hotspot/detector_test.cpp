@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "common/check.hpp"
 #include "hotspot/benchmark_factory.hpp"
 
@@ -156,6 +160,29 @@ TEST(CnnDetectorTest, SaveLoadRoundTripsPredictions) {
   b.load(path);
   for (std::size_t i = 0; i < bench.test.size(); i += 11)
     EXPECT_EQ(a.predict(bench.test[i].clip), b.predict(bench.test[i].clip));
+}
+
+TEST(CnnDetectorTest, LoadRejectsCorruptedBundle) {
+  CnnDetector a(fast_cnn_config());
+  const std::string path = ::testing::TempDir() + "/detector_corrupt.ckpt";
+  a.save(path);
+  // Flip one bit in the middle of the weight payload; the checksummed
+  // v2 container must reject the bundle instead of loading bad weights.
+  std::string data;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    data = os.str();
+  }
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x04);
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  CnnDetector b(fast_cnn_config());
+  EXPECT_THROW(b.load(path), hsdl::CheckError);
+  std::remove(path.c_str());
 }
 
 TEST(CnnDetectorTest, LoadRejectsMismatchedArchitecture) {

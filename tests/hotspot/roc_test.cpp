@@ -108,5 +108,71 @@ TEST(RocTest, EmptyDataThrows) {
   EXPECT_THROW(roc_curve(model, empty, {0.0}), hsdl::CheckError);
 }
 
+/// Emits exactly 0.0 / 1.0 probabilities (empty clip => 0.0) to pin the
+/// sweep endpoints: with the old strict `p > threshold` flagging, p == 0
+/// was never flagged even at threshold 0 and the curve could not reach
+/// the (1,1) corner.
+class SaturatedDetector final : public Detector {
+ public:
+  std::string name() const override { return "saturated"; }
+  void train(const std::vector<layout::LabeledClip>&) override {}
+  bool predict(const layout::Clip& clip) override {
+    return is_flagged(predict_probability(clip), decision_threshold());
+  }
+  double predict_probability(const layout::Clip& clip) override {
+    return clip.shapes.empty() ? 0.0 : 1.0;
+  }
+};
+
+std::vector<layout::LabeledClip> saturated_clips() {
+  std::vector<layout::LabeledClip> clips(4);
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    clips[i].clip.window = geom::Rect::from_xywh(0, 0, 100, 100);
+    const bool hotspot = i % 2 == 0;
+    if (hotspot) clips[i].clip.shapes = {geom::Rect::from_xywh(0, 0, 10, 10)};
+    clips[i].label = hotspot ? layout::HotspotLabel::kHotspot
+                             : layout::HotspotLabel::kNonHotspot;
+  }
+  return clips;
+}
+
+TEST(RocTest, DetectorCurveEndpointsPinnedWithSaturatedProbabilities) {
+  SaturatedDetector det;
+  auto curve = roc_curve(det, saturated_clips(), {-0.5, 0.0, 0.5});
+  ASSERT_EQ(curve.size(), 3u);
+  // shift -0.5 => threshold 1.0: nothing flagged, even exact p == 1.0.
+  EXPECT_DOUBLE_EQ(curve[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].fa_rate, 0.0);
+  // shift 0 => threshold 0.5: the saturated detector is perfect.
+  EXPECT_DOUBLE_EQ(curve[1].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].fa_rate, 0.0);
+  // shift +0.5 => threshold 0.0: everything flagged, including exact
+  // p == 0.0 (the old strict > comparison left fa_rate at 0 here).
+  EXPECT_DOUBLE_EQ(curve[2].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(curve[2].fa_rate, 1.0);
+}
+
+TEST(RocTest, DetectorCurveMatchesIsFlaggedPredicate) {
+  // The curve and the shared predicate must agree point for point.
+  SaturatedDetector det;
+  const auto clips = saturated_clips();
+  for (double shift : {-0.5, -0.2, 0.0, 0.2, 0.5}) {
+    const auto curve = roc_curve(det, clips, {shift});
+    std::size_t tp = 0, fa = 0, hotspots = 0, non = 0;
+    for (const auto& lc : clips) {
+      const bool hs = lc.label == layout::HotspotLabel::kHotspot;
+      hotspots += hs;
+      non += !hs;
+      const bool flagged =
+          is_flagged(det.predict_probability(lc.clip), 0.5 - shift);
+      tp += hs && flagged;
+      fa += !hs && flagged;
+    }
+    EXPECT_DOUBLE_EQ(curve[0].accuracy,
+                     static_cast<double>(tp) / static_cast<double>(hotspots));
+    EXPECT_EQ(curve[0].false_alarms, fa);
+  }
+}
+
 }  // namespace
 }  // namespace hsdl::hotspot

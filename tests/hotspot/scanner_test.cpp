@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace hsdl::hotspot {
 namespace {
@@ -100,6 +101,63 @@ TEST(ScannerTest, ClipsPassedNormalized) {
   ChipScanner scanner(ScanConfig{1200, 1200});
   WindowProbe probe;
   scanner.scan(chip, probe);
+}
+
+layout::Layout trailing_band_chip() {
+  // 2900x2900 chip whose only dense patch sits past 2400 — entirely
+  // inside the band a bare stride-1200 grid of 1200-windows never
+  // visits. Density 400*400/1200^2 = 0.111.
+  std::vector<geom::Rect> shapes = {
+      geom::Rect::from_xywh(2450, 2450, 400, 400)};
+  return layout::Layout(geom::Rect::from_xywh(0, 0, 2900, 2900),
+                        std::move(shapes));
+}
+
+TEST(ScannerTest, TrailingBandIsScanned) {
+  // Regression: windows overhanging the extent used to be skipped, so a
+  // hotspot in the last partial band was invisible to the scan. The
+  // final row/column now clamps to extent.hi - window_size.
+  layout::Layout chip = trailing_band_chip();
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  DensityThresholdDetector det(0.05);
+  ScanReport report = scanner.scan(chip, det);
+  // Grid {0, 1200} plus the clamped position 1700, per axis.
+  EXPECT_EQ(report.windows_scanned, 9u);
+  ASSERT_EQ(report.hits.size(), 1u);
+  EXPECT_EQ(report.hits[0].window,
+            geom::Rect::from_xywh(1700, 1700, 1200, 1200));
+}
+
+TEST(ScannerTest, StrideAlignedExtentGetsNoExtraWindows) {
+  // When the stride tiles the extent exactly, the clamp adds nothing.
+  layout::Layout chip = dense_corner_chip();  // 2400 extent, stride 1200
+  ChipScanner scanner(ScanConfig{1200, 1200});
+  DensityThresholdDetector det(0.5);
+  EXPECT_EQ(scanner.scan(chip, det).windows_scanned, 4u);
+}
+
+TEST(ScannerTest, ReportBitwiseIdenticalAcrossThreadCounts) {
+  layout::Layout chip = trailing_band_chip();
+  ChipScanner scanner(ScanConfig{1200, 700});
+  auto run = [&](std::size_t threads) {
+    set_num_threads(threads);
+    DensityThresholdDetector det(0.05);
+    ScanReport r = scanner.scan(chip, det);
+    set_num_threads(0);
+    return r;
+  };
+  const ScanReport base = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const ScanReport r = run(threads);
+    EXPECT_EQ(r.windows_scanned, base.windows_scanned);
+    ASSERT_EQ(r.hits.size(), base.hits.size()) << threads << " threads";
+    for (std::size_t i = 0; i < r.hits.size(); ++i) {
+      EXPECT_EQ(r.hits[i].window, base.hits[i].window);
+      // Bitwise, not approximate: the merge order must not depend on
+      // the thread count.
+      EXPECT_EQ(r.hits[i].probability, base.hits[i].probability);
+    }
+  }
 }
 
 }  // namespace

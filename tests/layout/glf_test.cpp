@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -137,6 +139,86 @@ TEST(GlfTest, NegativeCoordinatesSupported) {
   auto clips = read_glf(ss);
   EXPECT_EQ(clips[0].clip.window.lo.x, -100);
   EXPECT_EQ(clips[0].clip.shapes[0].lo, (geom::Point{-50, -50}));
+}
+
+TEST(GlfTest, WriterEmitsChecksummedHeader) {
+  std::stringstream ss;
+  write_glf(ss, sample_clips());
+  EXPECT_EQ(ss.str().rfind("GLF 2 crc32=", 0), 0u);
+  EXPECT_NE(ss.str().find(" bytes="), std::string::npos);
+  EXPECT_NE(ss.str().find(" clips=2"), std::string::npos);
+}
+
+TEST(GlfTest, BodyCorruptionRejectedWithChecksumDiagnostic) {
+  std::stringstream ss;
+  write_glf(ss, sample_clips());
+  std::string data = ss.str();
+  // Corrupt one digit inside the body (a coordinate), keeping it a
+  // well-formed GLF line: only the checksum can catch this.
+  const std::size_t pos = data.find("CLIP 0 0 1200");
+  ASSERT_NE(pos, std::string::npos);
+  data[pos + 10] = '3';  // 1200 -> 1300
+  std::stringstream bad(data);
+  try {
+    read_glf(bad);
+    FAIL() << "corrupt GLF body accepted";
+  } catch (const hsdl::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(GlfTest, ByteCountMismatchRejected) {
+  std::stringstream ss;
+  write_glf(ss, sample_clips());
+  std::string data = ss.str();
+  const std::size_t pos = data.find("bytes=") + 6;
+  data[pos] = data[pos] == '9' ? '8' : static_cast<char>(data[pos] + 1);
+  std::stringstream bad(data);
+  EXPECT_THROW(read_glf(bad), hsdl::CheckError);
+}
+
+TEST(GlfTest, ClipCountMismatchRejected) {
+  std::stringstream ss;
+  write_glf(ss, sample_clips());
+  std::string data = ss.str();
+  const std::size_t pos = data.find("clips=") + 6;
+  data[pos] = '7';
+  std::stringstream bad(data);
+  EXPECT_THROW(read_glf(bad), hsdl::CheckError);
+}
+
+TEST(GlfTest, BadIntegerRejectedWithLineNumber) {
+  // std::stoll would have parsed "1x0" as 1; the full-match parser
+  // rejects it inside the positioned CheckError taxonomy.
+  std::stringstream ss("GLF 1\nCLIP 0 0 1x0 10 none\nENDCLIP\n");
+  try {
+    read_glf(ss);
+    FAIL() << "malformed integer accepted";
+  } catch (const hsdl::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+    EXPECT_NE(what.find("bad integer"), std::string::npos);
+  }
+}
+
+TEST(GlfTest, LegacyGlf1StillLoads) {
+  std::stringstream ss(
+      "GLF 1\n"
+      "CLIP 0 0 100 100 hotspot\n"
+      "RECT 10 20 30 40\n"
+      "ENDCLIP\n");
+  auto clips = read_glf(ss);
+  ASSERT_EQ(clips.size(), 1u);
+  EXPECT_EQ(clips[0].clip.shapes[0], Rect::from_xywh(10, 20, 30, 40));
+  EXPECT_EQ(clips[0].label, HotspotLabel::kHotspot);
+}
+
+TEST(GlfTest, FileWriteLeavesNoTempBehind) {
+  const std::string path = ::testing::TempDir() + "/glf_atomic_test.glf";
+  write_glf_file(path, sample_clips());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/io.hpp"
 #include "nn/linear.hpp"
 #include "nn/sequential.hpp"
 
@@ -123,6 +127,98 @@ TEST(SnapshotTest, SizeMismatchThrows) {
   Sequential net = make_net(17);
   std::vector<Tensor> wrong(1);
   EXPECT_THROW(restore_params(wrong, net.params()), CheckError);
+}
+
+TEST(SerializeTest, WritesVersion2Container) {
+  Sequential net = make_net(18);
+  const std::string buf = serialize_params(net.params());
+  ASSERT_GE(buf.size(), io::kFormatHeaderSize);
+  EXPECT_EQ(buf.substr(0, 7), "HSDLNN2");
+  EXPECT_EQ(buf[7], '\0');
+}
+
+TEST(SerializeTest, SaveIsBitwiseDeterministic) {
+  Sequential a = make_net(19);
+  const std::string first = serialize_params(a.params());
+  Sequential b = make_net(20);
+  deserialize_params(first, b.params());
+  // Same bytes from a repeat save and from a loaded copy.
+  EXPECT_EQ(serialize_params(a.params()), first);
+  EXPECT_EQ(serialize_params(b.params()), first);
+}
+
+TEST(SerializeTest, TrailingBytesRejectedV2) {
+  Sequential a = make_net(21);
+  const std::string good = serialize_params(a.params());
+  Sequential b = make_net(22);
+  EXPECT_THROW(deserialize_params(good + std::string(1, '\0'), b.params()),
+               CheckError);
+  std::stringstream ss(good + "x");
+  EXPECT_THROW(load_params(ss, b.params()), CheckError);
+}
+
+/// Hand-built legacy v1 image: "HSDLNN1\n", native-endian u64 fields,
+/// raw float payloads, no checksums — exactly what the old writer
+/// emitted.
+std::string v1_bytes(const std::vector<Param*>& params) {
+  std::string out("HSDLNN1\n", 8);
+  auto put_u64 = [&out](std::uint64_t v) {
+    char b[sizeof(v)];
+    std::memcpy(b, &v, sizeof(v));
+    out.append(b, sizeof(v));
+  };
+  put_u64(params.size());
+  for (const Param* p : params) {
+    put_u64(p->name.size());
+    out += p->name;
+    put_u64(p->value.dim());
+    for (std::size_t e : p->value.shape()) put_u64(e);
+    out.append(reinterpret_cast<const char*>(p->value.data()),
+               p->value.numel() * sizeof(float));
+  }
+  return out;
+}
+
+TEST(SerializeTest, LegacyV1CheckpointStillLoads) {
+  Sequential a = make_net(23);
+  Sequential b = make_net(24);
+  deserialize_params(v1_bytes(a.params()), b.params());
+  auto pa = a.params(), pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j)
+      EXPECT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(SerializeTest, TrailingBytesRejectedV1) {
+  Sequential a = make_net(25);
+  Sequential b = make_net(26);
+  EXPECT_THROW(deserialize_params(v1_bytes(a.params()) + "z", b.params()),
+               CheckError);
+}
+
+TEST(SerializeTest, InterruptedSaveLeavesPreviousCheckpointIntact) {
+  Sequential a = make_net(27);
+  const std::string path = ::testing::TempDir() + "/ckpt_atomic_test.bin";
+  save_params_file(path, a.params());
+  // Simulate a crash mid-save: a partial temp file exists, the target
+  // was never touched.
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "HSDLNN2";  // truncated garbage
+  }
+  Sequential b = make_net(28);
+  load_params_file(path, b.params());
+  for (std::size_t i = 0; i < b.params().size(); ++i)
+    for (std::size_t j = 0; j < b.params()[i]->value.numel(); ++j)
+      EXPECT_FLOAT_EQ(b.params()[i]->value[j], a.params()[i]->value[j]);
+  // The next save overwrites the stale temp and the checkpoint.
+  Sequential c = make_net(29);
+  save_params_file(path, c.params());
+  load_params_file(path, b.params());
+  for (std::size_t i = 0; i < b.params().size(); ++i)
+    for (std::size_t j = 0; j < b.params()[i]->value.numel(); ++j)
+      EXPECT_FLOAT_EQ(b.params()[i]->value[j], c.params()[i]->value[j]);
+  std::remove(path.c_str());
 }
 
 }  // namespace
