@@ -1,0 +1,136 @@
+// Checkpoint-write overhead benchmark.
+//
+// Times the same fixed training schedule with checkpointing disabled,
+// every 10 iterations, and every iteration, and reports the cost a
+// TrainState write adds — per write and normalized per 100 training
+// iterations at the default cadence. Results go to stdout and to
+// BENCH_resume.json so the overhead can be tracked across machines.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "hotspot/trainer.hpp"
+#include "nn/dataset.hpp"
+
+namespace {
+
+using namespace hsdl;
+
+nn::ClassificationDataset synthetic_set(std::size_t n_per_class,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  nn::ClassificationDataset d({2, 4, 4});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (std::size_t label = 0; label < 2; ++label) {
+      std::vector<float> x(32);
+      for (float& v : x)
+        v = static_cast<float>(rng.normal(label == 1 ? 0.8 : 0.0, 0.15));
+      d.add(std::move(x), label);
+    }
+  }
+  return d;
+}
+
+/// Fixed-length schedule: high patience and a single validation point so
+/// every run executes exactly `iters` iterations.
+hotspot::MgdConfig schedule(std::size_t iters) {
+  hotspot::MgdConfig cfg;
+  cfg.learning_rate = 5e-3;
+  cfg.max_iters = iters;
+  cfg.decay_step = iters / 2;
+  cfg.validate_every = iters;
+  cfg.patience = 100;
+  cfg.batch = 16;
+  return cfg;
+}
+
+double run_once(const hotspot::MgdConfig& cfg,
+                const nn::ClassificationDataset& train,
+                const nn::ClassificationDataset& val) {
+  hotspot::HotspotCnnConfig cnn;
+  cnn.input_channels = 2;
+  cnn.input_side = 4;
+  cnn.stage1_maps = 4;
+  cnn.stage2_maps = 8;
+  cnn.fc_nodes = 16;
+  cnn.dropout = 0.0;
+  hotspot::HotspotCnn model(cnn);
+  hotspot::MgdTrainer trainer(cfg);
+  Rng rng(3);
+  WallTimer timer;
+  trainer.train(model, train, val, rng);
+  return timer.seconds();
+}
+
+/// Best-of-`reps` wall time.
+double time_best(int reps, const hotspot::MgdConfig& cfg,
+                 const nn::ClassificationDataset& train,
+                 const nn::ClassificationDataset& val) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const double s = run_once(cfg, train, val);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kIters = 300;
+  constexpr int kReps = 3;
+  const std::string path = "BENCH_resume_ckpt.ts";
+
+  auto train = synthetic_set(40, 1);
+  auto val = synthetic_set(15, 2);
+
+  const hotspot::MgdConfig base = schedule(kIters);
+  const double baseline_s = time_best(kReps, base, train, val);
+
+  hotspot::MgdConfig every10 = base;
+  every10.checkpoint_path = path;
+  every10.checkpoint_every = 10;
+  const double every10_s = time_best(kReps, every10, train, val);
+
+  hotspot::MgdConfig every1 = base;
+  every1.checkpoint_path = path;
+  every1.checkpoint_every = 1;
+  const double every1_s = time_best(kReps, every1, train, val);
+
+  const std::size_t ckpt_bytes = io::read_file(path).size();
+  std::remove(path.c_str());
+
+  // Per-write cost from the every-iteration run (kIters + 1 writes: each
+  // iteration plus the finished-flag write at the end).
+  const double per_write_ms = (every1_s - baseline_s) / (kIters + 1) * 1e3;
+  // Normalized overhead at the default cadence (checkpoint_every = 10):
+  // what 100 training iterations pay for their 10 checkpoint writes.
+  const double per_100_iters_ms =
+      (every10_s - baseline_s) / (static_cast<double>(kIters) / 100.0) * 1e3;
+
+  std::printf("checkpoint overhead (%zu iters, best of %d)\n", kIters,
+              kReps);
+  std::printf("  no checkpointing : %8.3f s\n", baseline_s);
+  std::printf("  every 10 iters   : %8.3f s  (+%.3f ms / 100 iters)\n",
+              every10_s, per_100_iters_ms);
+  std::printf("  every iteration  : %8.3f s  (+%.3f ms / write)\n",
+              every1_s, per_write_ms);
+  std::printf("  TrainState size  : %zu bytes\n", ckpt_bytes);
+
+  std::ofstream os("BENCH_resume.json");
+  os << "{\n"
+     << "  \"iters\": " << kIters << ",\n"
+     << "  \"baseline_s\": " << baseline_s << ",\n"
+     << "  \"checkpoint_every_10_s\": " << every10_s << ",\n"
+     << "  \"checkpoint_every_1_s\": " << every1_s << ",\n"
+     << "  \"checkpoint_bytes\": " << ckpt_bytes << ",\n"
+     << "  \"overhead_per_write_ms\": " << per_write_ms << ",\n"
+     << "  \"overhead_per_100_iters_ms\": " << per_100_iters_ms << "\n"
+     << "}\n";
+  std::printf("wrote BENCH_resume.json\n");
+  return 0;
+}

@@ -69,6 +69,8 @@ void ByteWriter::u64(std::uint64_t v) {
 
 void ByteWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
 
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
 void ByteWriter::f32_array(const float* data, std::size_t n) {
   if constexpr (std::endian::native == std::endian::little) {
     bytes(data, n * sizeof(float));
@@ -127,6 +129,8 @@ std::uint64_t ByteReader::u64() {
 }
 
 float ByteReader::f32() { return std::bit_cast<float>(u32()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
 
 void ByteReader::f32_array(float* out, std::size_t n) {
   const unsigned char* p = need(n * sizeof(float), "f32 payload");

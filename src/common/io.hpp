@@ -60,6 +60,8 @@ class ByteWriter {
   void u64(std::uint64_t v);
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f32(float v);
+  /// IEEE-754 binary64 via its bit pattern (exact round-trip).
+  void f64(double v);
   /// Bulk float payload; a single memcpy on little-endian hosts.
   void f32_array(const float* data, std::size_t n);
   void bytes(const void* data, std::size_t n);
@@ -88,6 +90,7 @@ class ByteReader {
   std::uint64_t u64();
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   float f32();
+  double f64();
   void f32_array(float* out, std::size_t n);
   /// Big-endian accessors (GDSII is a big-endian stream format).
   std::uint16_t u16_be();

@@ -86,6 +86,16 @@ double Rng::normal(double mean, double stddev) {
 
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
+Rng::State Rng::state() const {
+  return State{s_, has_cached_normal_, cached_normal_};
+}
+
+void Rng::set_state(const State& state) {
+  s_ = state.s;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::fork() {
   Rng child(0);
   // Child state derived from fresh draws so the parent stream advances and

@@ -69,6 +69,22 @@ class Rng {
   /// streams that must not interact).
   Rng fork();
 
+  /// Complete engine state: the four xoshiro256** words plus the
+  /// Box-Muller cache normal() keeps between calls. Capturing and
+  /// restoring it reproduces the stream exactly — including a pending
+  /// cached normal — which is what checkpoint/resume needs for
+  /// bit-for-bit training replay.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   bool has_cached_normal_ = false;

@@ -1,33 +1,98 @@
 #include "hotspot/biased.hpp"
 
+#include <fstream>
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "hotspot/train_state.hpp"
 
 namespace hsdl::hotspot {
 
 BiasedLearner::BiasedLearner(const BiasedLearningConfig& config)
     : config_(config) {
   HSDL_CHECK(config.rounds >= 1);
+  HSDL_CHECK(config.epsilon0 >= 0.0);
   HSDL_CHECK(config.delta >= 0.0);
   HSDL_CHECK_MSG(
       config.epsilon0 +
               config.delta * static_cast<double>(config.rounds - 1) <
           0.5,
       "bias schedule crosses the 0.5 decision line (Theorem 1 bound)");
+  // Both round templates must be valid now, not `rounds` rounds into a
+  // long run when the degenerate config is first instantiated.
+  validate_mgd_config(config.initial);
+  validate_mgd_config(config.finetune);
+  HSDL_CHECK(config.checkpoint_every > 0);
+}
+
+MgdConfig BiasedLearner::round_config(std::size_t round,
+                                      double epsilon) const {
+  MgdConfig mgd = (round == 0) ? config_.initial : config_.finetune;
+  mgd.epsilon = epsilon;  // Algorithm 2 line 3
+  mgd.checkpoint_path = config_.checkpoint_path;
+  mgd.checkpoint_every = config_.checkpoint_every;
+  return mgd;
 }
 
 BiasedLearningResult BiasedLearner::train(
     HotspotCnn& model, const nn::ClassificationDataset& train_set,
     const nn::ClassificationDataset& val_set, Rng& rng) {
+  return run(model, train_set, val_set, rng, /*first_round=*/0,
+             config_.epsilon0, /*completed=*/{},
+             /*resume_first_round=*/false);
+}
+
+BiasedLearningResult BiasedLearner::resume(
+    HotspotCnn& model, const nn::ClassificationDataset& train_set,
+    const nn::ClassificationDataset& val_set, Rng& rng) {
+  HSDL_CHECK_MSG(!config_.checkpoint_path.empty(),
+                 "resume requires checkpoint_path to be set");
+  if (!std::ifstream(config_.checkpoint_path, std::ios::binary).good()) {
+    HSDL_LOG(kInfo) << "resume: no checkpoint at '"
+                    << config_.checkpoint_path << "', starting fresh";
+    return train(model, train_set, val_set, rng);
+  }
+  const TrainState state = load_train_state_file(config_.checkpoint_path);
+  HSDL_CHECK_MSG(!state.extra.empty(),
+                 "checkpoint '" << config_.checkpoint_path
+                                << "' carries no biased-learning progress "
+                                   "(written by a plain MgdTrainer?)");
+  BiasedProgress progress = deserialize_biased_progress(state.extra);
+  HSDL_CHECK_MSG(progress.round < config_.rounds,
+                 "checkpoint is at round " << progress.round
+                                           << " but config has only "
+                                           << config_.rounds << " rounds");
+  HSDL_CHECK_MSG(progress.completed.size() == progress.round,
+                 "checkpoint round progress is inconsistent");
+  HSDL_LOG(kInfo) << "resume: continuing biased learning at round "
+                  << progress.round << " (eps=" << progress.epsilon << ", "
+                  << progress.completed.size() << " rounds completed)";
+  return run(model, train_set, val_set, rng, progress.round,
+             progress.epsilon, std::move(progress.completed),
+             /*resume_first_round=*/true);
+}
+
+BiasedLearningResult BiasedLearner::run(
+    HotspotCnn& model, const nn::ClassificationDataset& train_set,
+    const nn::ClassificationDataset& val_set, Rng& rng,
+    std::size_t first_round, double first_epsilon,
+    std::vector<BiasedRound> completed, bool resume_first_round) {
   BiasedLearningResult result;
-  double epsilon = config_.epsilon0;
-  for (std::size_t i = 0; i < config_.rounds; ++i) {
-    MgdConfig mgd = (i == 0) ? config_.initial : config_.finetune;
-    mgd.epsilon = epsilon;  // Algorithm 2 line 3
-    MgdTrainer trainer(mgd);
+  result.rounds = std::move(completed);
+  double epsilon = first_epsilon;
+  for (std::size_t i = first_round; i < config_.rounds; ++i) {
+    MgdTrainer trainer(round_config(i, epsilon));
+    if (iteration_hook_) trainer.set_iteration_hook(iteration_hook_);
+    if (fault_hook_) trainer.set_fault_hook(fault_hook_);
+    if (!config_.checkpoint_path.empty())
+      trainer.set_checkpoint_extra(serialize_biased_progress(
+          BiasedProgress{i, epsilon, result.rounds}));
     BiasedRound round;
     round.epsilon = epsilon;
-    round.train = trainer.train(model, train_set, val_set, rng);
+    round.train = (resume_first_round && i == first_round)
+                      ? trainer.resume(model, train_set, val_set, rng)
+                      : trainer.train(model, train_set, val_set, rng);
     round.val_confusion = evaluate(model, val_set);
     HSDL_LOG(kInfo) << "biased round " << i << " (eps=" << epsilon
                     << "): val hotspot accuracy "

@@ -1,0 +1,283 @@
+#include "hotspot/train_state.hpp"
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/io.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+// v1 container (all integers little-endian):
+//   "HSDLTS1\0" | u32 version=1 | u32 flags=0
+//   config record (fixed width, see write_config)
+//   u64 iter | u8 finished | f64 learning_rate | f64 elapsed_seconds
+//   u64 recoveries | f64 best_score | u64 stale
+//   u64 history_count | per point: u64 iter, f64 seconds, f64 loss, f64 acc
+//   rng record x2 (sampler, model): u64 s[4] | u8 has_cached | f64 cached
+//   tensor list x3 (params, best_params, opt_slots), each:
+//     u64 count | per tensor: u32 ndim | u64 dim[ndim] | f32 payload
+//   u64 opt_step_count
+//   u32 extra_len | extra bytes
+//   u32 file_crc — crc32 of bytes [0, here)
+// and nothing after: the loader rejects trailing data.
+constexpr char kMagic[] = "HSDLTS1\0";
+constexpr std::size_t kMaxDims = 16;
+
+void write_tensor(io::ByteWriter& w, const nn::Tensor& t) {
+  w.u32(static_cast<std::uint32_t>(t.dim()));
+  for (std::size_t e : t.shape()) w.u64(e);
+  w.f32_array(t.data(), t.numel());
+}
+
+nn::Tensor read_tensor(io::ByteReader& r) {
+  const std::uint32_t ndim = r.u32();
+  if (ndim > kMaxDims) r.fail("implausible tensor rank");
+  std::vector<std::size_t> shape(ndim);
+  std::size_t numel = 1;
+  for (auto& e : shape) {
+    e = static_cast<std::size_t>(r.u64());
+    if (e == 0 || (numel != 0 && e > r.remaining() / numel))
+      r.fail("implausible tensor extent");
+    numel *= e;
+  }
+  // Bound the payload by the remaining bytes before allocating, so a
+  // corrupt length field cannot trigger a huge allocation.
+  if (numel * sizeof(float) > r.remaining())
+    r.fail("tensor payload larger than the remaining stream");
+  nn::Tensor t(std::move(shape));
+  r.f32_array(t.data(), t.numel());
+  return t;
+}
+
+void write_tensor_list(io::ByteWriter& w, const std::vector<nn::Tensor>& ts) {
+  w.u64(ts.size());
+  for (const nn::Tensor& t : ts) write_tensor(w, t);
+}
+
+std::vector<nn::Tensor> read_tensor_list(io::ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  // Each tensor record is at least 4 bytes (its u32 rank).
+  if (n > r.remaining() / 4) r.fail("implausible tensor count");
+  std::vector<nn::Tensor> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_tensor(r));
+  return out;
+}
+
+void write_rng_state(io::ByteWriter& w, const Rng::State& s) {
+  for (std::uint64_t word : s.s) w.u64(word);
+  w.u8(s.has_cached_normal ? 1 : 0);
+  w.f64(s.cached_normal);
+}
+
+Rng::State read_rng_state(io::ByteReader& r) {
+  Rng::State s;
+  for (auto& word : s.s) word = r.u64();
+  const std::uint8_t cached = r.u8();
+  if (cached > 1) r.fail("invalid rng cached-normal flag");
+  s.has_cached_normal = cached == 1;
+  s.cached_normal = r.f64();
+  return s;
+}
+
+void write_config(io::ByteWriter& w, const MgdConfig& c) {
+  w.f64(c.learning_rate);
+  w.f64(c.decay);
+  w.u64(c.decay_step);
+  w.u64(c.batch);
+  w.u64(c.max_iters);
+  w.u64(c.validate_every);
+  w.u64(c.patience);
+  w.u32(static_cast<std::uint32_t>(c.optimizer));
+  w.f64(c.epsilon);
+  w.u8(c.balanced_batches ? 1 : 0);
+  w.f64(c.max_grad_norm);
+  w.u64(c.max_recoveries);
+  w.f64(c.recovery_lr_decay);
+}
+
+MgdConfig read_config(io::ByteReader& r) {
+  MgdConfig c;
+  c.learning_rate = r.f64();
+  c.decay = r.f64();
+  c.decay_step = static_cast<std::size_t>(r.u64());
+  c.batch = static_cast<std::size_t>(r.u64());
+  c.max_iters = static_cast<std::size_t>(r.u64());
+  c.validate_every = static_cast<std::size_t>(r.u64());
+  c.patience = static_cast<std::size_t>(r.u64());
+  const std::uint32_t opt = r.u32();
+  if (opt > static_cast<std::uint32_t>(OptimizerKind::kAdam))
+    r.fail("unknown optimizer kind in checkpoint config");
+  c.optimizer = static_cast<OptimizerKind>(opt);
+  c.epsilon = r.f64();
+  const std::uint8_t balanced = r.u8();
+  if (balanced > 1) r.fail("invalid balanced-batches flag");
+  c.balanced_batches = balanced == 1;
+  c.max_grad_norm = r.f64();
+  c.max_recoveries = static_cast<std::size_t>(r.u64());
+  c.recovery_lr_decay = r.f64();
+  return c;
+}
+
+void write_train_point(io::ByteWriter& w, const TrainPoint& p) {
+  w.u64(p.iter);
+  w.f64(p.seconds);
+  w.f64(p.train_loss);
+  w.f64(p.val_accuracy);
+}
+
+TrainPoint read_train_point(io::ByteReader& r) {
+  TrainPoint p;
+  p.iter = static_cast<std::size_t>(r.u64());
+  p.seconds = r.f64();
+  p.train_loss = r.f64();
+  p.val_accuracy = r.f64();
+  return p;
+}
+
+constexpr std::size_t kTrainPointBytes = 8 + 8 + 8 + 8;
+
+std::vector<TrainPoint> read_history(io::ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining() / kTrainPointBytes)
+    r.fail("implausible history length");
+  std::vector<TrainPoint> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_train_point(r));
+  return out;
+}
+
+void write_train_result(io::ByteWriter& w, const TrainResult& t) {
+  w.u64(t.history.size());
+  for (const TrainPoint& p : t.history) write_train_point(w, p);
+  w.f64(t.best_val_accuracy);
+  w.u64(t.iters_run);
+  w.f64(t.seconds);
+  w.u64(t.recoveries);
+  w.f64(t.final_learning_rate);
+}
+
+TrainResult read_train_result(io::ByteReader& r) {
+  TrainResult t;
+  t.history = read_history(r);
+  t.best_val_accuracy = r.f64();
+  t.iters_run = static_cast<std::size_t>(r.u64());
+  t.seconds = r.f64();
+  t.recoveries = static_cast<std::size_t>(r.u64());
+  t.final_learning_rate = r.f64();
+  return t;
+}
+
+}  // namespace
+
+std::string serialize_train_state(const TrainState& state) {
+  io::ByteWriter w;
+  io::write_format_header(w, std::string_view(kMagic, io::kMagicSize),
+                          kTrainStateVersion, /*flags=*/0);
+  write_config(w, state.config);
+  w.u64(state.iter);
+  w.u8(state.finished ? 1 : 0);
+  w.f64(state.learning_rate);
+  w.f64(state.elapsed_seconds);
+  w.u64(state.recoveries);
+  w.f64(state.best_score);
+  w.u64(state.stale);
+  w.u64(state.history.size());
+  for (const TrainPoint& p : state.history) write_train_point(w, p);
+  write_rng_state(w, state.sampler_rng);
+  write_rng_state(w, state.model_rng);
+  write_tensor_list(w, state.params);
+  write_tensor_list(w, state.best_params);
+  write_tensor_list(w, state.opt_slots);
+  w.u64(state.opt_step_count);
+  w.str(state.extra);
+  w.u32(io::crc32(w.buffer()));
+  return w.take();
+}
+
+TrainState deserialize_train_state(std::string_view data,
+                                   const std::string& context) {
+  io::ByteReader r(data, context);
+  io::read_format_header(r, std::string_view(kMagic, io::kMagicSize),
+                         kTrainStateVersion, kTrainStateVersion);
+  TrainState st;
+  st.config = read_config(r);
+  st.iter = r.u64();
+  const std::uint8_t finished = r.u8();
+  if (finished > 1) r.fail("invalid finished flag");
+  st.finished = finished == 1;
+  st.learning_rate = r.f64();
+  st.elapsed_seconds = r.f64();
+  st.recoveries = r.u64();
+  st.best_score = r.f64();
+  st.stale = r.u64();
+  st.history = read_history(r);
+  st.sampler_rng = read_rng_state(r);
+  st.model_rng = read_rng_state(r);
+  st.params = read_tensor_list(r);
+  st.best_params = read_tensor_list(r);
+  st.opt_slots = read_tensor_list(r);
+  st.opt_step_count = r.u64();
+  st.extra = r.str(/*max_len=*/1u << 26);
+  const std::uint32_t stored_crc = r.u32();
+  const std::uint32_t actual_crc =
+      io::crc32(data.substr(0, r.pos() - sizeof(std::uint32_t)));
+  if (stored_crc != actual_crc)
+    r.fail("whole-file checksum mismatch (corrupt train state)");
+  r.expect_end();
+  return st;
+}
+
+void save_train_state_file(const std::string& path, const TrainState& state) {
+  io::atomic_write_file(path, serialize_train_state(state));
+}
+
+TrainState load_train_state_file(const std::string& path) {
+  return deserialize_train_state(io::read_file(path), path);
+}
+
+std::string serialize_biased_progress(const BiasedProgress& progress) {
+  io::ByteWriter w;
+  w.u32(kTrainStateVersion);
+  w.u64(progress.round);
+  w.f64(progress.epsilon);
+  w.u64(progress.completed.size());
+  for (const BiasedRound& round : progress.completed) {
+    w.f64(round.epsilon);
+    write_train_result(w, round.train);
+    w.u64(round.val_confusion.tp);
+    w.u64(round.val_confusion.fn);
+    w.u64(round.val_confusion.fp);
+    w.u64(round.val_confusion.tn);
+  }
+  return w.take();
+}
+
+BiasedProgress deserialize_biased_progress(std::string_view data) {
+  io::ByteReader r(data, "biased-progress");
+  const std::uint32_t version = r.u32();
+  if (version != kTrainStateVersion)
+    r.fail("unsupported biased-progress version");
+  BiasedProgress p;
+  p.round = r.u64();
+  p.epsilon = r.f64();
+  const std::uint64_t n = r.u64();
+  // Each completed round is at least 8 bytes (its epsilon field).
+  if (n > r.remaining() / 8) r.fail("implausible completed-round count");
+  p.completed.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BiasedRound round;
+    round.epsilon = r.f64();
+    round.train = read_train_result(r);
+    round.val_confusion.tp = static_cast<std::size_t>(r.u64());
+    round.val_confusion.fn = static_cast<std::size_t>(r.u64());
+    round.val_confusion.fp = static_cast<std::size_t>(r.u64());
+    round.val_confusion.tn = static_cast<std::size_t>(r.u64());
+    p.completed.push_back(std::move(round));
+  }
+  r.expect_end();
+  return p;
+}
+
+}  // namespace hsdl::hotspot

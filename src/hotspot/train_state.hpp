@@ -1,0 +1,91 @@
+// Full training-state checkpoint container ("HSDLTS1\0").
+//
+// A TrainState freezes everything MgdTrainer needs to continue an
+// interrupted run bit-for-bit: model params, the best-on-validation
+// snapshot with its score and staleness counter, optimizer state (SGD
+// velocity or Adam m/v/t), both RNG engines (batch sampler and the
+// model's dropout stream, including the Box-Muller cache), the current
+// learning rate, iteration counter, accumulated wall time, watchdog
+// recovery count, the training curve so far, and an opaque `extra`
+// payload orchestrators layer on top (BiasedLearner stores its round
+// progress there, so one file checkpoints the whole Algorithm 2 chain).
+//
+// The wire format rides the common/io substrate: little-endian fields,
+// a {magic, version, flags} header, bounds-guarded tensor records, and
+// a whole-file CRC-32, so any bit flip or truncation is rejected with a
+// positioned IoError instead of a silently wrong resume. File saves are
+// atomic (temp + rename): a crash mid-checkpoint keeps the previous one.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hotspot/biased.hpp"
+#include "hotspot/trainer.hpp"
+#include "nn/tensor.hpp"
+
+namespace hsdl::hotspot {
+
+/// TrainState container version written by serialize_train_state.
+inline constexpr std::uint32_t kTrainStateVersion = 1;
+
+struct TrainState {
+  /// Config of the run that wrote the checkpoint. Resume validates it
+  /// against the resuming trainer's config (checkpoint_path/every are
+  /// excluded — they do not affect the math) and fails fast on any
+  /// mismatch instead of continuing a subtly different run.
+  MgdConfig config;
+
+  std::uint64_t iter = 0;       ///< completed iterations
+  bool finished = false;        ///< run reached its stop criterion
+  double learning_rate = 0.0;   ///< current LR (decay + backoffs applied)
+  double elapsed_seconds = 0.0; ///< wall time accumulated so far
+  std::uint64_t recoveries = 0; ///< watchdog rollbacks taken
+
+  double best_score = -1.0;     ///< best validation balanced accuracy
+  std::uint64_t stale = 0;      ///< validations since the best improved
+
+  std::vector<TrainPoint> history;
+
+  std::vector<nn::Tensor> params;       ///< live model params
+  std::vector<nn::Tensor> best_params;  ///< best-on-validation snapshot
+
+  /// Optimizer buffers in param order: SGD velocity (empty when
+  /// momentum-free) or Adam [m, v] interleaved; opt_step_count is
+  /// Adam's bias-correction t.
+  std::vector<nn::Tensor> opt_slots;
+  std::uint64_t opt_step_count = 0;
+
+  Rng::State sampler_rng{};  ///< batch-sampling stream
+  Rng::State model_rng{};    ///< model (dropout) stream
+
+  /// Opaque orchestrator payload (see serialize_biased_progress).
+  std::string extra;
+};
+
+std::string serialize_train_state(const TrainState& state);
+/// Throws io::IoError (carrying the byte offset and `context`) on any
+/// structural damage, checksum mismatch or trailing data.
+TrainState deserialize_train_state(std::string_view data,
+                                   const std::string& context = "train-state");
+
+/// Atomic: writes "<path>.tmp" then renames over `path`.
+void save_train_state_file(const std::string& path, const TrainState& state);
+TrainState load_train_state_file(const std::string& path);
+
+/// BiasedLearner progress embedded as TrainState::extra: the rounds
+/// completed so far (with their results), the index of the round the
+/// checkpoint was taken in, and that round's exact epsilon (stored, not
+/// recomputed, so the accumulated floating-point value round-trips).
+struct BiasedProgress {
+  std::uint64_t round = 0;
+  double epsilon = 0.0;
+  std::vector<BiasedRound> completed;
+};
+
+std::string serialize_biased_progress(const BiasedProgress& progress);
+BiasedProgress deserialize_biased_progress(std::string_view data);
+
+}  // namespace hsdl::hotspot

@@ -1,15 +1,75 @@
 #include "hotspot/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "hotspot/train_state.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
 
 namespace hsdl::hotspot {
+namespace {
+
+/// Fused finiteness-and-norm scan: the squared L2 norm over a tensor
+/// group absorbs any NaN/Inf element (NaN propagates, Inf saturates),
+/// so one pass yields both the clipping norm and the divergence signal.
+double squared_norm(const std::vector<nn::Param*>& params,
+                    bool gradients) {
+  double sq = 0.0;
+  for (const nn::Param* p : params) {
+    const double l2 = gradients ? p->grad.l2_norm() : p->value.l2_norm();
+    sq += l2 * l2;
+  }
+  return sq;
+}
+
+/// Fails fast when a resumed run's config differs from the one that
+/// wrote the checkpoint in any field that affects the math (the
+/// checkpoint location/cadence is deliberately excluded).
+void check_resume_config(const MgdConfig& now, const MgdConfig& stored) {
+  auto require = [](bool same, const char* field) {
+    HSDL_CHECK_MSG(same, "resume config mismatch: '"
+                             << field
+                             << "' differs from the checkpointed run");
+  };
+  require(now.learning_rate == stored.learning_rate, "learning_rate");
+  require(now.decay == stored.decay, "decay");
+  require(now.decay_step == stored.decay_step, "decay_step");
+  require(now.batch == stored.batch, "batch");
+  require(now.max_iters == stored.max_iters, "max_iters");
+  require(now.validate_every == stored.validate_every, "validate_every");
+  require(now.patience == stored.patience, "patience");
+  require(now.optimizer == stored.optimizer, "optimizer");
+  require(now.epsilon == stored.epsilon, "epsilon");
+  require(now.balanced_batches == stored.balanced_batches,
+          "balanced_batches");
+  require(now.max_grad_norm == stored.max_grad_norm, "max_grad_norm");
+  require(now.max_recoveries == stored.max_recoveries, "max_recoveries");
+  require(now.recovery_lr_decay == stored.recovery_lr_decay,
+          "recovery_lr_decay");
+}
+
+}  // namespace
+
+void validate_mgd_config(const MgdConfig& config) {
+  HSDL_CHECK(config.learning_rate > 0.0);
+  HSDL_CHECK(config.decay > 0.0 && config.decay <= 1.0);
+  HSDL_CHECK(config.decay_step > 0 && config.batch > 0);
+  HSDL_CHECK(config.max_iters > 0 && config.validate_every > 0);
+  HSDL_CHECK_MSG(config.patience > 0,
+                 "patience must be positive — zero would stop training at "
+                 "the first non-improving validation unconditionally");
+  HSDL_CHECK(config.epsilon >= 0.0 && config.epsilon < 0.5);
+  HSDL_CHECK(config.checkpoint_every > 0);
+  HSDL_CHECK(config.max_grad_norm >= 0.0);
+  HSDL_CHECK(config.recovery_lr_decay > 0.0 &&
+             config.recovery_lr_decay <= 1.0);
+}
 
 nn::Tensor biased_targets(const std::vector<std::size_t>& labels,
                           double epsilon) {
@@ -56,20 +116,34 @@ Confusion evaluate(HotspotCnn& model, const nn::ClassificationDataset& data,
 }
 
 MgdTrainer::MgdTrainer(const MgdConfig& config) : config_(config) {
-  HSDL_CHECK(config.learning_rate > 0.0);
-  HSDL_CHECK(config.decay > 0.0 && config.decay <= 1.0);
-  HSDL_CHECK(config.decay_step > 0 && config.batch > 0);
-  HSDL_CHECK(config.max_iters > 0 && config.validate_every > 0);
-  HSDL_CHECK(config.epsilon >= 0.0 && config.epsilon < 0.5);
+  validate_mgd_config(config);
 }
 
 TrainResult MgdTrainer::train(HotspotCnn& model,
                               const nn::ClassificationDataset& train_set,
                               const nn::ClassificationDataset& val_set,
                               Rng& rng) {
+  return run(model, train_set, val_set, rng, nullptr);
+}
+
+TrainResult MgdTrainer::resume(HotspotCnn& model,
+                               const nn::ClassificationDataset& train_set,
+                               const nn::ClassificationDataset& val_set,
+                               Rng& rng) {
+  HSDL_CHECK_MSG(!config_.checkpoint_path.empty(),
+                 "resume requires checkpoint_path to be set");
+  const TrainState state = load_train_state_file(config_.checkpoint_path);
+  return run(model, train_set, val_set, rng, &state);
+}
+
+TrainResult MgdTrainer::run(HotspotCnn& model,
+                            const nn::ClassificationDataset& train_set,
+                            const nn::ClassificationDataset& val_set,
+                            Rng& rng, const TrainState* restored) {
   HSDL_CHECK(!train_set.empty() && !val_set.empty());
   TrainResult result;
   WallTimer timer;
+  double elapsed_base = 0.0;
 
   nn::Sequential& net = model.net();
   const std::vector<nn::Param*> params = net.params();
@@ -79,11 +153,17 @@ TrainResult MgdTrainer::train(HotspotCnn& model,
   auto opt_step = [&] {
     use_adam ? adam.step(params) : sgd.step(params);
   };
-  auto opt_decay = [&] {
+  auto current_lr = [&] {
+    return use_adam ? adam.learning_rate() : sgd.learning_rate();
+  };
+  auto set_lr = [&](double lr) {
     if (use_adam)
-      adam.set_learning_rate(adam.learning_rate() * config_.decay);
+      adam.set_learning_rate(lr);
     else
-      sgd.set_learning_rate(sgd.learning_rate() * config_.decay);
+      sgd.set_learning_rate(lr);
+  };
+  auto snapshot_opt = [&] {
+    return use_adam ? adam.snapshot_state(params) : sgd.snapshot_state(params);
   };
   nn::SoftmaxCrossEntropy loss;
 
@@ -100,17 +180,101 @@ TrainResult MgdTrainer::train(HotspotCnn& model,
     return 0.5 * (hs_recall + nhs_recall);
   };
 
-  std::vector<nn::Tensor> best = nn::snapshot_params(params);
+  std::vector<nn::Tensor> best;
   double best_score = -1.0;
   std::size_t stale = 0;
+  std::size_t recoveries = 0;
+  std::size_t start_iter = 1;
 
-  std::vector<std::size_t> batch_labels(config_.batch);
-  for (std::size_t iter = 1; iter <= config_.max_iters; ++iter) {
+  if (restored != nullptr) {
+    check_resume_config(config_, restored->config);
+    nn::restore_params(restored->params, params);
+    HSDL_CHECK_MSG(restored->best_params.size() == params.size(),
+                   "checkpoint best-snapshot has "
+                       << restored->best_params.size()
+                       << " tensors, model has " << params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+      HSDL_CHECK_MSG(same_shape(restored->best_params[i], params[i]->value),
+                     "checkpoint best-snapshot shape mismatch for param '"
+                         << params[i]->name << "'");
+    best = restored->best_params;
+    best_score = restored->best_score;
+    stale = restored->stale;
+    recoveries = restored->recoveries;
+    result.history = restored->history;
+    elapsed_base = restored->elapsed_seconds;
+    if (use_adam)
+      adam.restore_state(params, restored->opt_slots,
+                         restored->opt_step_count);
+    else
+      sgd.restore_state(params, restored->opt_slots);
+    set_lr(restored->learning_rate);
+    rng.set_state(restored->sampler_rng);
+    model.rng().set_state(restored->model_rng);
+    start_iter = static_cast<std::size_t>(restored->iter) + 1;
+    result.iters_run = static_cast<std::size_t>(restored->iter);
+    if (restored->finished) {
+      // The checkpointed run had already converged: hand back its
+      // result as-is (best weights restored into the model) instead of
+      // training past the recorded stopping point.
+      nn::restore_params(best, params);
+      result.best_val_accuracy = best_score;
+      result.seconds = elapsed_base;
+      result.recoveries = recoveries;
+      result.final_learning_rate = restored->learning_rate;
+      HSDL_LOG(kInfo) << "resume: checkpoint at iter " << restored->iter
+                      << " is already finished; returning its result";
+      return result;
+    }
+    HSDL_LOG(kInfo) << "resume: continuing from iter " << restored->iter
+                    << " (lr " << restored->learning_rate << ", "
+                    << result.history.size() << " validation points)";
+  } else {
+    best = nn::snapshot_params(params);
+  }
+
+  auto capture = [&](std::size_t iter, bool finished) {
+    TrainState st;
+    st.config = config_;
+    st.iter = iter;
+    st.finished = finished;
+    st.learning_rate = current_lr();
+    st.elapsed_seconds = elapsed_base + timer.seconds();
+    st.recoveries = recoveries;
+    st.best_score = best_score;
+    st.stale = stale;
+    st.history = result.history;
+    st.params = nn::snapshot_params(params);
+    st.best_params = best;
+    st.opt_slots = snapshot_opt();
+    st.opt_step_count = adam.step_count();
+    st.sampler_rng = rng.state();
+    st.model_rng = model.rng().state();
+    st.extra = checkpoint_extra_;
+    return st;
+  };
+
+  // Divergence-watchdog anchor: the most recent state known to be
+  // numerically sound (initial weights, then refreshed at every
+  // validation). Rollback restores params and optimizer moments from
+  // here; the sampler RNG keeps advancing so the retry draws fresh
+  // batches instead of replaying the one that diverged.
+  std::vector<nn::Tensor> good_params = nn::snapshot_params(params);
+  std::vector<nn::Tensor> good_slots = snapshot_opt();
+  std::uint64_t good_t = adam.step_count();
+
+  bool stopped = false;
+  std::vector<std::size_t> batch_labels;
+  for (std::size_t iter = start_iter;
+       iter <= config_.max_iters && !stopped; ++iter) {
     // Algorithm 1 line 5: sample m training instances.
     const auto idx = config_.balanced_batches
                          ? train_set.sample_batch_balanced(config_.batch, rng)
                          : train_set.sample_batch(config_.batch, rng);
     const nn::Tensor x = train_set.gather(idx);
+    // Sized to the actual draw: a short batch must not leak stale labels
+    // from the previous iteration or mismatch the row count of x.
+    batch_labels.resize(idx.size());
     for (std::size_t i = 0; i < idx.size(); ++i)
       batch_labels[i] = train_set.label(idx[i]);
     const nn::Tensor targets = biased_targets(batch_labels, config_.epsilon);
@@ -118,33 +282,96 @@ TrainResult MgdTrainer::train(HotspotCnn& model,
     // Lines 6-9: average gradient via one batched backprop.
     net.zero_grad();
     const nn::Tensor logits = net.forward(x, /*train=*/true);
-    const double batch_loss = loss.forward(logits, targets);
+    double batch_loss = loss.forward(logits, targets);
     net.backward(loss.backward());
-    // Lines 10-14: weight update with step decay.
-    opt_step();
-    if (iter % config_.decay_step == 0) opt_decay();
+    if (fault_hook_) fault_hook_(iter, batch_loss, params);
 
-    if (iter % config_.validate_every == 0 || iter == config_.max_iters) {
-      const double score = val_score();
-      TrainPoint point{iter, timer.seconds(), batch_loss, score};
-      result.history.push_back(point);
-      if (callback_) callback_(point);
+    // Divergence watchdog: one fused scan over the gradients (and the
+    // loss) before the update, one over the params after it, so a
+    // non-finite batch can never reach the stored weights.
+    const double grad_sq = squared_norm(params, /*gradients=*/true);
+    bool diverged = !std::isfinite(batch_loss) || !std::isfinite(grad_sq);
+    if (!diverged) {
+      if (config_.max_grad_norm > 0.0) {
+        const double norm = std::sqrt(grad_sq);
+        if (norm > config_.max_grad_norm) {
+          const auto scale =
+              static_cast<float>(config_.max_grad_norm / norm);
+          for (nn::Param* p : params) p->grad.scale(scale);
+        }
+      }
+      // Lines 10-14: weight update with step decay.
+      opt_step();
+      diverged = !std::isfinite(squared_norm(params, /*gradients=*/false));
+    }
 
-      if (score > best_score) {
-        best_score = score;
-        best = nn::snapshot_params(params);
-        stale = 0;
-      } else if (++stale >= config_.patience) {
-        result.iters_run = iter;
-        break;
+    if (diverged) {
+      ++recoveries;
+      nn::restore_params(good_params, params);
+      if (use_adam)
+        adam.restore_state(params, good_slots, good_t);
+      else
+        sgd.restore_state(params, good_slots);
+      if (recoveries > config_.max_recoveries) {
+        HSDL_LOG(kError) << "watchdog: divergence at iter " << iter
+                         << " exceeded max_recoveries ("
+                         << config_.max_recoveries
+                         << "); weights restored to the last good state";
+        HSDL_CHECK_MSG(false, "training diverged "
+                                  << recoveries
+                                  << " times (non-finite loss/gradients/"
+                                     "params at iter "
+                                  << iter
+                                  << "); last good weights restored");
+      }
+      const double lr = current_lr() * config_.recovery_lr_decay;
+      set_lr(lr);
+      HSDL_LOG(kWarn) << "watchdog: non-finite loss/gradients/params at iter "
+                      << iter << "; rolled back to last good state, lr -> "
+                      << lr << " (recovery " << recoveries << "/"
+                      << config_.max_recoveries << ")";
+    } else {
+      if (iter % config_.decay_step == 0)
+        set_lr(current_lr() * config_.decay);
+
+      if (iter % config_.validate_every == 0 || iter == config_.max_iters) {
+        const double score = val_score();
+        TrainPoint point{iter, elapsed_base + timer.seconds(), batch_loss,
+                         score};
+        result.history.push_back(point);
+        if (callback_) callback_(point);
+        HSDL_LOG(kInfo) << "iter " << iter << ": train loss " << batch_loss
+                        << ", val balanced accuracy " << score << ", lr "
+                        << current_lr();
+
+        if (score > best_score) {
+          best_score = score;
+          best = nn::snapshot_params(params);
+          stale = 0;
+        } else if (++stale >= config_.patience) {
+          stopped = true;
+        }
+        // The validated iterate is numerically sound: refresh the
+        // watchdog anchor.
+        good_params = nn::snapshot_params(params);
+        good_slots = snapshot_opt();
+        good_t = adam.step_count();
       }
     }
+
     result.iters_run = iter;
+    const bool finished = stopped || iter == config_.max_iters;
+    if (!config_.checkpoint_path.empty() &&
+        (iter % config_.checkpoint_every == 0 || finished))
+      save_train_state_file(config_.checkpoint_path, capture(iter, finished));
+    if (iteration_hook_) iteration_hook_(iter);
   }
 
   nn::restore_params(best, params);
   result.best_val_accuracy = best_score;
-  result.seconds = timer.seconds();
+  result.seconds = elapsed_base + timer.seconds();
+  result.recoveries = recoveries;
+  result.final_learning_rate = current_lr();
   return result;
 }
 

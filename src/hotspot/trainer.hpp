@@ -10,9 +10,19 @@
 // non-hotspot targets are [1 - eps, eps] while hotspot targets stay [0, 1].
 // Plain (unbiased) training is eps = 0. Setting batch = 1 degrades MGD to
 // the SGD comparison of Figure 3.
+//
+// Fault tolerance: with `checkpoint_path` set, the full training state
+// (params, optimizer moments, RNG engines, LR, best snapshot, history)
+// is written atomically every `checkpoint_every` iterations as a
+// checksummed TrainState file (hotspot/train_state.hpp), and resume()
+// continues an interrupted run bit-for-bit. A divergence watchdog scans
+// loss, gradients and params for non-finite values each step and rolls
+// back to the last good state with a learning-rate backoff instead of
+// letting NaN/Inf reach the stored weights.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "hotspot/cnn.hpp"
@@ -42,6 +52,21 @@ struct MgdConfig {
   /// too small for that to converge, so benches enable rebalancing
   /// (documented substitution, EXPERIMENTS.md).
   bool balanced_batches = true;
+
+  // -- fault tolerance -------------------------------------------------------
+  /// TrainState checkpoint file; empty disables checkpointing. Writes
+  /// are atomic (temp + rename), so a crash mid-write keeps the
+  /// previous checkpoint intact.
+  std::string checkpoint_path;
+  /// Iterations between checkpoint writes.
+  std::size_t checkpoint_every = 100;
+  /// Global gradient-norm clip applied before each step; 0 disables.
+  double max_grad_norm = 0.0;
+  /// Divergence-watchdog rollbacks tolerated before training fails with
+  /// a diagnostic.
+  std::size_t max_recoveries = 3;
+  /// Learning-rate multiplier applied on every watchdog rollback.
+  double recovery_lr_decay = 0.5;
 };
 
 /// One point of the training curve (drives Figure 3).
@@ -59,7 +84,19 @@ struct TrainResult {
   double best_val_accuracy = 0.0;
   std::size_t iters_run = 0;
   double seconds = 0.0;
+  /// Divergence-watchdog rollbacks taken during the run.
+  std::size_t recoveries = 0;
+  /// Learning rate when training stopped (decay schedule + any watchdog
+  /// backoffs applied).
+  double final_learning_rate = 0.0;
 };
+
+struct TrainState;  // full checkpoint container (hotspot/train_state.hpp)
+
+/// Validates every MgdConfig invariant (shared by MgdTrainer and the
+/// nested configs of BiasedLearningConfig so misconfiguration fails at
+/// construction, not rounds into a long run).
+void validate_mgd_config(const MgdConfig& config);
 
 /// Builds [N, 2] training targets: hotspot -> [0, 1];
 /// non-hotspot -> [1 - eps, eps] (labels are class indices, 1 = hotspot).
@@ -82,15 +119,57 @@ class MgdTrainer {
   using Callback = std::function<void(const TrainPoint&)>;
   void set_callback(Callback cb) { callback_ = std::move(cb); }
 
+  /// Kill-point hook called at the end of every iteration, after any
+  /// checkpoint write. Throwing from it simulates a crash at that
+  /// boundary — the fault-injection tests use this to interrupt
+  /// training at exact iterations.
+  using IterationHook = std::function<void(std::size_t iter)>;
+  void set_iteration_hook(IterationHook hook) {
+    iteration_hook_ = std::move(hook);
+  }
+
+  /// Fault-injection hook called after backward and before the
+  /// divergence scan; may corrupt `loss` or the accumulated gradients
+  /// to exercise the watchdog.
+  using FaultHook = std::function<void(
+      std::size_t iter, double& loss, const std::vector<nn::Param*>& params)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Opaque payload embedded verbatim in every checkpoint this trainer
+  /// writes (covered by the file checksum). BiasedLearner stores its
+  /// round progress here so one TrainState file captures the whole
+  /// Algorithm 2 chain.
+  void set_checkpoint_extra(std::string extra) {
+    checkpoint_extra_ = std::move(extra);
+  }
+
   /// Trains in place; `rng` drives batch sampling (dropout uses the
   /// model's own stream). Returns the training curve.
   TrainResult train(HotspotCnn& model,
                     const nn::ClassificationDataset& train_set,
                     const nn::ClassificationDataset& val_set, Rng& rng);
 
+  /// Resumes from the TrainState at config().checkpoint_path (which
+  /// must exist and match this config), restoring params, optimizer
+  /// moments, RNG engines, LR, best snapshot and history, then
+  /// continues exactly as the uninterrupted run would have — final
+  /// weights and history are bit-for-bit identical for runs that take
+  /// no watchdog rollbacks after the checkpoint.
+  TrainResult resume(HotspotCnn& model,
+                     const nn::ClassificationDataset& train_set,
+                     const nn::ClassificationDataset& val_set, Rng& rng);
+
  private:
+  TrainResult run(HotspotCnn& model,
+                  const nn::ClassificationDataset& train_set,
+                  const nn::ClassificationDataset& val_set, Rng& rng,
+                  const TrainState* restored);
+
   MgdConfig config_;
   Callback callback_;
+  IterationHook iteration_hook_;
+  FaultHook fault_hook_;
+  std::string checkpoint_extra_;
 };
 
 }  // namespace hsdl::hotspot

@@ -42,6 +42,42 @@ void SgdOptimizer::step(const std::vector<Param*>& params) {
   }
 }
 
+std::vector<Tensor> SgdOptimizer::snapshot_state(
+    const std::vector<Param*>& params) const {
+  std::vector<Tensor> out;
+  if (momentum_ == 0.0) return out;  // stateless update rule
+  out.reserve(params.size());
+  for (const Param* p : params) {
+    const Tensor* v = nullptr;
+    for (const auto& [key, vel] : velocity_)
+      if (key == p) {
+        v = &vel;
+        break;
+      }
+    out.push_back(v != nullptr ? *v : Tensor(p->value.shape()));
+  }
+  return out;
+}
+
+void SgdOptimizer::restore_state(const std::vector<Param*>& params,
+                                 const std::vector<Tensor>& state) {
+  velocity_.clear();
+  if (momentum_ == 0.0) {
+    HSDL_CHECK_MSG(state.empty(),
+                   "momentum-free SGD cannot restore velocity state");
+    return;
+  }
+  HSDL_CHECK_MSG(state.size() == params.size(),
+                 "SGD state has " << state.size() << " tensors, model has "
+                                  << params.size() << " params");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    HSDL_CHECK_MSG(same_shape(state[i], params[i]->value),
+                   "SGD velocity shape mismatch for param '"
+                       << params[i]->name << "'");
+    velocity_.emplace_back(params[i], state[i]);
+  }
+}
+
 AdamOptimizer::AdamOptimizer(double learning_rate, double beta1,
                              double beta2, double epsilon)
     : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
@@ -61,6 +97,45 @@ AdamOptimizer::State& AdamOptimizer::state_for(const Param* p) {
     if (s.key == p) return s;
   states_.push_back({p, Tensor(p->value.shape()), Tensor(p->value.shape())});
   return states_.back();
+}
+
+std::vector<Tensor> AdamOptimizer::snapshot_state(
+    const std::vector<Param*>& params) const {
+  std::vector<Tensor> out;
+  out.reserve(2 * params.size());
+  for (const Param* p : params) {
+    const State* s = nullptr;
+    for (const State& candidate : states_)
+      if (candidate.key == p) {
+        s = &candidate;
+        break;
+      }
+    if (s != nullptr) {
+      out.push_back(s->m);
+      out.push_back(s->v);
+    } else {
+      out.push_back(Tensor(p->value.shape()));
+      out.push_back(Tensor(p->value.shape()));
+    }
+  }
+  return out;
+}
+
+void AdamOptimizer::restore_state(const std::vector<Param*>& params,
+                                  const std::vector<Tensor>& state,
+                                  std::uint64_t t) {
+  HSDL_CHECK_MSG(state.size() == 2 * params.size(),
+                 "Adam state has " << state.size() << " tensors, model needs "
+                                   << 2 * params.size());
+  states_.clear();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    HSDL_CHECK_MSG(same_shape(state[2 * i], params[i]->value) &&
+                       same_shape(state[2 * i + 1], params[i]->value),
+                   "Adam moment shape mismatch for param '"
+                       << params[i]->name << "'");
+    states_.push_back({params[i], state[2 * i], state[2 * i + 1]});
+  }
+  t_ = static_cast<std::size_t>(t);
 }
 
 void AdamOptimizer::step(const std::vector<Param*>& params) {

@@ -18,9 +18,18 @@ class SgdOptimizer {
 
   double learning_rate() const { return lr_; }
   void set_learning_rate(double lr);
+  double momentum() const { return momentum_; }
 
   /// Applies one update using the gradients accumulated in the params.
   void step(const std::vector<Param*>& params);
+
+  /// Deep-copies the velocity buffers in `params` order, one tensor per
+  /// param (zeros for params never stepped); empty when momentum is 0.
+  /// Feeds checkpointing: restore_state on a same-shape optimizer
+  /// continues the update sequence bit-for-bit.
+  std::vector<Tensor> snapshot_state(const std::vector<Param*>& params) const;
+  void restore_state(const std::vector<Param*>& params,
+                     const std::vector<Tensor>& state);
 
  private:
   double lr_;
@@ -39,8 +48,18 @@ class AdamOptimizer {
 
   double learning_rate() const { return lr_; }
   void set_learning_rate(double lr);
+  /// Number of steps applied (the `t` in the bias correction).
+  std::uint64_t step_count() const { return t_; }
 
   void step(const std::vector<Param*>& params);
+
+  /// Deep-copies the moment buffers in `params` order, interleaved
+  /// [m0, v0, m1, v1, ...] (zeros for params never stepped). Together
+  /// with step_count() this is the full Adam state; restore_state
+  /// continues the update sequence bit-for-bit.
+  std::vector<Tensor> snapshot_state(const std::vector<Param*>& params) const;
+  void restore_state(const std::vector<Param*>& params,
+                     const std::vector<Tensor>& state, std::uint64_t t);
 
  private:
   struct State {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -76,6 +79,38 @@ TEST(ByteReaderTest, RoundTripAllTypes) {
   EXPECT_EQ(r.str(), "hello");
   EXPECT_TRUE(r.at_end());
   r.expect_end();
+}
+
+TEST(ByteReaderTest, F64RoundTripPreservesBits) {
+  // f64 carries checkpointed learning rates, scores and RNG caches:
+  // every value class must survive bit-exactly, including non-finites.
+  const double values[] = {0.0,
+                           -0.0,
+                           1.5,
+                           -3.141592653589793,
+                           1e300,
+                           5e-324,  // smallest subnormal
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  ByteWriter w;
+  for (double v : values) w.f64(v);
+  ByteReader r(w.buffer(), "test");
+  for (double v : values)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+              std::bit_cast<std::uint64_t>(v));
+  r.expect_end();
+}
+
+TEST(ByteWriterTest, F64IsLittleEndian) {
+  ByteWriter w;
+  w.f64(1.0);  // IEEE-754: 0x3FF0000000000000
+  const std::string& b = w.buffer();
+  ASSERT_EQ(b.size(), 8u);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(static_cast<unsigned char>(b[i]), 0x00) << "byte " << i;
+  EXPECT_EQ(static_cast<unsigned char>(b[6]), 0xF0);
+  EXPECT_EQ(static_cast<unsigned char>(b[7]), 0x3F);
 }
 
 TEST(ByteReaderTest, BigEndianAccessors) {

@@ -1,0 +1,658 @@
+// Fault-injection harness for the crash-safe training stack.
+//
+// Exercises the three tentpole guarantees end to end:
+//  - kill-and-resume: training aborted at arbitrary iterations via the
+//    kill-point hook resumes from the TrainState checkpoint to final
+//    weights, history and results bitwise identical to an uninterrupted
+//    baseline — for plain MGD and for the whole biased-learning chain;
+//  - divergence watchdog: injected NaN losses/gradients roll back to the
+//    last good state with LR backoff, never reach the stored weights or
+//    any checkpoint, and exhaust into a CheckError diagnostic;
+//  - corruption rejection: every bit flip, truncation or trailing byte
+//    of a TrainState file is rejected with a CheckError-family error,
+//    never accepted and never a foreign exception.
+#include "hotspot/train_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "hotspot/biased.hpp"
+#include "hotspot/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+/// Thrown by the kill-point hook to simulate a crash; deliberately not a
+/// CheckError so it cannot be mistaken for a library diagnostic.
+struct KillSignal {};
+
+HotspotCnnConfig tiny_cnn() {
+  HotspotCnnConfig cfg;
+  cfg.input_channels = 2;
+  cfg.input_side = 4;
+  cfg.stage1_maps = 4;
+  cfg.stage2_maps = 8;
+  cfg.fc_nodes = 16;
+  cfg.dropout = 0.0;
+  return cfg;
+}
+
+nn::ClassificationDataset separable_set(std::size_t n_per_class,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  nn::ClassificationDataset d({2, 4, 4});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (std::size_t label = 0; label < 2; ++label) {
+      std::vector<float> x(32);
+      for (float& v : x)
+        v = static_cast<float>(rng.normal(label == 1 ? 0.8 : 0.0, 0.15));
+      d.add(std::move(x), label);
+    }
+  }
+  return d;
+}
+
+/// Short schedule that never early-stops (patience > possible stale
+/// count), so iteration counts are fixed and runs compare exactly.
+MgdConfig fast_mgd() {
+  MgdConfig cfg;
+  cfg.learning_rate = 5e-3;
+  cfg.max_iters = 60;
+  cfg.decay_step = 25;
+  cfg.validate_every = 15;
+  cfg.patience = 20;
+  cfg.batch = 16;
+  cfg.checkpoint_every = 10;
+  return cfg;
+}
+
+BiasedLearningConfig fast_biased() {
+  BiasedLearningConfig cfg;
+  cfg.rounds = 3;
+  cfg.delta = 0.1;
+  cfg.initial.learning_rate = 5e-3;
+  cfg.initial.max_iters = 80;
+  cfg.initial.decay_step = 40;
+  cfg.initial.validate_every = 20;
+  cfg.initial.patience = 20;
+  cfg.initial.batch = 16;
+  cfg.finetune = cfg.initial;
+  cfg.finetune.max_iters = 40;
+  cfg.finetune.learning_rate = 2e-3;
+  cfg.checkpoint_every = 15;
+  return cfg;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "hsdl_fault_" + name;
+}
+
+std::vector<nn::Tensor> weights_of(HotspotCnn& model) {
+  return nn::snapshot_params(model.net().params());
+}
+
+void expect_bitwise_equal(const std::vector<nn::Tensor>& a,
+                          const std::vector<nn::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_TRUE(same_shape(a[t], b[t])) << "tensor " << t;
+    for (std::size_t i = 0; i < a[t].numel(); ++i)
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(a[t].data()[i]),
+                std::bit_cast<std::uint32_t>(b[t].data()[i]))
+          << "tensor " << t << " element " << i;
+  }
+}
+
+bool all_finite(const std::vector<nn::Tensor>& ts) {
+  for (const nn::Tensor& t : ts)
+    for (std::size_t i = 0; i < t.numel(); ++i)
+      if (!std::isfinite(t.data()[i])) return false;
+  return true;
+}
+
+/// Training curves must match on everything but wall time (`seconds` is
+/// inherently non-deterministic and excluded by design).
+void expect_same_history(const std::vector<TrainPoint>& a,
+                         const std::vector<TrainPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].iter, b[i].iter);
+    EXPECT_DOUBLE_EQ(a[i].train_loss, b[i].train_loss);
+    EXPECT_DOUBLE_EQ(a[i].val_accuracy, b[i].val_accuracy);
+  }
+}
+
+void expect_same_result(const TrainResult& a, const TrainResult& b) {
+  expect_same_history(a.history, b.history);
+  EXPECT_DOUBLE_EQ(a.best_val_accuracy, b.best_val_accuracy);
+  EXPECT_EQ(a.iters_run, b.iters_run);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_DOUBLE_EQ(a.final_learning_rate, b.final_learning_rate);
+}
+
+// -- MGD kill-and-resume -----------------------------------------------------
+
+TEST(FaultToleranceTest, CheckpointingDoesNotPerturbTraining) {
+  auto train = separable_set(20, 1);
+  auto val = separable_set(8, 2);
+
+  HotspotCnn plain(tiny_cnn());
+  MgdTrainer plain_trainer(fast_mgd());
+  Rng rng_a(3);
+  TrainResult plain_result = plain_trainer.train(plain, train, val, rng_a);
+
+  const std::string path = temp_path("perturb.ts");
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = path;
+  HotspotCnn ckpt(tiny_cnn());
+  MgdTrainer ckpt_trainer(cfg);
+  Rng rng_b(3);
+  TrainResult ckpt_result = ckpt_trainer.train(ckpt, train, val, rng_b);
+
+  expect_same_result(plain_result, ckpt_result);
+  expect_bitwise_equal(weights_of(plain), weights_of(ckpt));
+  std::remove(path.c_str());
+}
+
+/// Kills training at `kill_at` (after the hook-visible checkpoint write),
+/// resumes with a fresh model and a differently seeded RNG (both must be
+/// fully overwritten from the checkpoint) and checks the final weights
+/// and results against the uninterrupted baseline bit-for-bit.
+void run_kill_resume_case(std::size_t kill_at) {
+  auto train = separable_set(20, 4);
+  auto val = separable_set(8, 5);
+
+  HotspotCnn baseline(tiny_cnn());
+  MgdTrainer baseline_trainer(fast_mgd());
+  Rng rng_a(6);
+  TrainResult expected = baseline_trainer.train(baseline, train, val, rng_a);
+
+  const std::string path =
+      temp_path("kill_" + std::to_string(kill_at) + ".ts");
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = path;
+
+  HotspotCnn victim(tiny_cnn());
+  MgdTrainer victim_trainer(cfg);
+  victim_trainer.set_iteration_hook([kill_at](std::size_t iter) {
+    if (iter == kill_at) throw KillSignal{};
+  });
+  Rng rng_b(6);
+  EXPECT_THROW(victim_trainer.train(victim, train, val, rng_b), KillSignal);
+
+  // Fresh model, unrelated RNG seed: resume must restore everything.
+  HotspotCnn survivor(tiny_cnn());
+  MgdTrainer resume_trainer(cfg);
+  Rng rng_c(777);
+  TrainResult resumed = resume_trainer.resume(survivor, train, val, rng_c);
+
+  expect_same_result(expected, resumed);
+  expect_bitwise_equal(weights_of(baseline), weights_of(survivor));
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, KillBetweenCheckpointsResumesBitwise) {
+  run_kill_resume_case(25);  // last checkpoint at iter 20
+}
+
+TEST(FaultToleranceTest, KillAtCheckpointBoundaryResumesBitwise) {
+  run_kill_resume_case(30);  // killed right after the iter-30 write
+}
+
+TEST(FaultToleranceTest, ResumeOfFinishedRunReturnsStoredResult) {
+  auto train = separable_set(15, 7);
+  auto val = separable_set(6, 8);
+  const std::string path = temp_path("finished.ts");
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = path;
+
+  HotspotCnn model(tiny_cnn());
+  MgdTrainer trainer(cfg);
+  Rng rng(9);
+  TrainResult first = trainer.train(model, train, val, rng);
+
+  HotspotCnn fresh(tiny_cnn());
+  MgdTrainer again(cfg);
+  Rng rng2(10);
+  TrainResult second = again.resume(fresh, train, val, rng2);
+
+  expect_same_result(first, second);
+  expect_bitwise_equal(weights_of(model), weights_of(fresh));
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, ResumeRejectsConfigMismatch) {
+  auto train = separable_set(10, 11);
+  auto val = separable_set(5, 12);
+  const std::string path = temp_path("mismatch.ts");
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = path;
+  cfg.max_iters = 20;
+
+  HotspotCnn model(tiny_cnn());
+  MgdTrainer trainer(cfg);
+  Rng rng(13);
+  trainer.train(model, train, val, rng);
+
+  MgdConfig other = cfg;
+  other.batch = 8;  // any math-affecting field must fail fast
+  HotspotCnn fresh(tiny_cnn());
+  MgdTrainer bad(other);
+  Rng rng2(14);
+  EXPECT_THROW(bad.resume(fresh, train, val, rng2), hsdl::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, ResumeRequiresPathAndExistingFile) {
+  auto train = separable_set(5, 15);
+  auto val = separable_set(5, 16);
+  HotspotCnn model(tiny_cnn());
+  Rng rng(17);
+
+  MgdTrainer no_path(fast_mgd());
+  EXPECT_THROW(no_path.resume(model, train, val, rng), hsdl::CheckError);
+
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = temp_path("never_written.ts");
+  MgdTrainer missing(cfg);
+  EXPECT_THROW(missing.resume(model, train, val, rng), hsdl::CheckError);
+}
+
+// -- biased-learning kill-and-resume -----------------------------------------
+
+void expect_same_biased_result(const BiasedLearningResult& a,
+                               const BiasedLearningResult& b) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].epsilon, b.rounds[i].epsilon);
+    EXPECT_EQ(a.rounds[i].val_confusion.tp, b.rounds[i].val_confusion.tp);
+    EXPECT_EQ(a.rounds[i].val_confusion.fn, b.rounds[i].val_confusion.fn);
+    EXPECT_EQ(a.rounds[i].val_confusion.fp, b.rounds[i].val_confusion.fp);
+    EXPECT_EQ(a.rounds[i].val_confusion.tn, b.rounds[i].val_confusion.tn);
+    expect_same_result(a.rounds[i].train, b.rounds[i].train);
+  }
+}
+
+TEST(FaultToleranceTest, BiasedKillAndResumeMatchesUninterrupted) {
+  auto train = separable_set(20, 18);
+  auto val = separable_set(8, 19);
+
+  HotspotCnn baseline(tiny_cnn());
+  BiasedLearner baseline_learner(fast_biased());
+  Rng rng_a(20);
+  BiasedLearningResult expected =
+      baseline_learner.train(baseline, train, val, rng_a);
+
+  // Kill in the middle of round 1 (rounds run 80 + 40 + 40 iterations;
+  // global iteration 100 is iteration 20 of round 1, last checkpoint at
+  // that round's iteration 15).
+  const std::string path = temp_path("biased_kill.ts");
+  BiasedLearningConfig cfg = fast_biased();
+  cfg.checkpoint_path = path;
+
+  HotspotCnn victim(tiny_cnn());
+  BiasedLearner victim_learner(cfg);
+  std::size_t total = 0;
+  victim_learner.set_iteration_hook([&total](std::size_t) {
+    if (++total == 100) throw KillSignal{};
+  });
+  Rng rng_b(20);
+  EXPECT_THROW(victim_learner.train(victim, train, val, rng_b), KillSignal);
+
+  HotspotCnn survivor(tiny_cnn());
+  BiasedLearner resume_learner(cfg);
+  Rng rng_c(999);
+  BiasedLearningResult resumed =
+      resume_learner.resume(survivor, train, val, rng_c);
+
+  expect_same_biased_result(expected, resumed);
+  expect_bitwise_equal(weights_of(baseline), weights_of(survivor));
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, BiasedResumeStartsFreshWithoutCheckpoint) {
+  auto train = separable_set(12, 21);
+  auto val = separable_set(6, 22);
+
+  HotspotCnn baseline(tiny_cnn());
+  BiasedLearner plain(fast_biased());
+  Rng rng_a(23);
+  BiasedLearningResult expected = plain.train(baseline, train, val, rng_a);
+
+  const std::string path = temp_path("biased_fresh.ts");
+  std::remove(path.c_str());
+  BiasedLearningConfig cfg = fast_biased();
+  cfg.checkpoint_path = path;
+  HotspotCnn model(tiny_cnn());
+  BiasedLearner learner(cfg);
+  Rng rng_b(23);
+  // No checkpoint exists: resume() must run the whole chain from scratch,
+  // so first launch and relaunch share one call site.
+  BiasedLearningResult fresh = learner.resume(model, train, val, rng_b);
+
+  expect_same_biased_result(expected, fresh);
+  expect_bitwise_equal(weights_of(baseline), weights_of(model));
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, BiasedResumeRejectsPlainTrainerCheckpoint) {
+  auto train = separable_set(8, 24);
+  auto val = separable_set(4, 25);
+  const std::string path = temp_path("plain_for_biased.ts");
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = path;
+  cfg.max_iters = 10;
+
+  HotspotCnn model(tiny_cnn());
+  MgdTrainer trainer(cfg);
+  Rng rng(26);
+  trainer.train(model, train, val, rng);  // writes extra-less checkpoints
+
+  BiasedLearningConfig bcfg = fast_biased();
+  bcfg.checkpoint_path = path;
+  BiasedLearner learner(bcfg);
+  HotspotCnn fresh(tiny_cnn());
+  Rng rng2(27);
+  EXPECT_THROW(learner.resume(fresh, train, val, rng2), hsdl::CheckError);
+  std::remove(path.c_str());
+}
+
+// -- divergence watchdog -----------------------------------------------------
+
+TEST(FaultToleranceTest, WatchdogRecoversFromInjectedNaN) {
+  auto train = separable_set(40, 28);
+  auto val = separable_set(15, 29);
+  // Full-length schedule (matches trainer_test's convergence setup): the
+  // faults hit after the model has learned, so the rollback anchor is a
+  // trained validated state, and convergence can still be asserted.
+  MgdConfig cfg = fast_mgd();
+  cfg.max_iters = 300;
+  cfg.decay_step = 150;
+  cfg.validate_every = 50;
+  cfg.max_recoveries = 5;
+
+  HotspotCnn clean_model(tiny_cnn());
+  MgdTrainer clean(cfg);
+  Rng rng_a(30);
+  TrainResult clean_result = clean.train(clean_model, train, val, rng_a);
+
+  HotspotCnn model(tiny_cnn());
+  MgdTrainer trainer(cfg);
+  const double nan = std::nan("");
+  trainer.set_fault_hook([nan](std::size_t iter, double& loss,
+                               const std::vector<nn::Param*>& params) {
+    // Iterations chosen off the validation/decay grid so the clean run's
+    // LR decay schedule is unaffected by the rollbacks.
+    if (iter == 160) loss = nan;
+    if (iter == 170) params[0]->grad.data()[0] = static_cast<float>(nan);
+  });
+  Rng rng_b(30);
+  TrainResult result = trainer.train(model, train, val, rng_b);
+
+  EXPECT_EQ(result.recoveries, 2u);
+  EXPECT_EQ(result.iters_run, cfg.max_iters);
+  EXPECT_TRUE(all_finite(weights_of(model)));
+  // Each rollback halves the LR (recovery_lr_decay = 0.5); the decay
+  // schedule itself is identical, so the ratio is exactly 0.25.
+  EXPECT_DOUBLE_EQ(result.final_learning_rate,
+                   clean_result.final_learning_rate * 0.25);
+  // The rollbacks restored a trained anchor: convergence survives.
+  EXPECT_GT(result.best_val_accuracy, 0.9);
+}
+
+TEST(FaultToleranceTest, WatchdogExhaustionThrowsWithWeightsRestored) {
+  auto train = separable_set(10, 31);
+  auto val = separable_set(5, 32);
+  MgdConfig cfg = fast_mgd();
+  cfg.max_recoveries = 2;
+
+  HotspotCnn model(tiny_cnn());
+  const std::vector<nn::Tensor> initial = weights_of(model);
+  MgdTrainer trainer(cfg);
+  trainer.set_fault_hook([](std::size_t, double& loss,
+                            const std::vector<nn::Param*>&) {
+    loss = std::nan("");  // every iteration diverges
+  });
+  Rng rng(33);
+  EXPECT_THROW(trainer.train(model, train, val, rng), hsdl::CheckError);
+  // No validation ever passed, so the last good state is the initial
+  // weights — restored before the diagnostic throw.
+  expect_bitwise_equal(initial, weights_of(model));
+}
+
+TEST(FaultToleranceTest, NonFiniteNeverReachesCheckpoint) {
+  auto train = separable_set(15, 34);
+  auto val = separable_set(6, 35);
+  const std::string path = temp_path("nan_ckpt.ts");
+  MgdConfig cfg = fast_mgd();
+  cfg.checkpoint_path = path;
+  cfg.max_recoveries = 20;  // 12 divergences injected below
+
+  HotspotCnn model(tiny_cnn());
+  MgdTrainer trainer(cfg);
+  trainer.set_fault_hook([](std::size_t iter, double& loss,
+                            const std::vector<nn::Param*>& params) {
+    if (iter % 9 == 0) loss = std::nan("");
+    if (iter % 10 == 0)  // divergence on checkpoint iterations too
+      params[0]->grad.data()[0] = std::numeric_limits<float>::infinity();
+  });
+  Rng rng(36);
+  TrainResult result = trainer.train(model, train, val, rng);
+  EXPECT_GT(result.recoveries, 0u);
+
+  const TrainState state = load_train_state_file(path);
+  EXPECT_TRUE(all_finite(state.params));
+  EXPECT_TRUE(all_finite(state.best_params));
+  EXPECT_TRUE(all_finite(state.opt_slots));
+  EXPECT_TRUE(std::isfinite(state.learning_rate));
+  std::remove(path.c_str());
+}
+
+TEST(FaultToleranceTest, GradientClippingKeepsUpdatesFinite) {
+  auto train = separable_set(10, 37);
+  auto val = separable_set(5, 38);
+  MgdConfig cfg = fast_mgd();
+  cfg.max_iters = 30;
+  cfg.learning_rate = 10.0;  // would explode unclipped
+  cfg.max_grad_norm = 1e-3;
+  HotspotCnn model(tiny_cnn());
+  MgdTrainer trainer(cfg);
+  Rng rng(39);
+  TrainResult result = trainer.train(model, train, val, rng);
+  EXPECT_EQ(result.recoveries, 0u);
+  EXPECT_TRUE(all_finite(weights_of(model)));
+}
+
+// -- TrainState container ----------------------------------------------------
+
+nn::Tensor filled(std::vector<std::size_t> shape, float start) {
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t.data()[i] = start + 0.25f * static_cast<float>(i);
+  return t;
+}
+
+TrainState sample_state() {
+  TrainState st;
+  st.config = fast_mgd();
+  st.config.checkpoint_path = "ignored.ts";
+  st.config.optimizer = OptimizerKind::kAdam;
+  st.config.max_grad_norm = 2.5;
+  st.iter = 123;
+  st.finished = false;
+  st.learning_rate = 2.5e-3;
+  st.elapsed_seconds = 1.5;
+  st.recoveries = 1;
+  st.best_score = 0.875;
+  st.stale = 2;
+  st.history = {{50, 0.5, 0.9, 0.8}, {100, 1.0, 0.4, 0.875}};
+  Rng sampler(7);
+  (void)sampler.normal();  // leave a cached Box-Muller value behind
+  st.sampler_rng = sampler.state();
+  Rng model_rng(8);
+  st.model_rng = model_rng.state();
+  st.params = {filled({2, 2}, 1.0f), filled({3}, -2.0f)};
+  st.best_params = {filled({2, 2}, 5.0f), filled({3}, 6.0f)};
+  st.opt_slots = {filled({2, 2}, 0.1f), filled({2, 2}, 0.2f),
+                  filled({3}, 0.3f), filled({3}, 0.4f)};
+  st.opt_step_count = 42;
+  st.extra = "opaque";
+  return st;
+}
+
+void expect_same_state(const TrainState& a, const TrainState& b) {
+  EXPECT_DOUBLE_EQ(a.config.learning_rate, b.config.learning_rate);
+  EXPECT_DOUBLE_EQ(a.config.decay, b.config.decay);
+  EXPECT_EQ(a.config.decay_step, b.config.decay_step);
+  EXPECT_EQ(a.config.batch, b.config.batch);
+  EXPECT_EQ(a.config.max_iters, b.config.max_iters);
+  EXPECT_EQ(a.config.validate_every, b.config.validate_every);
+  EXPECT_EQ(a.config.patience, b.config.patience);
+  EXPECT_EQ(a.config.optimizer, b.config.optimizer);
+  EXPECT_DOUBLE_EQ(a.config.epsilon, b.config.epsilon);
+  EXPECT_EQ(a.config.balanced_batches, b.config.balanced_batches);
+  EXPECT_DOUBLE_EQ(a.config.max_grad_norm, b.config.max_grad_norm);
+  EXPECT_EQ(a.config.max_recoveries, b.config.max_recoveries);
+  EXPECT_DOUBLE_EQ(a.config.recovery_lr_decay, b.config.recovery_lr_decay);
+  EXPECT_EQ(a.iter, b.iter);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_DOUBLE_EQ(a.learning_rate, b.learning_rate);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.stale, b.stale);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].iter, b.history[i].iter);
+    EXPECT_DOUBLE_EQ(a.history[i].seconds, b.history[i].seconds);
+    EXPECT_DOUBLE_EQ(a.history[i].train_loss, b.history[i].train_loss);
+    EXPECT_DOUBLE_EQ(a.history[i].val_accuracy, b.history[i].val_accuracy);
+  }
+  EXPECT_EQ(a.sampler_rng, b.sampler_rng);
+  EXPECT_EQ(a.model_rng, b.model_rng);
+  expect_bitwise_equal(a.params, b.params);
+  expect_bitwise_equal(a.best_params, b.best_params);
+  expect_bitwise_equal(a.opt_slots, b.opt_slots);
+  EXPECT_EQ(a.opt_step_count, b.opt_step_count);
+  EXPECT_EQ(a.extra, b.extra);
+}
+
+TEST(TrainStateTest, RoundTripPreservesEveryField) {
+  const TrainState st = sample_state();
+  expect_same_state(st, deserialize_train_state(serialize_train_state(st)));
+}
+
+TEST(TrainStateTest, FileRoundTripIsAtomic) {
+  const std::string path = temp_path("roundtrip.ts");
+  const TrainState st = sample_state();
+  save_train_state_file(path, st);
+  save_train_state_file(path, st);  // overwrite via temp + rename
+  expect_same_state(st, load_train_state_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(BiasedProgressTest, RoundTripPreservesEveryField) {
+  BiasedProgress p;
+  p.round = 2;
+  p.epsilon = 0.30000000000000004;  // accumulated, not recomputed
+  BiasedRound round;
+  round.epsilon = 0.1;
+  round.train.history = {{20, 0.2, 0.7, 0.9}};
+  round.train.best_val_accuracy = 0.9;
+  round.train.iters_run = 40;
+  round.train.seconds = 0.25;
+  round.train.recoveries = 1;
+  round.train.final_learning_rate = 1e-3;
+  round.val_confusion.tp = 3;
+  round.val_confusion.fn = 1;
+  round.val_confusion.fp = 2;
+  round.val_confusion.tn = 14;
+  p.completed = {round};
+
+  const BiasedProgress q =
+      deserialize_biased_progress(serialize_biased_progress(p));
+  EXPECT_EQ(q.round, p.round);
+  EXPECT_DOUBLE_EQ(q.epsilon, p.epsilon);
+  ASSERT_EQ(q.completed.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.completed[0].epsilon, round.epsilon);
+  expect_same_result(q.completed[0].train, round.train);
+  EXPECT_DOUBLE_EQ(q.completed[0].train.seconds, round.train.seconds);
+  EXPECT_EQ(q.completed[0].val_confusion.tp, round.val_confusion.tp);
+  EXPECT_EQ(q.completed[0].val_confusion.fn, round.val_confusion.fn);
+  EXPECT_EQ(q.completed[0].val_confusion.fp, round.val_confusion.fp);
+  EXPECT_EQ(q.completed[0].val_confusion.tn, round.val_confusion.tn);
+}
+
+// -- TrainState corruption sweep ---------------------------------------------
+
+enum class Outcome { kAccepted, kRejected, kForeignException };
+
+Outcome try_load_state(const std::string& bytes) {
+  try {
+    (void)deserialize_train_state(bytes);
+    return Outcome::kAccepted;
+  } catch (const hsdl::CheckError&) {
+    return Outcome::kRejected;
+  } catch (...) {
+    return Outcome::kForeignException;
+  }
+}
+
+TEST(TrainStateCorruptionTest, PristineBufferLoads) {
+  ASSERT_EQ(try_load_state(serialize_train_state(sample_state())),
+            Outcome::kAccepted);
+}
+
+TEST(TrainStateCorruptionTest, EveryBitFlipRejected) {
+  const std::string good = serialize_train_state(sample_state());
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < good.size(); ++i)
+    for (int b = 0; b < 8; ++b) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << b));
+      const Outcome out = try_load_state(bad);
+      EXPECT_EQ(out, Outcome::kRejected)
+          << "bit flip at byte " << i << " bit " << b
+          << (out == Outcome::kAccepted ? " was accepted"
+                                        : " threw a non-CheckError");
+      rejected += out == Outcome::kRejected;
+    }
+  EXPECT_EQ(rejected, good.size() * 8);
+}
+
+TEST(TrainStateCorruptionTest, EveryTruncationRejected) {
+  const std::string good = serialize_train_state(sample_state());
+  for (std::size_t len = 0; len < good.size(); ++len)
+    EXPECT_EQ(try_load_state(good.substr(0, len)), Outcome::kRejected)
+        << "truncated to " << len << " of " << good.size() << " bytes";
+}
+
+TEST(TrainStateCorruptionTest, TrailingBytesRejected) {
+  const std::string good = serialize_train_state(sample_state());
+  EXPECT_EQ(try_load_state(good + '\0'), Outcome::kRejected);
+  EXPECT_EQ(try_load_state(good + "junk"), Outcome::kRejected);
+}
+
+TEST(TrainStateCorruptionTest, RejectionCarriesContextAndPosition) {
+  const std::string good = serialize_train_state(sample_state());
+  std::string bad = good;
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x10);
+  try {
+    (void)deserialize_train_state(bad, "ckpt.ts");
+    FAIL() << "corrupt state was accepted";
+  } catch (const hsdl::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ckpt.ts"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

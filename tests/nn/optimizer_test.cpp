@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/check.hpp"
 
 namespace hsdl::nn {
@@ -124,6 +127,117 @@ TEST(AdamTest, LearningRateUpdate) {
   EXPECT_DOUBLE_EQ(opt.learning_rate(), 1e-3);
   opt.set_learning_rate(5e-4);
   EXPECT_DOUBLE_EQ(opt.learning_rate(), 5e-4);
+}
+
+// -- state snapshot/restore (checkpoint substrate) ---------------------------
+
+/// Deterministic synthetic gradient for step `step`, element `i`.
+float fake_grad(std::size_t step, std::size_t i) {
+  return 0.01f * static_cast<float>(step + 1) -
+         0.003f * static_cast<float>(i);
+}
+
+void fill_grads(const std::vector<Param*>& params, std::size_t step) {
+  for (Param* p : params)
+    for (std::size_t i = 0; i < p->grad.numel(); ++i)
+      p->grad.data()[i] = fake_grad(step, i);
+}
+
+void expect_values_equal(const Param& a, const Param& b) {
+  ASSERT_EQ(a.value.numel(), b.value.numel());
+  for (std::size_t i = 0; i < a.value.numel(); ++i)
+    EXPECT_EQ(a.value[i], b.value[i]) << "element " << i;
+}
+
+TEST(SgdTest, MomentumSnapshotRestoreContinuesBitForBit) {
+  Param w("w", Tensor({3}, 1.0f)), u("u", Tensor({2, 2}, -0.5f));
+  SgdOptimizer opt(0.1, 0.9);
+  for (std::size_t step = 0; step < 5; ++step) {
+    fill_grads({&w, &u}, step);
+    opt.step({&w, &u});
+  }
+  const std::vector<Tensor> state = opt.snapshot_state({&w, &u});
+  ASSERT_EQ(state.size(), 2u);  // one velocity tensor per param
+  const Tensor w_vals = w.value, u_vals = u.value;
+
+  // Continue the original run three more steps.
+  for (std::size_t step = 5; step < 8; ++step) {
+    fill_grads({&w, &u}, step);
+    opt.step({&w, &u});
+  }
+
+  // Replay from the snapshot on a fresh optimizer: identical trajectory.
+  Param w2("w", w_vals), u2("u", u_vals);
+  SgdOptimizer opt2(0.1, 0.9);
+  opt2.restore_state({&w2, &u2}, state);
+  for (std::size_t step = 5; step < 8; ++step) {
+    fill_grads({&w2, &u2}, step);
+    opt2.step({&w2, &u2});
+  }
+  expect_values_equal(w, w2);
+  expect_values_equal(u, u2);
+}
+
+TEST(SgdTest, MomentumFreeSnapshotIsEmpty) {
+  Param w("w", Tensor({2}, 1.0f));
+  SgdOptimizer opt(0.1);
+  fill_grads({&w}, 0);
+  opt.step({&w});
+  EXPECT_TRUE(opt.snapshot_state({&w}).empty());
+  SgdOptimizer opt2(0.1);
+  opt2.restore_state({&w}, {});  // empty state accepted
+  // A velocity tensor for a momentum-free optimizer is a config error.
+  EXPECT_THROW(opt2.restore_state({&w}, {Tensor({2}, 0.0f)}),
+               hsdl::CheckError);
+}
+
+TEST(SgdTest, RestoreRejectsShapeMismatch) {
+  Param w("w", Tensor({3}, 1.0f));
+  SgdOptimizer opt(0.1, 0.9);
+  EXPECT_THROW(opt.restore_state({&w}, {Tensor({4}, 0.0f)}),
+               hsdl::CheckError);
+}
+
+TEST(AdamTest, SnapshotRestoreContinuesBitForBit) {
+  Param w("w", Tensor({3}, 1.0f)), u("u", Tensor({2, 2}, -0.5f));
+  AdamOptimizer opt(1e-2);
+  for (std::size_t step = 0; step < 5; ++step) {
+    fill_grads({&w, &u}, step);
+    opt.step({&w, &u});
+  }
+  const std::vector<Tensor> state = opt.snapshot_state({&w, &u});
+  ASSERT_EQ(state.size(), 4u);  // [m, v] interleaved per param
+  const std::uint64_t t = opt.step_count();
+  EXPECT_EQ(t, 5u);
+  const Tensor w_vals = w.value, u_vals = u.value;
+
+  for (std::size_t step = 5; step < 8; ++step) {
+    fill_grads({&w, &u}, step);
+    opt.step({&w, &u});
+  }
+
+  Param w2("w", w_vals), u2("u", u_vals);
+  AdamOptimizer opt2(1e-2);
+  opt2.restore_state({&w2, &u2}, state, t);
+  EXPECT_EQ(opt2.step_count(), t);
+  for (std::size_t step = 5; step < 8; ++step) {
+    fill_grads({&w2, &u2}, step);
+    opt2.step({&w2, &u2});
+  }
+  expect_values_equal(w, w2);
+  expect_values_equal(u, u2);
+  EXPECT_EQ(opt.step_count(), opt2.step_count());
+}
+
+TEST(AdamTest, RestoreRejectsMismatchedState) {
+  Param w("w", Tensor({2}, 1.0f));
+  AdamOptimizer opt(1e-3);
+  // Adam state must be exactly two tensors (m, v) per param.
+  EXPECT_THROW(opt.restore_state({&w}, {Tensor({2}, 0.0f)}, 1),
+               hsdl::CheckError);
+  EXPECT_THROW(
+      opt.restore_state({&w}, {Tensor({3}, 0.0f), Tensor({2}, 0.0f)}, 1),
+      hsdl::CheckError);
 }
 
 TEST(SgdTest, DecayedRateTakesSmallerSteps) {
