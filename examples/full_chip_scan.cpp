@@ -4,8 +4,16 @@
 // generated clips, scans every window position, and compares the
 // screening flow's ODST against brute-force lithography simulation of
 // every window. Scanner hits are cross-checked against the litho labeler.
+//
+// Set HSDL_RUN_REPORT=<path> to capture the run as a JSON RunReport
+// (metrics snapshot + scan summary) with a Chrome trace of the whole
+// flow next to it at <path>.trace.json — load that in chrome://tracing
+// or https://ui.perfetto.dev.
 #include <cstdio>
 
+#include "common/metrics.hpp"
+#include "common/run_report.hpp"
+#include "common/trace.hpp"
 #include "hotspot/scanner.hpp"
 #include "litho/labeler.hpp"
 
@@ -13,6 +21,12 @@ using namespace hsdl;
 
 int main() {
   std::printf("== full-chip hotspot scan ==\n\n");
+
+  const std::string report_path = telemetry::run_report_path_from_env();
+  if (!report_path.empty()) {
+    metrics::set_enabled(true);
+    trace::set_enabled(true);
+  }
 
   // Training data: clips from the same design rules as the chip.
   layout::GeneratorConfig gen_cfg;
@@ -79,5 +93,22 @@ int main() {
     }
   std::printf("real hotspot windows on chip: %zu, missed by scan: %zu\n",
               windows_hotspot, missed);
+
+  if (!report_path.empty()) {
+    telemetry::RunReport run("scan");
+    json::Value scan = json::Value::object();
+    scan.set("windows_scanned", json::Value(report.windows_scanned));
+    scan.set("hits", json::Value(report.hits.size()));
+    scan.set("scan_seconds", json::Value(report.scan_seconds));
+    scan.set("windows_per_second", json::Value(report.windows_per_second()));
+    scan.set("odst_seconds", json::Value(report.odst_seconds()));
+    scan.set("true_hits", json::Value(true_hits));
+    scan.set("missed", json::Value(missed));
+    run.add("scan", std::move(scan));
+    run.write(report_path);
+    trace::write_chrome_trace(report_path + ".trace.json");
+    std::printf("\nwrote run report to %s and Chrome trace to %s.trace.json\n",
+                report_path.c_str(), report_path.c_str());
+  }
   return 0;
 }

@@ -69,6 +69,10 @@ int main(int argc, char** argv) {
   cfg.finetune.max_iters = 400;
   cfg.checkpoint_path = ckpt;
   cfg.checkpoint_every = 25;
+  // Per-iteration JSONL telemetry for the whole chain (loss, lr, grad
+  // norm, watchdog recoveries, one bias_round record per round) — tail
+  // it from another terminal to watch training live.
+  cfg.telemetry_path = ckpt + ".telemetry.jsonl";
 
   hotspot::HotspotCnn model(cnn);
   hotspot::BiasedLearner learner(cfg);
@@ -92,5 +96,6 @@ int main(int argc, char** argv) {
               "returns instantly\nfrom the finished checkpoint; delete %s "
               "to retrain.\n",
               100.0 * result.final_val_accuracy(), ckpt.c_str());
+  std::printf("per-iteration telemetry: %s.telemetry.jsonl\n", ckpt.c_str());
   return 0;
 }

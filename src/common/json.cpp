@@ -1,0 +1,380 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace hsdl::json {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void check(bool ok, const char* what) const {
+    HSDL_CHECK_MSG(ok, "JSON parse error at byte " << pos_ << ": " << what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c, const char* what) { check(next() == c, what); }
+
+  void expect_literal(std::string_view lit) {
+    check(text_.substr(pos_).substr(0, lit.size()) == lit,
+          "invalid literal");
+    pos_ += lit.size();
+  }
+
+  Value parse_value(int depth) {
+    check(depth < kMaxDepth, "nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value(parse_string());
+      case 't':
+        expect_literal("true");
+        return Value(true);
+      case 'f':
+        expect_literal("false");
+        return Value(false);
+      case 'n':
+        expect_literal("null");
+        return Value();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{', "expected '{'");
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':', "expected ':' after object key");
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') return obj;
+      check(c == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[', "expected '['");
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return arr;
+      check(c == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        check(false, "invalid \\u escape");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"', "expected '\"'");
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      check(static_cast<unsigned char>(c) >= 0x20,
+            "unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+            expect('\\', "expected low surrogate");
+            expect('u', "expected low surrogate");
+            const std::uint32_t lo = parse_hex4();
+            check(lo >= 0xDC00 && lo <= 0xDFFF, "invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            check(!(cp >= 0xDC00 && cp <= 0xDFFF), "stray low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          check(false, "invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    check(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+          "invalid number");
+    const bool leading_zero = text_[pos_] == '0';
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    check(!leading_zero || pos_ == start + (text_[start] == '-' ? 2u : 1u),
+          "leading zero in number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      check(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "digit required after decimal point");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      check(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "digit required in exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_to(const Value& v, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Exact integers (the common case for counters and counts) print
+  // without a fraction; everything else round-trips through %.17g.
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  out += buf;
+}
+
+void dump_to(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      dump_number(v.as_number(), out);
+      break;
+    case Value::Kind::kString:
+      out += escape(v.as_string());
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_to(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += escape(key);
+        out += ':';
+        dump_to(val, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  HSDL_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double Value::as_number() const {
+  HSDL_CHECK(kind_ == Kind::kNumber);
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  HSDL_CHECK(kind_ == Kind::kString);
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  HSDL_CHECK(kind_ == Kind::kArray);
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  HSDL_CHECK(kind_ == Kind::kObject);
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Value::push_back(Value v) {
+  HSDL_CHECK(kind_ == Kind::kArray);
+  arr_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  HSDL_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  return 0;
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace hsdl::json

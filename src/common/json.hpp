@@ -1,0 +1,85 @@
+// Minimal JSON value type with a strict parser and compact serializer.
+//
+// Backs the observability layer: telemetry JSONL records, RunReport
+// artifacts and metrics snapshots are built as json::Value trees, and the
+// unit tests parse the emitted bytes back to schema-check them. This is a
+// deliberately small subset implementation (numbers are doubles, object
+// member order is preserved, no streaming) — not a general JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hsdl::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Value(T v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(std::string_view s) : kind_(Kind::kString), str_(s) {}
+
+  static Value array() { return Value(Kind::kArray); }
+  static Value object() { return Value(Kind::kObject); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Accessors check the kind (HSDL_CHECK) before returning.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  /// Appends to an array (the value must be an array).
+  void push_back(Value v);
+  /// Sets an object member, replacing an existing key (must be an object).
+  void set(std::string key, Value v);
+
+  std::size_t size() const;
+
+  /// Compact serialization. Non-finite numbers serialize as null (JSON
+  /// has no NaN/Inf), integral doubles print without a fraction.
+  std::string dump() const;
+
+ private:
+  explicit Value(Kind k) : kind_(k) {}
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Escapes `s` into a double-quoted JSON string literal.
+std::string escape(std::string_view s);
+
+/// Strict parser for one JSON document (trailing whitespace allowed,
+/// anything else after the value fails). Malformed input throws
+/// hsdl::CheckError with a byte offset in the message.
+Value parse(std::string_view text);
+
+}  // namespace hsdl::json

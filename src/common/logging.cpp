@@ -1,12 +1,34 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/string_util.hpp"
 
 namespace hsdl {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+constexpr int kLevelUnset = -1;
+
+/// Explicit set_log_level override; kLevelUnset falls through to the
+/// HSDL_LOG_LEVEL / kInfo default.
+std::atomic<int> g_level{kLevelUnset};
+
+/// Serializes line formatting + emission so concurrent writers never
+/// interleave partial lines; also guards the sink.
+std::mutex& log_mutex() {
+  static std::mutex* mu = new std::mutex();  // outlives every logger
+  return *mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,16 +44,86 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+LogLevel env_default_level() {
+  if (const char* env = std::getenv("HSDL_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr, "[WARN] ignoring bad HSDL_LOG_LEVEL='%s'\n", env);
+  }
+  return LogLevel::kInfo;
+}
+
+/// Seconds on the monotonic clock since the first log call.
+double elapsed_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+/// Small stable per-thread id for the line prefix.
+std::size_t thread_log_id() {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  const int v = g_level.load(std::memory_order_relaxed);
+  if (v != kLevelUnset) return static_cast<LogLevel>(v);
+  // Environment default, resolved once at first use (mirrors how
+  // HSDL_THREADS configures the thread pool).
+  static const LogLevel env_level = env_default_level();
+  return env_level;
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
+}
 
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const double t = elapsed_seconds();
+  const std::size_t tid = thread_log_id();
+  std::lock_guard<std::mutex> lock(log_mutex());
+  // A message containing newlines becomes several prefixed lines, each
+  // emitted whole under the single mutex hold.
+  std::size_t start = 0;
+  while (start <= msg.size()) {
+    const std::size_t nl = msg.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? msg.size() : nl;
+    const std::string line =
+        strfmt("[%-5s %11.6f t%02zu] %.*s", level_name(level), t, tid,
+               static_cast<int>(end - start), msg.data() + start);
+    if (const LogSink& sink = sink_slot()) {
+      sink(level, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
 }
 
 }  // namespace detail

@@ -2,10 +2,25 @@
 //
 // Benchmark harnesses print their tables on stdout; diagnostic chatter goes
 // through this logger so table output stays machine-parsable.
+//
+// Thread safety: every line is formatted once and emitted atomically under
+// a global mutex, so concurrent writers never interleave partial lines.
+// Each emitted line carries the level, a monotonic timestamp (seconds
+// since the first log call) and a small per-thread id:
+//
+//   [WARN      1.042617 t03] watchdog: non-finite loss at iter 712
+//
+// The minimum level defaults to kInfo, is overridable by the
+// HSDL_LOG_LEVEL environment variable (debug/info/warn/error, read once
+// at first use — mirroring how HSDL_THREADS configures the thread pool),
+// and at runtime by set_log_level().
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hsdl {
 
@@ -14,6 +29,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"warning"/"error" (case-insensitive);
+/// nullopt on anything else. Exposed for the HSDL_LOG_LEVEL tests.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Receives each fully formatted line (no trailing newline) after level
+/// filtering. Installing an empty function restores the stderr writer.
+/// Sink calls are serialized by the logging mutex.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

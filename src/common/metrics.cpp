@@ -1,0 +1,207 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace hsdl::metrics {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+std::atomic<std::size_t> g_next_thread{0};
+}
+
+std::size_t this_thread_shard() {
+  static thread_local const std::size_t shard =
+      g_next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_)
+    total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
+    : name_(std::move(name)), bounds_(std::move(upper_bounds)) {
+  HSDL_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  HSDL_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be ascending");
+  // Pad each shard's bucket row to a whole number of cache lines so
+  // recorders on different shards never share a line.
+  const std::size_t buckets = bounds_.size() + 1;
+  stride_ = (buckets + 7) / 8 * 8;
+  counts_ = std::vector<std::atomic<std::uint64_t>>(kShards * stride_);
+}
+
+void Histogram::record(double v) {
+  if (!enabled()) return;
+  // lower_bound keeps samples equal to a bound in that bound's bucket
+  // (bucket i counts samples <= upper_bounds[i]).
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t shard = detail::this_thread_shard();
+  counts_[shard * stride_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  sums_[shard].n.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sums_[shard].sum, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : sums_) total += s.n.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Shard& s : sums_)
+    total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  HSDL_CHECK(i <= bounds_.size());
+  std::uint64_t total = 0;
+  for (std::size_t shard = 0; shard < kShards; ++shard)
+    total += counts_[shard * stride_ + i].load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (Shard& s : sums_) {
+    s.n.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Registered instruments live for the process lifetime so function-local
+/// static references on hot paths can never dangle.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Gauge>> gauges;
+  std::vector<std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: see above
+  return *r;
+}
+
+template <typename T, typename... Args>
+T& get_or_create(std::vector<std::unique_ptr<T>>& items,
+                 const std::string& name, Args&&... args) {
+  for (auto& item : items)
+    if (item->name() == name) return *item;
+  items.push_back(std::make_unique<T>(name, std::forward<Args>(args)...));
+  return *items.back();
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return get_or_create(r.counters, name);
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return get_or_create(r.gauges, name);
+}
+
+Histogram& histogram(const std::string& name,
+                     std::vector<double> upper_bounds) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return get_or_create(r.histograms, name, std::move(upper_bounds));
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot snap;
+  for (const auto& c : r.counters)
+    snap.counters.emplace_back(c->name(), c->value());
+  for (const auto& g : r.gauges)
+    snap.gauges.emplace_back(g->name(), g->value());
+  for (const auto& h : r.histograms) {
+    HistogramSnapshot hs;
+    hs.name = h->name();
+    hs.upper_bounds = h->upper_bounds();
+    for (std::size_t i = 0; i <= hs.upper_bounds.size(); ++i)
+      hs.counts.push_back(h->bucket_count(i));
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& c : r.counters) c->reset();
+  for (auto& g : r.gauges) g->reset();
+  for (auto& h : r.histograms) h->reset();
+}
+
+json::Value to_json(const Snapshot& snap) {
+  json::Value root = json::Value::object();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : snap.counters)
+    counters.set(name, json::Value(value));
+  root.set("counters", std::move(counters));
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : snap.gauges)
+    gauges.set(name, json::Value(value));
+  root.set("gauges", std::move(gauges));
+  json::Value histograms = json::Value::object();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    json::Value entry = json::Value::object();
+    json::Value bounds = json::Value::array();
+    for (const double b : h.upper_bounds) bounds.push_back(json::Value(b));
+    entry.set("upper_bounds", std::move(bounds));
+    json::Value counts = json::Value::array();
+    for (const std::uint64_t c : h.counts) counts.push_back(json::Value(c));
+    entry.set("counts", std::move(counts));
+    entry.set("count", json::Value(h.count));
+    entry.set("sum", json::Value(h.sum));
+    histograms.set(h.name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace hsdl::metrics

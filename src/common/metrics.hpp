@@ -1,0 +1,166 @@
+// Thread-safe metrics registry: counters, gauges and fixed-bucket
+// histograms with per-thread sharded accumulation.
+//
+// Design rules:
+//   * Observation never perturbs the observed computation: instruments
+//     only read clocks and bump atomics — no locks on record paths, no
+//     effect on RNG streams or float arithmetic, so the bitwise
+//     parallel==serial determinism contract holds with metrics enabled.
+//   * The runtime switch (set_enabled) gates every record call; the
+//     disabled path is a relaxed atomic load + branch — a handful of
+//     instructions, no heap allocation — so instruments can live on hot
+//     kernels (gemm, conv2d, feature extraction) unconditionally.
+//   * Hot-path writes are sharded: each thread accumulates into its own
+//     cache-line-padded slot (by a stable per-thread index), so
+//     concurrent recorders do not bounce a shared line. Reads (value(),
+//     snapshot()) sum the shards.
+//
+// Usage: resolve the instrument once via a function-local static, then
+// record unconditionally —
+//
+//   static metrics::Counter& flops = metrics::counter("gemm.flops");
+//   flops.add(2 * m * n * k);
+//
+// Instruments are created on first lookup and live for the process
+// lifetime; looking up the same name returns the same instrument.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace hsdl::metrics {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Stable shard index for the calling thread in [0, kShards).
+std::size_t this_thread_shard();
+/// Lock-free add for pre-C++20-toolchain atomic<double>.
+void atomic_add(std::atomic<double>& a, double v);
+}  // namespace detail
+
+/// Global switch, default off. Enabling is retroactive only for future
+/// records; instruments keep whatever they accumulated while enabled.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Number of per-thread accumulation slots per instrument. Threads hash
+/// onto shards by a stable per-thread counter; more threads than shards
+/// degrade gracefully to shared fetch_adds.
+constexpr std::size_t kShards = 16;
+
+/// Monotonic event/quantity accumulator.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n) {
+    if (!enabled()) return;
+    shards_[detail::this_thread_shard()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  std::uint64_t value() const;
+  void reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::string name_;
+  Shard shards_[kShards];
+};
+
+/// Last-written instantaneous value (queue depths, rates, thread counts).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= upper_bounds[i]
+/// (first matching bound); one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  /// i in [0, upper_bounds().size()]; the last index is the overflow
+  /// bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  void reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::string name_;
+  std::vector<double> bounds_;
+  std::size_t stride_;  // buckets per shard, padded to a cache line
+  std::vector<std::atomic<std::uint64_t>> counts_;  // kShards * stride_
+  Shard sums_[kShards];
+};
+
+/// Get-or-create by name. The returned reference is valid for the
+/// process lifetime. A histogram name reused with different bounds
+/// returns the existing instrument (first bounds win).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     std::vector<double> upper_bounds);
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;  // upper_bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+Snapshot snapshot();
+
+/// Zeroes every registered instrument (the registry itself persists).
+void reset();
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+json::Value to_json(const Snapshot& snap);
+
+}  // namespace hsdl::metrics

@@ -1,12 +1,15 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/metrics.hpp"
 
 namespace hsdl {
 namespace {
@@ -58,6 +61,15 @@ class ThreadPool {
     std::unique_lock<std::mutex> run_lock(run_mu_, std::try_to_lock);
     if (!run_lock.owns_lock()) return false;
 
+    if (metrics::enabled()) {
+      static metrics::Counter& regions = metrics::counter("pool.regions");
+      static metrics::Counter& total_chunks = metrics::counter("pool.chunks");
+      static metrics::Gauge& pool_threads = metrics::gauge("pool.threads");
+      regions.increment();
+      total_chunks.add(chunks);
+      pool_threads.set(static_cast<double>(threads));
+    }
+
     {
       std::unique_lock<std::mutex> lock(mu_);
       const std::size_t want = threads - 1;
@@ -99,6 +111,11 @@ class ThreadPool {
 
   void worker_loop(std::size_t id, std::uint64_t seen) {
     for (;;) {
+      // Idle time = wall time this worker spends parked between regions;
+      // measured only while metrics are on (two clock reads per wakeup).
+      const bool track_idle = metrics::enabled();
+      std::chrono::steady_clock::time_point wait_begin;
+      if (track_idle) wait_begin = std::chrono::steady_clock::now();
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_job_.wait(lock, [&] {
@@ -106,6 +123,13 @@ class ThreadPool {
         });
         if (stop_) return;
         seen = generation_;
+      }
+      if (track_idle) {
+        static metrics::Counter& idle = metrics::counter("pool.idle_micros");
+        idle.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wait_begin)
+                .count()));
       }
       drain();
       {

@@ -1,0 +1,56 @@
+#include "common/run_report.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/io.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace hsdl::telemetry {
+
+JsonlStream::JsonlStream(const std::string& path) : path_(path) {
+  if (path.empty()) return;
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  HSDL_CHECK_MSG(out_.is_open(),
+                 "cannot open telemetry stream '" << path << "'");
+}
+
+void JsonlStream::emit(const json::Value& record) {
+  if (!out_.is_open()) return;
+  const std::string line = record.dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+RunReport::RunReport(std::string kind)
+    : kind_(std::move(kind)), sections_(json::Value::object()) {}
+
+void RunReport::add(const std::string& key, json::Value v) {
+  sections_.set(key, std::move(v));
+}
+
+json::Value RunReport::to_json() const {
+  json::Value root = json::Value::object();
+  root.set("schema", json::Value("hsdl-run-report-v1"));
+  root.set("kind", json::Value(kind_));
+  for (const auto& [key, value] : sections_.members()) root.set(key, value);
+  root.set("metrics", metrics::to_json(metrics::snapshot()));
+  json::Value trace_info = json::Value::object();
+  trace_info.set("events", json::Value(trace::event_count()));
+  trace_info.set("dropped", json::Value(trace::dropped_count()));
+  root.set("trace", std::move(trace_info));
+  return root;
+}
+
+void RunReport::write(const std::string& path) const {
+  io::atomic_write_file(path, to_json().dump() + "\n");
+}
+
+std::string run_report_path_from_env() {
+  const char* env = std::getenv("HSDL_RUN_REPORT");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace hsdl::telemetry

@@ -1,0 +1,67 @@
+// Run telemetry artifacts: JSONL event streams and per-run JSON reports.
+//
+// JsonlStream appends one JSON object per line — the machine-readable
+// telemetry format the trainer, biased learner and scanner emit (each
+// line is written and flushed atomically under a mutex, so concurrent
+// emitters cannot interleave partial records and a crash loses at most
+// the line being written).
+//
+// RunReport aggregates one training or scan run into a single JSON
+// artifact: caller-provided sections plus the current metrics snapshot
+// and trace totals, so every bench and example produces comparable,
+// diffable telemetry. See DESIGN.md §10 for the schema.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace hsdl::telemetry {
+
+class JsonlStream {
+ public:
+  /// Disabled stream: emit() is a no-op.
+  JsonlStream() = default;
+  /// Opens `path` for writing (truncates; each process run owns its
+  /// stream). An empty path constructs a disabled stream.
+  explicit JsonlStream(const std::string& path);
+
+  bool enabled() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  /// Writes one record as a single line and flushes. Thread-safe.
+  void emit(const json::Value& record);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+class RunReport {
+ public:
+  /// `kind` labels the run ("train", "scan", "bench", ...).
+  explicit RunReport(std::string kind);
+
+  /// Sets a top-level field (scalar or nested json::Value section).
+  void add(const std::string& key, json::Value v);
+
+  /// Report body: schema tag, kind, caller sections, the metrics
+  /// snapshot at call time, and trace event totals.
+  json::Value to_json() const;
+
+  /// Writes to_json() to `path` (atomic: temp + rename).
+  void write(const std::string& path) const;
+
+ private:
+  std::string kind_;
+  json::Value sections_;
+};
+
+/// Shared CLI/env convention: report path from HSDL_RUN_REPORT, empty
+/// when unset (callers treat empty as "no report").
+std::string run_report_path_from_env();
+
+}  // namespace hsdl::telemetry

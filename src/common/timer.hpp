@@ -1,4 +1,6 @@
-// Wall-clock timing for benchmark harnesses and ODST accounting.
+// Wall-clock timing for benchmark harnesses and run telemetry (scan
+// reports and trainer histories record elapsed seconds from it; ODST
+// itself is derived in hotspot/scanner.hpp and hotspot/metrics.hpp).
 #pragma once
 
 #include <chrono>

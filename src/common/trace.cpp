@@ -1,0 +1,146 @@
+#include "common/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/io.hpp"
+#include "common/json.hpp"
+
+namespace hsdl::trace {
+namespace {
+
+/// Per-thread buffer cap: a runaway span site cannot grow memory without
+/// bound; overflow increments the dropped counter instead.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct Event {
+  const char* name;  // string literal, owned by the call site
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+};
+
+struct ThreadBuffer {
+  std::mutex mu;  // contended only by the exporter, never by other spans
+  std::uint32_t tid = 0;
+  std::vector<Event> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // outlives every recording thread
+  return *r;
+}
+
+std::atomic<std::uint64_t> g_dropped{0};
+
+ThreadBuffer& local_buffer() {
+  // The shared_ptr keeps the buffer alive in the registry after the
+  // thread exits, so export still sees its events.
+  static thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(Event{name, begin_ns, end_ns});
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::size_t event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t total = 0;
+  for (auto& buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::uint64_t dropped_count() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  // Hand-rolled serialization: a long run buffers hundreds of thousands
+  // of events, so we append directly instead of building a json::Value
+  // tree. Timestamps convert to the microseconds Chrome expects.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& buffer : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const Event& e : buffer->events) {
+      if (!first) out += ',';
+      first = false;
+      char fields[160];
+      std::snprintf(fields, sizeof(fields),
+                    ",\"cat\":\"hsdl\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                    "\"ts\":%.3f,\"dur\":%.3f}",
+                    buffer->tid, static_cast<double>(e.begin_ns) / 1e3,
+                    static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+      out += "{\"name\":";
+      out += json::escape(e.name);
+      out += fields;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  io::atomic_write_file(path, chrome_trace_json());
+}
+
+}  // namespace hsdl::trace

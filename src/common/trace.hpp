@@ -1,0 +1,79 @@
+// Scoped trace spans with Chrome trace-event JSON export.
+//
+// HSDL_TRACE_SPAN("gemm") opens a span for the enclosing scope; the
+// destructor records name, begin/end timestamps and the recording thread.
+// Buffers are per-thread (a span never contends with spans on other
+// threads), and chrome_trace_json() serializes everything recorded so far
+// as complete-event ("ph":"X") Chrome trace JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// The runtime switch (set_enabled) gates recording: when disabled, a
+// span's constructor is a relaxed atomic load + branch and its destructor
+// a null check — a handful of instructions, no clock reads, no heap
+// allocation — so spans can sit on hot kernels unconditionally. Span
+// names must be string literals (or otherwise outlive the export):
+// events store the pointer, not a copy.
+//
+// Like the metrics registry, recording only reads clocks and appends to
+// thread-local buffers — it never perturbs RNG streams or float math, so
+// the parallel==serial determinism contract holds with tracing enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hsdl::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Nanoseconds on the steady clock since the process trace epoch.
+std::uint64_t now_ns();
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Drops every buffered event (dropped-event count included).
+void clear();
+
+/// Events currently buffered across all threads.
+std::size_t event_count();
+
+/// Events discarded because a thread hit its buffer cap (see
+/// kMaxEventsPerThread in trace.cpp).
+std::uint64_t dropped_count();
+
+/// RAII span; prefer the HSDL_TRACE_SPAN macro.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(enabled() ? name : nullptr),
+        begin_(name_ != nullptr ? detail::now_ns() : 0) {}
+  ~Span() {
+    if (name_ != nullptr) detail::record(name_, begin_, detail::now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t begin_;
+};
+
+/// Serializes all buffered events as Chrome trace-event JSON.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path` (atomic: temp + rename).
+void write_chrome_trace(const std::string& path);
+
+}  // namespace hsdl::trace
+
+#define HSDL_TRACE_CONCAT_IMPL(a, b) a##b
+#define HSDL_TRACE_CONCAT(a, b) HSDL_TRACE_CONCAT_IMPL(a, b)
+/// Traces the enclosing scope; `name` must be a string literal.
+#define HSDL_TRACE_SPAN(name) \
+  ::hsdl::trace::Span HSDL_TRACE_CONCAT(hsdl_trace_span_, __COUNTER__)(name)

@@ -1,7 +1,9 @@
 #include "fte/feature_tensor.hpp"
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "fte/zigzag.hpp"
 
 namespace hsdl::fte {
@@ -37,6 +39,14 @@ std::size_t FeatureTensorExtractor::block_px(
 
 FeatureTensor FeatureTensorExtractor::extract(
     const layout::MaskImage& raster) const {
+  HSDL_TRACE_SPAN("fte.extract");
+  if (metrics::enabled()) {
+    static metrics::Counter& tensors = metrics::counter("fte.tensors");
+    static metrics::Counter& blocks = metrics::counter("fte.dct_blocks");
+    tensors.increment();
+    blocks.add(static_cast<std::uint64_t>(config_.blocks_per_side) *
+               config_.blocks_per_side);
+  }
   const std::size_t n = config_.blocks_per_side;
   const std::size_t k = config_.coeffs;
   const std::size_t B = block_px(raster);
@@ -79,6 +89,7 @@ FeatureTensor FeatureTensorExtractor::extract(const layout::Clip& clip) const {
 
 std::vector<FeatureTensor> FeatureTensorExtractor::extract_batch(
     std::span<const layout::Clip> clips) const {
+  HSDL_TRACE_SPAN("fte.extract_batch");
   std::vector<FeatureTensor> out(clips.size());
   parallel_for(0, clips.size(), 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) out[i] = extract(clips[i]);

@@ -5,6 +5,9 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/run_report.hpp"
+#include "common/trace.hpp"
 #include "hotspot/train_state.hpp"
 
 namespace hsdl::hotspot {
@@ -78,11 +81,17 @@ BiasedLearningResult BiasedLearner::run(
     const nn::ClassificationDataset& val_set, Rng& rng,
     std::size_t first_round, double first_epsilon,
     std::vector<BiasedRound> completed, bool resume_first_round) {
+  HSDL_TRACE_SPAN("biased.train");
   BiasedLearningResult result;
   result.rounds = std::move(completed);
+  // One stream serves the whole Algorithm 2 chain: each round's trainer
+  // shares it, so per-iteration and per-round records interleave in
+  // chronological order in a single file.
+  telemetry::JsonlStream tele(config_.telemetry_path);
   double epsilon = first_epsilon;
   for (std::size_t i = first_round; i < config_.rounds; ++i) {
     MgdTrainer trainer(round_config(i, epsilon));
+    if (tele.enabled()) trainer.set_telemetry(&tele);
     if (iteration_hook_) trainer.set_iteration_hook(iteration_hook_);
     if (fault_hook_) trainer.set_fault_hook(fault_hook_);
     if (!config_.checkpoint_path.empty())
@@ -98,6 +107,23 @@ BiasedLearningResult BiasedLearner::run(
                     << "): val hotspot accuracy "
                     << round.val_confusion.accuracy() << ", false alarms "
                     << round.val_confusion.false_alarms();
+    if (metrics::enabled()) {
+      static metrics::Counter& rounds_c = metrics::counter("biased.rounds");
+      static metrics::Gauge& eps_g = metrics::gauge("biased.epsilon");
+      rounds_c.increment();
+      eps_g.set(epsilon);
+    }
+    if (tele.enabled()) {
+      json::Value rec = json::Value::object();
+      rec.set("event", json::Value("bias_round"));
+      rec.set("round", json::Value(i));
+      rec.set("epsilon", json::Value(epsilon));
+      rec.set("hotspot_accuracy", json::Value(round.val_confusion.accuracy()));
+      rec.set("false_alarms", json::Value(round.val_confusion.false_alarms()));
+      rec.set("iters_run", json::Value(round.train.iters_run));
+      rec.set("recoveries", json::Value(round.train.recoveries));
+      tele.emit(rec);
+    }
     result.rounds.push_back(std::move(round));
     epsilon += config_.delta;  // Algorithm 2 line 5
   }

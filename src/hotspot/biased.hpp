@@ -60,6 +60,13 @@ struct BiasedLearningConfig {
   std::string checkpoint_path;
   /// Iterations between checkpoint writes within each round.
   std::size_t checkpoint_every = 100;
+
+  /// JSONL telemetry stream shared by all rounds: every round's
+  /// per-iteration records plus one bias_round record per round (ε,
+  /// hotspot accuracy, false-alarm count; schema in DESIGN.md §10).
+  /// Empty disables the stream (overrides any per-round telemetry_path
+  /// in `initial` / `finetune`, mirroring checkpoint_path).
+  std::string telemetry_path;
 };
 
 /// Outcome of one bias round, measured on the validation set.

@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace hsdl::hotspot {
 
@@ -20,6 +22,7 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
   HSDL_CHECK_MSG(extent.width() >= config_.window_size &&
                      extent.height() >= config_.window_size,
                  "layout smaller than the scan window");
+  HSDL_TRACE_SPAN("scan");
   ScanReport report;
   WallTimer timer;
 
@@ -53,16 +56,20 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
         std::min(band_lo + kBandRows, ys.size());
     const std::size_t rows = band_hi - band_lo;
     band.assign(rows * nx, layout::Clip{});
-    parallel_for(0, rows, 1, [&](std::size_t rb, std::size_t re) {
-      for (std::size_t r = rb; r < re; ++r) {
-        for (std::size_t i = 0; i < nx; ++i) {
-          const geom::Rect window = geom::Rect::from_xywh(
-              xs[i], ys[band_lo + r], config_.window_size,
-              config_.window_size);
-          band[r * nx + i] = chip.extract_clip(window).normalized();
+    {
+      HSDL_TRACE_SPAN("scan.extract_band");
+      parallel_for(0, rows, 1, [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          for (std::size_t i = 0; i < nx; ++i) {
+            const geom::Rect window = geom::Rect::from_xywh(
+                xs[i], ys[band_lo + r], config_.window_size,
+                config_.window_size);
+            band[r * nx + i] = chip.extract_clip(window).normalized();
+          }
         }
-      }
-    });
+      });
+    }
+    HSDL_TRACE_SPAN("scan.classify_band");
     for (std::size_t r = 0; r < rows; ++r) {
       const std::span<const layout::Clip> row(band.data() + r * nx, nx);
       const std::vector<double> probs = detector.predict_probabilities(row);
@@ -79,6 +86,16 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
     }
   }
   report.scan_seconds = timer.seconds();
+  if (metrics::enabled()) {
+    static metrics::Counter& windows = metrics::counter("scan.windows");
+    static metrics::Counter& hits = metrics::counter("scan.hits");
+    static metrics::Gauge& wps = metrics::gauge("scan.windows_per_sec");
+    static metrics::Gauge& depth = metrics::gauge("scan.band_rows");
+    windows.add(report.windows_scanned);
+    hits.add(report.hits.size());
+    wps.set(report.windows_per_second());
+    depth.set(static_cast<double>(std::min(kBandRows, ys.size())));
+  }
   return report;
 }
 

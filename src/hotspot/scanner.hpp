@@ -37,6 +37,13 @@ struct ScanReport {
                : static_cast<double>(hits.size()) /
                      static_cast<double>(windows_scanned);
   }
+  /// Screening throughput — the paper's headline contrast with the
+  /// 10 s/clip lithography simulation this flow replaces.
+  double windows_per_second() const {
+    return scan_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(windows_scanned) / scan_seconds;
+  }
   /// ODST of the screening flow: sim time on flagged windows + scan time.
   double odst_seconds() const {
     return kLithoSimSecondsPerClip * static_cast<double>(hits.size()) +

@@ -6,8 +6,11 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/run_report.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "hotspot/train_state.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
@@ -141,9 +144,20 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
                             const nn::ClassificationDataset& val_set,
                             Rng& rng, const TrainState* restored) {
   HSDL_CHECK(!train_set.empty() && !val_set.empty());
+  HSDL_TRACE_SPAN("mgd.train");
   TrainResult result;
   WallTimer timer;
   double elapsed_base = 0.0;
+
+  // Telemetry sink: an externally installed stream wins (BiasedLearner
+  // shares one across rounds); otherwise config_.telemetry_path opens a
+  // per-run stream here. Emission is observation-only — it never touches
+  // the RNG streams or float math, so telemetry cannot perturb numerics.
+  telemetry::JsonlStream owned_stream(
+      telemetry_ != nullptr ? std::string() : config_.telemetry_path);
+  telemetry::JsonlStream* tele =
+      telemetry_ != nullptr ? telemetry_ : &owned_stream;
+  const bool tele_on = tele->enabled();
 
   nn::Sequential& net = model.net();
   const std::vector<nn::Param*> params = net.params();
@@ -172,6 +186,7 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
   // stop criterion would freeze there; the mean of per-class recalls keeps
   // hotspot recall in the convergence signal.
   auto val_score = [&]() {
+    HSDL_TRACE_SPAN("mgd.validate");
     const Confusion c = evaluate(model, val_set);
     const double hs_recall = c.accuracy();
     const double nhs_total = static_cast<double>(c.fp + c.tn);
@@ -229,6 +244,14 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
     HSDL_LOG(kInfo) << "resume: continuing from iter " << restored->iter
                     << " (lr " << restored->learning_rate << ", "
                     << result.history.size() << " validation points)";
+    if (tele_on) {
+      json::Value rec = json::Value::object();
+      rec.set("event", json::Value("resume"));
+      rec.set("iter", json::Value(restored->iter));
+      rec.set("lr", json::Value(restored->learning_rate));
+      rec.set("recoveries", json::Value(recoveries));
+      tele->emit(rec);
+    }
   } else {
     best = nn::snapshot_params(params);
   }
@@ -330,6 +353,18 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
                       << iter << "; rolled back to last good state, lr -> "
                       << lr << " (recovery " << recoveries << "/"
                       << config_.max_recoveries << ")";
+      if (metrics::enabled()) {
+        static metrics::Counter& rec_c = metrics::counter("train.recoveries");
+        rec_c.increment();
+      }
+      if (tele_on) {
+        json::Value rec = json::Value::object();
+        rec.set("event", json::Value("watchdog_recovery"));
+        rec.set("iter", json::Value(iter));
+        rec.set("lr", json::Value(lr));
+        rec.set("recoveries", json::Value(recoveries));
+        tele->emit(rec);
+      }
     } else {
       if (iter % config_.decay_step == 0)
         set_lr(current_lr() * config_.decay);
@@ -343,6 +378,24 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
         HSDL_LOG(kInfo) << "iter " << iter << ": train loss " << batch_loss
                         << ", val balanced accuracy " << score << ", lr "
                         << current_lr();
+
+        if (metrics::enabled()) {
+          static metrics::Counter& val_c = metrics::counter(
+              "train.validations");
+          static metrics::Gauge& lr_g = metrics::gauge("train.learning_rate");
+          val_c.increment();
+          lr_g.set(current_lr());
+        }
+        if (tele_on) {
+          json::Value rec = json::Value::object();
+          rec.set("event", json::Value("validation"));
+          rec.set("iter", json::Value(iter));
+          rec.set("val_accuracy", json::Value(score));
+          rec.set("best_val_accuracy", json::Value(std::max(score,
+                                                            best_score)));
+          rec.set("seconds", json::Value(point.seconds));
+          tele->emit(rec);
+        }
 
         if (score > best_score) {
           best_score = score;
@@ -359,6 +412,21 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
       }
     }
 
+    if (metrics::enabled()) {
+      static metrics::Counter& iter_c = metrics::counter("train.iterations");
+      iter_c.increment();
+    }
+    if (tele_on) {
+      json::Value rec = json::Value::object();
+      rec.set("event", json::Value("iteration"));
+      rec.set("iter", json::Value(iter));
+      rec.set("loss", json::Value(batch_loss));  // null when non-finite
+      rec.set("lr", json::Value(current_lr()));
+      rec.set("grad_norm", json::Value(std::sqrt(grad_sq)));
+      rec.set("recoveries", json::Value(recoveries));
+      tele->emit(rec);
+    }
+
     result.iters_run = iter;
     const bool finished = stopped || iter == config_.max_iters;
     if (!config_.checkpoint_path.empty() &&
@@ -372,6 +440,17 @@ TrainResult MgdTrainer::run(HotspotCnn& model,
   result.seconds = elapsed_base + timer.seconds();
   result.recoveries = recoveries;
   result.final_learning_rate = current_lr();
+  if (tele_on) {
+    json::Value rec = json::Value::object();
+    rec.set("event", json::Value("train_result"));
+    rec.set("iters_run", json::Value(result.iters_run));
+    rec.set("best_val_accuracy", json::Value(result.best_val_accuracy));
+    rec.set("seconds", json::Value(result.seconds));
+    rec.set("recoveries", json::Value(result.recoveries));
+    rec.set("final_lr", json::Value(result.final_learning_rate));
+    rec.set("epsilon", json::Value(config_.epsilon));
+    tele->emit(rec);
+  }
   return result;
 }
 

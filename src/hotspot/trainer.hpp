@@ -29,6 +29,10 @@
 #include "hotspot/metrics.hpp"
 #include "nn/dataset.hpp"
 
+namespace hsdl::telemetry {
+class JsonlStream;
+}
+
 namespace hsdl::hotspot {
 
 enum class OptimizerKind {
@@ -67,6 +71,14 @@ struct MgdConfig {
   std::size_t max_recoveries = 3;
   /// Learning-rate multiplier applied on every watchdog rollback.
   double recovery_lr_decay = 0.5;
+
+  // -- observability ---------------------------------------------------------
+  /// JSONL telemetry stream (one record per iteration/validation/watchdog
+  /// event plus a train_result summary; schema in DESIGN.md §10). Empty
+  /// disables the stream. Ignored when an external stream is installed
+  /// via MgdTrainer::set_telemetry. Never affects the math: resume
+  /// accepts a checkpoint written with a different telemetry_path.
+  std::string telemetry_path;
 };
 
 /// One point of the training curve (drives Figure 3).
@@ -143,6 +155,12 @@ class MgdTrainer {
     checkpoint_extra_ = std::move(extra);
   }
 
+  /// Routes telemetry records into an externally owned JSONL stream
+  /// (BiasedLearner shares one stream across all rounds this way);
+  /// overrides config().telemetry_path. Pass nullptr to restore the
+  /// config-path behaviour. The stream must outlive train()/resume().
+  void set_telemetry(telemetry::JsonlStream* stream) { telemetry_ = stream; }
+
   /// Trains in place; `rng` drives batch sampling (dropout uses the
   /// model's own stream). Returns the training curve.
   TrainResult train(HotspotCnn& model,
@@ -170,6 +188,7 @@ class MgdTrainer {
   IterationHook iteration_hook_;
   FaultHook fault_hook_;
   std::string checkpoint_extra_;
+  telemetry::JsonlStream* telemetry_ = nullptr;  ///< not owned
 };
 
 }  // namespace hsdl::hotspot

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 
@@ -15,6 +17,19 @@ Tensor make_conv_weight(const Conv2dConfig& c, Rng& rng) {
   Tensor w({c.out_channels, c.in_channels * c.kernel * c.kernel});
   he_normal_init(w, c.in_channels * c.kernel * c.kernel, rng);
   return w;
+}
+
+/// Multiply-add FLOP count of one batched conv pass (the im2col GEMM).
+/// Observability only; see gemm.cpp for the determinism argument.
+void count_conv_flops(std::size_t n, std::size_t out_channels,
+                      std::size_t kk, std::size_t ocols,
+                      std::size_t passes) {
+  if (!metrics::enabled()) return;
+  static metrics::Counter& flops = metrics::counter("conv2d.flops");
+  static metrics::Counter& samples = metrics::counter("conv2d.samples");
+  flops.add(passes * 2 * static_cast<std::uint64_t>(n) * out_channels * kk *
+            ocols);
+  samples.add(n);
 }
 
 }  // namespace
@@ -120,6 +135,8 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
       config_.in_channels * config_.kernel * config_.kernel;
   const std::size_t ocols = oh * ow;
 
+  HSDL_TRACE_SPAN("conv2d.forward");
+  count_conv_flops(n, config_.out_channels, kk, ocols, /*passes=*/1);
   cols_ = Tensor({n, kk, ocols});
   Tensor out({n, config_.out_channels, oh, ow});
   // Samples are independent: each writes only its own cols_/out slices.
@@ -154,6 +171,8 @@ Tensor Conv2d::infer(const Tensor& input) const {
       config_.in_channels * config_.kernel * config_.kernel;
   const std::size_t ocols = oh * ow;
 
+  HSDL_TRACE_SPAN("conv2d.infer");
+  count_conv_flops(n, config_.out_channels, kk, ocols, /*passes=*/1);
   Tensor out({n, config_.out_channels, oh, ow});
   hsdl::parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
     std::vector<float> col(kk * ocols);  // per-chunk im2col scratch
@@ -185,6 +204,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   HSDL_CHECK(grad_output.shape() ==
              std::vector<std::size_t>({n, config_.out_channels, oh, ow}));
 
+  HSDL_TRACE_SPAN("conv2d.backward");
+  // Backward runs two GEMMs per sample (dW and dcol).
+  count_conv_flops(n, config_.out_channels, kk, ocols, /*passes=*/2);
   Tensor grad_in({n, config_.in_channels, h, w});
   // Per-sample weight/bias gradient partials: samples run in parallel,
   // then the partials are reduced in fixed sample order on this thread —

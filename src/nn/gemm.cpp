@@ -8,7 +8,9 @@
 #endif
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 #define HSDL_RESTRICT __restrict__
 
@@ -284,6 +286,16 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, std::size_t lda,
           const float* b, std::size_t ldb, float beta, float* c,
           std::size_t ldc) {
+  // Observability only — reads clocks / bumps sharded atomics, never the
+  // operands, so instrumented results stay bitwise identical. Disabled
+  // path: one relaxed load + branch each, no heap allocation.
+  HSDL_TRACE_SPAN("gemm");
+  if (metrics::enabled()) {
+    static metrics::Counter& flops = metrics::counter("gemm.flops");
+    static metrics::Counter& calls = metrics::counter("gemm.calls");
+    flops.add(2 * static_cast<std::uint64_t>(m) * n * k);
+    calls.increment();
+  }
   if (m == 0 || n == 0) return;
   if (alpha == 0.0f || k == 0) {
     scale_c(m, n, beta, c, ldc);

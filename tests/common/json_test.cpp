@@ -1,0 +1,127 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace hsdl {
+namespace {
+
+TEST(JsonValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(json::Value().is_null());
+  EXPECT_TRUE(json::Value(true).is_bool());
+  EXPECT_TRUE(json::Value(3.5).is_number());
+  EXPECT_TRUE(json::Value(42).is_number());
+  EXPECT_TRUE(json::Value("s").is_string());
+  EXPECT_TRUE(json::Value::array().is_array());
+  EXPECT_TRUE(json::Value::object().is_object());
+
+  EXPECT_EQ(json::Value(true).as_bool(), true);
+  EXPECT_DOUBLE_EQ(json::Value(3.5).as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(json::Value(std::size_t{7}).as_number(), 7.0);
+  EXPECT_EQ(json::Value("abc").as_string(), "abc");
+}
+
+TEST(JsonValueTest, AccessorKindMismatchThrows) {
+  EXPECT_THROW(json::Value(1.0).as_string(), CheckError);
+  EXPECT_THROW(json::Value("x").as_number(), CheckError);
+  EXPECT_THROW(json::Value().as_bool(), CheckError);
+}
+
+TEST(JsonValueTest, ObjectSetReplacesAndFinds) {
+  json::Value obj = json::Value::object();
+  obj.set("a", json::Value(1));
+  obj.set("b", json::Value(2));
+  obj.set("a", json::Value(3));  // replace, not duplicate
+  EXPECT_EQ(obj.size(), 2u);
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.find("a")->as_number(), 3.0);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DumpCompact) {
+  json::Value obj = json::Value::object();
+  obj.set("n", json::Value(5));
+  obj.set("x", json::Value(0.5));
+  obj.set("s", json::Value("hi\n\"q\""));
+  obj.set("b", json::Value(false));
+  json::Value arr = json::Value::array();
+  arr.push_back(json::Value(1));
+  arr.push_back(json::Value());
+  obj.set("a", std::move(arr));
+  EXPECT_EQ(obj.dump(),
+            "{\"n\":5,\"x\":0.5,\"s\":\"hi\\n\\\"q\\\"\",\"b\":false,"
+            "\"a\":[1,null]}");
+}
+
+TEST(JsonValueTest, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(JsonValueTest, RoundTripsThroughParse) {
+  json::Value obj = json::Value::object();
+  obj.set("iter", json::Value(1200));
+  obj.set("loss", json::Value(0.0625));
+  obj.set("tag", json::Value("a/b \\ \u0001"));
+  obj.set("ok", json::Value(true));
+  const json::Value back = json::parse(obj.dump());
+  ASSERT_TRUE(back.is_object());
+  EXPECT_DOUBLE_EQ(back.find("iter")->as_number(), 1200.0);
+  EXPECT_DOUBLE_EQ(back.find("loss")->as_number(), 0.0625);
+  EXPECT_EQ(back.find("tag")->as_string(), obj.find("tag")->as_string());
+  EXPECT_EQ(back.find("ok")->as_bool(), true);
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(json::parse("  \"x\"  ").as_string(), "x");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(json::parse("\"\\u0041\"").as_string(), "A");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(json::parse("\"\\uD83D\\uDE00\"").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const json::Value v = json::parse(R"({"a":[1,{"b":[[]]}],"c":{}})");
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_TRUE(a->items()[1].find("b")->items()[0].is_array());
+}
+
+TEST(JsonParseTest, MalformedInputThrows) {
+  EXPECT_THROW(json::parse(""), CheckError);
+  EXPECT_THROW(json::parse("{"), CheckError);
+  EXPECT_THROW(json::parse("[1,]"), CheckError);
+  EXPECT_THROW(json::parse("{\"a\":1,}"), CheckError);
+  EXPECT_THROW(json::parse("nul"), CheckError);
+  EXPECT_THROW(json::parse("01"), CheckError);
+  EXPECT_THROW(json::parse("\"unterminated"), CheckError);
+  EXPECT_THROW(json::parse("1 2"), CheckError);  // trailing garbage
+  EXPECT_THROW(json::parse("\"bad \\q escape\""), CheckError);
+}
+
+TEST(JsonParseTest, DepthCapStopsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(json::parse(deep), CheckError);
+}
+
+TEST(JsonEscapeTest, ControlCharactersAndQuotes) {
+  EXPECT_EQ(json::escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json::escape(std::string_view("\x01\t", 2)), "\"\\u0001\\t\"");
+}
+
+}  // namespace
+}  // namespace hsdl

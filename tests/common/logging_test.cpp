@@ -2,12 +2,40 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <regex>
+#include <thread>
+#include <vector>
+
 namespace hsdl {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kInfo); }
+  void TearDown() override {
+    set_log_sink({});
+    set_log_level(LogLevel::kInfo);
+  }
+};
+
+/// Captures formatted lines through the sink hook (sink calls are
+/// serialized by the logging mutex, so no extra locking is needed to
+/// append — but the vector is also read from the test thread, so guard
+/// anyway).
+struct Capture {
+  std::mutex mu;
+  std::vector<std::pair<LogLevel, std::string>> lines;
+
+  void install() {
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.emplace_back(level, line);
+    });
+  }
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return lines.size();
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrips) {
@@ -17,21 +45,111 @@ TEST_F(LoggingTest, LevelRoundTrips) {
   EXPECT_EQ(log_level(), LogLevel::kDebug);
 }
 
-TEST_F(LoggingTest, EmitBelowThresholdDoesNotCrash) {
-  set_log_level(LogLevel::kError);
-  HSDL_LOG(kDebug) << "suppressed " << 42;
-  HSDL_LOG(kInfo) << "also suppressed";
+TEST_F(LoggingTest, LevelFilteringDropsBelowThreshold) {
+  Capture cap;
+  cap.install();
+  set_log_level(LogLevel::kWarn);
+  HSDL_LOG(kDebug) << "dropped";
+  HSDL_LOG(kInfo) << "dropped too";
+  HSDL_LOG(kWarn) << "kept";
+  HSDL_LOG(kError) << "kept too";
+  ASSERT_EQ(cap.size(), 2u);
+  EXPECT_EQ(cap.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(cap.lines[1].first, LogLevel::kError);
 }
 
-TEST_F(LoggingTest, EmitAtThresholdDoesNotCrash) {
+TEST_F(LoggingTest, PrefixCarriesLevelTimestampAndThreadId) {
+  Capture cap;
+  cap.install();
+  set_log_level(LogLevel::kDebug);
+  HSDL_LOG(kWarn) << "payload 42";
+  ASSERT_EQ(cap.size(), 1u);
+  // [WARN      1.042617 t03] payload 42
+  const std::regex prefix(
+      R"(^\[WARN  +[0-9]+\.[0-9]{6} t[0-9]{2,}\] payload 42$)");
+  EXPECT_TRUE(std::regex_match(cap.lines[0].second, prefix))
+      << "line: " << cap.lines[0].second;
+}
+
+TEST_F(LoggingTest, MultiLineMessagesArePrefixedPerLine) {
+  Capture cap;
+  cap.install();
+  HSDL_LOG(kInfo) << "first\nsecond";
+  ASSERT_EQ(cap.size(), 2u);
+  EXPECT_NE(cap.lines[0].second.find("first"), std::string::npos);
+  EXPECT_NE(cap.lines[1].second.find("second"), std::string::npos);
+  EXPECT_EQ(cap.lines[1].second[0], '[');  // second line is prefixed too
+}
+
+TEST_F(LoggingTest, ConcurrentWritersNeverInterleave) {
+  Capture cap;
+  cap.install();
+  constexpr std::size_t kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i)
+        HSDL_LOG(kInfo) << "aaaaaaaaaa bbbbbbbbbb cccccccccc " << i;
+    });
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(cap.size(), kThreads * kPerThread);
+  // Each line must be exactly one whole message: prefix + full payload,
+  // never a fragment of another writer's text.
+  const std::regex whole(
+      R"(^\[INFO  +[0-9]+\.[0-9]{6} t[0-9]{2,}\] )"
+      R"(aaaaaaaaaa bbbbbbbbbb cccccccccc [0-9]+$)");
+  for (const auto& [level, line] : cap.lines) {
+    EXPECT_TRUE(std::regex_match(line, whole)) << "torn line: " << line;
+  }
+}
+
+TEST_F(LoggingTest, TimestampsAreMonotonicPerThread) {
+  Capture cap;
+  cap.install();
+  HSDL_LOG(kInfo) << "a";
+  HSDL_LOG(kInfo) << "b";
+  ASSERT_EQ(cap.size(), 2u);
+  auto stamp = [](const std::string& line) {
+    // Prefix layout: [LEVEL seconds tNN] — the timestamp is field 2.
+    const std::size_t space = line.find(' ');
+    return std::stod(line.substr(space));
+  };
+  EXPECT_LE(stamp(cap.lines[0].second), stamp(cap.lines[1].second));
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);   // case-insensitive
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warn "), std::nullopt);
+}
+
+TEST_F(LoggingTest, SetLogLevelOverridesEnvironmentDefault) {
+  // Whatever HSDL_LOG_LEVEL resolved to at first use, an explicit
+  // set_log_level wins from then on.
   set_log_level(LogLevel::kError);
-  HSDL_LOG(kError) << "emitted " << 3.14;
+  EXPECT_EQ(log_level(), LogLevel::kError);
 }
 
 TEST_F(LoggingTest, StreamsArbitraryTypes) {
-  set_log_level(LogLevel::kError);  // keep test output clean
+  Capture cap;
+  cap.install();
   HSDL_LOG(kInfo) << "int " << 1 << " double " << 2.5 << " str "
                   << std::string("s");
+  ASSERT_EQ(cap.size(), 1u);
+  EXPECT_NE(cap.lines[0].second.find("int 1 double 2.5 str s"),
+            std::string::npos);
 }
 
 TEST_F(LoggingTest, LevelOrderingIsMonotonic) {

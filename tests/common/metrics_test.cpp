@@ -1,0 +1,149 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace hsdl {
+namespace {
+
+// Every test runs against the one process-wide registry, so each uses
+// uniquely named instruments and restores the disabled default on exit.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics::set_enabled(true); }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndResets) {
+  metrics::Counter& c = metrics::counter("test.counter.basic");
+  c.add(5);
+  c.increment();
+  EXPECT_EQ(c.value(), 6u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterLookupReturnsSameInstrument) {
+  metrics::Counter& a = metrics::counter("test.counter.same");
+  metrics::Counter& b = metrics::counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(MetricsTest, ShardedCounterSumsAcrossThreads) {
+  metrics::Counter& c = metrics::counter("test.counter.threads");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.increment();
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, DisabledRecordsNothing) {
+  metrics::Counter& c = metrics::counter("test.counter.disabled");
+  metrics::Gauge& g = metrics::gauge("test.gauge.disabled");
+  metrics::set_enabled(false);
+  c.add(100);
+  g.set(3.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  metrics::Gauge& g = metrics::gauge("test.gauge.basic");
+  g.set(1.0);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByUpperBound) {
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.basic", {1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0 (<= 1)
+  h.record(1.0);    // bucket 0 (boundary counts low)
+  h.record(7.0);    // bucket 1
+  h.record(50.0);   // bucket 2
+  h.record(999.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 50.0 + 999.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramConcurrentRecords) {
+  metrics::Histogram& h = metrics::histogram("test.hist.threads", {0.5});
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h] {
+      for (std::size_t i = 0; i < kPerThread; ++i) h.record(1.0);
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(h.bucket_count(1), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndJsonSerializable) {
+  metrics::counter("test.snap.b").add(2);
+  metrics::counter("test.snap.a").add(1);
+  metrics::gauge("test.snap.g").set(4.0);
+  metrics::histogram("test.snap.h", {1.0}).record(0.5);
+
+  const metrics::Snapshot snap = metrics::snapshot();
+  // Sorted by name (the registry may hold instruments from other tests,
+  // so check ordering over the whole list, membership for ours).
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  std::uint64_t a = 0, b = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "test.snap.a") a = v;
+    if (name == "test.snap.b") b = v;
+  }
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+
+  // to_json() must produce parseable JSON with the three sections.
+  const json::Value parsed = json::parse(metrics::to_json(snap).dump());
+  ASSERT_TRUE(parsed.is_object());
+  ASSERT_NE(parsed.find("counters"), nullptr);
+  ASSERT_NE(parsed.find("gauges"), nullptr);
+  ASSERT_NE(parsed.find("histograms"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed.find("counters")->find("test.snap.a")->as_number(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(parsed.find("gauges")->find("test.snap.g")->as_number(),
+                   4.0);
+  const json::Value* hist =
+      parsed.find("histograms")->find("test.snap.h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 1.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  metrics::counter("test.reset.c").add(9);
+  metrics::gauge("test.reset.g").set(9.0);
+  metrics::histogram("test.reset.h", {1.0}).record(2.0);
+  metrics::reset();
+  EXPECT_EQ(metrics::counter("test.reset.c").value(), 0u);
+  EXPECT_DOUBLE_EQ(metrics::gauge("test.reset.g").value(), 0.0);
+  EXPECT_EQ(metrics::histogram("test.reset.h", {1.0}).count(), 0u);
+}
+
+}  // namespace
+}  // namespace hsdl

@@ -1,0 +1,160 @@
+#include "common/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace hsdl {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(JsonlStreamTest, DefaultConstructedIsDisabled) {
+  telemetry::JsonlStream stream;
+  EXPECT_FALSE(stream.enabled());
+  stream.emit(json::Value::object());  // no-op, must not crash
+}
+
+TEST(JsonlStreamTest, EmptyPathIsDisabled) {
+  telemetry::JsonlStream stream{std::string()};
+  EXPECT_FALSE(stream.enabled());
+}
+
+TEST(JsonlStreamTest, EveryLineParsesAsJson) {
+  const std::string path = temp_path("hsdl_jsonl_test.jsonl");
+  {
+    telemetry::JsonlStream stream(path);
+    ASSERT_TRUE(stream.enabled());
+    for (int i = 0; i < 5; ++i) {
+      json::Value rec = json::Value::object();
+      rec.set("event", json::Value("iteration"));
+      rec.set("iter", json::Value(i));
+      stream.emit(rec);
+    }
+  }
+  std::istringstream lines(slurp(path));
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    const json::Value rec = json::parse(line);
+    ASSERT_TRUE(rec.is_object());
+    EXPECT_EQ(rec.find("event")->as_string(), "iteration");
+    EXPECT_DOUBLE_EQ(rec.find("iter")->as_number(), static_cast<double>(n));
+    ++n;
+  }
+  EXPECT_EQ(n, 5);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonlStreamTest, ConcurrentEmittersNeverInterleaveLines) {
+  const std::string path = temp_path("hsdl_jsonl_threads.jsonl");
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPerThread = 200;
+  {
+    telemetry::JsonlStream stream(path);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t)
+      workers.emplace_back([&stream, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          json::Value rec = json::Value::object();
+          rec.set("thread", json::Value(t));
+          rec.set("i", json::Value(i));
+          stream.emit(rec);
+        }
+      });
+    for (std::thread& w : workers) w.join();
+  }
+  std::istringstream lines(slurp(path));
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NO_THROW(json::parse(line)) << "corrupt line: " << line;
+    ++n;
+  }
+  EXPECT_EQ(n, kThreads * kPerThread);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonlStreamTest, ReopeningTruncates) {
+  const std::string path = temp_path("hsdl_jsonl_trunc.jsonl");
+  {
+    telemetry::JsonlStream stream(path);
+    json::Value rec = json::Value::object();
+    rec.set("run", json::Value(1));
+    stream.emit(rec);
+  }
+  {
+    telemetry::JsonlStream stream(path);
+    json::Value rec = json::Value::object();
+    rec.set("run", json::Value(2));
+    stream.emit(rec);
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "{\"run\":2}\n");
+  std::filesystem::remove(path);
+}
+
+TEST(RunReportTest, ContainsSchemaKindSectionsAndMetrics) {
+  metrics::set_enabled(true);
+  metrics::counter("test.report.counter").add(3);
+
+  telemetry::RunReport report("train");
+  json::Value section = json::Value::object();
+  section.set("iters", json::Value(100));
+  report.add("result", std::move(section));
+  report.add("note", json::Value("hello"));
+
+  const json::Value doc = json::parse(report.to_json().dump());
+  metrics::set_enabled(false);
+  metrics::reset();
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "hsdl-run-report-v1");
+  EXPECT_EQ(doc.find("kind")->as_string(), "train");
+  EXPECT_DOUBLE_EQ(doc.find("result")->find("iters")->as_number(), 100.0);
+  EXPECT_EQ(doc.find("note")->as_string(), "hello");
+  const json::Value* m = doc.find("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(
+      m->find("counters")->find("test.report.counter")->as_number(), 3.0);
+  const json::Value* tr = doc.find("trace");
+  ASSERT_NE(tr, nullptr);
+  EXPECT_TRUE(tr->find("events")->is_number());
+  EXPECT_TRUE(tr->find("dropped")->is_number());
+}
+
+TEST(RunReportTest, WriteProducesParseableFile) {
+  const std::string path = temp_path("hsdl_run_report.json");
+  telemetry::RunReport report("scan");
+  report.add("windows", json::Value(42));
+  report.write(path);
+  const json::Value doc = json::parse(slurp(path));
+  EXPECT_EQ(doc.find("kind")->as_string(), "scan");
+  EXPECT_DOUBLE_EQ(doc.find("windows")->as_number(), 42.0);
+  std::filesystem::remove(path);
+}
+
+TEST(RunReportPathTest, EmptyWhenEnvUnset) {
+  // HSDL_RUN_REPORT is not set in the test environment.
+  EXPECT_EQ(telemetry::run_report_path_from_env(), "");
+}
+
+}  // namespace
+}  // namespace hsdl

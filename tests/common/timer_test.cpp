@@ -40,5 +40,24 @@ TEST(WallTimerTest, MillisMatchesSeconds) {
   EXPECT_NEAR(ms, s * 1e3, 10.0);
 }
 
+TEST(WallTimerTest, MonotonicAcrossManyReads) {
+  WallTimer t;
+  double prev = t.seconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = t.seconds();
+    ASSERT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(WallTimerTest, ResetIsRepeatable) {
+  WallTimer t;
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.reset();
+    EXPECT_LT(t.millis(), 5.0);
+  }
+}
+
 }  // namespace
 }  // namespace hsdl

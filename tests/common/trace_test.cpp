@@ -1,0 +1,123 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hpp"
+
+namespace hsdl {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::clear();
+    trace::set_enabled(true);
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+};
+
+// Schema check shared by the tests below: the export must load as Chrome
+// trace-event JSON — a top-level object with a "traceEvents" array of
+// complete events ("ph":"X") carrying name/ts/dur/pid/tid.
+void check_chrome_trace_schema(const json::Value& doc,
+                               std::size_t expected_events) {
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->size(), expected_events);
+  for (const json::Value& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("name"), nullptr);
+    EXPECT_TRUE(e.find("name")->is_string());
+    ASSERT_NE(e.find("ph"), nullptr);
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    ASSERT_NE(e.find("cat"), nullptr);
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      ASSERT_NE(e.find(key), nullptr) << "missing " << key;
+      EXPECT_TRUE(e.find(key)->is_number()) << key << " not a number";
+      EXPECT_GE(e.find(key)->as_number(), 0.0);
+    }
+  }
+}
+
+TEST_F(TraceTest, SpanRecordsOneEvent) {
+  { HSDL_TRACE_SPAN("test.span"); }
+  EXPECT_EQ(trace::event_count(), 1u);
+  const json::Value doc = json::parse(trace::chrome_trace_json());
+  check_chrome_trace_schema(doc, 1);
+  EXPECT_EQ(doc.find("traceEvents")->items()[0].find("name")->as_string(),
+            "test.span");
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  trace::set_enabled(false);
+  { HSDL_TRACE_SPAN("test.invisible"); }
+  EXPECT_EQ(trace::event_count(), 0u);
+  check_chrome_trace_schema(json::parse(trace::chrome_trace_json()), 0);
+}
+
+TEST_F(TraceTest, NestedSpansAllRecorded) {
+  {
+    HSDL_TRACE_SPAN("outer");
+    HSDL_TRACE_SPAN("inner");
+  }
+  EXPECT_EQ(trace::event_count(), 2u);
+}
+
+TEST_F(TraceTest, SpanEndIsAfterBegin) {
+  { HSDL_TRACE_SPAN("test.duration"); }
+  const json::Value doc = json::parse(trace::chrome_trace_json());
+  const json::Value& e = doc.find("traceEvents")->items()[0];
+  EXPECT_GE(e.find("dur")->as_number(), 0.0);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([] { HSDL_TRACE_SPAN("test.worker"); });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(trace::event_count(), kThreads);
+
+  const json::Value doc = json::parse(trace::chrome_trace_json());
+  check_chrome_trace_schema(doc, kThreads);
+  std::set<double> tids;
+  for (const json::Value& e : doc.find("traceEvents")->items())
+    tids.insert(e.find("tid")->as_number());
+  EXPECT_EQ(tids.size(), kThreads);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  { HSDL_TRACE_SPAN("test.cleared"); }
+  ASSERT_GT(trace::event_count(), 0u);
+  trace::clear();
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::dropped_count(), 0u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  { HSDL_TRACE_SPAN("test.file"); }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hsdl_trace_test.json")
+          .string();
+  trace::write_chrome_trace(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  check_chrome_trace_schema(json::parse(buf.str()), 1);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace hsdl

@@ -3,13 +3,20 @@
 // execution for any thread count (threads split only disjoint outputs;
 // reductions happen in a fixed order). These tests run each path at 1, 2,
 // and 8 threads and require exact equality against the 1-thread result.
+//
+// The whole suite runs with metrics and tracing ENABLED: the
+// observability layer promises that instrumentation only reads clocks
+// and bumps atomics, so turning it on must not perturb a single bit of
+// any result (DESIGN.md §10).
 #include <gtest/gtest.h>
 
 #include <cstddef>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "fte/feature_tensor.hpp"
 #include "hotspot/detector.hpp"
 #include "hotspot/scanner.hpp"
@@ -22,8 +29,20 @@ namespace {
 
 constexpr std::size_t kThreadCounts[] = {1, 2, 8};
 
+/// Restores the default thread count AND runs the test body under full
+/// instrumentation, proving telemetry never perturbs numerics.
 struct ThreadCountGuard {
-  ~ThreadCountGuard() { set_num_threads(0); }
+  ThreadCountGuard() {
+    metrics::set_enabled(true);
+    trace::set_enabled(true);
+  }
+  ~ThreadCountGuard() {
+    set_num_threads(0);
+    metrics::set_enabled(false);
+    trace::set_enabled(false);
+    trace::clear();
+    metrics::reset();
+  }
 };
 
 std::vector<float> random_vec(std::size_t n, Rng& rng) {
