@@ -1,0 +1,180 @@
+// Serving throughput: batched InferenceEngine vs the per-clip path.
+//
+// Scores the same clip stream three ways — (a) serial per-clip
+// predict_probability, (b) the engine at its default batch size, and
+// (c) an engine-routed full-chip scan vs a per-clip scan — and reports
+// clips/sec plus the engine's batching and arena counters. Results go to
+// stdout and BENCH_serving.json. Threads are forced to 8 so the
+// extraction/forward overlap is visible even when CI pins fewer cores;
+// host_cores records what the machine actually had, so single-core runs
+// (where the ratio honestly degrades toward 1x) are identifiable.
+// HSDL_BENCH_SMOKE=1 shrinks the workload for CI.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "hotspot/detector.hpp"
+#include "hotspot/engine/engine.hpp"
+#include "hotspot/scanner.hpp"
+#include "layout/generator.hpp"
+
+namespace {
+
+using namespace hsdl;
+
+hotspot::CnnDetectorConfig serving_detector_config() {
+  hotspot::CnnDetectorConfig config;
+  config.feature.blocks_per_side = 12;
+  config.feature.coeffs = 16;
+  config.feature.nm_per_px = 4.0;
+  config.cnn.stage1_maps = 8;
+  config.cnn.stage2_maps = 8;
+  config.cnn.fc_nodes = 32;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("HSDL_BENCH_SMOKE") != nullptr;
+  const std::size_t host_cores = hardware_threads();
+  const std::size_t threads = 8;
+  set_num_threads(threads);
+  const std::size_t n_clips = smoke ? 48 : 256;
+  std::printf("serving throughput (host cores: %zu, forced threads: %zu%s)\n",
+              host_cores, threads, smoke ? ", SMOKE" : "");
+
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.45;
+  layout::ClipGenerator gen(gen_cfg, 9);
+  std::vector<layout::Clip> clips;
+  for (std::size_t i = 0; i < n_clips; ++i)
+    clips.push_back(gen.generate().normalized());
+
+  hotspot::CnnDetector detector(serving_detector_config());
+
+  // -- (a) per-clip serial baseline: extract + forward one clip at a time.
+  std::vector<double> serial_probs(clips.size());
+  WallTimer serial_timer;
+  for (std::size_t i = 0; i < clips.size(); ++i)
+    serial_probs[i] = detector.predict_probability(clips[i]);
+  const double serial_s = serial_timer.seconds();
+  const double serial_cps = static_cast<double>(n_clips) / serial_s;
+  std::printf("  per-clip:  %6.1f clips/s (%.3f s)\n", serial_cps, serial_s);
+
+  // -- (b) engine at batch 64: parallel extraction overlapped with the
+  //        batched forward pass, arena-pooled activations.
+  hotspot::EngineConfig engine_cfg;
+  engine_cfg.max_batch = 64;
+  hotspot::InferenceEngine engine(detector, engine_cfg);
+  engine.score(clips);  // warmup: grow slabs and the workspace arena
+  WallTimer engine_timer;
+  const std::vector<double> engine_probs = engine.score(clips);
+  const double engine_s = engine_timer.seconds();
+  const double engine_cps = static_cast<double>(n_clips) / engine_s;
+  const hotspot::EngineStats stats = engine.stats();
+  std::printf("  engine:    %6.1f clips/s (%.3f s)  speedup %.2fx\n",
+              engine_cps, engine_s, engine_cps / serial_cps);
+  std::printf(
+      "    batches %llu (full %llu, timeout %llu, drain %llu)  "
+      "arena: %llu allocs, %llu reuses, %zu bytes\n",
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.flush_full),
+      static_cast<unsigned long long>(stats.flush_timeout),
+      static_cast<unsigned long long>(stats.flush_drain),
+      static_cast<unsigned long long>(stats.arena_allocations),
+      static_cast<unsigned long long>(stats.arena_reuses),
+      stats.arena_bytes_reserved);
+
+  // Results must agree bitwise — a throughput number for a different
+  // answer is worthless.
+  for (std::size_t i = 0; i < n_clips; ++i) {
+    if (engine_probs[i] != serial_probs[i]) {
+      std::fprintf(stderr, "FATAL: engine diverges from serial at clip %zu\n",
+                   i);
+      return 1;
+    }
+  }
+
+  // -- (c) full-chip scan, per-clip detector loop vs engine routing.
+  const geom::Coord chip_side = smoke ? 4200 : 7800;
+  Rng rng(31);
+  std::vector<geom::Rect> shapes;
+  const std::size_t n_shapes = smoke ? 300 : 900;
+  for (std::size_t i = 0; i < n_shapes; ++i) {
+    const auto w = 40 + static_cast<geom::Coord>(rng.index(400));
+    const auto h = 40 + static_cast<geom::Coord>(rng.index(400));
+    shapes.push_back(geom::Rect::from_xywh(
+        static_cast<geom::Coord>(rng.index(
+            static_cast<std::size_t>(chip_side - 440))),
+        static_cast<geom::Coord>(rng.index(
+            static_cast<std::size_t>(chip_side - 440))),
+        w, h));
+  }
+  const layout::Layout chip(
+      geom::Rect::from_xywh(0, 0, chip_side, chip_side), std::move(shapes));
+  const hotspot::ChipScanner scanner(hotspot::ScanConfig{1200, 600});
+
+  // Per-clip scan: a non-engine detector loop (the pre-engine scan path).
+  // Route through the base-class predict_probabilities default, which
+  // loops predict_probability serially.
+  struct PerClipProxy final : hotspot::Detector {
+    explicit PerClipProxy(const hotspot::CnnDetector& d) : inner(&d) {}
+    std::string name() const override { return "per-clip-proxy"; }
+    void train(std::span<const layout::LabeledClip>) override {}
+    bool predict(const layout::Clip& clip) const override {
+      return inner->predict(clip);
+    }
+    double predict_probability(const layout::Clip& clip) const override {
+      return inner->predict_probability(clip);
+    }
+    double decision_threshold() const override {
+      return inner->decision_threshold();
+    }
+    const hotspot::CnnDetector* inner;
+  };
+  PerClipProxy proxy(detector);
+  const hotspot::ScanReport per_clip_report = scanner.scan(chip, proxy);
+  const hotspot::ScanReport engine_report = scanner.scan(chip, engine);
+  std::printf(
+      "  scan %zu windows: per-clip %6.1f win/s  engine %6.1f win/s "
+      "(%.2fx)\n",
+      engine_report.windows_scanned, per_clip_report.windows_per_second(),
+      engine_report.windows_per_second(),
+      engine_report.windows_per_second() /
+          per_clip_report.windows_per_second());
+
+  std::ofstream os("BENCH_serving.json");
+  os << "{\n  \"host_cores\": " << host_cores
+     << ",\n  \"threads\": " << threads
+     << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"clips\": " << n_clips
+     << ",\n  \"per_clip\": {\"seconds\": " << serial_s
+     << ", \"clips_per_sec\": " << serial_cps << "},\n"
+     << "  \"engine\": {\"seconds\": " << engine_s
+     << ", \"clips_per_sec\": " << engine_cps
+     << ", \"max_batch\": " << engine_cfg.max_batch
+     << ", \"batches\": " << stats.batches
+     << ", \"flush_full\": " << stats.flush_full
+     << ", \"flush_timeout\": " << stats.flush_timeout
+     << ", \"flush_drain\": " << stats.flush_drain
+     << ", \"arena_allocations\": " << stats.arena_allocations
+     << ", \"arena_reuses\": " << stats.arena_reuses
+     << ", \"arena_bytes_reserved\": " << stats.arena_bytes_reserved
+     << "},\n  \"speedup\": " << engine_cps / serial_cps
+     << ",\n  \"scan\": {\"windows\": " << engine_report.windows_scanned
+     << ", \"per_clip_windows_per_sec\": "
+     << per_clip_report.windows_per_second()
+     << ", \"engine_windows_per_sec\": "
+     << engine_report.windows_per_second()
+     << ", \"speedup\": "
+     << engine_report.windows_per_second() /
+            per_clip_report.windows_per_second()
+     << "}\n}\n";
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}

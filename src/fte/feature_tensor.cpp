@@ -37,8 +37,8 @@ std::size_t FeatureTensorExtractor::block_px(
   return raster.width() / n;
 }
 
-FeatureTensor FeatureTensorExtractor::extract(
-    const layout::MaskImage& raster) const {
+void FeatureTensorExtractor::extract_into(const layout::MaskImage& raster,
+                                          std::span<float> out) const {
   HSDL_TRACE_SPAN("fte.extract");
   if (metrics::enabled()) {
     static metrics::Counter& tensors = metrics::counter("fte.tensors");
@@ -52,15 +52,13 @@ FeatureTensor FeatureTensorExtractor::extract(
   const std::size_t B = block_px(raster);
   HSDL_CHECK_MSG(k <= B * B, "cannot keep " << k << " coefficients from a "
                                             << B << "x" << B << " block");
+  HSDL_CHECK_MSG(out.size() == k * n * n,
+                 "extract_into expects " << k * n * n << " floats, got "
+                                         << out.size());
 
   const DctPlan& plan = plan_for(B);
   // Partial DCT: only the corner covering the first k zig-zag positions.
   const std::size_t kp = corner_for_prefix(B, k);
-
-  FeatureTensor out;
-  out.n = n;
-  out.k = k;
-  out.data.assign(k * n * n, 0.0f);
 
   std::vector<float> block(B * B);
   std::vector<float> corner(kp * kp);
@@ -77,9 +75,26 @@ FeatureTensor FeatureTensorExtractor::extract(
       zigzag_take(corner.data(), kp, k, scan.data());
       const float scale =
           config_.normalize ? 1.0f / static_cast<float>(B) : 1.0f;
-      for (std::size_t c = 0; c < k; ++c) out.at(c, by, bx) = scan[c] * scale;
+      for (std::size_t c = 0; c < k; ++c)
+        out[(c * n + by) * n + bx] = scan[c] * scale;
     }
   }
+}
+
+void FeatureTensorExtractor::extract_into(const layout::Clip& clip,
+                                          std::span<float> out) const {
+  extract_into(layout::rasterize(clip, config_.nm_per_px), out);
+}
+
+FeatureTensor FeatureTensorExtractor::extract(
+    const layout::MaskImage& raster) const {
+  const std::size_t n = config_.blocks_per_side;
+  const std::size_t k = config_.coeffs;
+  FeatureTensor out;
+  out.n = n;
+  out.k = k;
+  out.data.assign(k * n * n, 0.0f);
+  extract_into(raster, out.data);
   return out;
 }
 

@@ -64,6 +64,17 @@ class FeatureTensorExtractor {
   /// Rasterizes at config().nm_per_px and extracts.
   FeatureTensor extract(const layout::Clip& clip) const;
 
+  /// Extracts directly into caller-owned storage of exactly k*n*n floats,
+  /// laid out channel-major like FeatureTensor::data. Allocation-free
+  /// except for small per-call DCT scratch; the extract() overloads
+  /// delegate here, so results are bitwise identical. Batch pipelines
+  /// (the inference engine) point `out` at a slice of their input slab.
+  void extract_into(const layout::MaskImage& raster,
+                    std::span<float> out) const;
+
+  /// Rasterizes at config().nm_per_px and extracts into `out`.
+  void extract_into(const layout::Clip& clip, std::span<float> out) const;
+
   /// Batched extraction, parallel over clips on the shared thread pool.
   /// Results are index-aligned with `clips` and bitwise identical to
   /// calling extract() serially (each clip is an independent output).

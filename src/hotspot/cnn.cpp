@@ -6,6 +6,7 @@
 #include "nn/flatten.hpp"
 #include "nn/linear.hpp"
 #include "nn/pool.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::hotspot {
 
@@ -59,6 +60,14 @@ nn::Tensor HotspotCnn::logits(const nn::Tensor& input, bool train) {
 
 nn::Tensor HotspotCnn::probabilities(const nn::Tensor& input) const {
   return nn::softmax(net_.infer(input));
+}
+
+nn::Tensor HotspotCnn::probabilities(const nn::Tensor& input,
+                                     nn::WorkspaceArena& ws) const {
+  nn::Tensor logits = net_.infer(input, ws);
+  nn::Tensor probs = nn::softmax(logits, ws);
+  ws.recycle(std::move(logits));
+  return probs;
 }
 
 }  // namespace hsdl::hotspot

@@ -53,6 +53,13 @@ class HotspotCnn {
   /// model can serve concurrent evaluation/scanning threads.
   nn::Tensor probabilities(const nn::Tensor& input) const;
 
+  /// Arena-backed inference: bitwise identical probabilities, but every
+  /// intermediate activation and the result are drawn from `ws`, so a
+  /// warm arena serves repeated batches with zero heap allocations. The
+  /// returned tensor should be recycle()d back into `ws` once consumed.
+  nn::Tensor probabilities(const nn::Tensor& input,
+                           nn::WorkspaceArena& ws) const;
+
   /// RNG used by dropout (exposed so training is reproducible end-to-end).
   Rng& rng() { return *rng_; }
 

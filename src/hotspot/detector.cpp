@@ -9,6 +9,7 @@
 #include "common/io.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "hotspot/engine/engine.hpp"
 #include "layout/transform.hpp"
 #include "nn/serialize.hpp"
 
@@ -41,12 +42,12 @@ void run_online_refinement(baselines::BoostedStumps& boost,
 
 }  // namespace
 
-double Detector::predict_probability(const layout::Clip& clip) {
+double Detector::predict_probability(const layout::Clip& clip) const {
   return predict(clip) ? 1.0 : 0.0;
 }
 
 std::vector<double> Detector::predict_probabilities(
-    std::span<const layout::Clip> clips) {
+    std::span<const layout::Clip> clips) const {
   std::vector<double> probs(clips.size());
   for (std::size_t i = 0; i < clips.size(); ++i)
     probs[i] = predict_probability(clips[i]);
@@ -54,7 +55,7 @@ std::vector<double> Detector::predict_probabilities(
 }
 
 DetectorEval Detector::evaluate(
-    const std::vector<layout::LabeledClip>& test_clips) {
+    std::span<const layout::LabeledClip> test_clips) const {
   DetectorEval eval;
   WallTimer timer;
   for (const layout::LabeledClip& lc : test_clips) {
@@ -66,6 +67,29 @@ DetectorEval Detector::evaluate(
 }
 
 // -- CnnDetector -------------------------------------------------------------
+
+void CnnDetectorConfig::validate() const {
+  HSDL_CHECK_MSG(feature.coeffs > 0,
+                 "cnn detector config: feature.coeffs must be positive");
+  HSDL_CHECK_MSG(feature.blocks_per_side > 0,
+                 "cnn detector config: feature.blocks_per_side must be "
+                 "positive");
+  HSDL_CHECK_MSG(feature.blocks_per_side % 4 == 0,
+                 "cnn detector config: blocks_per_side ("
+                     << feature.blocks_per_side
+                     << ") must be divisible by 4 (two 2x2 poolings)");
+  HSDL_CHECK_MSG(feature.nm_per_px > 0.0,
+                 "cnn detector config: feature.nm_per_px must be positive, "
+                 "got " << feature.nm_per_px);
+  HSDL_CHECK_MSG(
+      validation_fraction >= 0.0 && validation_fraction < 1.0,
+      "cnn detector config: validation_fraction must be in [0, 1), got "
+          << validation_fraction);
+  HSDL_CHECK_MSG(shift >= -0.5 && shift <= 0.5,
+                 "cnn detector config: shift must be in [-0.5, 0.5], got "
+                     << shift << " (threshold 0.5 - shift would leave "
+                                 "[0, 1])");
+}
 
 CnnDetector::CnnDetector(const CnnDetectorConfig& config)
     : config_(config),
@@ -79,12 +103,11 @@ CnnDetector::CnnDetector(const CnnDetectorConfig& config)
         return c;
       }()),
       rng_(config.seed) {
-  HSDL_CHECK(config.validation_fraction >= 0.0 &&
-             config.validation_fraction < 1.0);
+  config_.validate();
 }
 
 nn::ClassificationDataset CnnDetector::extract_dataset(
-    const std::vector<layout::LabeledClip>& clips) const {
+    std::span<const layout::LabeledClip> clips) const {
   nn::ClassificationDataset data(
       {config_.feature.coeffs, config_.feature.blocks_per_side,
        config_.feature.blocks_per_side});
@@ -107,7 +130,7 @@ BiasedLearningResult CnnDetector::train_on(
   return learner.train(model_, train_set, val_set, rng_);
 }
 
-void CnnDetector::train(const std::vector<layout::LabeledClip>& train_clips) {
+void CnnDetector::train(std::span<const layout::LabeledClip> train_clips) {
   HSDL_CHECK(!train_clips.empty());
   // 25 % validation split (paper Section 4.2), then feature extraction.
   std::vector<layout::LabeledClip> train_part, val_part;
@@ -168,7 +191,7 @@ void CnnDetector::load(const std::string& path) {
 }
 
 void CnnDetector::update_online(
-    const std::vector<layout::LabeledClip>& new_clips,
+    std::span<const layout::LabeledClip> new_clips,
     std::size_t iters_per_clip) {
   HSDL_CHECK(!new_clips.empty());
   const nn::ClassificationDataset fresh = extract_dataset(new_clips);
@@ -186,11 +209,11 @@ void CnnDetector::update_online(
   trainer.train(model_, fresh, fresh, rng_);
 }
 
-bool CnnDetector::predict(const layout::Clip& clip) {
+bool CnnDetector::predict(const layout::Clip& clip) const {
   return is_flagged(predict_probability(clip), decision_threshold());
 }
 
-double CnnDetector::predict_probability(const layout::Clip& clip) {
+double CnnDetector::predict_probability(const layout::Clip& clip) const {
   fte::FeatureTensor ft = extractor_.extract(clip);
   std::vector<std::size_t> shape = model_.input_shape();
   shape.insert(shape.begin(), 1);
@@ -200,7 +223,7 @@ double CnnDetector::predict_probability(const layout::Clip& clip) {
 }
 
 std::vector<double> CnnDetector::predict_probabilities(
-    std::span<const layout::Clip> clips) {
+    std::span<const layout::Clip> clips) const {
   std::vector<double> out(clips.size());
   constexpr std::size_t kChunk = 64;
   const std::size_t feat = config_.feature.coeffs *
@@ -224,36 +247,19 @@ std::vector<double> CnnDetector::predict_probabilities(
 }
 
 DetectorEval CnnDetector::evaluate(
-    const std::vector<layout::LabeledClip>& test_clips) {
-  // Batched evaluation: extraction + inference in chunks.
+    std::span<const layout::LabeledClip> test_clips) const {
+  // Batched evaluation routed through a local inference engine: the same
+  // extract-overlapped-with-forward pipeline production scanning uses,
+  // with bitwise identical probabilities (DESIGN.md §11).
   DetectorEval eval;
   WallTimer timer;
-  constexpr std::size_t kChunk = 64;
-  std::vector<std::size_t> shape = model_.input_shape();
-  const std::size_t feat = config_.feature.coeffs *
-                           config_.feature.blocks_per_side *
-                           config_.feature.blocks_per_side;
-  for (std::size_t start = 0; start < test_clips.size(); start += kChunk) {
-    const std::size_t end = std::min(start + kChunk, test_clips.size());
-    const std::size_t n = end - start;
-    nn::Tensor x({n, shape[0], shape[1], shape[2]});
-    // Each sample fills a disjoint slice of the batch tensor.
-    parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) {
-        fte::FeatureTensor ft =
-            extractor_.extract(test_clips[start + i].clip);
-        std::copy(ft.data.begin(), ft.data.end(), x.data() + i * feat);
-      }
-    });
-    const nn::Tensor probs = model_.probabilities(x);
-    for (std::size_t i = 0; i < n; ++i) {
-      const bool predicted = is_flagged(
-          static_cast<double>(probs.at(i, kHotspotIndex)),
-          decision_threshold());
-      eval.confusion.add(
-          label_index(test_clips[start + i].label) == kHotspotIndex,
-          predicted);
-    }
+  InferenceEngine engine(*this);
+  const std::vector<double> probs = engine.score_labeled(test_clips);
+  engine.shutdown();
+  for (std::size_t i = 0; i < test_clips.size(); ++i) {
+    const bool predicted = is_flagged(probs[i], decision_threshold());
+    eval.confusion.add(label_index(test_clips[i].label) == kHotspotIndex,
+                       predicted);
   }
   eval.eval_seconds = timer.seconds();
   return eval;
@@ -274,7 +280,7 @@ AdaBoostDensityDetector::AdaBoostDensityDetector()
       }()) {}
 
 void AdaBoostDensityDetector::train(
-    const std::vector<layout::LabeledClip>& train_clips) {
+    std::span<const layout::LabeledClip> train_clips) {
   HSDL_CHECK(!train_clips.empty());
   const std::size_t dim = feature_.grid_n * feature_.grid_n;
   nn::ClassificationDataset data({dim});
@@ -287,13 +293,13 @@ void AdaBoostDensityDetector::train(
   if (config_.tune_bias) config_.bias = boost_.tune_bias_balanced(data);
 }
 
-bool AdaBoostDensityDetector::predict(const layout::Clip& clip) {
+bool AdaBoostDensityDetector::predict(const layout::Clip& clip) const {
   const std::vector<float> x = features::density_feature(clip, feature_);
   return boost_.predict(x.data(), config_.bias);
 }
 
 double AdaBoostDensityDetector::predict_probability(
-    const layout::Clip& clip) {
+    const layout::Clip& clip) const {
   const std::vector<float> x = features::density_feature(clip, feature_);
   // Logistic squash of the bias-shifted margin: > 0.5 iff predict() fires.
   return 1.0 / (1.0 + std::exp(-(boost_.score(x.data()) - config_.bias)));
@@ -313,7 +319,7 @@ SmoothBoostCcsDetector::SmoothBoostCcsDetector()
       }()) {}
 
 void SmoothBoostCcsDetector::train(
-    const std::vector<layout::LabeledClip>& train_clips) {
+    std::span<const layout::LabeledClip> train_clips) {
   HSDL_CHECK(!train_clips.empty());
   const std::size_t dim = feature_.circles * feature_.samples_per_circle;
   nn::ClassificationDataset data({dim});
@@ -325,12 +331,12 @@ void SmoothBoostCcsDetector::train(
   if (config_.tune_bias) config_.bias = boost_.tune_bias_balanced(data);
 }
 
-bool SmoothBoostCcsDetector::predict(const layout::Clip& clip) {
+bool SmoothBoostCcsDetector::predict(const layout::Clip& clip) const {
   const std::vector<float> x = features::ccs_feature(clip, feature_);
   return boost_.predict(x.data(), config_.bias);
 }
 
-double SmoothBoostCcsDetector::predict_probability(const layout::Clip& clip) {
+double SmoothBoostCcsDetector::predict_probability(const layout::Clip& clip) const {
   const std::vector<float> x = features::ccs_feature(clip, feature_);
   return 1.0 / (1.0 + std::exp(-(boost_.score(x.data()) - config_.bias)));
 }

@@ -41,24 +41,26 @@ class Detector {
   virtual std::string name() const = 0;
 
   /// Trains on labeled clips (labels must be resolved, not kUnknown).
-  virtual void train(const std::vector<layout::LabeledClip>& train_clips) = 0;
+  virtual void train(std::span<const layout::LabeledClip> train_clips) = 0;
 
-  /// Classifies one clip; true = hotspot.
-  virtual bool predict(const layout::Clip& clip) = 0;
+  /// Classifies one clip; true = hotspot. Const: inference never mutates
+  /// detector state, so a trained detector can serve concurrent callers
+  /// (scanner bands, the inference engine, evaluation threads).
+  virtual bool predict(const layout::Clip& clip) const = 0;
 
   /// Hotspot confidence in [0, 1] for one clip. Consistent with
   /// predict(): predict(clip) == is_flagged(predict_probability(clip),
   /// decision_threshold()). The default derives a degenerate 0/1
   /// probability from predict(); detectors with a real confidence
   /// override it.
-  virtual double predict_probability(const layout::Clip& clip);
+  virtual double predict_probability(const layout::Clip& clip) const;
 
   /// Batched probabilities, index-aligned with `clips`. The default
   /// loops predict_probability(); batch-capable detectors override it
   /// (the CNN detector extracts features in parallel and runs one
   /// batched forward pass).
   virtual std::vector<double> predict_probabilities(
-      std::span<const layout::Clip> clips);
+      std::span<const layout::Clip> clips) const;
 
   /// Probability above which a clip counts as a hotspot (see
   /// is_flagged in metrics.hpp for the exact predicate; a threshold
@@ -67,7 +69,7 @@ class Detector {
 
   /// Classifies a labeled test set and measures evaluation time.
   virtual DetectorEval evaluate(
-      const std::vector<layout::LabeledClip>& test_clips);
+      std::span<const layout::LabeledClip> test_clips) const;
 };
 
 // ---------------------------------------------------------------------------
@@ -83,6 +85,12 @@ struct CnnDetectorConfig {
   /// Compensates for the scaled-down benchmark sizes; see EXPERIMENTS.md.
   bool augment_hotspots = true;
   std::uint64_t seed = 1;
+
+  /// Rejects nonsense configurations (empty feature tensor, out-of-range
+  /// validation fraction, degenerate shift) with a positioned error.
+  /// CnnDetector's constructor calls this, so an invalid config can never
+  /// reach training or serving.
+  void validate() const;
 };
 
 /// The paper's detector. Also exposes dataset-level entry points so
@@ -92,18 +100,20 @@ class CnnDetector final : public Detector {
   explicit CnnDetector(const CnnDetectorConfig& config = {});
 
   std::string name() const override { return "cnn-feature-tensor"; }
-  void train(const std::vector<layout::LabeledClip>& train_clips) override;
-  bool predict(const layout::Clip& clip) override;
-  double predict_probability(const layout::Clip& clip) override;
+  void train(std::span<const layout::LabeledClip> train_clips) override;
+  bool predict(const layout::Clip& clip) const override;
+  double predict_probability(const layout::Clip& clip) const override;
   std::vector<double> predict_probabilities(
-      std::span<const layout::Clip> clips) override;
+      std::span<const layout::Clip> clips) const override;
   double decision_threshold() const override { return 0.5 - config_.shift; }
+  /// Batched evaluation routed through a local InferenceEngine, so the
+  /// evaluation path exercises the same pipeline as production scanning.
   DetectorEval evaluate(
-      const std::vector<layout::LabeledClip>& test_clips) override;
+      std::span<const layout::LabeledClip> test_clips) const override;
 
   /// Feature-tensor dataset for a clip list (label kUnknown asserts).
   nn::ClassificationDataset extract_dataset(
-      const std::vector<layout::LabeledClip>& clips) const;
+      std::span<const layout::LabeledClip> clips) const;
 
   /// Trains directly on datasets (validation split already made).
   BiasedLearningResult train_on(const nn::ClassificationDataset& train_set,
@@ -113,7 +123,7 @@ class CnnDetector final : public Detector {
   /// "trained model can be effectively updated with newly incoming
   /// instances" — a short MGD fine-tune from the current weights, O(m) in
   /// the number of new instances).
-  void update_online(const std::vector<layout::LabeledClip>& new_clips,
+  void update_online(std::span<const layout::LabeledClip> new_clips,
                      std::size_t iters_per_clip = 4);
 
   /// Decision-boundary shift lambda: hotspot if p(hotspot) > 0.5 - shift.
@@ -121,6 +131,7 @@ class CnnDetector final : public Detector {
   double shift() const { return config_.shift; }
 
   HotspotCnn& model() { return model_; }
+  const HotspotCnn& model() const { return model_; }
   const fte::FeatureTensorExtractor& extractor() const { return extractor_; }
 
   /// Saves the trained weights plus the feature/architecture fingerprint;
@@ -164,9 +175,9 @@ class AdaBoostDensityDetector final : public Detector {
   AdaBoostDensityDetector();
 
   std::string name() const override { return "adaboost-density"; }
-  void train(const std::vector<layout::LabeledClip>& train_clips) override;
-  bool predict(const layout::Clip& clip) override;
-  double predict_probability(const layout::Clip& clip) override;
+  void train(std::span<const layout::LabeledClip> train_clips) override;
+  bool predict(const layout::Clip& clip) const override;
+  double predict_probability(const layout::Clip& clip) const override;
 
   const baselines::BoostedStumps& ensemble() const { return boost_; }
 
@@ -185,9 +196,9 @@ class SmoothBoostCcsDetector final : public Detector {
   SmoothBoostCcsDetector();
 
   std::string name() const override { return "smoothboost-ccs"; }
-  void train(const std::vector<layout::LabeledClip>& train_clips) override;
-  bool predict(const layout::Clip& clip) override;
-  double predict_probability(const layout::Clip& clip) override;
+  void train(std::span<const layout::LabeledClip> train_clips) override;
+  bool predict(const layout::Clip& clip) const override;
+  double predict_probability(const layout::Clip& clip) const override;
 
   const baselines::BoostedStumps& ensemble() const { return boost_; }
 

@@ -1,0 +1,321 @@
+#include "hotspot/engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+const char* reason_name(FlushReason r) {
+  switch (r) {
+    case FlushReason::kFull:
+      return "full";
+    case FlushReason::kTimeout:
+      return "timeout";
+    case FlushReason::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void EngineConfig::validate() const {
+  HSDL_CHECK_MSG(max_batch > 0, "engine config: max_batch must be positive");
+  HSDL_CHECK_MSG(max_wait_ms >= 0.0,
+                 "engine config: max_wait_ms must be non-negative, got "
+                     << max_wait_ms);
+  HSDL_CHECK_MSG(queue_capacity >= max_batch,
+                 "engine config: queue_capacity ("
+                     << queue_capacity
+                     << ") must hold at least one full batch (max_batch "
+                     << max_batch << ")");
+}
+
+InferenceEngine::InferenceEngine(const CnnDetector& detector,
+                                 const EngineConfig& config)
+    : config_(config),
+      detector_(&detector),
+      telemetry_(config.telemetry_path) {
+  config_.validate();
+  const fte::FeatureTensorConfig& f = detector.extractor().config();
+  feat_ = f.coeffs * f.blocks_per_side * f.blocks_per_side;
+  for (Slab& s : slabs_) {
+    s.storage.reserve(config_.max_batch * feat_);
+    s.requests.reserve(config_.max_batch);
+  }
+  batcher_ = std::thread([this] { batcher_loop(); });
+  forward_ = std::thread([this] { forward_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::vector<double> InferenceEngine::score(
+    std::span<const layout::Clip> clips) {
+  std::vector<double> out(clips.size());
+  score_into(clips, out);
+  return out;
+}
+
+void InferenceEngine::enqueue(const layout::Clip* clip, double* out,
+                              Completion* done) {
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    space_cv_.wait(lk, [&] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+    HSDL_CHECK_MSG(!stopping_, "score on a shut-down engine");
+    queue_.push_back(Request{clip, out, done});
+    ++requests_;
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    if (metrics::enabled()) {
+      static metrics::Gauge& depth = metrics::gauge("engine.queue_depth");
+      depth.set(static_cast<double>(queue_.size()));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void InferenceEngine::score_into(std::span<const layout::Clip> clips,
+                                 std::span<double> out) {
+  HSDL_CHECK_MSG(out.size() == clips.size(),
+                 "score_into: " << clips.size() << " clips vs " << out.size()
+                                << " result slots");
+  HSDL_CHECK_MSG(!shut_down_.load(std::memory_order_relaxed),
+                 "score on a shut-down engine");
+  if (clips.empty()) return;
+  Completion done;
+  done.remaining = clips.size();
+  for (std::size_t i = 0; i < clips.size(); ++i)
+    enqueue(&clips[i], &out[i], &done);
+  std::unique_lock<std::mutex> lk(done.m);
+  done.cv.wait(lk, [&] { return done.remaining == 0; });
+}
+
+std::vector<double> InferenceEngine::score_labeled(
+    std::span<const layout::LabeledClip> clips) {
+  HSDL_CHECK_MSG(!shut_down_.load(std::memory_order_relaxed),
+                 "score on a shut-down engine");
+  std::vector<double> out(clips.size());
+  if (clips.empty()) return out;
+  Completion done;
+  done.remaining = clips.size();
+  for (std::size_t i = 0; i < clips.size(); ++i)
+    enqueue(&clips[i].clip, &out[i], &done);
+  std::unique_lock<std::mutex> lk(done.m);
+  done.cv.wait(lk, [&] { return done.remaining == 0; });
+  return out;
+}
+
+void InferenceEngine::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  if (forward_.joinable()) forward_.join();
+}
+
+InferenceEngine::Slab* InferenceEngine::acquire_free_slab() {
+  std::unique_lock<std::mutex> lk(pipe_mu_);
+  slab_cv_.wait(lk, [&] { return slabs_[0].free || slabs_[1].free; });
+  Slab* s = slabs_[0].free ? &slabs_[0] : &slabs_[1];
+  s->free = false;
+  return s;
+}
+
+void InferenceEngine::release_slab(Slab* slab) {
+  {
+    std::lock_guard<std::mutex> lk(pipe_mu_);
+    slab->free = true;
+  }
+  slab_cv_.notify_one();
+}
+
+void InferenceEngine::dispatch(Slab* slab) {
+  {
+    std::lock_guard<std::mutex> lk(pipe_mu_);
+    mailbox_.push_back(slab);
+  }
+  mail_cv_.notify_one();
+}
+
+void InferenceEngine::batcher_loop() {
+  std::vector<Request> pending;
+  pending.reserve(config_.max_batch);
+  const auto wait =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(config_.max_wait_ms));
+  for (;;) {
+    FlushReason reason = FlushReason::kFull;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+      // Adaptive micro-batching: keep collecting until the batch is
+      // full or the oldest request in it has waited max_wait_ms.
+      const auto deadline = std::chrono::steady_clock::now() + wait;
+      for (;;) {
+        while (!queue_.empty() && pending.size() < config_.max_batch) {
+          pending.push_back(queue_.front());
+          queue_.pop_front();
+        }
+        space_cv_.notify_all();
+        if (pending.size() >= config_.max_batch) {
+          reason = FlushReason::kFull;
+          break;
+        }
+        if (stopping_) {
+          reason = FlushReason::kDrain;
+          break;
+        }
+        if (!queue_cv_.wait_until(lk, deadline, [&] {
+              return stopping_ || !queue_.empty();
+            })) {
+          reason = FlushReason::kTimeout;
+          break;
+        }
+      }
+    }
+    // Stage 1: extract feature tensors straight into the slab, parallel
+    // over clips (disjoint slices; the arena is never touched here).
+    Slab* slab = acquire_free_slab();
+    slab->reason = reason;
+    slab->requests.assign(pending.begin(), pending.end());
+    pending.clear();
+    const std::size_t n = slab->requests.size();
+    slab->storage.resize(n * feat_);  // within reserved capacity: no alloc
+    {
+      HSDL_TRACE_SPAN("engine.extract");
+      WallTimer timer;
+      const fte::FeatureTensorExtractor& ex = detector_->extractor();
+      std::vector<float>& storage = slab->storage;
+      const std::vector<Request>& reqs = slab->requests;
+      parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+          ex.extract_into(
+              *reqs[i].clip,
+              std::span<float>(storage.data() + i * feat_, feat_));
+      });
+      slab->extract_seconds = timer.seconds();
+    }
+    dispatch(slab);
+  }
+  {
+    std::lock_guard<std::mutex> lk(pipe_mu_);
+    forward_stop_ = true;
+  }
+  mail_cv_.notify_all();
+}
+
+void InferenceEngine::forward_loop() {
+  const std::vector<std::size_t> in = detector_->model().input_shape();
+  for (;;) {
+    Slab* slab = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(pipe_mu_);
+      mail_cv_.wait(lk, [&] { return !mailbox_.empty() || forward_stop_; });
+      if (mailbox_.empty()) break;
+      slab = mailbox_.front();
+      mailbox_.pop_front();
+    }
+    const std::size_t n = slab->requests.size();
+    WallTimer timer;
+    nn::Tensor probs;
+    {
+      HSDL_TRACE_SPAN("engine.forward");
+      // Stage 2: move the slab storage into a batch tensor (no copy),
+      // run the arena-backed forward pass, move the storage back so the
+      // slab keeps its capacity for the next batch.
+      nn::Tensor x = nn::Tensor::from_data({n, in[0], in[1], in[2]},
+                                           std::move(slab->storage));
+      probs = detector_->model().probabilities(x, arena_);
+      slab->storage = std::move(x.vec());
+    }
+    const double forward_seconds = timer.seconds();
+    for (std::size_t i = 0; i < n; ++i)
+      *slab->requests[i].out =
+          static_cast<double>(probs.at(i, kHotspotIndex));
+    arena_.recycle(std::move(probs));
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    switch (slab->reason) {
+      case FlushReason::kFull:
+        flush_full_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FlushReason::kTimeout:
+        flush_timeout_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FlushReason::kDrain:
+        flush_drain_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      arena_stats_ = arena_.stats();
+    }
+    if (metrics::enabled()) {
+      static metrics::Counter& batches = metrics::counter("engine.batches");
+      static metrics::Histogram& bsize = metrics::histogram(
+          "engine.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+      static metrics::Histogram& ext = metrics::histogram(
+          "engine.extract_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+      static metrics::Histogram& fwd = metrics::histogram(
+          "engine.forward_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+      batches.increment();
+      bsize.record(static_cast<double>(n));
+      ext.record(slab->extract_seconds);
+      fwd.record(forward_seconds);
+    }
+    if (telemetry_.enabled()) {
+      json::Value rec = json::Value::object();
+      rec.set("event", "engine.batch");
+      rec.set("batch", n);
+      rec.set("reason", reason_name(slab->reason));
+      rec.set("extract_seconds", slab->extract_seconds);
+      rec.set("forward_seconds", forward_seconds);
+      telemetry_.emit(rec);
+    }
+    // Results are in place; wake the waiters, then recycle the slab.
+    for (const Request& r : slab->requests) {
+      std::unique_lock<std::mutex> lk(r.done->m);
+      if (--r.done->remaining == 0) {
+        lk.unlock();
+        r.done->cv.notify_all();
+      }
+    }
+    release_slab(slab);
+  }
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    s.requests = requests_;
+    s.max_queue_depth = max_queue_depth_;
+  }
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.flush_full = flush_full_.load(std::memory_order_relaxed);
+  s.flush_timeout = flush_timeout_.load(std::memory_order_relaxed);
+  s.flush_drain = flush_drain_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s.arena_allocations = arena_stats_.allocations;
+    s.arena_reuses = arena_stats_.reuses;
+    s.arena_bytes_reserved = arena_stats_.bytes_reserved;
+  }
+  return s;
+}
+
+}  // namespace hsdl::hotspot

@@ -1,0 +1,181 @@
+// Batched streaming inference engine (DESIGN.md §11).
+//
+// An InferenceEngine owns a trained CnnDetector and serves high-volume
+// scoring: callers submit clips from any thread into a bounded MPSC
+// queue; a batcher thread forms adaptive micro-batches (flushing when a
+// batch reaches max_batch or when the oldest queued request has waited
+// max_wait_ms), extracts feature tensors in parallel directly into a
+// pinned input slab, and hands the slab to a forward thread that runs
+// one batched CNN pass. Two slabs double-buffer the pipeline so batch
+// N+1 extracts while batch N is in the network. All activations and the
+// softmax output are drawn from a per-engine WorkspaceArena, so the
+// steady state performs no heap allocations.
+//
+// Determinism contract: every per-sample computation in the CNN forward
+// path is arithmetically independent of the other samples in the batch
+// (per-sample im2col+GEMM, row-independent dense layers, per-row
+// softmax), so the probability the engine returns for a clip is bitwise
+// identical to the serial predict_probability() path regardless of how
+// requests landed in batches. The determinism suite asserts this at 1,
+// 2 and 8 threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/run_report.hpp"
+#include "hotspot/detector.hpp"
+#include "nn/workspace.hpp"
+
+namespace hsdl::hotspot {
+
+struct EngineConfig {
+  /// Flush threshold: a batch never exceeds this many clips.
+  std::size_t max_batch = 64;
+  /// Flush timeout: a partial batch is dispatched once its oldest
+  /// request has waited this long (milliseconds).
+  double max_wait_ms = 2.0;
+  /// Bounded request queue capacity; producers block when it is full
+  /// (backpressure instead of unbounded memory growth).
+  std::size_t queue_capacity = 1024;
+  /// Optional JSONL stream path: one record per dispatched batch
+  /// (size, flush reason, stage latencies). Empty disables.
+  std::string telemetry_path;
+
+  /// Rejects nonsense configurations (max_batch == 0, negative wait,
+  /// queue smaller than a batch) with a positioned error. The engine
+  /// constructor calls this.
+  void validate() const;
+};
+
+/// Why a batch was dispatched.
+enum class FlushReason : std::uint8_t { kFull, kTimeout, kDrain };
+
+/// Point-in-time counters; readable while the engine is live.
+struct EngineStats {
+  std::uint64_t requests = 0;       ///< clips enqueued
+  std::uint64_t batches = 0;        ///< forward passes run
+  std::uint64_t flush_full = 0;     ///< batches dispatched at max_batch
+  std::uint64_t flush_timeout = 0;  ///< batches dispatched on timeout
+  std::uint64_t flush_drain = 0;    ///< batches dispatched by shutdown
+  std::size_t max_queue_depth = 0;  ///< high-water queue occupancy
+  /// Arena counters: after warmup, `arena_allocations` stays flat while
+  /// `arena_reuses` grows — the zero-steady-state-allocation property.
+  std::uint64_t arena_allocations = 0;
+  std::uint64_t arena_reuses = 0;
+  std::size_t arena_bytes_reserved = 0;
+};
+
+/// Streaming scorer around a trained CnnDetector. Thread-safe for
+/// concurrent score() callers; single engine, many producers.
+class InferenceEngine {
+ public:
+  /// The detector must outlive the engine and must not be retrained
+  /// while the engine is live (the engine only touches const inference
+  /// surfaces).
+  explicit InferenceEngine(const CnnDetector& detector,
+                           const EngineConfig& config = {});
+  ~InferenceEngine();
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  const CnnDetector& detector() const { return *detector_; }
+
+  /// Hotspot probabilities index-aligned with `clips`; blocks until all
+  /// are scored. Bitwise identical to calling
+  /// detector().predict_probability() per clip.
+  std::vector<double> score(std::span<const layout::Clip> clips);
+
+  /// As score(), writing into caller-owned storage (out.size() must
+  /// equal clips.size()). Lets batch pipelines avoid the result vector.
+  void score_into(std::span<const layout::Clip> clips,
+                  std::span<double> out);
+
+  /// score() over the clips of a labeled set (labels are ignored) —
+  /// avoids materializing a separate Clip vector for evaluation.
+  std::vector<double> score_labeled(
+      std::span<const layout::LabeledClip> clips);
+
+  /// Stops accepting work, drains every queued request through the
+  /// pipeline, joins the worker threads. Idempotent; the destructor
+  /// calls it. Outstanding score() calls complete with real results.
+  void shutdown();
+
+  EngineStats stats() const;
+
+ private:
+  struct Completion {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  };
+  struct Request {
+    const layout::Clip* clip = nullptr;
+    double* out = nullptr;
+    Completion* done = nullptr;
+  };
+  /// One pipeline buffer: feature slab + the requests it carries.
+  struct Slab {
+    std::vector<float> storage;      // n * feat floats, capacity max_batch
+    std::vector<Request> requests;   // capacity max_batch
+    FlushReason reason = FlushReason::kFull;
+    double extract_seconds = 0.0;
+    bool free = true;
+  };
+
+  void enqueue(const layout::Clip* clip, double* out, Completion* done);
+  void batcher_loop();
+  void forward_loop();
+  Slab* acquire_free_slab();
+  void release_slab(Slab* slab);
+  void dispatch(Slab* slab);
+
+  EngineConfig config_;
+  const CnnDetector* detector_;
+  std::size_t feat_ = 0;  // floats per clip feature tensor
+
+  // Request queue (producers -> batcher).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // batcher waits: work available
+  std::condition_variable space_cv_;  // producers wait: capacity free
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t requests_ = 0;
+
+  // Double-buffered slabs + mailbox (batcher -> forward).
+  std::mutex pipe_mu_;
+  std::condition_variable slab_cv_;  // batcher waits: a slab is free
+  std::condition_variable mail_cv_;  // forward waits: a batch is ready
+  Slab slabs_[2];
+  std::deque<Slab*> mailbox_;
+  bool forward_stop_ = false;
+
+  // Forward-thread-only state (single consumer, no locking needed).
+  nn::WorkspaceArena arena_;
+
+  // Arena counters snapshotted by the forward thread after each batch so
+  // stats() never races the arena itself.
+  mutable std::mutex stats_mu_;
+  nn::WorkspaceArena::Stats arena_stats_;
+
+  // Stats (written by their owning thread, read via stats()).
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> flush_full_{0};
+  std::atomic<std::uint64_t> flush_timeout_{0};
+  std::atomic<std::uint64_t> flush_drain_{0};
+
+  telemetry::JsonlStream telemetry_;
+  std::thread batcher_;
+  std::thread forward_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace hsdl::hotspot

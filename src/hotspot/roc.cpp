@@ -63,8 +63,8 @@ std::vector<RocPoint> roc_curve(HotspotCnn& model,
   return sweep(probs, is_hotspot, shifts);
 }
 
-std::vector<RocPoint> roc_curve(Detector& detector,
-                                const std::vector<layout::LabeledClip>& clips,
+std::vector<RocPoint> roc_curve(const Detector& detector,
+                                std::span<const layout::LabeledClip> clips,
                                 const std::vector<double>& shifts) {
   HSDL_CHECK(!clips.empty());
   std::vector<layout::Clip> plain;

@@ -30,8 +30,8 @@ std::vector<RocPoint> roc_curve(HotspotCnn& model,
 /// Detector-level overload over labeled clips: probabilities come from
 /// one Detector::predict_probabilities batch call (any detector, not
 /// just the CNN), then thresholds are swept over them.
-std::vector<RocPoint> roc_curve(Detector& detector,
-                                const std::vector<layout::LabeledClip>& clips,
+std::vector<RocPoint> roc_curve(const Detector& detector,
+                                std::span<const layout::LabeledClip> clips,
                                 const std::vector<double>& shifts);
 
 /// Area under the (fa_rate, accuracy) curve via trapezoids over a dense

@@ -1,5 +1,7 @@
 #include "hotspot/scanner.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -8,52 +10,54 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "hotspot/engine/engine.hpp"
 
 namespace hsdl::hotspot {
+namespace {
 
-ChipScanner::ChipScanner(const ScanConfig& config) : config_(config) {
-  HSDL_CHECK(config.window_size > 0);
-  HSDL_CHECK(config.stride > 0);
+/// Window origins along one axis. When the stride does not tile the
+/// extent exactly, a final origin clamped to the far edge covers the
+/// trailing band that the bare grid would silently skip. Origins are
+/// strictly increasing and deduplicated: a clamped position landing
+/// exactly on an interior grid position would otherwise scan (and
+/// possibly flag) the identical window rect twice.
+std::vector<geom::Coord> grid_positions(geom::Coord lo, geom::Coord hi,
+                                        geom::Coord window,
+                                        geom::Coord stride) {
+  std::vector<geom::Coord> v;
+  for (geom::Coord p = lo; p + window <= hi; p += stride) v.push_back(p);
+  if (v.back() + window < hi) v.push_back(hi - window);
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
 }
 
-ScanReport ChipScanner::scan(const layout::Layout& chip,
-                             Detector& detector) const {
+/// Shared grid walk. Bands keep the hit list deterministic: clip
+/// extraction is parallel over window rows (each row fills a disjoint
+/// slice of the band buffer), then `score_band` scores the whole band
+/// and the results are merged serially in row-major scan order, so hits
+/// come out exactly as a serial scan would produce them.
+template <typename ScoreBand>
+ScanReport scan_grid(const ScanConfig& config, const layout::Layout& chip,
+                     double threshold, ScoreBand&& score_band) {
   const geom::Rect& extent = chip.extent();
-  HSDL_CHECK_MSG(extent.width() >= config_.window_size &&
-                     extent.height() >= config_.window_size,
+  HSDL_CHECK_MSG(extent.width() >= config.window_size &&
+                     extent.height() >= config.window_size,
                  "layout smaller than the scan window");
   HSDL_TRACE_SPAN("scan");
   ScanReport report;
   WallTimer timer;
 
-  // Window origins of the scan grid. When the stride does not tile the
-  // extent exactly, a final window clamped to the far edge covers the
-  // trailing band that the bare grid would silently skip (it overlaps
-  // the previous window; positions stay strictly increasing, so the
-  // deterministic row-major merge order is unchanged).
-  std::vector<geom::Coord> xs, ys;
-  for (geom::Coord x = extent.lo.x;
-       x + config_.window_size <= extent.hi.x; x += config_.stride)
-    xs.push_back(x);
-  if (xs.back() + config_.window_size < extent.hi.x)
-    xs.push_back(extent.hi.x - config_.window_size);
-  for (geom::Coord y = extent.lo.y;
-       y + config_.window_size <= extent.hi.y; y += config_.stride)
-    ys.push_back(y);
-  if (ys.back() + config_.window_size < extent.hi.y)
-    ys.push_back(extent.hi.y - config_.window_size);
+  const std::vector<geom::Coord> xs = grid_positions(
+      extent.lo.x, extent.hi.x, config.window_size, config.stride);
+  const std::vector<geom::Coord> ys = grid_positions(
+      extent.lo.y, extent.hi.y, config.window_size, config.stride);
   const std::size_t nx = xs.size();
 
-  // Two-phase bands keep the hit list deterministic: clip extraction is
-  // parallel over window rows (each row fills a disjoint slice of the band
-  // buffer), then classification walks the rows serially in scan order, so
-  // hits come out row-major exactly as the serial scan produced them.
-  // Batch-capable detectors parallelize internally over the row's windows.
   constexpr std::size_t kBandRows = 16;
   std::vector<layout::Clip> band;
+  std::vector<double> probs;
   for (std::size_t band_lo = 0; band_lo < ys.size(); band_lo += kBandRows) {
-    const std::size_t band_hi =
-        std::min(band_lo + kBandRows, ys.size());
+    const std::size_t band_hi = std::min(band_lo + kBandRows, ys.size());
     const std::size_t rows = band_hi - band_lo;
     band.assign(rows * nx, layout::Clip{});
     {
@@ -62,25 +66,29 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
         for (std::size_t r = rb; r < re; ++r) {
           for (std::size_t i = 0; i < nx; ++i) {
             const geom::Rect window = geom::Rect::from_xywh(
-                xs[i], ys[band_lo + r], config_.window_size,
-                config_.window_size);
+                xs[i], ys[band_lo + r], config.window_size,
+                config.window_size);
             band[r * nx + i] = chip.extract_clip(window).normalized();
           }
         }
       });
     }
-    HSDL_TRACE_SPAN("scan.classify_band");
+    probs.assign(rows * nx, 0.0);
+    {
+      HSDL_TRACE_SPAN("scan.classify_band");
+      score_band(std::span<const layout::Clip>(band.data(), rows * nx),
+                 std::span<double>(probs.data(), rows * nx));
+    }
+    report.windows_scanned += rows * nx;
     for (std::size_t r = 0; r < rows; ++r) {
-      const std::span<const layout::Clip> row(band.data() + r * nx, nx);
-      const std::vector<double> probs = detector.predict_probabilities(row);
-      report.windows_scanned += nx;
       for (std::size_t i = 0; i < nx; ++i) {
-        if (is_flagged(probs[i], detector.decision_threshold())) {
+        const double p = probs[r * nx + i];
+        if (is_flagged(p, threshold)) {
           report.hits.push_back(
               {geom::Rect::from_xywh(xs[i], ys[band_lo + r],
-                                     config_.window_size,
-                                     config_.window_size),
-               probs[i]});
+                                     config.window_size,
+                                     config.window_size),
+               p});
         }
       }
     }
@@ -97,6 +105,65 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
     depth.set(static_cast<double>(std::min(kBandRows, ys.size())));
   }
   return report;
+}
+
+}  // namespace
+
+void ScanConfig::validate() const {
+  HSDL_CHECK_MSG(window_size > 0,
+                 "scan config: window_size must be positive, got "
+                     << window_size);
+  HSDL_CHECK_MSG(stride > 0,
+                 "scan config: stride must be positive, got " << stride);
+}
+
+void ScanConfig::validate_for(const CnnDetector& detector) const {
+  validate();
+  const fte::FeatureTensorConfig& f = detector.extractor().config();
+  const double px = static_cast<double>(window_size) / f.nm_per_px;
+  HSDL_CHECK_MSG(std::abs(px - std::round(px)) < 1e-9,
+                 "scan config: window_size "
+                     << window_size
+                     << " nm is not an integer number of pixels at "
+                     << f.nm_per_px << " nm/px");
+  const auto side = static_cast<std::size_t>(std::llround(px));
+  HSDL_CHECK_MSG(side % f.blocks_per_side == 0,
+                 "scan config: window_size "
+                     << window_size << " nm rasterizes to " << side
+                     << " px, which does not divide into the detector's "
+                     << f.blocks_per_side << "x" << f.blocks_per_side
+                     << " feature-tensor blocks");
+}
+
+ChipScanner::ChipScanner(const ScanConfig& config) : config_(config) {
+  config_.validate();
+}
+
+ScanReport ChipScanner::scan(const layout::Layout& chip,
+                             const Detector& detector) const {
+  if (const auto* cnn = dynamic_cast<const CnnDetector*>(&detector)) {
+    // Production path: a scan-local engine overlaps feature extraction
+    // with the batched CNN forward pass. Results are bitwise identical
+    // to the per-clip path (DESIGN.md §11).
+    InferenceEngine engine(*cnn);
+    return scan(chip, engine);
+  }
+  return scan_grid(
+      config_, chip, detector.decision_threshold(),
+      [&](std::span<const layout::Clip> clips, std::span<double> out) {
+        const std::vector<double> p = detector.predict_probabilities(clips);
+        std::copy(p.begin(), p.end(), out.begin());
+      });
+}
+
+ScanReport ChipScanner::scan(const layout::Layout& chip,
+                             InferenceEngine& engine) const {
+  config_.validate_for(engine.detector());
+  return scan_grid(
+      config_, chip, engine.detector().decision_threshold(),
+      [&](std::span<const layout::Clip> clips, std::span<double> out) {
+        engine.score_into(clips, out);
+      });
 }
 
 }  // namespace hsdl::hotspot

@@ -4,7 +4,9 @@
 // classifies each window with any Detector, producing a hotspot map —
 // the production flow the paper targets: replace full-chip lithography
 // simulation (10 s/clip) with millisecond ML screening and simulate only
-// the flagged windows.
+// the flagged windows. CNN detectors are routed through the batched
+// InferenceEngine (DESIGN.md §11) so feature extraction overlaps the
+// network forward pass.
 #pragma once
 
 #include <vector>
@@ -14,9 +16,22 @@
 
 namespace hsdl::hotspot {
 
+class InferenceEngine;
+
 struct ScanConfig {
   geom::Coord window_size = 1200;  ///< nm, must match the detector's input
   geom::Coord stride = 1200;       ///< nm; < window_size scans with overlap
+
+  /// Rejects nonsense configurations (non-positive window or stride)
+  /// with a positioned error. The scanner constructor calls this.
+  void validate() const;
+
+  /// validate() plus the window/detector compatibility checks: the
+  /// window must rasterize to an integer pixel count at the detector's
+  /// raster pitch, divisible into its feature-tensor blocks. Called on
+  /// every engine-routed scan so a mismatch fails with a positioned
+  /// message instead of an assertion deep inside extraction.
+  void validate_for(const CnnDetector& detector) const;
 };
 
 struct ScanHit {
@@ -65,8 +80,16 @@ class ChipScanner {
   /// Classifies every window position on the layout. When the stride
   /// does not tile the extent exactly, the final row/column of windows
   /// is clamped to the far edge so the trailing band is still scanned
-  /// (those windows overlap their predecessors).
-  ScanReport scan(const layout::Layout& chip, Detector& detector) const;
+  /// (those windows overlap their predecessors); a clamped position
+  /// that coincides with an interior grid position is deduplicated, so
+  /// no window rect is ever scanned or reported twice. CNN detectors
+  /// are scored through a scan-local InferenceEngine; other detectors
+  /// use their batched predict_probabilities path.
+  ScanReport scan(const layout::Layout& chip, const Detector& detector) const;
+
+  /// Scans through a caller-owned engine (reuse one engine — and its
+  /// warm workspace arena — across many chips).
+  ScanReport scan(const layout::Layout& chip, InferenceEngine& engine) const;
 
  private:
   ScanConfig config_;

@@ -19,7 +19,7 @@ const char* to_string(HotspotLabel label) {
   return "?";
 }
 
-std::size_t count_hotspots(const std::vector<LabeledClip>& clips) {
+std::size_t count_hotspots(std::span<const LabeledClip> clips) {
   return static_cast<std::size_t>(
       std::count_if(clips.begin(), clips.end(), [](const LabeledClip& c) {
         return c.label == HotspotLabel::kHotspot;
@@ -39,7 +39,7 @@ std::size_t BenchmarkData::test_non_hotspots() const {
   return test.size() - count_hotspots(test);
 }
 
-void split_validation(const std::vector<LabeledClip>& all, double val_fraction,
+void split_validation(std::span<const LabeledClip> all, double val_fraction,
                       Rng& rng, std::vector<LabeledClip>& train_out,
                       std::vector<LabeledClip>& val_out) {
   HSDL_CHECK(val_fraction >= 0.0 && val_fraction < 1.0);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,11 +33,11 @@ struct BenchmarkData {
 };
 
 /// Counts hotspot-labeled clips.
-std::size_t count_hotspots(const std::vector<LabeledClip>& clips);
+std::size_t count_hotspots(std::span<const LabeledClip> clips);
 
 /// Deterministically shuffles and splits off a validation fraction
 /// (the paper holds out 25 % of training data for the stop criterion).
-void split_validation(const std::vector<LabeledClip>& all, double val_fraction,
+void split_validation(std::span<const LabeledClip> all, double val_fraction,
                       Rng& rng, std::vector<LabeledClip>& train_out,
                       std::vector<LabeledClip>& val_out);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::nn {
 
@@ -19,6 +20,13 @@ Tensor Relu::forward(const Tensor& input, bool /*train*/) {
 
 Tensor Relu::infer(const Tensor& input) const {
   Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  return out;
+}
+
+Tensor Relu::infer(const Tensor& input, WorkspaceArena& ws) const {
+  Tensor out = ws.take(input.shape());
   for (std::size_t i = 0; i < input.numel(); ++i)
     out[i] = input[i] > 0.0f ? input[i] : 0.0f;
   return out;

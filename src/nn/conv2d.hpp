@@ -28,6 +28,7 @@ class Conv2d final : public Layer {
   std::string name() const override;
   Tensor forward(const Tensor& input, bool train) override;
   Tensor infer(const Tensor& input) const override;
+  Tensor infer(const Tensor& input, WorkspaceArena& ws) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::vector<std::size_t> output_shape(

@@ -1,8 +1,10 @@
 #include "nn/dropout.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::nn {
 
@@ -30,6 +32,12 @@ Tensor Dropout::forward(const Tensor& input, bool train) {
     mask_[i] = m;
     out[i] = input[i] * m;
   }
+  return out;
+}
+
+Tensor Dropout::infer(const Tensor& input, WorkspaceArena& ws) const {
+  Tensor out = ws.take(input.shape());
+  std::copy(input.data(), input.data() + input.numel(), out.data());
   return out;
 }
 

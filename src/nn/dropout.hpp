@@ -18,6 +18,7 @@ class Dropout final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   /// Inverted dropout is a pass-through at inference.
   Tensor infer(const Tensor& input) const override { return input; }
+  Tensor infer(const Tensor& input, WorkspaceArena& ws) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const override {

@@ -1,6 +1,9 @@
 #include "nn/flatten.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::nn {
 
@@ -15,6 +18,12 @@ std::vector<std::size_t> Flatten::output_shape(
 Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
   in_shape_ = input.shape();
   return input.reshaped(output_shape(in_shape_));
+}
+
+Tensor Flatten::infer(const Tensor& input, WorkspaceArena& ws) const {
+  Tensor out = ws.take(output_shape(input.shape()));
+  std::copy(input.data(), input.data() + input.numel(), out.data());
+  return out;
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {

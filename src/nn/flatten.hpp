@@ -12,6 +12,7 @@ class Flatten final : public Layer {
   Tensor infer(const Tensor& input) const override {
     return input.reshaped(output_shape(input.shape()));
   }
+  Tensor infer(const Tensor& input, WorkspaceArena& ws) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<std::size_t> output_shape(
       const std::vector<std::size_t>& input_shape) const override;

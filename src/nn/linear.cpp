@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::nn {
 namespace {
@@ -49,6 +50,19 @@ Tensor Linear::infer(const Tensor& input) const {
   const std::size_t n = input.extent(0);
   Tensor out({n, out_});
   // out = x [n x in] * W^T [in x out]
+  gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
+       weight_.value.data(), in_, 0.0f, out.data(), out_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_.value[j];
+  return out;
+}
+
+Tensor Linear::infer(const Tensor& input, WorkspaceArena& ws) const {
+  HSDL_CHECK_MSG(input.dim() == 2 && input.extent(1) == in_,
+                 "linear expects [N," << in_ << "], got "
+                                      << input.shape_str());
+  const std::size_t n = input.extent(0);
+  Tensor out = ws.take({n, out_});
   gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
        weight_.value.data(), in_, 0.0f, out.data(), out_);
   for (std::size_t i = 0; i < n; ++i)

@@ -4,13 +4,15 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::nn {
+namespace {
 
-Tensor softmax(const Tensor& logits) {
-  HSDL_CHECK(logits.dim() == 2);
+// Shared row kernel so the heap and arena entry points cannot drift
+// numerically.
+void softmax_rows(const Tensor& logits, Tensor& out) {
   const std::size_t n = logits.extent(0), c = logits.extent(1);
-  Tensor out(logits.shape());
   for (std::size_t i = 0; i < n; ++i) {
     float m = logits.at(i, 0);
     for (std::size_t j = 1; j < c; ++j) m = std::max(m, logits.at(i, j));
@@ -21,6 +23,21 @@ Tensor softmax(const Tensor& logits) {
       out.at(i, j) = static_cast<float>(
           std::exp(static_cast<double>(logits.at(i, j) - m)) / denom);
   }
+}
+
+}  // namespace
+
+Tensor softmax(const Tensor& logits) {
+  HSDL_CHECK(logits.dim() == 2);
+  Tensor out(logits.shape());
+  softmax_rows(logits, out);
+  return out;
+}
+
+Tensor softmax(const Tensor& logits, WorkspaceArena& ws) {
+  HSDL_CHECK(logits.dim() == 2);
+  Tensor out = ws.take(logits.shape());
+  softmax_rows(logits, out);
   return out;
 }
 

@@ -27,7 +27,13 @@ class SoftmaxCrossEntropy {
   Tensor targets_;
 };
 
+class WorkspaceArena;
+
 /// Standalone row-wise softmax (numerically stabilized).
 Tensor softmax(const Tensor& logits);
+
+/// Arena-backed softmax: bitwise identical to softmax(logits) but the
+/// output is drawn from `ws` instead of the heap.
+Tensor softmax(const Tensor& logits, WorkspaceArena& ws);
 
 }  // namespace hsdl::nn

@@ -1,6 +1,7 @@
 #include "nn/sequential.hpp"
 
 #include "common/check.hpp"
+#include "nn/workspace.hpp"
 
 namespace hsdl::nn {
 
@@ -15,6 +16,17 @@ Tensor Sequential::infer(const Tensor& input) const {
   HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
   Tensor x = input;
   for (const auto& l : layers_) x = l->infer(x);
+  return x;
+}
+
+Tensor Sequential::infer(const Tensor& input, WorkspaceArena& ws) const {
+  HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
+  Tensor x = layers_.front()->infer(input, ws);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    Tensor y = layers_[i]->infer(x, ws);
+    ws.recycle(std::move(x));
+    x = std::move(y);
+  }
   return x;
 }
 

@@ -26,6 +26,11 @@ class Sequential final : public Layer {
   std::string name() const override { return "sequential"; }
   Tensor forward(const Tensor& input, bool train) override;
   Tensor infer(const Tensor& input) const override;
+  /// Arena-backed inference: intermediates are recycled back into `ws` as
+  /// each layer consumes them, so a warm arena serves the whole chain with
+  /// zero heap allocations. The caller owns `input`; the returned tensor
+  /// is arena-pooled (recycle it when done).
+  Tensor infer(const Tensor& input, WorkspaceArena& ws) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::vector<std::size_t> output_shape(

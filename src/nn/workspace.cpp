@@ -1,0 +1,68 @@
+#include "nn/workspace.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace hsdl::nn {
+namespace {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+Tensor WorkspaceArena::take(std::vector<std::size_t> shape) {
+  const std::size_t numel = shape_numel(shape);
+  ++takes_;
+  // Smallest adequate pooled buffer; first match on ties keeps the
+  // assignment deterministic run to run.
+  std::size_t best = pool_.size();
+  std::size_t best_cap = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const std::size_t cap = pool_[i].capacity();
+    if (cap >= numel && cap < best_cap) {
+      best = i;
+      best_cap = cap;
+    }
+  }
+  std::vector<float> storage;
+  if (best < pool_.size()) {
+    storage = std::move(pool_[best]);
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+    ++reuses_;
+  } else {
+    ++allocations_;
+  }
+  storage.resize(numel);  // within capacity on the reuse path: no alloc
+  return Tensor::from_data(std::move(shape), std::move(storage));
+}
+
+void WorkspaceArena::recycle(Tensor t) {
+  std::vector<float> storage = std::move(t.vec());
+  if (storage.capacity() == 0) return;
+  pool_.push_back(std::move(storage));
+}
+
+std::span<float> WorkspaceArena::scratch(std::size_t n) {
+  if (scratch_used_ == scratch_.size()) scratch_.emplace_back();
+  std::vector<float>& buf = scratch_[scratch_used_++];
+  if (buf.capacity() < n) ++allocations_;
+  buf.resize(n);
+  return {buf.data(), n};
+}
+
+WorkspaceArena::Stats WorkspaceArena::stats() const {
+  Stats s;
+  s.takes = takes_;
+  s.allocations = allocations_;
+  s.reuses = reuses_;
+  for (const auto& b : pool_) s.bytes_reserved += b.capacity() * sizeof(float);
+  for (const auto& b : scratch_)
+    s.bytes_reserved += b.capacity() * sizeof(float);
+  return s;
+}
+
+}  // namespace hsdl::nn

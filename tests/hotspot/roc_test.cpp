@@ -115,11 +115,11 @@ TEST(RocTest, EmptyDataThrows) {
 class SaturatedDetector final : public Detector {
  public:
   std::string name() const override { return "saturated"; }
-  void train(const std::vector<layout::LabeledClip>&) override {}
-  bool predict(const layout::Clip& clip) override {
+  void train(std::span<const layout::LabeledClip>) override {}
+  bool predict(const layout::Clip& clip) const override {
     return is_flagged(predict_probability(clip), decision_threshold());
   }
-  double predict_probability(const layout::Clip& clip) override {
+  double predict_probability(const layout::Clip& clip) const override {
     return clip.shapes.empty() ? 0.0 : 1.0;
   }
 };

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 
@@ -15,12 +18,12 @@ class DensityThresholdDetector final : public Detector {
   explicit DensityThresholdDetector(double threshold)
       : threshold_(threshold) {}
   std::string name() const override { return "density-threshold"; }
-  void train(const std::vector<layout::LabeledClip>&) override {}
-  bool predict(const layout::Clip& clip) override {
+  void train(std::span<const layout::LabeledClip>) override {}
+  bool predict(const layout::Clip& clip) const override {
     ++calls;
     return clip.density() > threshold_;
   }
-  int calls = 0;
+  mutable int calls = 0;
 
  private:
   double threshold_;
@@ -91,8 +94,8 @@ TEST(ScannerTest, ClipsPassedNormalized) {
   class WindowProbe final : public Detector {
    public:
     std::string name() const override { return "probe"; }
-    void train(const std::vector<layout::LabeledClip>&) override {}
-    bool predict(const layout::Clip& clip) override {
+    void train(std::span<const layout::LabeledClip>) override {}
+    bool predict(const layout::Clip& clip) const override {
       EXPECT_EQ(clip.window.lo, (geom::Point{0, 0}));
       return false;
     }
@@ -134,6 +137,29 @@ TEST(ScannerTest, StrideAlignedExtentGetsNoExtraWindows) {
   ChipScanner scanner(ScanConfig{1200, 1200});
   DensityThresholdDetector det(0.5);
   EXPECT_EQ(scanner.scan(chip, det).windows_scanned, 4u);
+}
+
+TEST(ScannerTest, ClampedGridNeverDuplicatesWindows) {
+  // Property sweep: whatever the stride/extent combination, no window
+  // rect is ever scanned (or reported) twice. A clamped trailing origin
+  // landing on an interior grid position used to produce exactly that.
+  for (geom::Coord extent : {2400, 2500, 2900, 3000, 3100}) {
+    for (geom::Coord stride : {300, 500, 700, 1200}) {
+      layout::Layout chip(
+          geom::Rect::from_xywh(0, 0, extent, extent),
+          {geom::Rect::from_xywh(0, 0, 50, 50)});
+      ChipScanner scanner(ScanConfig{1200, stride});
+      DensityThresholdDetector flag_all(-1.0);  // every window is a hit
+      ScanReport report = scanner.scan(chip, flag_all);
+      EXPECT_EQ(report.hits.size(), report.windows_scanned);
+      std::set<std::pair<geom::Coord, geom::Coord>> seen;
+      for (const ScanHit& hit : report.hits)
+        EXPECT_TRUE(seen.insert({hit.window.lo.x, hit.window.lo.y}).second)
+            << "duplicate window at (" << hit.window.lo.x << ", "
+            << hit.window.lo.y << ") with extent " << extent << " stride "
+            << stride;
+    }
+  }
 }
 
 TEST(ScannerTest, ReportBitwiseIdenticalAcrossThreadCounts) {

@@ -19,6 +19,7 @@
 #include "common/trace.hpp"
 #include "fte/feature_tensor.hpp"
 #include "hotspot/detector.hpp"
+#include "hotspot/engine/engine.hpp"
 #include "hotspot/scanner.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
@@ -235,6 +236,68 @@ TEST(ParallelDeterminismTest, PredictProbabilitiesMatchSingleClipPath) {
       EXPECT_EQ(probs[i], reference[i]) << "clip " << i;
       EXPECT_EQ(detector.predict(clips[i]),
                 probs[i] > detector.decision_threshold());
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, EngineBatchedScoringMatchesSerialPerClip) {
+  ThreadCountGuard guard;
+  Rng rng(53);
+  std::vector<layout::Clip> clips;
+  for (std::size_t i = 0; i < 10; ++i)
+    clips.push_back(random_clip(1200, rng));
+
+  hotspot::CnnDetector detector(small_detector_config());
+  set_num_threads(1);
+  std::vector<double> reference(clips.size());
+  for (std::size_t i = 0; i < clips.size(); ++i)
+    reference[i] = detector.predict_probability(clips[i]);
+
+  // The engine's batch composition is timing-dependent (adaptive
+  // micro-batching), so bitwise equality here proves the per-sample
+  // arithmetic is independent of both batching AND thread count.
+  for (std::size_t threads : kThreadCounts) {
+    set_num_threads(threads);
+    hotspot::EngineConfig config;
+    config.max_batch = 4;  // forces the 10 clips across >= 3 batches
+    hotspot::InferenceEngine engine(detector, config);
+    const std::vector<double> probs = engine.score(clips);
+    ASSERT_EQ(probs.size(), reference.size());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+      EXPECT_EQ(probs[i], reference[i])
+          << "clip " << i << " at " << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, EngineRoutedScanMatchesDetectorScan) {
+  ThreadCountGuard guard;
+  Rng rng(59);
+  std::vector<geom::Rect> shapes;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const geom::Coord w = 40 + static_cast<geom::Coord>(rng.index(400));
+    const geom::Coord h = 40 + static_cast<geom::Coord>(rng.index(400));
+    shapes.push_back(geom::Rect::from_xywh(
+        static_cast<geom::Coord>(rng.index(2000)),
+        static_cast<geom::Coord>(rng.index(2000)), w, h));
+  }
+  const layout::Layout chip(geom::Rect::from_xywh(0, 0, 2400, 2400),
+                            std::move(shapes));
+  hotspot::CnnDetector detector(small_detector_config());
+  const hotspot::ChipScanner scanner(hotspot::ScanConfig{1200, 600});
+
+  set_num_threads(1);
+  const hotspot::ScanReport reference = scanner.scan(chip, detector);
+
+  for (std::size_t threads : kThreadCounts) {
+    set_num_threads(threads);
+    hotspot::InferenceEngine engine(detector);
+    const hotspot::ScanReport report = scanner.scan(chip, engine);
+    EXPECT_EQ(report.windows_scanned, reference.windows_scanned);
+    ASSERT_EQ(report.hits.size(), reference.hits.size());
+    for (std::size_t i = 0; i < report.hits.size(); ++i) {
+      EXPECT_EQ(report.hits[i].window, reference.hits[i].window);
+      EXPECT_EQ(report.hits[i].probability,
+                reference.hits[i].probability);  // bitwise
     }
   }
 }

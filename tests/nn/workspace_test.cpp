@@ -1,0 +1,147 @@
+// WorkspaceArena contracts: pooled tensors are recycled (smallest
+// adequate buffer first), scratch scopes rewind the cursor, stats track
+// the allocation/reuse split, and arena-backed inference is bitwise
+// identical to the allocating path.
+#include "nn/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
+
+namespace hsdl::nn {
+namespace {
+
+TEST(WorkspaceArenaTest, TakeRecycleReusesStorage) {
+  WorkspaceArena ws;
+  Tensor a = ws.take({4, 8});
+  const float* storage = a.data();
+  ws.recycle(std::move(a));
+  Tensor b = ws.take({8, 4});  // same numel, different shape
+  EXPECT_EQ(b.data(), storage);
+  const WorkspaceArena::Stats s = ws.stats();
+  EXPECT_EQ(s.takes, 2u);
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 1u);
+}
+
+TEST(WorkspaceArenaTest, TakePicksSmallestAdequateBuffer) {
+  WorkspaceArena ws;
+  Tensor big = ws.take({100});
+  Tensor small = ws.take({10});
+  const float* small_storage = small.data();
+  ws.recycle(std::move(big));
+  ws.recycle(std::move(small));
+  // A 10-element request must come from the 10-capacity buffer even
+  // though the 100-capacity one was pooled first.
+  Tensor t = ws.take({10});
+  EXPECT_EQ(t.data(), small_storage);
+}
+
+TEST(WorkspaceArenaTest, TakeReturnsRequestedShape) {
+  WorkspaceArena ws;
+  Tensor t = ws.take({2, 3, 4});
+  ASSERT_EQ(t.dim(), 3u);
+  EXPECT_EQ(t.extent(0), 2u);
+  EXPECT_EQ(t.extent(1), 3u);
+  EXPECT_EQ(t.extent(2), 4u);
+  EXPECT_EQ(t.numel(), 24u);
+}
+
+TEST(WorkspaceArenaTest, ScratchScopeRewindsCursor) {
+  WorkspaceArena ws;
+  std::span<float> outer = ws.scratch(16);
+  const float* outer_data = outer.data();
+  {
+    ScratchScope scope(ws);
+    std::span<float> inner = ws.scratch(16);
+    EXPECT_NE(inner.data(), outer_data);  // outer slab stays live
+  }
+  // After the scope exits the inner slab is reusable again.
+  const std::size_t mark = ws.scratch_mark();
+  std::span<float> again = ws.scratch(16);
+  EXPECT_EQ(ws.scratch_mark(), mark + 1);
+  (void)again;
+  ws.release_scratch();
+  EXPECT_EQ(ws.scratch_mark(), 0u);
+}
+
+TEST(WorkspaceArenaTest, ScratchReuseDoesNotCountAsAllocation) {
+  WorkspaceArena ws;
+  {
+    ScratchScope scope(ws);
+    ws.scratch(64);
+  }
+  const std::uint64_t after_first = ws.stats().allocations;
+  {
+    ScratchScope scope(ws);
+    ws.scratch(64);  // same slab, same capacity: no new allocation
+  }
+  EXPECT_EQ(ws.stats().allocations, after_first);
+  {
+    ScratchScope scope(ws);
+    ws.scratch(128);  // grows the slab: counts
+  }
+  EXPECT_EQ(ws.stats().allocations, after_first + 1);
+}
+
+TEST(WorkspaceArenaTest, SteadyStateTakesStopAllocating) {
+  WorkspaceArena ws;
+  for (int round = 0; round < 5; ++round) {
+    Tensor a = ws.take({3, 7});
+    Tensor b = ws.take({7, 3});
+    ws.recycle(std::move(a));
+    ws.recycle(std::move(b));
+  }
+  const WorkspaceArena::Stats s = ws.stats();
+  EXPECT_EQ(s.takes, 10u);
+  EXPECT_EQ(s.allocations, 2u);  // only the first round allocates
+  EXPECT_EQ(s.reuses, 8u);
+}
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+TEST(WorkspaceArenaTest, ArenaInferBitwiseMatchesAllocatingInfer) {
+  Rng init(5);
+  Sequential net;
+  Conv2dConfig conv;
+  conv.in_channels = 2;
+  conv.out_channels = 3;
+  net.emplace<Conv2d>(conv, init);
+  net.emplace<Relu>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(3 * 4 * 4, 5, init);
+
+  Rng rng(17);
+  WorkspaceArena ws;
+  for (int round = 0; round < 3; ++round) {
+    const Tensor x =
+        Tensor::from_data({2, 2, 8, 8}, random_vec(2 * 2 * 8 * 8, rng));
+    const Tensor plain = net.infer(x);
+    Tensor pooled = net.infer(x, ws);
+    ASSERT_EQ(pooled.shape(), plain.shape());
+    for (std::size_t i = 0; i < plain.numel(); ++i)
+      ASSERT_EQ(pooled.vec()[i], plain.vec()[i]) << "element " << i;
+    ws.recycle(std::move(pooled));
+  }
+  // Warm arena: the later rounds were served entirely from the pool.
+  const WorkspaceArena::Stats s = ws.stats();
+  EXPECT_GT(s.reuses, 0u);
+  EXPECT_GT(s.bytes_reserved, 0u);
+}
+
+}  // namespace
+}  // namespace hsdl::nn
