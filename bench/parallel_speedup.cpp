@@ -55,8 +55,13 @@ hotspot::CnnDetectorConfig scan_detector_config() {
 
 int main() {
   const std::size_t host_threads = hardware_threads();
-  std::printf("parallel substrate speedups (host threads: %zu)\n",
-              host_threads);
+  set_num_threads(0);
+  // The size the pool actually runs at for the N-thread measurements —
+  // earlier revisions recorded hardware_threads() even when the pool had
+  // been clamped, which made cross-machine comparisons drift.
+  const std::size_t pool_threads = num_threads();
+  std::printf("parallel substrate speedups (host threads: %zu, pool: %zu)\n",
+              host_threads, pool_threads);
 
   // -- GEMM: naive vs blocked (1 thread) vs blocked (N threads) --------------
   std::vector<GemmResult> gemm_results;
@@ -98,16 +103,30 @@ int main() {
   for (std::size_t i = 0; i < 32; ++i) clips.push_back(gen.generate());
   const fte::FeatureTensorExtractor extractor;
   set_num_threads(1);
-  const double extract_1t = time_best(3, [&] {
+  const double extract_1t = time_best(7, [&] {
     auto fts = extractor.extract_batch(clips);
   });
   set_num_threads(0);
-  const double extract_nt = time_best(3, [&] {
+  const double extract_nt = time_best(7, [&] {
     auto fts = extractor.extract_batch(clips);
   });
+  const double extract_speedup = extract_1t / extract_nt;
   std::printf("  extract %zu clips: 1t %.3f s  %zut %.3f s (%.2fx)\n",
-              clips.size(), extract_1t, host_threads, extract_nt,
-              extract_1t / extract_nt);
+              clips.size(), extract_1t, pool_threads, extract_nt,
+              extract_speedup);
+  // Regression gate: for real batch sizes, batched extraction must never
+  // run slower than the serial loop (the lock-per-extract DctPlan cache
+  // once made 32-clip batches 0.91x of serial). With a real pool, 0.97
+  // leaves noise room; when the pool clamps to one thread "parallel" IS
+  // the serial loop plus noise, so only a gross regression (dispatch
+  // overhead, re-introduced locking) should trip it.
+  const double extract_floor = pool_threads > 1 ? 0.97 : 0.90;
+  if (clips.size() >= 16 && extract_speedup < extract_floor) {
+    std::fprintf(stderr,
+                 "FATAL: parallel extraction regressed to %.3fx of serial\n",
+                 extract_speedup);
+    return 1;
+  }
 
   // -- Full-chip scan ---------------------------------------------------------
   Rng rng(31);
@@ -136,7 +155,8 @@ int main() {
 
   // -- JSON -------------------------------------------------------------------
   std::ofstream os("BENCH_parallel.json");
-  os << "{\n  \"host_threads\": " << host_threads << ",\n  \"gemm\": [\n";
+  os << "{\n  \"host_threads\": " << host_threads
+     << ",\n  \"pool_threads\": " << pool_threads << ",\n  \"gemm\": [\n";
   for (std::size_t i = 0; i < gemm_results.size(); ++i) {
     const GemmResult& r = gemm_results[i];
     os << "    {\"size\": " << r.size << ", \"naive_s\": " << r.naive_s
@@ -149,7 +169,7 @@ int main() {
   os << "  ],\n  \"feature_extraction\": {\"clips\": " << clips.size()
      << ", \"serial_s\": " << extract_1t
      << ", \"parallel_s\": " << extract_nt
-     << ", \"speedup\": " << extract_1t / extract_nt << "},\n"
+     << ", \"speedup\": " << extract_speedup << "},\n"
      << "  \"scan\": {\"windows\": " << serial_report.windows_scanned
      << ", \"serial_s\": " << scan_1t << ", \"parallel_s\": " << scan_nt
      << ", \"speedup\": " << scan_1t / scan_nt << "}\n}\n";

@@ -1,0 +1,46 @@
+#include "common/cpuinfo.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hsdl::cpu {
+namespace {
+
+bool host_supports_avx2_fma() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool env_force_scalar() {
+  const char* v = std::getenv("HSDL_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& force_flag() {
+  // First touch seeds the flag from the environment; set_force_scalar
+  // overrides it afterwards.
+  static std::atomic<bool> flag{env_force_scalar()};
+  return flag;
+}
+
+}  // namespace
+
+bool force_scalar() {
+  return force_flag().load(std::memory_order_relaxed);
+}
+
+void set_force_scalar(bool on) {
+  force_flag().store(on, std::memory_order_relaxed);
+}
+
+bool has_avx2_fma() {
+  static const bool host = host_supports_avx2_fma();
+  return host && !force_scalar();
+}
+
+const char* active_isa() { return has_avx2_fma() ? "avx2" : "scalar"; }
+
+}  // namespace hsdl::cpu

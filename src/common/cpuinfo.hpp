@@ -1,0 +1,36 @@
+// Runtime CPU-feature detection shared by every SIMD kernel.
+//
+// The GEMM microkernel, the direct convolution kernels and the DCT band
+// transform all dispatch between a hand-written AVX2 variant and a
+// portable scalar fallback. The decision is centralized here so it is
+// made the same way everywhere:
+//   * the host must support AVX2 and FMA (one combined predicate — every
+//     AVX2 part of interest ships FMA, and the GEMM microkernel needs
+//     both), and
+//   * the HSDL_FORCE_SCALAR environment variable (any non-empty value)
+//     forces the scalar path, so CI can build and test the fallback on
+//     AVX2 hosts.
+//
+// The choice depends only on the host CPU and the environment, never on
+// thread count or problem shape, so a given process always takes the
+// same path — the determinism suite's guarantees are unaffected.
+#pragma once
+
+namespace hsdl::cpu {
+
+/// True when AVX2+FMA kernels may be used: host support present and the
+/// scalar override is off. Cheap enough to call per kernel invocation.
+bool has_avx2_fma();
+
+/// True when the scalar fallback is forced (HSDL_FORCE_SCALAR set at
+/// startup, or set_force_scalar(true)).
+bool force_scalar();
+
+/// Test hook: force (or un-force) the scalar path at runtime. Kernels
+/// re-dispatch on their next call.
+void set_force_scalar(bool on);
+
+/// "avx2" or "scalar" — the path kernels will take right now.
+const char* active_isa();
+
+}  // namespace hsdl::cpu

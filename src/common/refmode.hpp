@@ -1,0 +1,47 @@
+// Process-wide reference-mode switch for the serving fast paths.
+//
+// The direct-convolution, operator-fusion and banded-DCT fast paths each
+// keep their original implementation alive as a reference oracle. With
+// reference mode on, Conv2d falls back to im2col+GEMM, Sequential::infer
+// runs every layer unfused, and feature extraction uses the per-block
+// path — i.e. the exact pre-optimization serving pipeline. Benchmarks use
+// it to measure the honest baseline; equivalence tests flip it to assert
+// the fast paths match bitwise.
+//
+// The flag is read per call with relaxed ordering: flip it only while no
+// inference is in flight (benchmarks and tests do so between phases).
+#pragma once
+
+#include <atomic>
+
+namespace hsdl::runtime {
+
+inline std::atomic<bool>& reference_mode_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline bool reference_mode() {
+  return reference_mode_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_reference_mode(bool on) {
+  reference_mode_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII guard for tests/benchmarks: enters the given mode, restores the
+/// previous one on scope exit.
+class ReferenceModeGuard {
+ public:
+  explicit ReferenceModeGuard(bool on) : prev_(reference_mode()) {
+    set_reference_mode(on);
+  }
+  ~ReferenceModeGuard() { set_reference_mode(prev_); }
+  ReferenceModeGuard(const ReferenceModeGuard&) = delete;
+  ReferenceModeGuard& operator=(const ReferenceModeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace hsdl::runtime

@@ -1,12 +1,33 @@
 #include "fte/feature_tensor.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/refmode.hpp"
 #include "common/trace.hpp"
 #include "fte/zigzag.hpp"
 
 namespace hsdl::fte {
+namespace {
+
+/// corner_for_prefix rebuilds the full zig-zag walk (allocating) for
+/// every candidate corner size, which is far too slow to re-derive per
+/// window on the serving path. The answer only depends on (B, k), so
+/// cache the last result per thread — serving hits one shape forever.
+std::size_t cached_corner_for_prefix(std::size_t block, std::size_t k) {
+  thread_local std::size_t c_block = 0, c_k = 0, c_kp = 0;
+  if (c_block != block || c_k != k) {
+    c_kp = corner_for_prefix(block, k);
+    c_block = block;
+    c_k = k;
+  }
+  return c_kp;
+}
+
+}  // namespace
 
 FeatureTensorExtractor::FeatureTensorExtractor(
     const FeatureTensorConfig& config)
@@ -17,11 +38,23 @@ FeatureTensorExtractor::FeatureTensorExtractor(
 }
 
 const DctPlan& FeatureTensorExtractor::plan_for(std::size_t block) const {
+  // Lock-free fast path: extraction hits one block size almost always, so
+  // the last plan used is published in an atomic. Plans are immutable and
+  // never deallocated while the extractor lives, so a stale pointer is
+  // safe to read — it either matches or we fall through to the mutex.
+  const DctPlan* cached = plan_cache_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->block_size() == block) return *cached;
   std::lock_guard<std::mutex> lock(plans_mu_);
-  for (const auto& [size, plan] : plans_)
-    if (size == block) return *plan;
+  for (const auto& [size, plan] : plans_) {
+    if (size == block) {
+      plan_cache_.store(plan.get(), std::memory_order_release);
+      return *plan;
+    }
+  }
   plans_.emplace_back(block, std::make_unique<DctPlan>(block));
-  return *plans_.back().second;
+  const DctPlan* fresh = plans_.back().second.get();
+  plan_cache_.store(fresh, std::memory_order_release);
+  return *fresh;
 }
 
 std::size_t FeatureTensorExtractor::block_px(
@@ -56,9 +89,25 @@ void FeatureTensorExtractor::extract_into(const layout::MaskImage& raster,
                  "extract_into expects " << k * n * n << " floats, got "
                                          << out.size());
 
+  // The banded path handles every corner size the zig-zag prefix of a
+  // real config produces (kp <= 8 covers k <= 36); exotic test configs and
+  // reference mode take the original per-block path.
+  const std::size_t kp = cached_corner_for_prefix(B, k);
+  if (runtime::reference_mode() || kp > 8) {
+    extract_reference(raster, out);
+  } else {
+    extract_fast(raster, out);
+  }
+}
+
+void FeatureTensorExtractor::extract_reference(const layout::MaskImage& raster,
+                                               std::span<float> out) const {
+  const std::size_t n = config_.blocks_per_side;
+  const std::size_t k = config_.coeffs;
+  const std::size_t B = block_px(raster);
   const DctPlan& plan = plan_for(B);
   // Partial DCT: only the corner covering the first k zig-zag positions.
-  const std::size_t kp = corner_for_prefix(B, k);
+  const std::size_t kp = cached_corner_for_prefix(B, k);
 
   std::vector<float> block(B * B);
   std::vector<float> corner(kp * kp);
@@ -81,9 +130,67 @@ void FeatureTensorExtractor::extract_into(const layout::MaskImage& raster,
   }
 }
 
+void FeatureTensorExtractor::extract_fast(const layout::MaskImage& raster,
+                                          std::span<float> out) const {
+  const std::size_t n = config_.blocks_per_side;
+  const std::size_t k = config_.coeffs;
+  const std::size_t B = block_px(raster);
+  const std::size_t width = raster.width();
+  const DctPlan& plan = plan_for(B);
+  const std::size_t kp = cached_corner_for_prefix(B, k);
+
+  // The zig-zag prefix, resolved once per extract instead of once per
+  // block (zigzag_take re-derives the walk — and allocates — per call).
+  // Its row extent also caps the pass-1 work: the first k positions of a
+  // kp x kp corner rarely reach row kp-1 (16 coefficients of a 6x6 corner
+  // top out at row 4), and rows the scan never reads need not be
+  // transformed at all.
+  thread_local std::vector<std::pair<std::size_t, std::size_t>> order;
+  thread_local std::size_t order_kp = 0;
+  if (order_kp != kp) {
+    order = zigzag_order(kp);
+    order_kp = kp;
+  }
+  std::size_t mp = 0;
+  for (std::size_t c = 0; c < k; ++c)
+    mp = std::max(mp, order[c].first + 1);
+
+  // Thread-local scratch: extract_batch runs this on pool threads; each
+  // buffer is fully (re)written per call, and resize() is a no-op once
+  // warm, so batches run allocation-free.
+  thread_local std::vector<float> band, basis_t, corner;
+  band.resize(mp * width);
+  basis_t.resize(B * DctPlan::kTransposedStride);
+  corner.resize(kp * kp);
+  plan.transpose_corner_basis(kp, basis_t.data());
+
+  const float scale = config_.normalize ? 1.0f / static_cast<float>(B) : 1.0f;
+  for (std::size_t by = 0; by < n; ++by) {
+    // One column pass over the whole band of B raster rows replaces the
+    // per-block gather + column pass of the reference path.
+    plan.partial_band(raster.row(by * B), width, mp, band.data());
+    for (std::size_t bx = 0; bx < n; ++bx) {
+      plan.partial_corner_from_band(band.data(), width, bx * B, kp, mp,
+                                    basis_t.data(), corner.data());
+      for (std::size_t c = 0; c < k; ++c)
+        out[(c * n + by) * n + bx] =
+            corner[order[c].first * kp + order[c].second] * scale;
+    }
+  }
+}
+
 void FeatureTensorExtractor::extract_into(const layout::Clip& clip,
                                           std::span<float> out) const {
-  extract_into(layout::rasterize(clip, config_.nm_per_px), out);
+  if (runtime::reference_mode()) {
+    extract_into(layout::rasterize(clip, config_.nm_per_px), out);
+    return;
+  }
+  // Reuse one raster buffer per thread: rasterizing a serving window used
+  // to allocate (and fault in) a few hundred KB per clip, which dominated
+  // the profile alongside the DCT.
+  thread_local layout::MaskImage raster;
+  layout::rasterize_into(clip, config_.nm_per_px, raster);
+  extract_into(raster, out);
 }
 
 FeatureTensor FeatureTensorExtractor::extract(
@@ -99,7 +206,14 @@ FeatureTensor FeatureTensorExtractor::extract(
 }
 
 FeatureTensor FeatureTensorExtractor::extract(const layout::Clip& clip) const {
-  return extract(layout::rasterize(clip, config_.nm_per_px));
+  const std::size_t n = config_.blocks_per_side;
+  const std::size_t k = config_.coeffs;
+  FeatureTensor out;
+  out.n = n;
+  out.k = k;
+  out.data.assign(k * n * n, 0.0f);
+  extract_into(clip, out.data);  // clip overload reuses the raster buffer
+  return out;
 }
 
 std::vector<FeatureTensor> FeatureTensorExtractor::extract_batch(
@@ -122,7 +236,7 @@ layout::MaskImage FeatureTensorExtractor::reconstruct(
   HSDL_CHECK(k <= B * B);
 
   const DctPlan& plan = plan_for(B);
-  const std::size_t kp = corner_for_prefix(B, k);
+  const std::size_t kp = cached_corner_for_prefix(B, k);
 
   layout::MaskImage img(n * B, n * B, config_.nm_per_px);
   std::vector<float> scan(k);

@@ -9,6 +9,7 @@
 // retained coefficients and zeroes the discarded high frequencies.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -90,14 +91,31 @@ class FeatureTensorExtractor {
  private:
   const DctPlan& plan_for(std::size_t block) const;
 
+  /// Original per-block path: gathers each block and runs DctPlan::partial
+  /// on the copy. Kept as the bitwise oracle for the banded fast path;
+  /// reference mode (common/refmode.hpp) forces it, and it also serves
+  /// corner cases the band cannot (kp > 8).
+  void extract_reference(const layout::MaskImage& raster,
+                         std::span<float> out) const;
+
+  /// Banded fast path: one column-pass per raster band, thread-local
+  /// scratch, vectorized inner loops. Bitwise identical to the reference
+  /// (see DctPlan::partial_band).
+  void extract_fast(const layout::MaskImage& raster,
+                    std::span<float> out) const;
+
   FeatureTensorConfig config_;
   // Plans are cached per block size (tests exercise several resolutions).
   // unique_ptr keeps plan addresses stable across cache growth and the
   // mutex makes the lazy insert safe under extract_batch's parallelism;
   // the plans themselves are immutable and shared freely once built.
+  // The atomic caches the most recently used plan so the steady state
+  // (one block size, many threads) never touches the mutex — the old
+  // lock-per-extract was the main scaling bottleneck of extract_batch.
   mutable std::mutex plans_mu_;
   mutable std::vector<std::pair<std::size_t, std::unique_ptr<DctPlan>>>
       plans_;
+  mutable std::atomic<const DctPlan*> plan_cache_{nullptr};
 };
 
 }  // namespace hsdl::fte

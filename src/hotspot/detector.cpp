@@ -8,7 +8,9 @@
 #include "common/check.hpp"
 #include "common/io.hpp"
 #include "common/parallel.hpp"
+#include "common/refmode.hpp"
 #include "common/timer.hpp"
+#include "nn/workspace.hpp"
 #include "hotspot/engine/engine.hpp"
 #include "layout/transform.hpp"
 #include "nn/serialize.hpp"
@@ -126,8 +128,37 @@ nn::ClassificationDataset CnnDetector::extract_dataset(
 BiasedLearningResult CnnDetector::train_on(
     const nn::ClassificationDataset& train_set,
     const nn::ClassificationDataset& val_set) {
+  quantized_.reset();  // stale against the new weights
+  use_quantized_ = false;
   BiasedLearner learner(config_.biased);
   return learner.train(model_, train_set, val_set, rng_);
+}
+
+void CnnDetector::quantize(
+    std::span<const layout::LabeledClip> calibration) {
+  HSDL_CHECK_MSG(!calibration.empty(),
+                 "quantize() needs a calibration split");
+  const std::vector<std::size_t> shape = model_.input_shape();
+  const std::size_t feat = shape[0] * shape[1] * shape[2];
+  nn::Tensor x({calibration.size(), shape[0], shape[1], shape[2]});
+  parallel_for(0, calibration.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      extractor_.extract_into(calibration[i].clip,
+                              std::span<float>(x.data() + i * feat, feat));
+  });
+  quantized_ = std::make_unique<nn::QuantizedNet>(model_.net(), x);
+  use_quantized_ = true;
+}
+
+nn::Tensor CnnDetector::score_batch(const nn::Tensor& x,
+                                    nn::WorkspaceArena& ws) const {
+  if (use_quantized()) return quantized_->probabilities(x, ws);
+  return model_.probabilities(x, ws);
+}
+
+nn::Tensor CnnDetector::score(const nn::Tensor& x) const {
+  if (use_quantized()) return quantized_->probabilities(x);
+  return model_.probabilities(x);
 }
 
 void CnnDetector::train(std::span<const layout::LabeledClip> train_clips) {
@@ -188,6 +219,8 @@ void CnnDetector::load(const std::string& path) {
                                       << "'");
   nn::deserialize_params(std::string_view(data).substr(nl + 1),
                          model_.net().params(), path);
+  quantized_.reset();  // calibrated against the previous weights
+  use_quantized_ = false;
 }
 
 void CnnDetector::update_online(
@@ -207,6 +240,8 @@ void CnnDetector::update_online(
                          fresh.count_label(kNonHotspotIndex) > 0;
   MgdTrainer trainer(cfg);
   trainer.train(model_, fresh, fresh, rng_);
+  quantized_.reset();  // calibrated against the pre-update weights
+  use_quantized_ = false;
 }
 
 bool CnnDetector::predict(const layout::Clip& clip) const {
@@ -214,12 +249,26 @@ bool CnnDetector::predict(const layout::Clip& clip) const {
 }
 
 double CnnDetector::predict_probability(const layout::Clip& clip) const {
-  fte::FeatureTensor ft = extractor_.extract(clip);
   std::vector<std::size_t> shape = model_.input_shape();
   shape.insert(shape.begin(), 1);
-  const nn::Tensor x = nn::Tensor::from_data(shape, std::move(ft.data));
-  const nn::Tensor probs = model_.probabilities(x);
-  return static_cast<double>(probs.at(0, kHotspotIndex));
+  if (runtime::reference_mode()) {
+    // Oracle path: the original allocating pipeline, end to end.
+    fte::FeatureTensor ft = extractor_.extract(clip);
+    const nn::Tensor x = nn::Tensor::from_data(shape, std::move(ft.data));
+    const nn::Tensor probs = score(x);
+    return static_cast<double>(probs.at(0, kHotspotIndex));
+  }
+  // Serving fast path: per-thread input tensor and workspace arena, so a
+  // window prediction allocates nothing once warm. The arena-backed
+  // forward runs the same kernels as score(); only buffer reuse differs.
+  thread_local nn::Tensor x;
+  thread_local nn::WorkspaceArena arena;
+  if (x.shape() != shape) x = nn::Tensor(shape);
+  extractor_.extract_into(clip, std::span<float>(x.data(), x.numel()));
+  nn::Tensor probs = score_batch(x, arena);
+  const double p = static_cast<double>(probs.at(0, kHotspotIndex));
+  arena.recycle(std::move(probs));
+  return p;
 }
 
 std::vector<double> CnnDetector::predict_probabilities(
@@ -239,7 +288,7 @@ std::vector<double> CnnDetector::predict_probabilities(
     for (std::size_t i = 0; i < n; ++i)
       std::copy(fts[i].data.begin(), fts[i].data.end(),
                 x.data() + i * feat);
-    const nn::Tensor probs = model_.probabilities(x);
+    const nn::Tensor probs = score(x);
     for (std::size_t i = 0; i < n; ++i)
       out[start + i] = static_cast<double>(probs.at(i, kHotspotIndex));
   }

@@ -21,6 +21,7 @@
 #include "hotspot/cnn.hpp"
 #include "hotspot/metrics.hpp"
 #include "layout/dataset.hpp"
+#include "nn/quant.hpp"
 
 namespace hsdl::hotspot {
 
@@ -134,6 +135,22 @@ class CnnDetector final : public Detector {
   const HotspotCnn& model() const { return model_; }
   const fte::FeatureTensorExtractor& extractor() const { return extractor_; }
 
+  /// Builds an int8 copy of the trained model, calibrating activation
+  /// scales on `calibration` (use the validation split — see DESIGN.md
+  /// §12), and enables it for serving. Training, online updates and
+  /// load() drop the quantized model (weights changed).
+  void quantize(std::span<const layout::LabeledClip> calibration);
+  /// Toggle between the int8 model (if built) and fp32 at serving time.
+  void set_use_quantized(bool on) { use_quantized_ = on; }
+  bool use_quantized() const { return use_quantized_ && quantized_ != nullptr; }
+  const nn::QuantizedNet* quantized_net() const { return quantized_.get(); }
+
+  /// Batched probabilities [N, 2] through the active serving model (int8
+  /// when enabled, fp32 otherwise). The inference engine and evaluate()
+  /// route through this, so quantization plugs into every serving path
+  /// without touching them.
+  nn::Tensor score_batch(const nn::Tensor& x, nn::WorkspaceArena& ws) const;
+
   /// Saves the trained weights plus the feature/architecture fingerprint;
   /// load() verifies the fingerprint so a checkpoint cannot be restored
   /// into a detector with a different feature tensor or CNN shape. The
@@ -145,11 +162,14 @@ class CnnDetector final : public Detector {
 
  private:
   std::string fingerprint() const;
+  nn::Tensor score(const nn::Tensor& x) const;
 
   CnnDetectorConfig config_;
   fte::FeatureTensorExtractor extractor_;
   HotspotCnn model_;
   Rng rng_;
+  std::unique_ptr<nn::QuantizedNet> quantized_;
+  bool use_quantized_ = false;
 };
 
 // ---------------------------------------------------------------------------

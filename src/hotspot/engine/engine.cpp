@@ -239,7 +239,9 @@ void InferenceEngine::forward_loop() {
       // slab keeps its capacity for the next batch.
       nn::Tensor x = nn::Tensor::from_data({n, in[0], in[1], in[2]},
                                            std::move(slab->storage));
-      probs = detector_->model().probabilities(x, arena_);
+      // score_batch routes to the active serving model (int8 when the
+      // detector has a quantized net enabled, fp32 otherwise).
+      probs = detector_->score_batch(x, arena_);
       slab->storage = std::move(x.vec());
     }
     const double forward_seconds = timer.seconds();

@@ -17,6 +17,31 @@ MaskImage::MaskImage(std::size_t width, std::size_t height, double nm_per_px,
   HSDL_CHECK(nm_per_px > 0.0);
 }
 
+void MaskImage::reset(std::size_t width, std::size_t height, double nm_per_px,
+                      float fill) {
+  HSDL_CHECK(width > 0 && height > 0);
+  HSDL_CHECK(nm_per_px > 0.0);
+  width_ = width;
+  height_ = height;
+  nm_per_px_ = nm_per_px;
+  data_.assign(width * height, fill);  // assign() reuses capacity
+  span_log_.clear();
+  span_log_valid_ = false;
+}
+
+bool MaskImage::try_span_clear(std::size_t width, std::size_t height,
+                               double nm_per_px) {
+  if (!span_log_valid_ || width != width_ || height != height_ ||
+      nm_per_px != nm_per_px_)
+    return false;
+  for (const auto& [y, x0, x1] : span_log_) {
+    float* rowp = row(y);
+    std::fill(rowp + x0, rowp + x1, 0.0f);
+  }
+  span_log_.clear();
+  return true;
+}
+
 double MaskImage::mean() const {
   if (data_.empty()) return 0.0;
   double sum = 0.0;
@@ -34,6 +59,12 @@ double MaskImage::max_abs_diff(const MaskImage& a, const MaskImage& b) {
 }
 
 MaskImage rasterize(const Clip& clip, double nm_per_px) {
+  MaskImage img;
+  rasterize_into(clip, nm_per_px, img);
+  return img;
+}
+
+void rasterize_into(const Clip& clip, double nm_per_px, MaskImage& img) {
   HSDL_CHECK(!clip.window.empty());
   const double wpx = static_cast<double>(clip.window.width()) / nm_per_px;
   const double hpx = static_cast<double>(clip.window.height()) / nm_per_px;
@@ -45,7 +76,9 @@ MaskImage rasterize(const Clip& clip, double nm_per_px) {
                            << nm_per_px << " nm/px");
   const auto width = static_cast<std::size_t>(std::llround(wpx));
   const auto height = static_cast<std::size_t>(std::llround(hpx));
-  MaskImage img(width, height, nm_per_px);
+  if (!img.try_span_clear(width, height, nm_per_px))
+    img.reset(width, height, nm_per_px);
+  img.mark_span_logged();
 
   // Fill pixel spans per shape. Pixel centre of column x sits at
   // window.lo.x + (x + 0.5) * pitch; it is covered by [r.lo.x, r.hi.x) iff
@@ -64,12 +97,15 @@ MaskImage rasterize(const Clip& clip, double nm_per_px) {
     long long y0 = std::max(0LL, first_covered(r.lo.y, clip.window.lo.y));
     long long y1 = std::min(static_cast<long long>(height),
                             first_covered(r.hi.y, clip.window.lo.y));
+    if (x0 >= x1) continue;
     for (long long y = y0; y < y1; ++y) {
       float* rowp = img.row(static_cast<std::size_t>(y));
       std::fill(rowp + x0, rowp + x1, 1.0f);
+      img.record_span(static_cast<std::size_t>(y),
+                      static_cast<std::size_t>(x0),
+                      static_cast<std::size_t>(x1));
     }
   }
-  return img;
 }
 
 }  // namespace hsdl::layout

@@ -6,7 +6,9 @@
 #include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/refmode.hpp"
 #include "common/trace.hpp"
+#include "nn/conv_direct.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 #include "nn/workspace.hpp"
@@ -161,7 +163,48 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   return out;
 }
 
+Tensor Conv2d::direct_infer(const Tensor& input, WorkspaceArena* ws,
+                            bool fuse_relu) const {
+  const auto& shp = input.shape();
+  HSDL_CHECK_MSG(shp.size() == 4 && shp[1] == config_.in_channels,
+                 "conv2d expects [N," << config_.in_channels
+                                      << ",H,W], got " << input.shape_str());
+  const std::size_t n = shp[0], h = shp[2], w = shp[3];
+  const std::size_t oh = out_extent(h), ow = out_extent(w);
+  const std::size_t kk =
+      config_.in_channels * config_.kernel * config_.kernel;
+
+  HSDL_TRACE_SPAN("conv2d.infer");
+  // Same multiply-add count as the im2col GEMM (modulo skipped zeros);
+  // keep the counter comparable across paths.
+  count_conv_flops(n, config_.out_channels, kk, oh * ow, /*passes=*/1);
+  const ConvDirectShape ds{config_.in_channels, h,
+                           w,                   config_.out_channels,
+                           config_.kernel,      config_.stride,
+                           config_.padding};
+  const std::vector<std::size_t> out_shape{n, config_.out_channels, oh, ow};
+  Tensor out = ws != nullptr ? ws->take(out_shape) : Tensor(out_shape);
+  hsdl::parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      conv2d_direct(input.data() + i * config_.in_channels * h * w,
+                    weight_.value.data(), bias_.value.data(), ds, fuse_relu,
+                    out.data() + i * config_.out_channels * oh * ow);
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::infer_relu(const Tensor& input) const {
+  return direct_infer(input, nullptr, /*fuse_relu=*/true);
+}
+
+Tensor Conv2d::infer_relu(const Tensor& input, WorkspaceArena& ws) const {
+  return direct_infer(input, &ws, /*fuse_relu=*/true);
+}
+
 Tensor Conv2d::infer(const Tensor& input) const {
+  if (!runtime::reference_mode())
+    return direct_infer(input, nullptr, /*fuse_relu=*/false);
   const auto& shp = input.shape();
   HSDL_CHECK_MSG(shp.size() == 4 && shp[1] == config_.in_channels,
                  "conv2d expects [N," << config_.in_channels
@@ -195,6 +238,8 @@ Tensor Conv2d::infer(const Tensor& input) const {
 }
 
 Tensor Conv2d::infer(const Tensor& input, WorkspaceArena& ws) const {
+  if (!runtime::reference_mode())
+    return direct_infer(input, &ws, /*fuse_relu=*/false);
   const auto& shp = input.shape();
   HSDL_CHECK_MSG(shp.size() == 4 && shp[1] == config_.in_channels,
                  "conv2d expects [N," << config_.in_channels

@@ -1,4 +1,9 @@
-// 2-D convolution layer (im2col + GEMM).
+// 2-D convolution layer.
+//
+// Training (forward/backward) uses im2col + GEMM, which it needs anyway
+// for the gradient GEMMs. Inference uses the direct kernels from
+// nn/conv_direct.hpp unless reference mode is on (common/refmode.hpp),
+// in which case it runs the original im2col + GEMM path.
 //
 // Implements Equation (4) of the paper: each output map is the sum over
 // input channels of 2-D correlations with a kh x kw kernel, plus a bias.
@@ -29,6 +34,13 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor infer(const Tensor& input) const override;
   Tensor infer(const Tensor& input, WorkspaceArena& ws) const override;
+
+  /// Fused conv + ReLU (direct kernel, no im2col): bitwise identical to
+  /// infer() followed by Relu::infer() — the ReLU predicate runs inside
+  /// the bias epilogue instead of a second pass over a temporary.
+  Tensor infer_relu(const Tensor& input) const;
+  Tensor infer_relu(const Tensor& input, WorkspaceArena& ws) const;
+
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::vector<std::size_t> output_shape(
@@ -37,9 +49,13 @@ class Conv2d final : public Layer {
   const Conv2dConfig& config() const { return config_; }
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
  private:
   std::size_t out_extent(std::size_t in_extent) const;
+  Tensor direct_infer(const Tensor& input, WorkspaceArena* ws,
+                      bool fuse_relu) const;
 
   Conv2dConfig config_;
   Param weight_;  // [out_c, in_c * k * k]

@@ -8,6 +8,7 @@
 #endif
 
 #include "common/check.hpp"
+#include "common/cpuinfo.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
@@ -198,8 +199,7 @@ __attribute__((target("avx2,fma"))) void micro_kernel_avx2(
 
 MicroKernelFn select_micro_kernel() {
 #ifdef HSDL_GEMM_DISPATCH
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-    return micro_kernel_avx2;
+  if (cpu::has_avx2_fma()) return micro_kernel_avx2;
 #endif
   return micro_kernel_generic;
 }
@@ -208,7 +208,9 @@ void gemm_blocked(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
                   std::size_t k, float alpha, const float* a,
                   std::size_t lda, const float* b, std::size_t ldb, float* c,
                   std::size_t ldc) {
-  static const MicroKernelFn micro_kernel = select_micro_kernel();
+  // Re-selected per call (two relaxed loads) so HSDL_FORCE_SCALAR and the
+  // cpu::set_force_scalar test hook take effect without process restart.
+  const MicroKernelFn micro_kernel = select_micro_kernel();
   const std::size_t nc_max = std::min(n, NC);
   const std::size_t bp_panels = (nc_max + NR - 1) / NR;
   std::vector<float> bpack(std::min(k, KC) * bp_panels * NR);

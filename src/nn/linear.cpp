@@ -3,8 +3,10 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/refmode.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
+#include "nn/loss.hpp"
 #include "nn/workspace.hpp"
 
 namespace hsdl::nn {
@@ -43,30 +45,85 @@ Tensor Linear::forward(const Tensor& input, bool /*train*/) {
   return infer(input);
 }
 
-Tensor Linear::infer(const Tensor& input) const {
+void Linear::matmul_epilogue(const Tensor& input, Epilogue epi,
+                             Tensor& out) const {
   HSDL_CHECK_MSG(input.dim() == 2 && input.extent(1) == in_,
                  "linear expects [N," << in_ << "], got "
                                       << input.shape_str());
   const std::size_t n = input.extent(0);
-  Tensor out({n, out_});
-  // out = x [n x in] * W^T [in x out]
-  gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
-       weight_.value.data(), in_, 0.0f, out.data(), out_);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_.value[j];
+  // out = x [n x in] * W^T [in x out]. Serving pins the naive kernel:
+  // each output row is an independent ascending-k reduction, so the
+  // result is identical for every batch size and the engine's batched
+  // forward stays bitwise equal to the per-clip path. (The blocked GEMM
+  // flips to an FMA microkernel once batch * out * in crosses its flop
+  // cutoff, which rounds differently.) The FC layers are a rounding
+  // error of serving time next to the convs, so nothing is lost.
+  // Reference mode keeps the historical cutoff dispatch.
+  if (runtime::reference_mode()) {
+    gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
+         weight_.value.data(), in_, 0.0f, out.data(), out_);
+  } else {
+    gemm_naive(false, true, n, out_, in_, 1.0f, input.data(), in_,
+               weight_.value.data(), in_, 0.0f, out.data(), out_);
+  }
+  // Fused epilogues run the same arithmetic the separate Relu / softmax
+  // layers would — the only thing saved is the intermediate tensor.
+  switch (epi) {
+    case Epilogue::kNone:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_.value[j];
+      break;
+    case Epilogue::kRelu:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < out_; ++j) {
+          const float v = out.at(i, j) + bias_.value[j];
+          out.at(i, j) = v > 0.0f ? v : 0.0f;
+        }
+      }
+      break;
+    case Epilogue::kSoftmax:
+      for (std::size_t i = 0; i < n; ++i) {
+        float* row = out.data() + i * out_;
+        for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
+        softmax_row(row, out_, row);
+      }
+      break;
+  }
+}
+
+Tensor Linear::infer(const Tensor& input) const {
+  Tensor out({input.extent(0), out_});
+  matmul_epilogue(input, Epilogue::kNone, out);
   return out;
 }
 
 Tensor Linear::infer(const Tensor& input, WorkspaceArena& ws) const {
-  HSDL_CHECK_MSG(input.dim() == 2 && input.extent(1) == in_,
-                 "linear expects [N," << in_ << "], got "
-                                      << input.shape_str());
-  const std::size_t n = input.extent(0);
-  Tensor out = ws.take({n, out_});
-  gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
-       weight_.value.data(), in_, 0.0f, out.data(), out_);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < out_; ++j) out.at(i, j) += bias_.value[j];
+  Tensor out = ws.take({input.extent(0), out_});
+  matmul_epilogue(input, Epilogue::kNone, out);
+  return out;
+}
+
+Tensor Linear::infer_relu(const Tensor& input) const {
+  Tensor out({input.extent(0), out_});
+  matmul_epilogue(input, Epilogue::kRelu, out);
+  return out;
+}
+
+Tensor Linear::infer_relu(const Tensor& input, WorkspaceArena& ws) const {
+  Tensor out = ws.take({input.extent(0), out_});
+  matmul_epilogue(input, Epilogue::kRelu, out);
+  return out;
+}
+
+Tensor Linear::infer_softmax(const Tensor& input) const {
+  Tensor out({input.extent(0), out_});
+  matmul_epilogue(input, Epilogue::kSoftmax, out);
+  return out;
+}
+
+Tensor Linear::infer_softmax(const Tensor& input, WorkspaceArena& ws) const {
+  Tensor out = ws.take({input.extent(0), out_});
+  matmul_epilogue(input, Epilogue::kSoftmax, out);
   return out;
 }
 

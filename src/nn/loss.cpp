@@ -13,19 +13,24 @@ namespace {
 // numerically.
 void softmax_rows(const Tensor& logits, Tensor& out) {
   const std::size_t n = logits.extent(0), c = logits.extent(1);
-  for (std::size_t i = 0; i < n; ++i) {
-    float m = logits.at(i, 0);
-    for (std::size_t j = 1; j < c; ++j) m = std::max(m, logits.at(i, j));
-    double denom = 0.0;
-    for (std::size_t j = 0; j < c; ++j)
-      denom += std::exp(static_cast<double>(logits.at(i, j) - m));
-    for (std::size_t j = 0; j < c; ++j)
-      out.at(i, j) = static_cast<float>(
-          std::exp(static_cast<double>(logits.at(i, j) - m)) / denom);
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    softmax_row(logits.data() + i * c, c, out.data() + i * c);
 }
 
 }  // namespace
+
+void softmax_row(const float* logits, std::size_t c, float* out) {
+  float m = logits[0];
+  for (std::size_t j = 1; j < c; ++j) m = std::max(m, logits[j]);
+  double denom = 0.0;
+  for (std::size_t j = 0; j < c; ++j)
+    denom += std::exp(static_cast<double>(logits[j] - m));
+  // Each element reads logits[j] before writing out[j], so out == logits
+  // (in-place, used by the fused FC+softmax path) is well defined.
+  for (std::size_t j = 0; j < c; ++j)
+    out[j] = static_cast<float>(std::exp(static_cast<double>(logits[j] - m)) /
+                                denom);
+}
 
 Tensor softmax(const Tensor& logits) {
   HSDL_CHECK(logits.dim() == 2);

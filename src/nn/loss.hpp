@@ -29,6 +29,12 @@ class SoftmaxCrossEntropy {
 
 class WorkspaceArena;
 
+/// One row of the stabilized softmax: out[j] = exp(x[j]-max)/sum. This is
+/// the single arithmetic definition every softmax in the repo routes
+/// through (loss, standalone, and the fused FC+softmax serving path), so
+/// they cannot drift numerically. Safe to call in place (out == logits).
+void softmax_row(const float* logits, std::size_t c, float* out);
+
 /// Standalone row-wise softmax (numerically stabilized).
 Tensor softmax(const Tensor& logits);
 

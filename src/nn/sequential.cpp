@@ -1,6 +1,12 @@
 #include "nn/sequential.hpp"
 
 #include "common/check.hpp"
+#include "common/refmode.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
 #include "nn/workspace.hpp"
 
 namespace hsdl::nn {
@@ -12,8 +18,59 @@ Tensor Sequential::forward(const Tensor& input, bool train) {
   return x;
 }
 
+// Serving walk with peephole fusion. Every rewrite below preserves the
+// per-layer arithmetic bitwise — only intermediate materialization is
+// elided:
+//   * Conv2d + Relu  -> Conv2d::infer_relu (ReLU inside the bias pass)
+//   * Linear + Relu  -> Linear::infer_relu
+//   * Dropout        -> skipped (identity at inference; the plain walk
+//                       still pays a full tensor copy)
+//   * Flatten        -> in-place reshape, stealing the owned buffer
+//                       instead of copying it
+// Reference mode (common/refmode.hpp) bypasses this and runs the
+// original one-layer-at-a-time loops.
+Tensor Sequential::fused_infer(const Tensor& input, std::size_t n_layers,
+                               WorkspaceArena* ws) const {
+  HSDL_CHECK_MSG(n_layers >= 1 && n_layers <= layers_.size(),
+                 "bad layer prefix length");
+  Tensor x;
+  bool owned = false;  // x holds the current activation
+  const Tensor* cur = &input;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    Layer* l = layers_[i].get();
+    if (dynamic_cast<const Dropout*>(l) != nullptr) continue;
+    if (dynamic_cast<const Flatten*>(l) != nullptr && owned) {
+      x = Tensor::from_data(l->output_shape(x.shape()), std::move(x.vec()));
+      continue;
+    }
+    const bool next_relu =
+        i + 1 < n_layers &&
+        dynamic_cast<const Relu*>(layers_[i + 1].get()) != nullptr;
+    Tensor y;
+    if (const auto* conv = dynamic_cast<const Conv2d*>(l);
+        conv != nullptr && next_relu) {
+      y = ws != nullptr ? conv->infer_relu(*cur, *ws) : conv->infer_relu(*cur);
+      ++i;
+    } else if (const auto* lin = dynamic_cast<const Linear*>(l);
+               lin != nullptr && next_relu) {
+      y = ws != nullptr ? lin->infer_relu(*cur, *ws) : lin->infer_relu(*cur);
+      ++i;
+    } else {
+      y = ws != nullptr ? l->infer(*cur, *ws) : l->infer(*cur);
+    }
+    if (owned && ws != nullptr) ws->recycle(std::move(x));
+    x = std::move(y);
+    owned = true;
+    cur = &x;
+  }
+  if (!owned) return input;  // prefix was all pass-throughs
+  return x;
+}
+
 Tensor Sequential::infer(const Tensor& input) const {
   HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
+  if (!runtime::reference_mode())
+    return fused_infer(input, layers_.size(), nullptr);
   Tensor x = input;
   for (const auto& l : layers_) x = l->infer(x);
   return x;
@@ -21,6 +78,8 @@ Tensor Sequential::infer(const Tensor& input) const {
 
 Tensor Sequential::infer(const Tensor& input, WorkspaceArena& ws) const {
   HSDL_CHECK_MSG(!layers_.empty(), "empty sequential");
+  if (!runtime::reference_mode())
+    return fused_infer(input, layers_.size(), &ws);
   Tensor x = layers_.front()->infer(input, ws);
   for (std::size_t i = 1; i < layers_.size(); ++i) {
     Tensor y = layers_[i]->infer(x, ws);
@@ -28,6 +87,11 @@ Tensor Sequential::infer(const Tensor& input, WorkspaceArena& ws) const {
     x = std::move(y);
   }
   return x;
+}
+
+Tensor Sequential::infer_prefix(const Tensor& input, std::size_t n_layers,
+                                WorkspaceArena& ws) const {
+  return fused_infer(input, n_layers, &ws);
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {

@@ -31,6 +31,11 @@ class Sequential final : public Layer {
   /// zero heap allocations. The caller owns `input`; the returned tensor
   /// is arena-pooled (recycle it when done).
   Tensor infer(const Tensor& input, WorkspaceArena& ws) const override;
+  /// Runs only layers [0, n_layers) with the fused serving walk. The
+  /// fused FC+softmax path (HotspotCnn) uses this to stop just before
+  /// the final Linear and apply Linear::infer_softmax itself.
+  Tensor infer_prefix(const Tensor& input, std::size_t n_layers,
+                      WorkspaceArena& ws) const;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::vector<std::size_t> output_shape(
@@ -48,6 +53,9 @@ class Sequential final : public Layer {
   std::size_t param_count();
 
  private:
+  Tensor fused_infer(const Tensor& input, std::size_t n_layers,
+                     WorkspaceArena* ws) const;
+
   std::vector<LayerPtr> layers_;
 };
 

@@ -1,0 +1,61 @@
+#include "common/cpuinfo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hsdl::cpu {
+namespace {
+
+/// Restores the force-scalar flag on scope exit so tests cannot leak the
+/// override into the rest of the binary.
+class ForceScalarRestore {
+ public:
+  ForceScalarRestore() : prev_(force_scalar()) {}
+  ~ForceScalarRestore() { set_force_scalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(CpuInfoTest, ActiveIsaNamesTheDispatchPath) {
+  const std::string isa = active_isa();
+  if (has_avx2_fma()) {
+    EXPECT_EQ(isa, "avx2");
+  } else {
+    EXPECT_EQ(isa, "scalar");
+  }
+}
+
+TEST(CpuInfoTest, ForceScalarDisablesAvx2) {
+  ForceScalarRestore restore;
+  set_force_scalar(true);
+  EXPECT_TRUE(force_scalar());
+  EXPECT_FALSE(has_avx2_fma());
+  EXPECT_EQ(std::string(active_isa()), "scalar");
+}
+
+TEST(CpuInfoTest, UnforcingRestoresHostDetection) {
+  ForceScalarRestore restore;
+  set_force_scalar(true);
+  ASSERT_FALSE(has_avx2_fma());
+  set_force_scalar(false);
+  EXPECT_FALSE(force_scalar());
+  // With the override off the answer is purely host capability; it must
+  // be stable from call to call.
+  const bool first = has_avx2_fma();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(has_avx2_fma(), first);
+}
+
+TEST(CpuInfoTest, ToggleIsIdempotent) {
+  ForceScalarRestore restore;
+  for (int i = 0; i < 3; ++i) {
+    set_force_scalar(true);
+    EXPECT_TRUE(force_scalar());
+    set_force_scalar(false);
+    EXPECT_FALSE(force_scalar());
+  }
+}
+
+}  // namespace
+}  // namespace hsdl::cpu

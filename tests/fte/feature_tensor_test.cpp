@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/cpuinfo.hpp"
+#include "common/refmode.hpp"
 #include "layout/generator.hpp"
 #include "layout/raster.hpp"
 
@@ -178,6 +180,47 @@ TEST(FeatureTensorTest, RejectsBadInputs) {
   FeatureTensorConfig cfg;
   cfg.coeffs = 0;
   EXPECT_THROW(FeatureTensorExtractor{cfg}, hsdl::CheckError);
+}
+
+TEST(FeatureTensorTest, BandedFastPathMatchesReferenceBitwise) {
+  // The banded extraction path must reproduce the per-block reference
+  // path bit for bit (see DctPlan::partial_band).
+  Clip clip = demo_clip();
+  for (double nm_per_px : {2.0, 4.0}) {  // 50 px and 25 px blocks
+    FeatureTensorConfig cfg;
+    cfg.nm_per_px = nm_per_px;
+    FeatureTensorExtractor ex(cfg);
+    MaskImage raster = layout::rasterize(clip, cfg.nm_per_px);
+    FeatureTensor fast = ex.extract(raster);
+    runtime::ReferenceModeGuard guard(true);
+    FeatureTensor ref = ex.extract(raster);
+    ASSERT_EQ(fast.data.size(), ref.data.size());
+    for (std::size_t i = 0; i < ref.data.size(); ++i)
+      ASSERT_EQ(fast.data[i], ref.data[i])
+          << "nm_per_px=" << nm_per_px << " index " << i;
+  }
+}
+
+TEST(FeatureTensorTest, ClipOverloadMatchesReferencePipeline) {
+  // The serving path (thread-local raster reuse + banded DCT) must equal
+  // the allocating reference pipeline exactly.
+  Clip clip = demo_clip();
+  FeatureTensorExtractor ex;
+  FeatureTensor fast = ex.extract(clip);
+  runtime::ReferenceModeGuard guard(true);
+  FeatureTensor ref = ex.extract(clip);
+  EXPECT_EQ(fast.data, ref.data);
+}
+
+TEST(FeatureTensorTest, ScalarBandMatchesDispatchedBand) {
+  Clip clip = demo_clip();
+  FeatureTensorExtractor ex;
+  FeatureTensor fast = ex.extract(clip);
+  const bool prev = cpu::force_scalar();
+  cpu::set_force_scalar(true);
+  FeatureTensor scalar = ex.extract(clip);
+  cpu::set_force_scalar(prev);
+  EXPECT_EQ(fast.data, scalar.data);
 }
 
 TEST(FeatureTensorTest, RejectsTooManyCoeffsForBlock) {

@@ -1,0 +1,107 @@
+// The int8 accuracy-delta gate (ISSUE: quantized serving must lose less
+// than 0.5% hotspot accuracy against the fp32 model it was built from).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hotspot/benchmark_factory.hpp"
+#include "hotspot/detector.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+/// Shared tiny benchmark, built once (labeling is the slow part).
+const layout::BenchmarkData& tiny_benchmark() {
+  static const layout::BenchmarkData data = [] {
+    BenchmarkSpec spec = industry3_spec(0.004);  // ~100 train / 150 test
+    return build_benchmark(spec);
+  }();
+  return data;
+}
+
+CnnDetectorConfig fast_cnn_config() {
+  CnnDetectorConfig cfg;
+  cfg.biased.rounds = 1;
+  cfg.biased.initial.max_iters = 500;
+  cfg.biased.initial.learning_rate = 8e-3;
+  cfg.biased.initial.decay_step = 250;
+  cfg.biased.initial.validate_every = 50;
+  cfg.biased.initial.patience = 20;
+  return cfg;
+}
+
+/// One trained + quantized detector shared by the gate tests (training is
+/// the slow part; the assertions are all read-only on the model).
+CnnDetector& trained_detector() {
+  static CnnDetector* det = [] {
+    auto* d = new CnnDetector(fast_cnn_config());
+    const auto& bench = tiny_benchmark();
+    d->train(bench.train);
+    // Calibrate activation scales on the tail quarter of the training
+    // clips — the stand-in for the paper's held-out validation split.
+    const std::size_t n_cal = bench.train.size() / 4;
+    d->quantize(std::span<const layout::LabeledClip>(
+        bench.train.data() + bench.train.size() - n_cal, n_cal));
+    return d;
+  }();
+  return *det;
+}
+
+TEST(QuantAccuracyGateTest, Int8LosesLessThanHalfPercentAccuracy) {
+  CnnDetector& det = trained_detector();
+  const auto& bench = tiny_benchmark();
+  ASSERT_TRUE(det.use_quantized());
+
+  det.set_use_quantized(false);
+  const DetectorEval fp32 = det.evaluate(bench.test);
+  det.set_use_quantized(true);
+  const DetectorEval int8 = det.evaluate(bench.test);
+
+  // The gate: hotspot accuracy (paper Definition 1) may not drop by 0.5%
+  // or more when serving switches to the int8 model.
+  EXPECT_LT(fp32.confusion.accuracy() - int8.confusion.accuracy(), 0.005)
+      << "fp32 accuracy " << fp32.confusion.accuracy() << " vs int8 "
+      << int8.confusion.accuracy();
+  // False alarms must not explode either (same per-clip tolerance).
+  EXPECT_NEAR(static_cast<double>(int8.confusion.false_alarms()),
+              static_cast<double>(fp32.confusion.false_alarms()),
+              0.005 * static_cast<double>(bench.test.size()) + 1.0);
+}
+
+TEST(QuantAccuracyGateTest, Int8ProbabilitiesTrackFp32) {
+  CnnDetector& det = trained_detector();
+  const auto& bench = tiny_benchmark();
+  std::vector<layout::Clip> clips;
+  clips.reserve(bench.test.size());
+  for (const auto& lc : bench.test) clips.push_back(lc.clip);
+
+  det.set_use_quantized(false);
+  const std::vector<double> p_fp32 = det.predict_probabilities(clips);
+  det.set_use_quantized(true);
+  const std::vector<double> p_int8 = det.predict_probabilities(clips);
+
+  ASSERT_EQ(p_fp32.size(), p_int8.size());
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < p_fp32.size(); ++i)
+    max_dev = std::max(max_dev, std::abs(p_fp32[i] - p_int8[i]));
+  EXPECT_LT(max_dev, 0.08);
+}
+
+TEST(QuantAccuracyGateTest, WeightChangesDropTheQuantizedModel) {
+  // A stale int8 model serving freshly updated weights would silently
+  // answer with the old network; any weight change must invalidate it.
+  // Invalidation only depends on the weights changing, not on model
+  // quality, so skip the (slow) full training run.
+  CnnDetector det(fast_cnn_config());
+  const auto& bench = tiny_benchmark();
+  det.quantize(std::span<const layout::LabeledClip>(bench.train.data(), 8));
+  ASSERT_TRUE(det.use_quantized());
+  det.update_online(std::span<const layout::LabeledClip>(
+      bench.train.data(), 2));
+  EXPECT_FALSE(det.use_quantized());
+  EXPECT_EQ(det.quantized_net(), nullptr);
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot
