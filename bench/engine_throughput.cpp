@@ -7,11 +7,17 @@
 // predict_probability, (b) the engine at its default batch size, and
 // (c) an engine-routed full-chip scan vs a per-clip scan — and reports
 // clips/sec plus the engine's batching and arena counters. Results go to
-// stdout and BENCH_serving.json. Threads are forced to 8 so the
-// extraction/forward overlap is visible even when CI pins fewer cores;
-// host_cores records what the machine actually had, so single-core runs
-// (where the ratio honestly degrades toward 1x) are identifiable.
+// stdout and BENCH_serving.json. The pool gets min(8, host_cores)
+// threads — oversubscribing a small CI host used to time-slice the
+// batcher/forward/caller threads against each other and report the
+// engine *slower* than per-clip — and the JSON records the pool size the
+// run actually used (pool_threads), not a configured constant. On a
+// one-core host the engine collapses to its inline synchronous path, so
+// the gate at the bottom (engine >= 0.95x per-clip, clip stream and
+// scan) holds everywhere: overlap wins on real cores, and inline mode
+// keeps single-core within queue-free reach of serial.
 // HSDL_BENCH_SMOKE=1 shrinks the workload for CI.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -47,11 +53,15 @@ hotspot::CnnDetectorConfig serving_detector_config() {
 int main() {
   const bool smoke = std::getenv("HSDL_BENCH_SMOKE") != nullptr;
   const std::size_t host_cores = hardware_threads();
-  const std::size_t threads = 8;
+  // Match the pool to the host: forcing 8 threads onto fewer cores only
+  // measures scheduler thrash (see the 0.82x regression this replaced).
+  const std::size_t threads = std::min<std::size_t>(8, host_cores);
   set_num_threads(threads);
+  // What the pool actually runs with — this is what the JSON reports.
+  const std::size_t pool_threads = num_threads();
   const std::size_t n_clips = smoke ? 48 : 256;
-  std::printf("serving throughput (host cores: %zu, forced threads: %zu%s)\n",
-              host_cores, threads, smoke ? ", SMOKE" : "");
+  std::printf("serving throughput (host cores: %zu, pool threads: %zu%s)\n",
+              host_cores, pool_threads, smoke ? ", SMOKE" : "");
 
   layout::GeneratorConfig gen_cfg;
   gen_cfg.stress = 0.45;
@@ -119,35 +129,51 @@ int main() {
       int8_wps / baseline_wps);
   set_num_threads(threads);
 
+  // Both sides of the headline ratio run best-of-N for the same reason
+  // as the single-thread ladder: one pass on a noisy shared host can
+  // swing either number enough to fake (or mask) a regression.
+  const std::size_t reps = smoke ? 3 : 5;
+
   // -- (a) per-clip serial baseline: extract + forward one clip at a time.
   std::vector<double> serial_probs(clips.size());
-  WallTimer serial_timer;
-  for (std::size_t i = 0; i < clips.size(); ++i)
-    serial_probs[i] = detector.predict_probability(clips[i]);
-  const double serial_s = serial_timer.seconds();
+  double serial_s = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer serial_timer;
+    for (std::size_t i = 0; i < clips.size(); ++i)
+      serial_probs[i] = detector.predict_probability(clips[i]);
+    const double s = serial_timer.seconds();
+    if (r == 0 || s < serial_s) serial_s = s;
+  }
   const double serial_cps = static_cast<double>(n_clips) / serial_s;
   std::printf("  per-clip:  %6.1f clips/s (%.3f s)\n", serial_cps, serial_s);
 
   // -- (b) engine at batch 64: parallel extraction overlapped with the
-  //        batched forward pass, arena-pooled activations.
+  //        batched forward pass, arena-pooled activations (inline
+  //        synchronous path when the pool is down to one worker).
   hotspot::EngineConfig engine_cfg;
   engine_cfg.max_batch = 64;
   hotspot::InferenceEngine engine(detector, engine_cfg);
   engine.score(clips);  // warmup: grow slabs and the workspace arena
-  WallTimer engine_timer;
-  const std::vector<double> engine_probs = engine.score(clips);
-  const double engine_s = engine_timer.seconds();
+  std::vector<double> engine_probs;
+  double engine_s = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer engine_timer;
+    engine_probs = engine.score(clips);
+    const double s = engine_timer.seconds();
+    if (r == 0 || s < engine_s) engine_s = s;
+  }
   const double engine_cps = static_cast<double>(n_clips) / engine_s;
   const hotspot::EngineStats stats = engine.stats();
   std::printf("  engine:    %6.1f clips/s (%.3f s)  speedup %.2fx\n",
               engine_cps, engine_s, engine_cps / serial_cps);
   std::printf(
-      "    batches %llu (full %llu, timeout %llu, drain %llu)  "
-      "arena: %llu allocs, %llu reuses, %zu bytes\n",
+      "    batches %llu (full %llu, timeout %llu, drain %llu, inline %llu)"
+      "  arena: %llu allocs, %llu reuses, %zu bytes\n",
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.flush_full),
       static_cast<unsigned long long>(stats.flush_timeout),
       static_cast<unsigned long long>(stats.flush_drain),
+      static_cast<unsigned long long>(stats.inline_batches),
       static_cast<unsigned long long>(stats.arena_allocations),
       static_cast<unsigned long long>(stats.arena_reuses),
       stats.arena_bytes_reserved);
@@ -200,8 +226,21 @@ int main() {
     const hotspot::CnnDetector* inner;
   };
   PerClipProxy proxy(detector);
-  const hotspot::ScanReport per_clip_report = scanner.scan(chip, proxy);
-  const hotspot::ScanReport engine_report = scanner.scan(chip, engine);
+  // Best-of-N like the sections above: one cold scan pass on a small
+  // smoke chip can swing 2x and trip the gate on pure noise.
+  const auto best_scan = [&](auto&& runner) {
+    hotspot::ScanReport best = runner();
+    for (std::size_t r = 1; r < reps; ++r) {
+      hotspot::ScanReport report = runner();
+      if (report.windows_per_second() > best.windows_per_second())
+        best = std::move(report);
+    }
+    return best;
+  };
+  const hotspot::ScanReport per_clip_report =
+      best_scan([&] { return scanner.scan(chip, proxy); });
+  const hotspot::ScanReport engine_report =
+      best_scan([&] { return scanner.scan(chip, engine); });
 
   // -- (d) engine on the int8 model: same stream, quantized serving.
   // score_batch routes per call, so the already-running engine switches
@@ -237,7 +276,7 @@ int main() {
 
   std::ofstream os("BENCH_serving.json");
   os << "{\n  \"host_cores\": " << host_cores
-     << ",\n  \"threads\": " << threads
+     << ",\n  \"pool_threads\": " << pool_threads
      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
      << ",\n  \"clips\": " << n_clips
      << ",\n  \"single_thread\": {\"windows\": " << n_st
@@ -258,6 +297,7 @@ int main() {
      << ", \"flush_full\": " << stats.flush_full
      << ", \"flush_timeout\": " << stats.flush_timeout
      << ", \"flush_drain\": " << stats.flush_drain
+     << ", \"inline_batches\": " << stats.inline_batches
      << ", \"arena_allocations\": " << stats.arena_allocations
      << ", \"arena_reuses\": " << stats.arena_reuses
      << ", \"arena_bytes_reserved\": " << stats.arena_bytes_reserved
@@ -275,5 +315,29 @@ int main() {
             per_clip_report.windows_per_second()
      << "}\n}\n";
   std::printf("wrote BENCH_serving.json\n");
-  return 0;
+
+  // Regression gate: the batched engine may never lose meaningfully to
+  // the per-clip path it exists to replace, on any host shape. 0.95x
+  // leaves room for timer noise; anything below means the queue is
+  // costing more than batching recovers (exactly the bug the inline
+  // collapse fixed on one-core hosts).
+  const double clip_speedup = engine_cps / serial_cps;
+  const double scan_speedup = engine_report.windows_per_second() /
+                              per_clip_report.windows_per_second();
+  bool ok = true;
+  if (clip_speedup < 0.95) {
+    std::fprintf(stderr,
+                 "FATAL: engine clip throughput is %.3fx of per-clip "
+                 "(gate: >= 0.95x)\n",
+                 clip_speedup);
+    ok = false;
+  }
+  if (scan_speedup < 0.95) {
+    std::fprintf(stderr,
+                 "FATAL: engine scan throughput is %.3fx of per-clip "
+                 "(gate: >= 0.95x)\n",
+                 scan_speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,157 @@
+// Serving latency under synthetic many-client load.
+//
+// Stands up an in-process HotspotServer on an ephemeral loopback port,
+// then drives it with N concurrent client threads, each issuing M
+// ScoreRequests of a few clips over its own connection. Every request's
+// wall time is sampled client-side (connect + handshake excluded, so
+// the numbers are request latency, not session setup), pooled across
+// clients, and reported as exact quantiles from the sorted sample
+// vector — p50/p90/p99/max — plus aggregate request and clip
+// throughput. Results go to stdout and BENCH_latency.json.
+// HSDL_BENCH_SMOKE=1 shrinks clients and requests for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "hotspot/detector.hpp"
+#include "layout/generator.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hsdl;
+
+hotspot::CnnDetectorConfig serving_detector_config() {
+  hotspot::CnnDetectorConfig config;
+  config.feature.blocks_per_side = 12;
+  config.feature.coeffs = 16;
+  config.feature.nm_per_px = 4.0;
+  config.cnn.stage1_maps = 8;
+  config.cnn.stage2_maps = 8;
+  config.cnn.fc_nodes = 32;
+  return config;
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("HSDL_BENCH_SMOKE") != nullptr;
+  const std::size_t n_clients = smoke ? 4 : 8;
+  const std::size_t n_requests = smoke ? 8 : 32;
+  const std::size_t clips_per_request = smoke ? 4 : 8;
+  std::printf("serving latency (%zu clients x %zu requests x %zu clips%s)\n",
+              n_clients, n_requests, clips_per_request,
+              smoke ? ", SMOKE" : "");
+
+  // One model shared by every request (fresh weights score fine; the
+  // bench measures the serving path, not detection quality).
+  serve::ModelRegistry registry(serving_detector_config(),
+                                hotspot::EngineConfig{});
+  {
+    auto served = std::make_unique<hotspot::CnnDetector>(
+        serving_detector_config());
+    registry.install(std::move(served), "bench");
+  }
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.session_workers = n_clients;
+  serve::HotspotServer server(registry, serve_cfg);
+
+  // Per-client clip streams, generated up front so the measured loop is
+  // pure request/response.
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.45;
+  std::vector<std::vector<layout::Clip>> streams(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    layout::ClipGenerator gen(gen_cfg, 101 + c);
+    for (std::size_t i = 0; i < clips_per_request; ++i)
+      streams[c].push_back(gen.generate().normalized());
+  }
+
+  std::vector<std::vector<double>> samples(n_clients);
+  WallTimer total_timer;
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::ServeClient client("127.0.0.1", server.port(),
+                                  "bench-tenant-" + std::to_string(c % 2));
+        // Warmup request: first contact grows the engine's slabs/arena.
+        (void)client.score(streams[c]);
+        samples[c].reserve(n_requests);
+        for (std::size_t r = 0; r < n_requests; ++r) {
+          WallTimer timer;
+          (void)client.score(streams[c]);
+          samples[c].push_back(timer.seconds());
+        }
+        client.bye();
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double total_s = total_timer.seconds();
+  server.shutdown();
+
+  std::vector<double> all;
+  for (const std::vector<double>& s : samples)
+    all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  const double p50 = quantile(all, 0.50);
+  const double p90 = quantile(all, 0.90);
+  const double p99 = quantile(all, 0.99);
+  const double worst = all.empty() ? 0.0 : all.back();
+  const std::size_t total_requests = all.size();
+  const std::size_t total_clips = total_requests * clips_per_request;
+  const double rps = static_cast<double>(total_requests) / total_s;
+  const double cps = static_cast<double>(total_clips) / total_s;
+
+  std::printf(
+      "  %zu requests in %.3f s (%.1f req/s, %.1f clips/s)\n"
+      "  latency p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+      total_requests, total_s, rps, cps, p50 * 1e3, p90 * 1e3, p99 * 1e3,
+      worst * 1e3);
+
+  const serve::ServerStats stats = server.stats();
+  std::ofstream os("BENCH_latency.json");
+  os << "{\n  \"host_cores\": " << hardware_threads()
+     << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"clients\": " << n_clients
+     << ",\n  \"requests_per_client\": " << n_requests
+     << ",\n  \"clips_per_request\": " << clips_per_request
+     << ",\n  \"session_workers\": " << serve_cfg.session_workers
+     << ",\n  \"total_seconds\": " << total_s
+     << ",\n  \"requests_per_sec\": " << rps
+     << ",\n  \"clips_per_sec\": " << cps
+     << ",\n  \"latency_seconds\": {\"p50\": " << p50
+     << ", \"p90\": " << p90 << ", \"p99\": " << p99
+     << ", \"max\": " << worst << "}"
+     << ",\n  \"server\": {\"sessions\": " << stats.sessions_accepted
+     << ", \"requests\": " << stats.requests_served
+     << ", \"clips\": " << stats.clips_scored
+     << ", \"errors\": " << stats.errors_sent << "}\n}\n";
+  std::printf("wrote BENCH_latency.json\n");
+
+  // Sanity gate: every request must have been served and none rejected.
+  if (stats.errors_sent != 0 ||
+      stats.requests_served < total_requests) {
+    std::fprintf(stderr, "FATAL: server stats inconsistent with client view\n");
+    return 1;
+  }
+  return 0;
+}

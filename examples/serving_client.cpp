@@ -1,0 +1,64 @@
+// Minimal serving round-trip: stand up an in-process HotspotServer,
+// connect a ServeClient over loopback, score a handful of generated
+// clips and print the ranked hits. This is the "Serving" section of the
+// README as a runnable program; point the client at a standalone
+// `hsdl_serve --demo` process instead by replacing the in-process
+// server with its host/port.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hotspot/detector.hpp"
+#include "layout/generator.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+int main() {
+  using namespace hsdl;
+
+  // 1. A model to serve. Real deployments load a trained checkpoint via
+  //    ModelRegistry::swap_from_checkpoint; fresh weights keep the
+  //    example self-contained.
+  hotspot::CnnDetectorConfig det_cfg;
+  det_cfg.feature.blocks_per_side = 12;
+  det_cfg.feature.coeffs = 16;
+  det_cfg.feature.nm_per_px = 4.0;
+  det_cfg.cnn.stage1_maps = 8;
+  det_cfg.cnn.stage2_maps = 8;
+  det_cfg.cnn.fc_nodes = 32;
+  serve::ModelRegistry registry(det_cfg, hotspot::EngineConfig{});
+  registry.install(std::make_unique<hotspot::CnnDetector>(det_cfg),
+                   "example");
+
+  // 2. The server: ephemeral loopback port, graceful drain on scope exit.
+  serve::HotspotServer server(registry, serve::ServeConfig{});
+  std::printf("server on 127.0.0.1:%u, model generation %llu\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned long long>(registry.generation()));
+
+  // 3. A client: connect, handshake, score a batch, read ranked hits.
+  layout::GeneratorConfig gen_cfg;
+  gen_cfg.stress = 0.5;
+  layout::ClipGenerator gen(gen_cfg, 7);
+  std::vector<layout::Clip> clips;
+  for (int i = 0; i < 6; ++i) clips.push_back(gen.generate().normalized());
+
+  serve::ServeClient client("127.0.0.1", server.port(), "example-tenant");
+  const serve::ScoreResponse response = client.score(clips);
+  std::printf("scored %zu clips (request %llu, generation %llu):\n",
+              response.hits.size(),
+              static_cast<unsigned long long>(response.request_id),
+              static_cast<unsigned long long>(response.model_generation));
+  for (const serve::RankedHit& hit : response.hits)
+    std::printf("  clip %2u  p(hotspot) = %.4f%s\n", hit.index,
+                hit.probability, hit.flagged ? "  << flagged" : "");
+  client.bye();
+
+  server.shutdown();
+  const serve::ServerStats stats = server.stats();
+  std::printf("server drained: %llu request(s), %llu clip(s)\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.clips_scored));
+  return 0;
+}

@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/metrics.hpp"
 
 namespace hsdl {
@@ -208,6 +210,56 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   }
   if (!ThreadPool::instance().try_run(chunks, threads, run_chunk)) {
     body(begin, end);
+  }
+}
+
+TaskPool::TaskPool(std::size_t threads) {
+  HSDL_CHECK_MSG(threads > 0, "TaskPool needs at least one thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() { shutdown(true); }
+
+void TaskPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    HSDL_CHECK_MSG(!stopping_, "submit on a shut-down TaskPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    discard_ = !drain;
+    if (discard_) queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+std::size_t TaskPool::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained (or discarded)
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
   }
 }
 

@@ -19,8 +19,13 @@
 // (checked once, at first use), and at runtime by set_num_threads().
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace hsdl {
 
@@ -54,5 +59,43 @@ void parallel_for_2d(
     std::size_t col_grain,
     const std::function<void(std::size_t, std::size_t, std::size_t,
                              std::size_t)>& body);
+
+/// Fixed-size pool for long-lived tasks (server sessions, background
+/// work). This deliberately does NOT share threads with the parallel_for
+/// pool above: that pool is fork-join and serializes top-level regions,
+/// so parking a long-lived task on it would starve every parallel_for in
+/// the process. Tasks submitted here may themselves call parallel_for.
+///
+/// shutdown(drain=true) stops intake, runs every queued task to
+/// completion and joins the workers; shutdown(false) discards tasks that
+/// have not started. The destructor drains.
+class TaskPool {
+ public:
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Queues a task; throws CheckError after shutdown. Tasks must not
+  /// throw — an escaping exception terminates the process (same
+  /// contract as std::thread), so wrap fallible work in its own try.
+  void submit(std::function<void()> task);
+
+  void shutdown(bool drain = true);
+
+  std::size_t size() const { return workers_.size(); }
+  /// Tasks queued but not yet started.
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  bool discard_ = false;
+};
 
 }  // namespace hsdl

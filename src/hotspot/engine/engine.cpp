@@ -21,6 +21,8 @@ const char* reason_name(FlushReason r) {
       return "timeout";
     case FlushReason::kDrain:
       return "drain";
+    case FlushReason::kInline:
+      return "inline";
   }
   return "unknown";
 }
@@ -47,12 +49,19 @@ InferenceEngine::InferenceEngine(const CnnDetector& detector,
   config_.validate();
   const fte::FeatureTensorConfig& f = detector.extractor().config();
   feat_ = f.coeffs * f.blocks_per_side * f.blocks_per_side;
+  in_shape_ = detector.model().input_shape();
   for (Slab& s : slabs_) {
     s.storage.reserve(config_.max_batch * feat_);
     s.requests.reserve(config_.max_batch);
   }
-  batcher_ = std::thread([this] { batcher_loop(); });
-  forward_ = std::thread([this] { forward_loop(); });
+  // Single-worker collapse: with one pool worker the batcher/forward
+  // threads would only time-slice the caller's core, so don't spawn
+  // them; score() runs the same slab/arena code synchronously instead.
+  inline_mode_ = config_.inline_when_serial && num_threads() <= 1;
+  if (!inline_mode_) {
+    batcher_ = std::thread([this] { batcher_loop(); });
+    forward_ = std::thread([this] { forward_loop(); });
+  }
 }
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
@@ -64,15 +73,16 @@ std::vector<double> InferenceEngine::score(
   return out;
 }
 
-void InferenceEngine::enqueue(const layout::Clip* clip, double* out,
+bool InferenceEngine::enqueue(const layout::Clip* clip, double* out,
                               Completion* done) {
   {
     std::unique_lock<std::mutex> lk(queue_mu_);
     space_cv_.wait(lk, [&] {
       return stopping_ || queue_.size() < config_.queue_capacity;
     });
-    HSDL_CHECK_MSG(!stopping_, "score on a shut-down engine");
-    queue_.push_back(Request{clip, out, done});
+    if (stopping_) return false;
+    queue_.push_back(
+        Request{clip, out, done, std::chrono::steady_clock::now()});
     ++requests_;
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     if (metrics::enabled()) {
@@ -81,6 +91,22 @@ void InferenceEngine::enqueue(const layout::Clip* clip, double* out,
     }
   }
   queue_cv_.notify_one();
+  return true;
+}
+
+void InferenceEngine::wait_and_check(Completion& done, std::size_t submitted,
+                                     std::size_t total) {
+  // Requests that never made it into the queue (engine shut down
+  // mid-submission) will not be completed by the drain; account for
+  // them up front, then wait for the submitted ones — the drain
+  // guarantees those complete — so `done` is never unwound while the
+  // forward path still points at it.
+  {
+    std::unique_lock<std::mutex> lk(done.m);
+    done.remaining -= total - submitted;
+    done.cv.wait(lk, [&] { return done.remaining == 0; });
+  }
+  HSDL_CHECK_MSG(submitted == total, "score on a shut-down engine");
 }
 
 void InferenceEngine::score_into(std::span<const layout::Clip> clips,
@@ -91,12 +117,18 @@ void InferenceEngine::score_into(std::span<const layout::Clip> clips,
   HSDL_CHECK_MSG(!shut_down_.load(std::memory_order_relaxed),
                  "score on a shut-down engine");
   if (clips.empty()) return;
+  if (inline_mode_) {
+    score_inline(clips.data(), sizeof(layout::Clip), clips.size(),
+                 out.data());
+    return;
+  }
   Completion done;
   done.remaining = clips.size();
-  for (std::size_t i = 0; i < clips.size(); ++i)
-    enqueue(&clips[i], &out[i], &done);
-  std::unique_lock<std::mutex> lk(done.m);
-  done.cv.wait(lk, [&] { return done.remaining == 0; });
+  std::size_t submitted = 0;
+  while (submitted < clips.size() &&
+         enqueue(&clips[submitted], &out[submitted], &done))
+    ++submitted;
+  wait_and_check(done, submitted, clips.size());
 }
 
 std::vector<double> InferenceEngine::score_labeled(
@@ -105,13 +137,52 @@ std::vector<double> InferenceEngine::score_labeled(
                  "score on a shut-down engine");
   std::vector<double> out(clips.size());
   if (clips.empty()) return out;
+  if (inline_mode_) {
+    score_inline(&clips[0].clip, sizeof(layout::LabeledClip), clips.size(),
+                 out.data());
+    return out;
+  }
   Completion done;
   done.remaining = clips.size();
-  for (std::size_t i = 0; i < clips.size(); ++i)
-    enqueue(&clips[i].clip, &out[i], &done);
-  std::unique_lock<std::mutex> lk(done.m);
-  done.cv.wait(lk, [&] { return done.remaining == 0; });
+  std::size_t submitted = 0;
+  while (submitted < clips.size() &&
+         enqueue(&clips[submitted].clip, &out[submitted], &done))
+    ++submitted;
+  wait_and_check(done, submitted, clips.size());
   return out;
+}
+
+void InferenceEngine::score_inline(const layout::Clip* first,
+                                   std::size_t clip_stride, std::size_t n,
+                                   double* out) {
+  const auto* base = reinterpret_cast<const unsigned char*>(first);
+  std::lock_guard<std::mutex> lk(inline_mu_);
+  Slab* slab = &slabs_[0];
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t count = std::min(config_.max_batch, n - done);
+    slab->reason = FlushReason::kInline;
+    slab->requests.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto* clip = reinterpret_cast<const layout::Clip*>(
+          base + (done + i) * clip_stride);
+      slab->requests.push_back(Request{clip, out + done + i, nullptr, {}});
+    }
+    slab->storage.resize(count * feat_);
+    {
+      HSDL_TRACE_SPAN("engine.extract");
+      WallTimer timer;
+      const fte::FeatureTensorExtractor& ex = detector_->extractor();
+      for (std::size_t i = 0; i < count; ++i)
+        ex.extract_into(*slab->requests[i].clip,
+                        std::span<float>(slab->storage.data() + i * feat_,
+                                         feat_));
+      slab->extract_seconds = timer.seconds();
+    }
+    run_batch(slab);
+    done += count;
+  }
+  std::lock_guard<std::mutex> qlk(queue_mu_);
+  requests_ += n;
 }
 
 void InferenceEngine::shutdown() {
@@ -163,8 +234,13 @@ void InferenceEngine::batcher_loop() {
       queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) break;  // stopping and fully drained
       // Adaptive micro-batching: keep collecting until the batch is
-      // full or the oldest request in it has waited max_wait_ms.
-      const auto deadline = std::chrono::steady_clock::now() + wait;
+      // full or the oldest request in it has waited max_wait_ms. The
+      // deadline is anchored to that request's *enqueue* time, not to
+      // when the batcher got around to it — if the batcher was busy
+      // extracting the previous batch when the request arrived, the
+      // remaining wait shrinks accordingly (and a request that already
+      // waited max_wait_ms flushes immediately).
+      const auto deadline = queue_.front().enqueued + wait;
       for (;;) {
         while (!queue_.empty() && pending.size() < config_.max_batch) {
           pending.push_back(queue_.front());
@@ -218,8 +294,83 @@ void InferenceEngine::batcher_loop() {
   mail_cv_.notify_all();
 }
 
+void InferenceEngine::run_batch(Slab* slab) {
+  const std::vector<std::size_t>& in = in_shape_;
+  const std::size_t n = slab->requests.size();
+  WallTimer timer;
+  nn::Tensor probs;
+  {
+    HSDL_TRACE_SPAN("engine.forward");
+    // Stage 2: move the slab storage into a batch tensor (no copy),
+    // run the arena-backed forward pass, move the storage back so the
+    // slab keeps its capacity for the next batch.
+    nn::Tensor x = nn::Tensor::from_data({n, in[0], in[1], in[2]},
+                                         std::move(slab->storage));
+    // score_batch routes to the active serving model (int8 when the
+    // detector has a quantized net enabled, fp32 otherwise).
+    probs = detector_->score_batch(x, arena_);
+    slab->storage = std::move(x.vec());
+  }
+  const double forward_seconds = timer.seconds();
+  for (std::size_t i = 0; i < n; ++i)
+    *slab->requests[i].out =
+        static_cast<double>(probs.at(i, kHotspotIndex));
+  arena_.recycle(std::move(probs));
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  switch (slab->reason) {
+    case FlushReason::kFull:
+      flush_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kTimeout:
+      flush_timeout_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDrain:
+      flush_drain_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kInline:
+      inline_batches_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    arena_stats_ = arena_.stats();
+  }
+  if (metrics::enabled()) {
+    static metrics::Counter& batches = metrics::counter("engine.batches");
+    static metrics::Histogram& bsize = metrics::histogram(
+        "engine.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    static metrics::Histogram& ext = metrics::histogram(
+        "engine.extract_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+    static metrics::Histogram& fwd = metrics::histogram(
+        "engine.forward_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+    batches.increment();
+    bsize.record(static_cast<double>(n));
+    ext.record(slab->extract_seconds);
+    fwd.record(forward_seconds);
+  }
+  if (telemetry_.enabled()) {
+    json::Value rec = json::Value::object();
+    rec.set("event", "engine.batch");
+    rec.set("batch", n);
+    rec.set("reason", reason_name(slab->reason));
+    rec.set("extract_seconds", slab->extract_seconds);
+    rec.set("forward_seconds", forward_seconds);
+    telemetry_.emit(rec);
+  }
+  // Results are in place; wake the waiters (inline batches have none —
+  // the caller is this thread). Notify while still holding the
+  // completion's mutex: the waiter owns the Completion on its stack and
+  // destroys it the moment wait() returns, so an unlocked notify could
+  // touch a condition variable that no longer exists.
+  for (const Request& r : slab->requests) {
+    if (r.done == nullptr) continue;
+    std::lock_guard<std::mutex> lk(r.done->m);
+    if (--r.done->remaining == 0) r.done->cv.notify_all();
+  }
+}
+
 void InferenceEngine::forward_loop() {
-  const std::vector<std::size_t> in = detector_->model().input_shape();
   for (;;) {
     Slab* slab = nullptr;
     {
@@ -229,73 +380,7 @@ void InferenceEngine::forward_loop() {
       slab = mailbox_.front();
       mailbox_.pop_front();
     }
-    const std::size_t n = slab->requests.size();
-    WallTimer timer;
-    nn::Tensor probs;
-    {
-      HSDL_TRACE_SPAN("engine.forward");
-      // Stage 2: move the slab storage into a batch tensor (no copy),
-      // run the arena-backed forward pass, move the storage back so the
-      // slab keeps its capacity for the next batch.
-      nn::Tensor x = nn::Tensor::from_data({n, in[0], in[1], in[2]},
-                                           std::move(slab->storage));
-      // score_batch routes to the active serving model (int8 when the
-      // detector has a quantized net enabled, fp32 otherwise).
-      probs = detector_->score_batch(x, arena_);
-      slab->storage = std::move(x.vec());
-    }
-    const double forward_seconds = timer.seconds();
-    for (std::size_t i = 0; i < n; ++i)
-      *slab->requests[i].out =
-          static_cast<double>(probs.at(i, kHotspotIndex));
-    arena_.recycle(std::move(probs));
-
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    switch (slab->reason) {
-      case FlushReason::kFull:
-        flush_full_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case FlushReason::kTimeout:
-        flush_timeout_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case FlushReason::kDrain:
-        flush_drain_.fetch_add(1, std::memory_order_relaxed);
-        break;
-    }
-    {
-      std::lock_guard<std::mutex> lk(stats_mu_);
-      arena_stats_ = arena_.stats();
-    }
-    if (metrics::enabled()) {
-      static metrics::Counter& batches = metrics::counter("engine.batches");
-      static metrics::Histogram& bsize = metrics::histogram(
-          "engine.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
-      static metrics::Histogram& ext = metrics::histogram(
-          "engine.extract_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
-      static metrics::Histogram& fwd = metrics::histogram(
-          "engine.forward_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
-      batches.increment();
-      bsize.record(static_cast<double>(n));
-      ext.record(slab->extract_seconds);
-      fwd.record(forward_seconds);
-    }
-    if (telemetry_.enabled()) {
-      json::Value rec = json::Value::object();
-      rec.set("event", "engine.batch");
-      rec.set("batch", n);
-      rec.set("reason", reason_name(slab->reason));
-      rec.set("extract_seconds", slab->extract_seconds);
-      rec.set("forward_seconds", forward_seconds);
-      telemetry_.emit(rec);
-    }
-    // Results are in place; wake the waiters, then recycle the slab.
-    for (const Request& r : slab->requests) {
-      std::unique_lock<std::mutex> lk(r.done->m);
-      if (--r.done->remaining == 0) {
-        lk.unlock();
-        r.done->cv.notify_all();
-      }
-    }
+    run_batch(slab);
     release_slab(slab);
   }
 }
@@ -311,6 +396,7 @@ EngineStats InferenceEngine::stats() const {
   s.flush_full = flush_full_.load(std::memory_order_relaxed);
   s.flush_timeout = flush_timeout_.load(std::memory_order_relaxed);
   s.flush_drain = flush_drain_.load(std::memory_order_relaxed);
+  s.inline_batches = inline_batches_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     s.arena_allocations = arena_stats_.allocations;

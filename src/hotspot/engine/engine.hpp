@@ -18,9 +18,20 @@
 // identical to the serial predict_probability() path regardless of how
 // requests landed in batches. The determinism suite asserts this at 1,
 // 2 and 8 threads.
+//
+// Single-worker collapse: on a host where the pool has one worker
+// (num_threads() <= 1 at construction), the queue/batcher/forward
+// handoff is pure overhead — three threads time-slicing one core made
+// the engine ~0.82x the per-clip path. With inline_when_serial (the
+// default) the engine then spawns no threads at all: score() extracts
+// and forwards max_batch-sized chunks synchronously on the calling
+// thread, through the same slab + arena code, so results stay bitwise
+// identical while the engine is never slower than per-clip. The mode is
+// fixed at construction; later set_num_threads() calls do not change it.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +58,11 @@ struct EngineConfig {
   /// Optional JSONL stream path: one record per dispatched batch
   /// (size, flush reason, stage latencies). Empty disables.
   std::string telemetry_path;
+  /// When the pool has a single worker at construction time, skip the
+  /// queue/batcher/forward threads entirely and score synchronously on
+  /// the calling thread (bitwise-identical results, none of the handoff
+  /// overhead). Tests that pin queued-pipeline behavior disable this.
+  bool inline_when_serial = true;
 
   /// Rejects nonsense configurations (max_batch == 0, negative wait,
   /// queue smaller than a batch) with a positioned error. The engine
@@ -54,8 +70,9 @@ struct EngineConfig {
   void validate() const;
 };
 
-/// Why a batch was dispatched.
-enum class FlushReason : std::uint8_t { kFull, kTimeout, kDrain };
+/// Why a batch was dispatched. kInline marks batches run synchronously
+/// by the single-worker collapse (no queue, no flush policy involved).
+enum class FlushReason : std::uint8_t { kFull, kTimeout, kDrain, kInline };
 
 /// Point-in-time counters; readable while the engine is live.
 struct EngineStats {
@@ -64,6 +81,10 @@ struct EngineStats {
   std::uint64_t flush_full = 0;     ///< batches dispatched at max_batch
   std::uint64_t flush_timeout = 0;  ///< batches dispatched on timeout
   std::uint64_t flush_drain = 0;    ///< batches dispatched by shutdown
+  /// Batches run synchronously by the single-worker collapse (also
+  /// counted in `batches`; zero when the engine runs the threaded
+  /// pipeline).
+  std::uint64_t inline_batches = 0;
   std::size_t max_queue_depth = 0;  ///< high-water queue occupancy
   /// Arena counters: after warmup, `arena_allocations` stays flat while
   /// `arena_reuses` grows — the zero-steady-state-allocation property.
@@ -120,6 +141,11 @@ class InferenceEngine {
     const layout::Clip* clip = nullptr;
     double* out = nullptr;
     Completion* done = nullptr;
+    /// Enqueue instant; the batcher's flush deadline is the *oldest*
+    /// request's enqueue time plus max_wait_ms, so the latency promise
+    /// holds even when the batcher was busy extracting when the request
+    /// arrived.
+    std::chrono::steady_clock::time_point enqueued;
   };
   /// One pipeline buffer: feature slab + the requests it carries.
   struct Slab {
@@ -130,7 +156,19 @@ class InferenceEngine {
     bool free = true;
   };
 
-  void enqueue(const layout::Clip* clip, double* out, Completion* done);
+  /// Returns false (without queuing) when the engine is stopping; the
+  /// caller must then wait for its already-queued requests to drain
+  /// before unwinding the Completion they point at.
+  bool enqueue(const layout::Clip* clip, double* out, Completion* done);
+  void wait_and_check(Completion& done, std::size_t submitted,
+                      std::size_t total);
+  /// Single-worker collapse: extract + forward `n` clips synchronously
+  /// in max_batch chunks on the calling thread. `clip_stride` is the
+  /// byte distance between consecutive Clips (lets LabeledClip arrays
+  /// score without materializing a pointer table).
+  void score_inline(const layout::Clip* first, std::size_t clip_stride,
+                    std::size_t n, double* out);
+  void run_batch(Slab* slab);
   void batcher_loop();
   void forward_loop();
   Slab* acquire_free_slab();
@@ -140,6 +178,7 @@ class InferenceEngine {
   EngineConfig config_;
   const CnnDetector* detector_;
   std::size_t feat_ = 0;  // floats per clip feature tensor
+  std::vector<std::size_t> in_shape_;  // model input CHW, fixed per detector
 
   // Request queue (producers -> batcher).
   mutable std::mutex queue_mu_;
@@ -171,6 +210,12 @@ class InferenceEngine {
   std::atomic<std::uint64_t> flush_full_{0};
   std::atomic<std::uint64_t> flush_timeout_{0};
   std::atomic<std::uint64_t> flush_drain_{0};
+  std::atomic<std::uint64_t> inline_batches_{0};
+
+  // Single-worker collapse (fixed at construction). inline_mu_
+  // serializes concurrent score() callers over slabs_[0] and the arena.
+  bool inline_mode_ = false;
+  std::mutex inline_mu_;
 
   telemetry::JsonlStream telemetry_;
   std::thread batcher_;

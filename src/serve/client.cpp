@@ -1,0 +1,84 @@
+#include "serve/client.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::serve {
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port,
+                         const std::string& tenant)
+    : sock_(Socket::connect(host, port)) {
+  Hello hello;
+  hello.tenant = tenant;
+  const Frame ack = roundtrip(MsgType::kHello, encode_hello(hello),
+                              MsgType::kHelloAck);
+  const HelloAck decoded = decode_hello_ack(ack.body, "hello ack");
+  HSDL_CHECK_MSG(decoded.version == kProtocolVersion,
+                 "server speaks protocol version "
+                     << decoded.version << ", client speaks "
+                     << kProtocolVersion);
+  model_generation_ = decoded.model_generation;
+}
+
+Frame ServeClient::roundtrip(MsgType type, std::string_view body,
+                             MsgType expect) {
+  send_frame(sock_, encode_frame(type, body));
+  HSDL_CHECK_MSG(recv_frame(sock_, buf_, "serve client"),
+                 "server closed the connection");
+  const Frame frame = decode_frame(buf_, "serve client");
+  if (frame.type == MsgType::kError) {
+    const ErrorMsg err = decode_error(frame.body, "serve client");
+    throw ServerError(err.code, err.message);
+  }
+  HSDL_CHECK_MSG(frame.type == expect,
+                 "unexpected response type "
+                     << static_cast<int>(frame.type) << " (wanted "
+                     << static_cast<int>(expect) << ")");
+  return frame;
+}
+
+ScoreResponse ServeClient::score(std::span<const layout::Clip> clips) {
+  ScoreRequest request;
+  request.request_id = next_request_id_++;
+  request.clips.assign(clips.begin(), clips.end());
+  const Frame frame =
+      roundtrip(MsgType::kScoreRequest, encode_score_request(request),
+                MsgType::kScoreResponse);
+  ScoreResponse response = decode_score_response(frame.body, "serve client");
+  HSDL_CHECK_MSG(response.request_id == request.request_id,
+                 "response id " << response.request_id
+                                << " does not match request "
+                                << request.request_id);
+  HSDL_CHECK_MSG(response.hits.size() == clips.size(),
+                 "response covers " << response.hits.size() << " of "
+                                    << clips.size() << " clips");
+  model_generation_ = response.model_generation;
+  return response;
+}
+
+std::vector<double> ServeClient::score_probabilities(
+    std::span<const layout::Clip> clips) {
+  const ScoreResponse response = score(clips);
+  std::vector<double> probs(clips.size(), 0.0);
+  for (const RankedHit& h : response.hits) {
+    HSDL_CHECK_MSG(h.index < probs.size(),
+                   "hit index " << h.index << " out of range");
+    probs[h.index] = h.probability;
+  }
+  return probs;
+}
+
+std::uint64_t ServeClient::swap_model(const std::string& checkpoint_path) {
+  const Frame frame =
+      roundtrip(MsgType::kSwapModel, encode_swap_model({checkpoint_path}),
+                MsgType::kSwapAck);
+  const SwapAck ack = decode_swap_ack(frame.body, "serve client");
+  model_generation_ = ack.model_generation;
+  return ack.model_generation;
+}
+
+void ServeClient::bye() {
+  send_frame(sock_, encode_frame(MsgType::kBye, ""));
+  sock_.close();
+}
+
+}  // namespace hsdl::serve

@@ -1,0 +1,70 @@
+// Minimal blocking client for the hsdl serving protocol: one
+// connection, synchronous request/response. This is the reference
+// implementation of the client side of DESIGN.md §13 — the loopback
+// tests, the latency bench and the serving example all drive the server
+// through it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace hsdl::serve {
+
+/// Thrown when the server answers a request with an Error frame; the
+/// session stays usable for rejections that are per-request
+/// (kTooManyClips, kQuotaExceeded, kSwapFailed).
+class ServerError : public CheckError {
+ public:
+  ServerError(ErrorCode code, const std::string& message)
+      : CheckError("server error [" + std::string(error_code_name(code)) +
+                   "]: " + message),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class ServeClient {
+ public:
+  /// Connects and performs the Hello handshake. `tenant` names the
+  /// quota bucket this client draws from.
+  ServeClient(const std::string& host, std::uint16_t port,
+              const std::string& tenant);
+
+  /// Model generation from the handshake / the latest response.
+  std::uint64_t model_generation() const { return model_generation_; }
+
+  /// Scores a batch of clips; returns the ranked response. Throws
+  /// ServerError on a per-request rejection and CheckError when the
+  /// connection is gone.
+  ScoreResponse score(std::span<const layout::Clip> clips);
+
+  /// Convenience view of score(): probabilities re-ordered back to
+  /// request clip order (index-aligned with `clips`).
+  std::vector<double> score_probabilities(
+      std::span<const layout::Clip> clips);
+
+  /// Asks the server to hot-swap to `checkpoint_path`; returns the new
+  /// model generation.
+  std::uint64_t swap_model(const std::string& checkpoint_path);
+
+  /// Clean close (Bye frame). The destructor just drops the socket.
+  void bye();
+
+ private:
+  Frame roundtrip(MsgType type, std::string_view body, MsgType expect);
+
+  Socket sock_;
+  std::string buf_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t model_generation_ = 0;
+};
+
+}  // namespace hsdl::serve

@@ -1,0 +1,266 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+
+namespace hsdl::serve {
+
+void ServeConfig::validate() const {
+  HSDL_CHECK_MSG(session_workers > 0,
+                 "serve config: session_workers must be positive");
+  HSDL_CHECK_MSG(max_clips_per_request > 0,
+                 "serve config: max_clips_per_request must be positive");
+  HSDL_CHECK_MSG(tenant_quota_clips >= max_clips_per_request,
+                 "serve config: tenant_quota_clips ("
+                     << tenant_quota_clips
+                     << ") must admit a maximal request ("
+                     << max_clips_per_request << ")");
+}
+
+HotspotServer::HotspotServer(ModelRegistry& registry,
+                             const ServeConfig& config)
+    : registry_(registry),
+      config_(config),
+      listener_((config.validate(), config.port)),
+      workers_(config.session_workers),
+      telemetry_(config.telemetry_path) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+  HSDL_LOG(kInfo) << "hsdl_serve listening on 127.0.0.1:" << port() << " ("
+                  << config_.session_workers << " session workers)";
+}
+
+HotspotServer::~HotspotServer() { shutdown(); }
+
+void HotspotServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  // 1. No new sessions: closing the listener unblocks accept().
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // 2. Abort quota waiters; their sessions answer kShuttingDown.
+  quota_cv_.notify_all();
+  // 3. Wake idle sessions blocked in recv with a read-side shutdown.
+  //    Sessions mid-request keep their write side and flush the
+  //    response before noticing the drain.
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (const std::weak_ptr<Socket>& weak : sessions_)
+      if (std::shared_ptr<Socket> s = weak.lock()) s->shutdown_read();
+  }
+  // 4. Run every queued/active session to completion.
+  workers_.shutdown(true);
+  HSDL_LOG(kInfo) << "hsdl_serve drained and stopped";
+}
+
+ServerStats HotspotServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+void HotspotServer::accept_loop() {
+  for (;;) {
+    Socket sock = listener_.accept();
+    if (!sock.valid()) return;  // listener closed: shutting down
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    auto shared = std::make_shared<Socket>(std::move(sock));
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      // Compact dead entries so a long-lived server does not grow the
+      // session list without bound.
+      std::erase_if(sessions_,
+                    [](const std::weak_ptr<Socket>& w) { return w.expired(); });
+      sessions_.push_back(shared);
+    }
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.sessions_accepted;
+    }
+    workers_.submit([this, shared] { session(shared); });
+  }
+}
+
+void HotspotServer::send_error(Socket& sock, ErrorCode code,
+                               const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.errors_sent;
+  }
+  try {
+    send_frame(sock,
+               encode_frame(MsgType::kError,
+                            encode_error(ErrorMsg{code, message})));
+  } catch (const CheckError&) {
+    // Peer already gone; the session loop will notice on its next read.
+  }
+}
+
+void HotspotServer::session(std::shared_ptr<Socket> sock) {
+  std::string tenant = "anonymous";
+  std::string buf;
+  const std::string context = "serve session";
+  try {
+    while (recv_frame(*sock, buf, context)) {
+      Frame frame;
+      try {
+        frame = decode_frame(buf, context);
+      } catch (const io::IoError& e) {
+        // Corrupt frame: report the position, then close — after a
+        // framing error the byte stream can no longer be trusted.
+        send_error(*sock, ErrorCode::kBadFrame,
+                   std::string("bad frame at byte ") +
+                       std::to_string(e.offset()) + ": " + e.what());
+        return;
+      }
+      switch (frame.type) {
+        case MsgType::kHello: {
+          const Hello hello = decode_hello(frame.body, context);
+          if (hello.version != kProtocolVersion) {
+            send_error(*sock, ErrorCode::kBadVersion,
+                       "unsupported protocol version " +
+                           std::to_string(hello.version));
+            return;
+          }
+          if (!hello.tenant.empty()) tenant = hello.tenant;
+          send_frame(*sock,
+                     encode_frame(MsgType::kHelloAck,
+                                  encode_hello_ack(HelloAck{
+                                      kProtocolVersion,
+                                      registry_.generation()})));
+          break;
+        }
+        case MsgType::kScoreRequest:
+          handle_score(*sock, tenant, frame.body);
+          break;
+        case MsgType::kSwapModel:
+          handle_swap(*sock, frame.body);
+          break;
+        case MsgType::kBye:
+          return;
+        default:
+          send_error(*sock, ErrorCode::kBadFrame,
+                     "unexpected message type");
+          return;
+      }
+    }
+  } catch (const CheckError& e) {
+    // Mid-frame EOF, send failure, or malformed message body: the
+    // session dies, the server lives.
+    HSDL_LOG(kWarn) << "session (" << tenant << ") closed: " << e.what();
+  }
+}
+
+void HotspotServer::handle_score(Socket& sock, const std::string& tenant,
+                                 std::string_view body) {
+  WallTimer timer;
+  const ScoreRequest request = decode_score_request(body, "score request");
+  const std::size_t n = request.clips.size();
+  if (n > config_.max_clips_per_request) {
+    send_error(sock, ErrorCode::kTooManyClips,
+               "request of " + std::to_string(n) + " clips exceeds limit " +
+                   std::to_string(config_.max_clips_per_request));
+    return;
+  }
+  if (n > config_.tenant_quota_clips) {
+    send_error(sock, ErrorCode::kQuotaExceeded,
+               "request of " + std::to_string(n) +
+                   " clips exceeds the tenant budget of " +
+                   std::to_string(config_.tenant_quota_clips));
+    return;
+  }
+  if (!quota_acquire(tenant, n)) {
+    send_error(sock, ErrorCode::kShuttingDown, "server is draining");
+    return;
+  }
+  ScoreResponse response;
+  try {
+    // Acquire the model once per request: a hot-swap mid-request does
+    // not retarget us, and the handle keeps the old engine alive until
+    // scoring finishes.
+    const std::shared_ptr<ServingModel> model = registry_.acquire();
+    response.request_id = request.request_id;
+    response.model_generation = model->generation();
+    const std::vector<double> probs = model->engine().score(request.clips);
+    response.hits =
+        rank_hits(probs, model->detector().decision_threshold());
+    quota_release(tenant, n);
+  } catch (...) {
+    quota_release(tenant, n);
+    throw;
+  }
+  send_frame(sock, encode_frame(MsgType::kScoreResponse,
+                                encode_score_response(response)));
+  const double seconds = timer.seconds();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.requests_served;
+    stats_.clips_scored += n;
+  }
+  if (metrics::enabled()) {
+    static metrics::Counter& requests = metrics::counter("serve.requests");
+    static metrics::Counter& clips = metrics::counter("serve.clips");
+    static metrics::Histogram& latency = metrics::histogram(
+        "serve.request_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+    requests.increment();
+    clips.add(n);
+    latency.record(seconds);
+  }
+  if (telemetry_.enabled()) {
+    json::Value rec = json::Value::object();
+    rec.set("event", "serve.request");
+    rec.set("tenant", tenant);
+    rec.set("clips", n);
+    rec.set("generation", response.model_generation);
+    rec.set("seconds", seconds);
+    telemetry_.emit(rec);
+  }
+}
+
+void HotspotServer::handle_swap(Socket& sock, std::string_view body) {
+  const SwapModel swap = decode_swap_model(body, "swap request");
+  try {
+    const std::uint64_t generation =
+        registry_.swap_from_checkpoint(swap.checkpoint_path);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.swaps;
+    }
+    send_frame(sock, encode_frame(MsgType::kSwapAck,
+                                  encode_swap_ack(SwapAck{generation})));
+  } catch (const CheckError& e) {
+    send_error(sock, ErrorCode::kSwapFailed,
+               std::string("swap rejected: ") + e.what());
+  }
+}
+
+bool HotspotServer::quota_acquire(const std::string& tenant,
+                                  std::size_t clips) {
+  std::unique_lock<std::mutex> lk(quota_mu_);
+  TenantBudget& budget = tenants_[tenant];
+  quota_cv_.wait(lk, [&] {
+    return stopping_.load(std::memory_order_relaxed) ||
+           budget.in_flight + clips <= config_.tenant_quota_clips;
+  });
+  if (stopping_.load(std::memory_order_relaxed)) return false;
+  budget.in_flight += clips;
+  if (metrics::enabled()) {
+    static metrics::Gauge& inflight = metrics::gauge("serve.inflight_clips");
+    inflight.set(static_cast<double>(budget.in_flight));
+  }
+  return true;
+}
+
+void HotspotServer::quota_release(const std::string& tenant,
+                                  std::size_t clips) {
+  {
+    std::lock_guard<std::mutex> lk(quota_mu_);
+    TenantBudget& budget = tenants_[tenant];
+    budget.in_flight -= std::min(budget.in_flight, clips);
+  }
+  quota_cv_.notify_all();
+}
+
+}  // namespace hsdl::serve

@@ -1,0 +1,126 @@
+// Multi-tenant serving front-end over the InferenceEngine
+// (DESIGN.md §13).
+//
+// A HotspotServer listens on loopback, accepts client connections on a
+// dedicated accept thread and runs each connection as a session on a
+// fixed TaskPool of session workers (connections beyond the worker
+// count queue until a worker frees up). A session speaks the framed
+// protocol in serve/protocol.hpp: Hello/HelloAck handshake, then
+// ScoreRequest -> ScoreResponse until Bye or EOF.
+//
+// Per request the session acquires the registry's current model, blocks
+// on the tenant's in-flight clip quota (backpressure: a session that
+// cannot get quota stops reading its socket, which pushes back on the
+// client through TCP), scores through the model's engine and answers
+// with ranked hits tagged with the scoring model's generation. Hot
+// swaps install a new generation in the registry; in-flight requests
+// hold their handle and complete against the old model.
+//
+// Shutdown drains gracefully: the listener closes (no new sessions),
+// idle sessions are woken with a read-side shutdown and close cleanly,
+// sessions mid-request finish scoring and flush their response (the
+// write side is untouched), quota waiters abort with kShuttingDown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/run_report.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace hsdl::serve {
+
+struct ServeConfig {
+  /// 0 binds an ephemeral loopback port; read it back with port().
+  std::uint16_t port = 0;
+  /// Session workers == max concurrent client sessions.
+  std::size_t session_workers = 4;
+  /// Hard cap per ScoreRequest; larger requests are rejected with
+  /// kTooManyClips (the frame limit bounds this anyway).
+  std::size_t max_clips_per_request = 65536;
+  /// Per-tenant in-flight clip budget across all of the tenant's
+  /// sessions. Requests wait for budget (backpressure) rather than
+  /// fail; a single request larger than the whole budget is rejected
+  /// with kQuotaExceeded.
+  std::size_t tenant_quota_clips = 1u << 20;
+  /// Optional JSONL stream: one record per served request (tenant,
+  /// clips, model generation, latency). Empty disables.
+  std::string telemetry_path;
+
+  void validate() const;
+};
+
+struct ServerStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t clips_scored = 0;
+  std::uint64_t errors_sent = 0;
+  std::uint64_t swaps = 0;
+};
+
+class HotspotServer {
+ public:
+  /// The registry must outlive the server and have a model installed
+  /// before the first score request arrives.
+  HotspotServer(ModelRegistry& registry, const ServeConfig& config);
+  ~HotspotServer();
+  HotspotServer(const HotspotServer&) = delete;
+  HotspotServer& operator=(const HotspotServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  const ServeConfig& config() const { return config_; }
+
+  /// Graceful drain; idempotent, called by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct TenantBudget {
+    std::size_t in_flight = 0;
+  };
+
+  void accept_loop();
+  void session(std::shared_ptr<Socket> sock);
+  void handle_score(Socket& sock, const std::string& tenant,
+                    std::string_view body);
+  void handle_swap(Socket& sock, std::string_view body);
+  void send_error(Socket& sock, ErrorCode code, const std::string& message);
+
+  /// Blocks until the tenant has `clips` of budget or the server is
+  /// stopping (returns false). Rejecting oversized requests is the
+  /// caller's job (a request > tenant_quota_clips would deadlock here).
+  bool quota_acquire(const std::string& tenant, std::size_t clips);
+  void quota_release(const std::string& tenant, std::size_t clips);
+
+  ModelRegistry& registry_;
+  ServeConfig config_;
+  Listener listener_;
+  TaskPool workers_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  // Live sessions, so drain can wake sockets blocked in recv.
+  std::mutex sessions_mu_;
+  std::vector<std::weak_ptr<Socket>> sessions_;
+
+  std::mutex quota_mu_;
+  std::condition_variable quota_cv_;
+  std::map<std::string, TenantBudget> tenants_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  telemetry::JsonlStream telemetry_;
+};
+
+}  // namespace hsdl::serve

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
+
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -196,6 +200,58 @@ TEST(ParallelFor2dTest, TilesRespectGrains) {
                          c1 <= 20;
                   });
   EXPECT_TRUE(ok);
+}
+
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.shutdown(true);
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(TaskPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that must be in flight at once to finish: each waits for
+  // the other, so a pool that serialized them would deadlock.
+  TaskPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lk, [&] { return arrived == 2; });
+  };
+  pool.submit(rendezvous);
+  pool.submit(rendezvous);
+  pool.shutdown(true);
+  EXPECT_EQ(arrived, 2);
+}
+
+TEST(TaskPoolTest, DrainingShutdownFinishesQueuedTasks) {
+  std::atomic<int> ran{0};
+  TaskPool pool(1);
+  // One long task holds the single worker while more tasks queue up
+  // behind it; a draining shutdown must still run all of them.
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  pool.shutdown(true);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(TaskPoolTest, SubmitAfterShutdownThrows) {
+  TaskPool pool(1);
+  pool.shutdown(true);
+  EXPECT_THROW(pool.submit([] {}), CheckError);
 }
 
 }  // namespace

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "hotspot/detector.hpp"
 #include "hotspot/scanner.hpp"
@@ -39,6 +41,24 @@ std::vector<layout::Clip> make_clips(std::size_t n, std::uint64_t seed) {
   return clips;
 }
 
+/// Tests that assert queued-pipeline behavior (flush counters, drain
+/// interleavings) must not collapse to the inline path when the host —
+/// like one-core CI — leaves the pool with a single worker.
+EngineConfig queued_config() {
+  EngineConfig config;
+  config.inline_when_serial = false;
+  return config;
+}
+
+/// Pins the global pool to `n` threads for one test, restoring on exit.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t n) : saved(num_threads()) {
+    set_num_threads(n);
+  }
+  ~ThreadCountGuard() { set_num_threads(saved); }
+  std::size_t saved;
+};
+
 TEST(EngineConfigTest, RejectsNonsense) {
   EngineConfig zero_batch;
   zero_batch.max_batch = 0;
@@ -65,7 +85,7 @@ TEST(EngineConfigTest, ConstructorValidates) {
 
 TEST(EngineTest, PartialBatchFlushesOnTimeout) {
   const CnnDetector detector(small_config());
-  EngineConfig config;
+  EngineConfig config = queued_config();
   config.max_batch = 8;
   config.max_wait_ms = 1.0;
   InferenceEngine engine(detector, config);
@@ -88,7 +108,7 @@ TEST(EngineTest, PartialBatchFlushesOnTimeout) {
 
 TEST(EngineTest, FullBatchFlushesWithoutWaiting) {
   const CnnDetector detector(small_config());
-  EngineConfig config;
+  EngineConfig config = queued_config();
   config.max_batch = 4;
   config.max_wait_ms = 60000.0;  // a timeout flush would hang the test
   InferenceEngine engine(detector, config);
@@ -102,7 +122,7 @@ TEST(EngineTest, FullBatchFlushesWithoutWaiting) {
 
 TEST(EngineTest, ShutdownDrainsOutstandingRequests) {
   const CnnDetector detector(small_config());
-  EngineConfig config;
+  EngineConfig config = queued_config();
   config.max_batch = 64;
   config.max_wait_ms = 60000.0;  // only shutdown can flush these
   InferenceEngine engine(detector, config);
@@ -143,7 +163,7 @@ TEST(EngineTest, MatchesSerialPerClipPathBitwise) {
   for (const layout::Clip& clip : clips)
     reference.push_back(detector.predict_probability(clip));
 
-  EngineConfig config;
+  EngineConfig config = queued_config();
   config.max_batch = 4;  // forces 9 clips across multiple batches
   InferenceEngine engine(detector, config);
   const std::vector<double> probs = engine.score(clips);
@@ -154,7 +174,7 @@ TEST(EngineTest, MatchesSerialPerClipPathBitwise) {
 
 TEST(EngineTest, ArenaAllocationsPlateauAcrossRepeatedBatches) {
   const CnnDetector detector(small_config());
-  EngineConfig config;
+  EngineConfig config = queued_config();
   config.max_batch = 4;
   config.max_wait_ms = 1000.0;  // partial batches wait for the full 4
   InferenceEngine engine(detector, config);
@@ -189,7 +209,7 @@ TEST(EngineTest, ScoreLabeledMatchesScore) {
 
 TEST(EngineTest, ConcurrentProducersAllComplete) {
   const CnnDetector detector(small_config());
-  EngineConfig config;
+  EngineConfig config = queued_config();
   config.max_batch = 8;
   config.max_wait_ms = 1.0;
   InferenceEngine engine(detector, config);
@@ -214,6 +234,87 @@ TEST(EngineTest, ConcurrentProducersAllComplete) {
           << "producer " << p << " clip " << i;
   }
   EXPECT_EQ(engine.stats().requests, kProducers * 6u);
+}
+
+TEST(EngineTest, SlowProducerTimeoutFlushFiresExactlyOnce) {
+  const CnnDetector detector(small_config());
+  EngineConfig config = queued_config();
+  config.max_batch = 8;
+  config.max_wait_ms = 400.0;
+  InferenceEngine engine(detector, config);
+
+  // A slow producer: the second submission lands well inside the first
+  // request's wait window. The flush deadline is anchored to the oldest
+  // queued request's enqueue time, so the late arrival must neither
+  // restart the clock nor split the batch — exactly one timeout flush
+  // covers both submissions. (This pinned a real bug: the batcher used
+  // to anchor the deadline to its own wake-up time, so requests could
+  // wait arbitrarily longer than max_wait_ms.)
+  const std::vector<layout::Clip> first = make_clips(2, 37);
+  const std::vector<layout::Clip> second = make_clips(1, 41);
+  std::vector<double> first_probs, second_probs;
+  std::thread early([&] { first_probs = engine.score(first); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  std::thread late([&] { second_probs = engine.score(second); });
+  early.join();
+  late.join();
+
+  ASSERT_EQ(first_probs.size(), 2u);
+  ASSERT_EQ(second_probs.size(), 1u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.flush_timeout, 1u);
+  EXPECT_EQ(stats.flush_full, 0u);
+  EXPECT_EQ(stats.flush_drain, 0u);
+}
+
+TEST(EngineTest, SingleWorkerCollapsesToInlinePath) {
+  ThreadCountGuard guard(1);
+  const CnnDetector detector(small_config());
+  const std::vector<layout::Clip> clips = make_clips(9, 43);
+
+  std::vector<double> reference;
+  for (const layout::Clip& clip : clips)
+    reference.push_back(detector.predict_probability(clip));
+
+  EngineConfig config;  // inline_when_serial defaults on
+  config.max_batch = 4;  // 9 clips -> 3 inline batches
+  InferenceEngine engine(detector, config);
+  const std::vector<double> probs = engine.score(clips);
+  ASSERT_EQ(probs.size(), reference.size());
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    EXPECT_EQ(probs[i], reference[i]) << "clip " << i;  // bitwise
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, clips.size());
+  EXPECT_EQ(stats.inline_batches, 3u);
+  EXPECT_EQ(stats.batches, 3u);
+  // No queue, no batcher: the queued flush reasons never fire.
+  EXPECT_EQ(stats.flush_full + stats.flush_timeout + stats.flush_drain, 0u);
+}
+
+TEST(EngineTest, InlinePathServesConcurrentCallersAndLabeledClips) {
+  ThreadCountGuard guard(1);
+  const CnnDetector detector(small_config());
+  InferenceEngine engine(detector);
+
+  const std::vector<layout::Clip> clips = make_clips(5, 47);
+  std::vector<layout::LabeledClip> labeled;
+  for (const layout::Clip& c : clips)
+    labeled.push_back({c, layout::HotspotLabel::kNonHotspot});
+
+  std::vector<double> direct, via_labeled;
+  std::thread a([&] { direct = engine.score(clips); });
+  std::thread b([&] { via_labeled = engine.score_labeled(labeled); });
+  a.join();
+  b.join();
+
+  ASSERT_EQ(direct.size(), via_labeled.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_EQ(direct[i], via_labeled[i]);
+  EXPECT_EQ(engine.stats().requests, 2 * clips.size());
+  EXPECT_GE(engine.stats().inline_batches, 2u);
 }
 
 TEST(DetectorConfigTest, ValidateRejectsNonsense) {
