@@ -1,4 +1,4 @@
-// Serving latency under synthetic many-client load.
+// Serving latency under synthetic many-client load, clean and faulted.
 //
 // Stands up an in-process HotspotServer on an ephemeral loopback port,
 // then drives it with N concurrent client threads, each issuing M
@@ -7,15 +7,30 @@
 // the numbers are request latency, not session setup), pooled across
 // clients, and reported as exact quantiles from the sorted sample
 // vector — p50/p90/p99/max — plus aggregate request and clip
-// throughput. Results go to stdout and BENCH_latency.json.
-// HSDL_BENCH_SMOKE=1 shrinks clients and requests for CI.
+// throughput.
+//
+// Two passes share the model:
+//   clean   — fault registry disarmed (the production fast path; this
+//             is the pass the sanity gate checks)
+//   faulted — ~1% injected faults (slow handlers, dropped connections,
+//             truncated sends; DESIGN.md §14), clients recovering via
+//             score_with_retry. Latency here includes the retries, i.e.
+//             what a caller actually experiences during a chaos run.
+//
+// Results go to stdout and BENCH_latency.json. HSDL_BENCH_SMOKE=1
+// shrinks clients and requests for CI; HSDL_FAULT_SEED reseeds the
+// faulted pass's schedule.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "hotspot/detector.hpp"
@@ -48,6 +63,113 @@ double quantile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+struct PassResult {
+  std::vector<double> sorted;  // request latencies, seconds
+  double total_seconds = 0.0;
+  std::uint64_t faults_fired = 0;
+  serve::ServerStats stats;
+};
+
+/// One load pass against a fresh server. When `faulted`, each request
+/// goes through score_with_retry so injected drops and sheds are
+/// absorbed the way a production caller would absorb them.
+PassResult run_pass(serve::ModelRegistry& registry, std::size_t n_clients,
+                    std::size_t n_requests,
+                    const std::vector<std::vector<layout::Clip>>& streams,
+                    bool faulted) {
+  serve::ServeConfig serve_cfg;
+  serve_cfg.session_workers = n_clients;
+  serve::HotspotServer server(registry, serve_cfg);
+
+  std::vector<std::vector<double>> samples(n_clients);
+  WallTimer total_timer;
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::RetryPolicy policy;
+        policy.jitter_seed = 1 + c;
+        const std::string tenant = "bench-tenant-" + std::to_string(c % 2);
+        // Under faults the handshake itself can hit an injected drop;
+        // re-dial like a real caller would.
+        std::unique_ptr<serve::ServeClient> client;
+        for (int attempt = 0; client == nullptr; ++attempt) {
+          try {
+            client = std::make_unique<serve::ServeClient>(
+                "127.0.0.1", server.port(), tenant);
+          } catch (const CheckError&) {
+            if (!faulted || attempt >= 20) throw;
+          }
+        }
+        // Warmup request: first contact grows the engine's slabs/arena.
+        if (faulted)
+          (void)client->score_with_retry(streams[c], policy);
+        else
+          (void)client->score(streams[c]);
+        samples[c].reserve(n_requests);
+        for (std::size_t r = 0; r < n_requests; ++r) {
+          WallTimer timer;
+          if (faulted)
+            (void)client->score_with_retry(streams[c], policy);
+          else
+            (void)client->score(streams[c]);
+          samples[c].push_back(timer.seconds());
+        }
+        try {
+          client->bye();
+        } catch (const CheckError&) {
+          // A goodbye lost to an injected drop is fine.
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  PassResult result;
+  result.total_seconds = total_timer.seconds();
+  result.faults_fired = fault::total_fires();
+  server.shutdown();
+  result.stats = server.stats();
+  for (const std::vector<double>& s : samples)
+    result.sorted.insert(result.sorted.end(), s.begin(), s.end());
+  std::sort(result.sorted.begin(), result.sorted.end());
+  return result;
+}
+
+void print_pass(const char* name, const PassResult& r,
+                std::size_t clips_per_request) {
+  const double rps =
+      static_cast<double>(r.sorted.size()) / r.total_seconds;
+  const double cps = rps * static_cast<double>(clips_per_request);
+  std::printf(
+      "  %-7s %zu requests in %.3f s (%.1f req/s, %.1f clips/s)\n"
+      "          p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+      name, r.sorted.size(), r.total_seconds, rps, cps,
+      quantile(r.sorted, 0.50) * 1e3, quantile(r.sorted, 0.90) * 1e3,
+      quantile(r.sorted, 0.99) * 1e3,
+      (r.sorted.empty() ? 0.0 : r.sorted.back()) * 1e3);
+}
+
+void emit_pass(std::ofstream& os, const char* name, const PassResult& r,
+               std::size_t clips_per_request) {
+  const double rps =
+      static_cast<double>(r.sorted.size()) / r.total_seconds;
+  os << "  \"" << name << "\": {\n    \"total_seconds\": "
+     << r.total_seconds << ",\n    \"requests_per_sec\": " << rps
+     << ",\n    \"clips_per_sec\": "
+     << rps * static_cast<double>(clips_per_request)
+     << ",\n    \"latency_seconds\": {\"p50\": " << quantile(r.sorted, 0.50)
+     << ", \"p90\": " << quantile(r.sorted, 0.90)
+     << ", \"p99\": " << quantile(r.sorted, 0.99)
+     << ", \"max\": " << (r.sorted.empty() ? 0.0 : r.sorted.back()) << "}"
+     << ",\n    \"faults_fired\": " << r.faults_fired
+     << ",\n    \"server\": {\"sessions\": " << r.stats.sessions_accepted
+     << ", \"requests\": " << r.stats.requests_served
+     << ", \"clips\": " << r.stats.clips_scored
+     << ", \"errors\": " << r.stats.errors_sent
+     << ", \"busy\": " << r.stats.busy_rejections
+     << ", \"reaped\": " << r.stats.sessions_reaped << "}\n  }";
+}
+
 }  // namespace
 
 int main() {
@@ -69,10 +191,6 @@ int main() {
     registry.install(std::move(served), "bench");
   }
 
-  serve::ServeConfig serve_cfg;
-  serve_cfg.session_workers = n_clients;
-  serve::HotspotServer server(registry, serve_cfg);
-
   // Per-client clip streams, generated up front so the measured loop is
   // pure request/response.
   layout::GeneratorConfig gen_cfg;
@@ -84,72 +202,47 @@ int main() {
       streams[c].push_back(gen.generate().normalized());
   }
 
-  std::vector<std::vector<double>> samples(n_clients);
-  WallTimer total_timer;
-  {
-    std::vector<std::thread> clients;
-    for (std::size_t c = 0; c < n_clients; ++c) {
-      clients.emplace_back([&, c] {
-        serve::ServeClient client("127.0.0.1", server.port(),
-                                  "bench-tenant-" + std::to_string(c % 2));
-        // Warmup request: first contact grows the engine's slabs/arena.
-        (void)client.score(streams[c]);
-        samples[c].reserve(n_requests);
-        for (std::size_t r = 0; r < n_requests; ++r) {
-          WallTimer timer;
-          (void)client.score(streams[c]);
-          samples[c].push_back(timer.seconds());
-        }
-        client.bye();
-      });
-    }
-    for (std::thread& t : clients) t.join();
-  }
-  const double total_s = total_timer.seconds();
-  server.shutdown();
+  // Pass 1: clean — fault hooks present but disarmed, i.e. the
+  // production fast path.
+  fault::disarm();
+  const PassResult clean =
+      run_pass(registry, n_clients, n_requests, streams, false);
+  print_pass("clean", clean, clips_per_request);
 
-  std::vector<double> all;
-  for (const std::vector<double>& s : samples)
-    all.insert(all.end(), s.begin(), s.end());
-  std::sort(all.begin(), all.end());
-  const double p50 = quantile(all, 0.50);
-  const double p90 = quantile(all, 0.90);
-  const double p99 = quantile(all, 0.99);
-  const double worst = all.empty() ? 0.0 : all.back();
-  const std::size_t total_requests = all.size();
-  const std::size_t total_clips = total_requests * clips_per_request;
-  const double rps = static_cast<double>(total_requests) / total_s;
-  const double cps = static_cast<double>(total_clips) / total_s;
+  // Pass 2: ~1% faults — slow handlers (2 ms stalls) and connection
+  // drops on the server's socket I/O. Deterministic per seed; sweep
+  // with HSDL_FAULT_SEED.
+  fault::Plan chaos = fault::parse_spec(
+      "serve.handler=delay:0.01:2;serve.net.*=fail:0.005",
+      fault::seed_from_env(1));
+  fault::arm(std::move(chaos));
+  const PassResult faulted =
+      run_pass(registry, n_clients, n_requests, streams, true);
+  fault::disarm();
+  print_pass("faulted", faulted, clips_per_request);
+  std::printf("  faulted pass: %llu faults fired, %llu busy, %llu reaped\n",
+              static_cast<unsigned long long>(faulted.faults_fired),
+              static_cast<unsigned long long>(faulted.stats.busy_rejections),
+              static_cast<unsigned long long>(faulted.stats.sessions_reaped));
 
-  std::printf(
-      "  %zu requests in %.3f s (%.1f req/s, %.1f clips/s)\n"
-      "  latency p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms\n",
-      total_requests, total_s, rps, cps, p50 * 1e3, p90 * 1e3, p99 * 1e3,
-      worst * 1e3);
-
-  const serve::ServerStats stats = server.stats();
   std::ofstream os("BENCH_latency.json");
   os << "{\n  \"host_cores\": " << hardware_threads()
      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
      << ",\n  \"clients\": " << n_clients
      << ",\n  \"requests_per_client\": " << n_requests
-     << ",\n  \"clips_per_request\": " << clips_per_request
-     << ",\n  \"session_workers\": " << serve_cfg.session_workers
-     << ",\n  \"total_seconds\": " << total_s
-     << ",\n  \"requests_per_sec\": " << rps
-     << ",\n  \"clips_per_sec\": " << cps
-     << ",\n  \"latency_seconds\": {\"p50\": " << p50
-     << ", \"p90\": " << p90 << ", \"p99\": " << p99
-     << ", \"max\": " << worst << "}"
-     << ",\n  \"server\": {\"sessions\": " << stats.sessions_accepted
-     << ", \"requests\": " << stats.requests_served
-     << ", \"clips\": " << stats.clips_scored
-     << ", \"errors\": " << stats.errors_sent << "}\n}\n";
+     << ",\n  \"clips_per_request\": " << clips_per_request << ",\n";
+  emit_pass(os, "clean", clean, clips_per_request);
+  os << ",\n";
+  emit_pass(os, "faulted", faulted, clips_per_request);
+  os << "\n}\n";
   std::printf("wrote BENCH_latency.json\n");
 
-  // Sanity gate: every request must have been served and none rejected.
-  if (stats.errors_sent != 0 ||
-      stats.requests_served < total_requests) {
+  // Sanity gate on the clean pass only: every request served, none
+  // rejected. The faulted pass rejects and drops by design; its gate is
+  // weaker — every client request eventually succeeded (run_pass would
+  // have thrown otherwise).
+  if (clean.stats.errors_sent != 0 ||
+      clean.stats.requests_served < clean.sorted.size()) {
     std::fprintf(stderr, "FATAL: server stats inconsistent with client view\n");
     return 1;
   }

@@ -1,0 +1,289 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace hsdl::fault {
+namespace {
+
+/// SplitMix64: the firing decision for probe k of spec s under seed z
+/// is splitmix64(z ^ hash(site) ^ golden*k) — stable across platforms
+/// and independent of every other (spec, probe) pair.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct SpecState {
+  Spec spec;
+  std::atomic<std::uint64_t> probes{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+struct Registry {
+  std::uint64_t seed = 1;
+  // One state per armed spec; probes scan linearly (plans are a handful
+  // of specs, and the armed path only exists in tests and chaos runs).
+  std::vector<std::unique_ptr<SpecState>> specs;
+  std::mutex fires_mu;
+  std::map<std::string, std::uint64_t, std::less<>> fires_by_site;
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mu;  // guards installation/teardown of g_registry
+std::shared_ptr<Registry> g_registry;
+
+std::shared_ptr<Registry> registry() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_registry;
+}
+
+bool site_matches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*')
+    return site.substr(0, pattern.size() - 1) ==
+           std::string_view(pattern).substr(0, pattern.size() - 1);
+  return site == pattern;
+}
+
+void count_fire(Registry& reg, std::string_view site) {
+  std::lock_guard<std::mutex> lk(reg.fires_mu);
+  auto it = reg.fires_by_site.find(site);
+  if (it == reg.fires_by_site.end())
+    reg.fires_by_site.emplace(std::string(site), 1);
+  else
+    ++it->second;
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kFail:
+      return "fail";
+    case Kind::kDelay:
+      return "delay";
+    case Kind::kShortIo:
+      return "short";
+    case Kind::kNan:
+      return "nan";
+    case Kind::kAllocFail:
+      return "alloc";
+  }
+  return "unknown";
+}
+
+void arm(Plan plan) {
+  auto reg = std::make_shared<Registry>();
+  reg->seed = plan.seed;
+  for (Spec& s : plan.specs) {
+    HSDL_CHECK_MSG(!s.site.empty(), "fault spec: empty site name");
+    HSDL_CHECK_MSG(s.probability >= 0.0 && s.probability <= 1.0,
+                   "fault spec " << s.site << ": probability "
+                                 << s.probability << " outside [0, 1]");
+    auto state = std::make_unique<SpecState>();
+    state->spec = std::move(s);
+    reg->specs.push_back(std::move(state));
+  }
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_registry = std::move(reg);
+  }
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  g_armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_registry.reset();
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+std::optional<Hit> probe(std::string_view site) {
+  if (!armed()) return std::nullopt;
+  const std::shared_ptr<Registry> reg = registry();
+  if (!reg) return std::nullopt;
+  for (const std::unique_ptr<SpecState>& state : reg->specs) {
+    const Spec& spec = state->spec;
+    if (!site_matches(spec.site, site)) continue;
+    const std::uint64_t k =
+        state->probes.fetch_add(1, std::memory_order_relaxed);
+    if (k < spec.start_after) continue;
+    if (spec.probability < 1.0) {
+      const std::uint64_t draw = splitmix64(
+          reg->seed ^ fnv1a(spec.site) ^ (0x9e3779b97f4a7c15ull * (k + 1)));
+      const double u =
+          static_cast<double>(draw >> 11) * 0x1.0p-53;  // uniform [0, 1)
+      if (u >= spec.probability) continue;
+    }
+    if (spec.max_fires != 0) {
+      // Reserve a fire slot; losers of the race past the cap back off.
+      const std::uint64_t f =
+          state->fired.fetch_add(1, std::memory_order_relaxed);
+      if (f >= spec.max_fires) continue;
+    } else {
+      state->fired.fetch_add(1, std::memory_order_relaxed);
+    }
+    count_fire(*reg, site);
+    if (spec.kind == Kind::kDelay) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(spec.param));
+      return std::nullopt;
+    }
+    return Hit{spec.kind, spec.param};
+  }
+  return std::nullopt;
+}
+
+bool fail_point(std::string_view site) {
+  const std::optional<Hit> hit = probe(site);
+  return hit && hit->kind == Kind::kFail;
+}
+
+std::optional<std::size_t> short_io(std::string_view site, std::size_t n) {
+  const std::optional<Hit> hit = probe(site);
+  if (!hit) return std::nullopt;
+  if (hit->kind == Kind::kFail) return 0;
+  if (hit->kind != Kind::kShortIo) return std::nullopt;
+  const double frac = std::min(std::max(hit->param, 0.0), 1.0);
+  std::size_t keep = static_cast<std::size_t>(
+      std::floor(frac * static_cast<double>(n)));
+  if (n > 0 && keep >= n) keep = n - 1;  // a fired short I/O truncates
+  return keep;
+}
+
+double corrupt_score(std::string_view site, double value) {
+  const std::optional<Hit> hit = probe(site);
+  if (hit && hit->kind == Kind::kNan)
+    return std::numeric_limits<double>::quiet_NaN();
+  return value;
+}
+
+void alloc_guard(std::string_view site) {
+  const std::optional<Hit> hit = probe(site);
+  if (hit && hit->kind == Kind::kAllocFail) throw std::bad_alloc();
+}
+
+std::uint64_t fires(std::string_view site) {
+  const std::shared_ptr<Registry> reg = registry();
+  if (!reg) return 0;
+  std::lock_guard<std::mutex> lk(reg->fires_mu);
+  const auto it = reg->fires_by_site.find(site);
+  return it == reg->fires_by_site.end() ? 0 : it->second;
+}
+
+std::uint64_t total_fires() {
+  const std::shared_ptr<Registry> reg = registry();
+  if (!reg) return 0;
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(reg->fires_mu);
+  for (const auto& [site, n] : reg->fires_by_site) total += n;
+  return total;
+}
+
+namespace {
+
+Kind parse_kind(const std::string& text, const std::string& clause) {
+  if (text == "fail") return Kind::kFail;
+  if (text == "delay") return Kind::kDelay;
+  if (text == "short") return Kind::kShortIo;
+  if (text == "nan") return Kind::kNan;
+  if (text == "alloc") return Kind::kAllocFail;
+  throw CheckError("fault spec: unknown kind '" + text + "' in clause '" +
+                   clause + "'");
+}
+
+double parse_number(const std::string& text, const std::string& clause) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw CheckError("fault spec: bad number '" + text + "' in clause '" +
+                     clause + "'");
+  }
+}
+
+}  // namespace
+
+Plan parse_spec(const std::string& text, std::uint64_t seed) {
+  Plan plan;
+  plan.seed = seed;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string clause = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    HSDL_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "fault spec: clause '" << clause
+                                          << "' is not site=kind[:...]");
+    Spec spec;
+    spec.site = clause.substr(0, eq);
+    std::vector<std::string> fields;
+    std::size_t fb = eq + 1;
+    while (fb <= clause.size()) {
+      std::size_t fe = clause.find(':', fb);
+      if (fe == std::string::npos) fe = clause.size();
+      fields.push_back(clause.substr(fb, fe - fb));
+      fb = fe + 1;
+    }
+    HSDL_CHECK_MSG(!fields.empty() && !fields[0].empty(),
+                   "fault spec: clause '" << clause << "' has no kind");
+    spec.kind = parse_kind(fields[0], clause);
+    if (fields.size() > 1) spec.probability = parse_number(fields[1], clause);
+    if (fields.size() > 2) spec.param = parse_number(fields[2], clause);
+    if (fields.size() > 3)
+      spec.start_after =
+          static_cast<std::uint64_t>(parse_number(fields[3], clause));
+    if (fields.size() > 4)
+      spec.max_fires =
+          static_cast<std::uint64_t>(parse_number(fields[4], clause));
+    HSDL_CHECK_MSG(fields.size() <= 5,
+                   "fault spec: clause '" << clause << "' has extra fields");
+    plan.specs.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+std::uint64_t seed_from_env(std::uint64_t fallback) {
+  const char* seed_env = std::getenv("HSDL_FAULT_SEED");
+  if (seed_env == nullptr || *seed_env == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(seed_env, nullptr, 10));
+}
+
+bool arm_from_env() {
+  const char* spec_env = std::getenv("HSDL_FAULT_SPEC");
+  if (spec_env == nullptr || *spec_env == '\0') return false;
+  Plan plan = parse_spec(spec_env, seed_from_env(1));
+  HSDL_LOG(kInfo) << "fault injection armed from HSDL_FAULT_SPEC ("
+                  << plan.specs.size() << " specs, seed " << plan.seed << ")";
+  arm(std::move(plan));
+  return true;
+}
+
+}  // namespace hsdl::fault

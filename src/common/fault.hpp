@@ -1,0 +1,135 @@
+// Deterministic, seedable fault injection (DESIGN.md §14).
+//
+// Reliability code is only trustworthy when failure is a tested input.
+// This registry lets tests and chaos runs arm named injection points
+// spread through the serving stack (net layer, frame codec, inference
+// engine, chip scanner) with a declarative plan: which sites fire, with
+// what kind of fault, at what probability, after how many probes, and
+// how often. The firing schedule is a pure function of (plan seed, site
+// name, per-spec probe counter), so a given plan replays the same fault
+// pattern per site regardless of thread interleaving — the property the
+// chaos suite leans on when it asserts invariants across seeds.
+//
+// Cost model: when disarmed (the production default) a probe is one
+// relaxed atomic load — callers guard any site-name construction behind
+// armed(), so the disarmed serving path pays under 1% (measured by
+// bench_serving_latency against the pre-fault baseline). Defining
+// HSDL_FAULT_DISABLED at compile time removes even that load.
+//
+// Arming: programmatic (fault::arm / fault::ScopedPlan in tests) or via
+// the environment for chaos runs of the stock binaries:
+//
+//   HSDL_FAULT_SPEC="serve.handler=delay:0.01:2;serve.net.recv=fail:0.005"
+//   HSDL_FAULT_SEED=7 ./hsdl_serve --demo
+//
+// Spec grammar: site=kind[:probability[:param[:start_after[:max_fires]]]]
+// separated by ';'. `site` matches exactly, or by prefix when it ends
+// with '*'. Kinds: fail, delay (param = milliseconds), short (param =
+// fraction of the I/O to let through), nan, alloc.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsdl::fault {
+
+enum class Kind : std::uint8_t {
+  kFail,       ///< the injection point reports failure (dropped connection,
+               ///< failed band, ...); the call site decides what that means
+  kDelay,      ///< sleep param milliseconds, then continue normally
+  kShortIo,    ///< truncate an I/O to floor(param * n) bytes, then fail
+  kNan,        ///< corrupt a score to quiet NaN
+  kAllocFail,  ///< simulated allocation failure (call site throws bad_alloc)
+};
+
+const char* kind_name(Kind kind);
+
+struct Spec {
+  /// Site name, or a prefix ending in '*' matching every site under it.
+  std::string site;
+  Kind kind = Kind::kFail;
+  /// Chance of firing per matching probe, in [0, 1].
+  double probability = 1.0;
+  /// Kind-specific parameter: delay milliseconds (kDelay) or the
+  /// fraction of the I/O to let through (kShortIo).
+  double param = 0.0;
+  /// Number of matching probes to let pass before the spec becomes
+  /// eligible to fire (deterministic "fail the Nth call" scheduling).
+  std::uint64_t start_after = 0;
+  /// Stop firing after this many fires (0 = unlimited).
+  std::uint64_t max_fires = 0;
+};
+
+struct Plan {
+  std::vector<Spec> specs;
+  std::uint64_t seed = 1;
+};
+
+/// What a probe hit: the fault kind and its parameter.
+struct Hit {
+  Kind kind;
+  double param;
+};
+
+/// Installs `plan` and turns the armed fast-path flag on. Replaces any
+/// previous plan; counters restart from zero.
+void arm(Plan plan);
+/// Removes the plan; probes return to the one-relaxed-load fast path.
+void disarm();
+/// True when a plan is installed. One relaxed atomic load.
+bool armed();
+
+/// Parses the HSDL_FAULT_SPEC grammar (see header comment). Throws
+/// CheckError with the offending clause on malformed input.
+Plan parse_spec(const std::string& text, std::uint64_t seed = 1);
+
+/// Arms from HSDL_FAULT_SPEC / HSDL_FAULT_SEED when set; no-op (and no
+/// arming) otherwise. Returns true when a plan was armed. Binaries call
+/// this once at startup so chaos runs need no code changes.
+bool arm_from_env();
+
+/// Seed override for tests that sweep seeds from the environment:
+/// HSDL_FAULT_SEED when set, `fallback` otherwise.
+std::uint64_t seed_from_env(std::uint64_t fallback);
+
+/// Fires-so-far at one site (exact name, not pattern) and in total.
+std::uint64_t fires(std::string_view site);
+std::uint64_t total_fires();
+
+/// Core probe: returns the fault that fired at `site`, if any. kDelay
+/// is handled internally (the probe sleeps, counts the fire, and
+/// returns nullopt) because every call site would do the same thing.
+std::optional<Hit> probe(std::string_view site);
+
+/// probe() shaped for go/no-go sites: true when a kFail fired.
+bool fail_point(std::string_view site);
+
+/// probe() shaped for I/O sites: the number of bytes to let through
+/// before simulating peer failure, or nullopt when nothing fired.
+/// kFail maps to 0 bytes; kShortIo maps to floor(param * n), clamped
+/// to [0, n-1] so a fired probe always truncates.
+std::optional<std::size_t> short_io(std::string_view site, std::size_t n);
+
+/// probe() shaped for score-corruption sites: quiet NaN when kNan
+/// fired, `value` unchanged otherwise.
+double corrupt_score(std::string_view site, double value);
+
+/// probe() shaped for allocation sites: throws std::bad_alloc when
+/// kAllocFail fired.
+void alloc_guard(std::string_view site);
+
+/// RAII arm/disarm for tests.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(Plan plan) { arm(std::move(plan)); }
+  ~ScopedPlan() { disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace hsdl::fault

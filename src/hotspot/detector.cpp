@@ -152,7 +152,13 @@ void CnnDetector::quantize(
 
 nn::Tensor CnnDetector::score_batch(const nn::Tensor& x,
                                     nn::WorkspaceArena& ws) const {
-  if (use_quantized()) return quantized_->probabilities(x, ws);
+  return score_batch(x, ws, use_quantized());
+}
+
+nn::Tensor CnnDetector::score_batch(const nn::Tensor& x, nn::WorkspaceArena& ws,
+                                    bool quantized) const {
+  if (quantized && quantized_ != nullptr)
+    return quantized_->probabilities(x, ws);
   return model_.probabilities(x, ws);
 }
 

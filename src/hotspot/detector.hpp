@@ -150,6 +150,12 @@ class CnnDetector final : public Detector {
   /// route through this, so quantization plugs into every serving path
   /// without touching them.
   nn::Tensor score_batch(const nn::Tensor& x, nn::WorkspaceArena& ws) const;
+  /// As above with the serving path chosen by the caller instead of the
+  /// detector's toggle — the server's degraded engine pins int8 per
+  /// engine while the fp32 engine keeps serving other tenants. Falls
+  /// back to fp32 when no quantized net has been built.
+  nn::Tensor score_batch(const nn::Tensor& x, nn::WorkspaceArena& ws,
+                         bool quantized) const;
 
   /// Saves the trained weights plus the feature/architecture fingerprint;
   /// load() verifies the fingerprint so a checkpoint cannot be restored

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -47,6 +49,9 @@ InferenceEngine::InferenceEngine(const CnnDetector& detector,
       detector_(&detector),
       telemetry_(config.telemetry_path) {
   config_.validate();
+  HSDL_CHECK_MSG(!config_.quantized || detector.quantized_net() != nullptr,
+                 "engine config: quantized serving requires a quantized "
+                 "detector (call CnnDetector::quantize() first)");
   const fte::FeatureTensorConfig& f = detector.extractor().config();
   feat_ = f.coeffs * f.blocks_per_side * f.blocks_per_side;
   in_shape_ = detector.model().input_shape();
@@ -67,22 +72,24 @@ InferenceEngine::InferenceEngine(const CnnDetector& detector,
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
 std::vector<double> InferenceEngine::score(
-    std::span<const layout::Clip> clips) {
+    std::span<const layout::Clip> clips,
+    std::chrono::steady_clock::time_point deadline) {
   std::vector<double> out(clips.size());
-  score_into(clips, out);
+  score_into(clips, out, deadline);
   return out;
 }
 
 bool InferenceEngine::enqueue(const layout::Clip* clip, double* out,
-                              Completion* done) {
+                              Completion* done,
+                              std::chrono::steady_clock::time_point deadline) {
   {
     std::unique_lock<std::mutex> lk(queue_mu_);
     space_cv_.wait(lk, [&] {
       return stopping_ || queue_.size() < config_.queue_capacity;
     });
     if (stopping_) return false;
-    queue_.push_back(
-        Request{clip, out, done, std::chrono::steady_clock::now()});
+    queue_.push_back(Request{clip, out, done,
+                             std::chrono::steady_clock::now(), deadline});
     ++requests_;
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     if (metrics::enabled()) {
@@ -101,22 +108,35 @@ void InferenceEngine::wait_and_check(Completion& done, std::size_t submitted,
   // them up front, then wait for the submitted ones — the drain
   // guarantees those complete — so `done` is never unwound while the
   // forward path still points at it.
+  std::size_t expired = 0;
   {
     std::unique_lock<std::mutex> lk(done.m);
     done.remaining -= total - submitted;
     done.cv.wait(lk, [&] { return done.remaining == 0; });
+    expired = done.expired;
   }
   HSDL_CHECK_MSG(submitted == total, "score on a shut-down engine");
+  if (expired > 0)
+    throw DeadlineExceeded("deadline expired for " + std::to_string(expired) +
+                           " of " + std::to_string(total) +
+                           " queued clips (dropped without a forward pass)");
 }
 
-void InferenceEngine::score_into(std::span<const layout::Clip> clips,
-                                 std::span<double> out) {
+void InferenceEngine::score_into(
+    std::span<const layout::Clip> clips, std::span<double> out,
+    std::chrono::steady_clock::time_point deadline) {
   HSDL_CHECK_MSG(out.size() == clips.size(),
                  "score_into: " << clips.size() << " clips vs " << out.size()
                                 << " result slots");
   HSDL_CHECK_MSG(!shut_down_.load(std::memory_order_relaxed),
                  "score on a shut-down engine");
   if (clips.empty()) return;
+  // Chaos site: a simulated allocation failure on the submission path
+  // (caller thread, so the bad_alloc unwinds to the caller — never into
+  // the pipeline threads, which must not throw).
+  if (fault::armed()) fault::alloc_guard("engine.score.alloc");
+  if (deadline != kNoDeadline && std::chrono::steady_clock::now() >= deadline)
+    throw DeadlineExceeded("deadline already expired at submission");
   if (inline_mode_) {
     score_inline(clips.data(), sizeof(layout::Clip), clips.size(),
                  out.data());
@@ -126,7 +146,7 @@ void InferenceEngine::score_into(std::span<const layout::Clip> clips,
   done.remaining = clips.size();
   std::size_t submitted = 0;
   while (submitted < clips.size() &&
-         enqueue(&clips[submitted], &out[submitted], &done))
+         enqueue(&clips[submitted], &out[submitted], &done, deadline))
     ++submitted;
   wait_and_check(done, submitted, clips.size());
 }
@@ -146,10 +166,20 @@ std::vector<double> InferenceEngine::score_labeled(
   done.remaining = clips.size();
   std::size_t submitted = 0;
   while (submitted < clips.size() &&
-         enqueue(&clips[submitted].clip, &out[submitted], &done))
+         enqueue(&clips[submitted].clip, &out[submitted], &done, kNoDeadline))
     ++submitted;
   wait_and_check(done, submitted, clips.size());
   return out;
+}
+
+void InferenceEngine::expire_request(const Request& r) {
+  deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  if (r.done == nullptr) return;
+  // Same notify-under-the-lock discipline as run_batch: the waiter owns
+  // the Completion on its stack and frees it the moment wait() returns.
+  std::lock_guard<std::mutex> lk(r.done->m);
+  ++r.done->expired;
+  if (--r.done->remaining == 0) r.done->cv.notify_all();
 }
 
 void InferenceEngine::score_inline(const layout::Clip* first,
@@ -242,9 +272,18 @@ void InferenceEngine::batcher_loop() {
       // waited max_wait_ms flushes immediately).
       const auto deadline = queue_.front().enqueued + wait;
       for (;;) {
+        // Pop into the batch, dropping any request whose caller
+        // deadline has already passed — it never occupies a forward
+        // pass; its waiter gets DeadlineExceeded instead.
+        const auto now = std::chrono::steady_clock::now();
         while (!queue_.empty() && pending.size() < config_.max_batch) {
-          pending.push_back(queue_.front());
+          const Request r = queue_.front();
           queue_.pop_front();
+          if (r.deadline <= now) {
+            expire_request(r);
+            continue;
+          }
+          pending.push_back(r);
         }
         space_cv_.notify_all();
         if (pending.size() >= config_.max_batch) {
@@ -306,15 +345,23 @@ void InferenceEngine::run_batch(Slab* slab) {
     // slab keeps its capacity for the next batch.
     nn::Tensor x = nn::Tensor::from_data({n, in[0], in[1], in[2]},
                                          std::move(slab->storage));
-    // score_batch routes to the active serving model (int8 when the
-    // detector has a quantized net enabled, fp32 otherwise).
-    probs = detector_->score_batch(x, arena_);
+    // score_batch routes to the active serving model: int8 when this
+    // engine is pinned quantized (the server's degraded engine) or the
+    // detector has its quantized net enabled, fp32 otherwise.
+    probs = detector_->score_batch(
+        x, arena_, config_.quantized || detector_->use_quantized());
     slab->storage = std::move(x.vec());
   }
   const double forward_seconds = timer.seconds();
-  for (std::size_t i = 0; i < n; ++i)
-    *slab->requests[i].out =
-        static_cast<double>(probs.at(i, kHotspotIndex));
+  for (std::size_t i = 0; i < n; ++i) {
+    double p = static_cast<double>(probs.at(i, kHotspotIndex));
+    // Chaos site: corrupt a score to NaN. Value corruption, not a
+    // throw — this runs on the forward thread, which must not unwind;
+    // the serving layer detects the non-finite score and answers
+    // kInternal without killing the session.
+    if (fault::armed()) p = fault::corrupt_score("engine.nan", p);
+    *slab->requests[i].out = p;
+  }
   arena_.recycle(std::move(probs));
 
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -397,6 +444,7 @@ EngineStats InferenceEngine::stats() const {
   s.flush_timeout = flush_timeout_.load(std::memory_order_relaxed);
   s.flush_drain = flush_drain_.load(std::memory_order_relaxed);
   s.inline_batches = inline_batches_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     s.arena_allocations = arena_stats_.allocations;

@@ -40,11 +40,22 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/run_report.hpp"
 #include "hotspot/detector.hpp"
 #include "nn/workspace.hpp"
 
 namespace hsdl::hotspot {
+
+/// Thrown by score()/score_into() when the caller's deadline expired:
+/// either already past at submission, or it passed while requests sat
+/// in the micro-batcher's queue (those are dropped without ever
+/// occupying a forward pass — the load-shedding property the serving
+/// front-end relies on under overload, DESIGN.md §14).
+class DeadlineExceeded : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
 
 struct EngineConfig {
   /// Flush threshold: a batch never exceeds this many clips.
@@ -63,6 +74,11 @@ struct EngineConfig {
   /// the calling thread (bitwise-identical results, none of the handoff
   /// overhead). Tests that pin queued-pipeline behavior disable this.
   bool inline_when_serial = true;
+  /// Force every batch through the detector's int8 quantized net — the
+  /// server's degraded engine under sustained overload (DESIGN.md §14).
+  /// Requires CnnDetector::quantize() to have been called; the default
+  /// engine follows the detector's own use_quantized() toggle instead.
+  bool quantized = false;
 
   /// Rejects nonsense configurations (max_batch == 0, negative wait,
   /// queue smaller than a batch) with a positioned error. The engine
@@ -85,6 +101,9 @@ struct EngineStats {
   /// counted in `batches`; zero when the engine runs the threaded
   /// pipeline).
   std::uint64_t inline_batches = 0;
+  /// Queued requests dropped because their deadline passed before the
+  /// batcher reached them (each raised DeadlineExceeded at its caller).
+  std::uint64_t deadline_expired = 0;
   std::size_t max_queue_depth = 0;  ///< high-water queue occupancy
   /// Arena counters: after warmup, `arena_allocations` stays flat while
   /// `arena_reuses` grows — the zero-steady-state-allocation property.
@@ -109,15 +128,25 @@ class InferenceEngine {
   const EngineConfig& config() const { return config_; }
   const CnnDetector& detector() const { return *detector_; }
 
+  /// "No deadline" sentinel for the deadline parameters below.
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
   /// Hotspot probabilities index-aligned with `clips`; blocks until all
   /// are scored. Bitwise identical to calling
-  /// detector().predict_probability() per clip.
-  std::vector<double> score(std::span<const layout::Clip> clips);
+  /// detector().predict_probability() per clip. With a deadline, throws
+  /// DeadlineExceeded when it is already past at submission or passes
+  /// while requests wait in the batcher queue (expired requests are
+  /// dropped without a forward pass; an inline-mode batch that already
+  /// started extraction runs to completion).
+  std::vector<double> score(
+      std::span<const layout::Clip> clips,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// As score(), writing into caller-owned storage (out.size() must
   /// equal clips.size()). Lets batch pipelines avoid the result vector.
-  void score_into(std::span<const layout::Clip> clips,
-                  std::span<double> out);
+  void score_into(std::span<const layout::Clip> clips, std::span<double> out,
+                  std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// score() over the clips of a labeled set (labels are ignored) —
   /// avoids materializing a separate Clip vector for evaluation.
@@ -136,6 +165,9 @@ class InferenceEngine {
     std::mutex m;
     std::condition_variable cv;
     std::size_t remaining = 0;
+    /// Requests of this submission the batcher dropped past-deadline;
+    /// the waiter raises DeadlineExceeded when nonzero.
+    std::size_t expired = 0;
   };
   struct Request {
     const layout::Clip* clip = nullptr;
@@ -146,6 +178,9 @@ class InferenceEngine {
     /// holds even when the batcher was busy extracting when the request
     /// arrived.
     std::chrono::steady_clock::time_point enqueued;
+    /// Caller deadline (kNoDeadline = none); checked by the batcher
+    /// when it pops the request.
+    std::chrono::steady_clock::time_point deadline;
   };
   /// One pipeline buffer: feature slab + the requests it carries.
   struct Slab {
@@ -159,7 +194,10 @@ class InferenceEngine {
   /// Returns false (without queuing) when the engine is stopping; the
   /// caller must then wait for its already-queued requests to drain
   /// before unwinding the Completion they point at.
-  bool enqueue(const layout::Clip* clip, double* out, Completion* done);
+  bool enqueue(const layout::Clip* clip, double* out, Completion* done,
+               std::chrono::steady_clock::time_point deadline);
+  /// Completes a queued request as past-deadline (no forward pass).
+  void expire_request(const Request& r);
   void wait_and_check(Completion& done, std::size_t submitted,
                       std::size_t total);
   /// Single-worker collapse: extract + forward `n` clips synchronously
@@ -211,6 +249,7 @@ class InferenceEngine {
   std::atomic<std::uint64_t> flush_timeout_{0};
   std::atomic<std::uint64_t> flush_drain_{0};
   std::atomic<std::uint64_t> inline_batches_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
 
   // Single-worker collapse (fixed at construction). inline_mu_
   // serializes concurrent score() callers over slabs_[0] and the arena.

@@ -6,11 +6,13 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "hotspot/engine/engine.hpp"
+#include "hotspot/scan_journal.hpp"
 
 namespace hsdl::hotspot {
 namespace {
@@ -38,7 +40,8 @@ std::vector<geom::Coord> grid_positions(geom::Coord lo, geom::Coord hi,
 /// come out exactly as a serial scan would produce them.
 template <typename ScoreBand>
 ScanReport scan_grid(const ScanConfig& config, const layout::Layout& chip,
-                     double threshold, ScoreBand&& score_band) {
+                     double threshold, ScoreBand&& score_band,
+                     ScanJournal* journal = nullptr) {
   const geom::Rect& extent = chip.extent();
   HSDL_CHECK_MSG(extent.width() >= config.window_size &&
                      extent.height() >= config.window_size,
@@ -53,11 +56,29 @@ ScanReport scan_grid(const ScanConfig& config, const layout::Layout& chip,
       extent.lo.y, extent.hi.y, config.window_size, config.stride);
   const std::size_t nx = xs.size();
 
-  constexpr std::size_t kBandRows = 16;
   std::vector<layout::Clip> band;
   std::vector<double> probs;
-  for (std::size_t band_lo = 0; band_lo < ys.size(); band_lo += kBandRows) {
-    const std::size_t band_hi = std::min(band_lo + kBandRows, ys.size());
+  for (std::size_t band_lo = 0; band_lo < ys.size();
+       band_lo += config.band_rows) {
+    const std::uint64_t band_index = band_lo / config.band_rows;
+    if (journal != nullptr) {
+      // Replay bands a previous run already completed: same windows,
+      // same hits, no scoring. Bands are visited in the same order
+      // either way, so the merged hit list is bitwise identical.
+      if (const BandResult* done = journal->result(band_index)) {
+        report.windows_scanned += done->windows;
+        report.hits.insert(report.hits.end(), done->hits.begin(),
+                           done->hits.end());
+        continue;
+      }
+    }
+    // Chaos hook: a fired "scan.band" fault simulates the process dying
+    // at the start of this band — already-journaled bands stay durable.
+    if (fault::armed() && fault::fail_point("scan.band"))
+      throw CheckError("scan: injected failure at band " +
+                       std::to_string(band_index));
+    const std::size_t band_hi =
+        std::min(band_lo + config.band_rows, ys.size());
     const std::size_t rows = band_hi - band_lo;
     band.assign(rows * nx, layout::Clip{});
     {
@@ -80,6 +101,7 @@ ScanReport scan_grid(const ScanConfig& config, const layout::Layout& chip,
                  std::span<double>(probs.data(), rows * nx));
     }
     report.windows_scanned += rows * nx;
+    const std::size_t first_hit = report.hits.size();
     for (std::size_t r = 0; r < rows; ++r) {
       for (std::size_t i = 0; i < nx; ++i) {
         const double p = probs[r * nx + i];
@@ -92,6 +114,15 @@ ScanReport scan_grid(const ScanConfig& config, const layout::Layout& chip,
         }
       }
     }
+    if (journal != nullptr) {
+      BandResult done;
+      done.band_index = band_index;
+      done.windows = rows * nx;
+      done.hits.assign(report.hits.begin() +
+                           static_cast<std::ptrdiff_t>(first_hit),
+                       report.hits.end());
+      journal->append(done);
+    }
   }
   report.scan_seconds = timer.seconds();
   if (metrics::enabled()) {
@@ -102,7 +133,7 @@ ScanReport scan_grid(const ScanConfig& config, const layout::Layout& chip,
     windows.add(report.windows_scanned);
     hits.add(report.hits.size());
     wps.set(report.windows_per_second());
-    depth.set(static_cast<double>(std::min(kBandRows, ys.size())));
+    depth.set(static_cast<double>(std::min(config.band_rows, ys.size())));
   }
   return report;
 }
@@ -115,6 +146,7 @@ void ScanConfig::validate() const {
                      << window_size);
   HSDL_CHECK_MSG(stride > 0,
                  "scan config: stride must be positive, got " << stride);
+  HSDL_CHECK_MSG(band_rows > 0, "scan config: band_rows must be positive");
 }
 
 void ScanConfig::validate_for(const CnnDetector& detector) const {
@@ -164,6 +196,24 @@ ScanReport ChipScanner::scan(const layout::Layout& chip,
       [&](std::span<const layout::Clip> clips, std::span<double> out) {
         engine.score_into(clips, out);
       });
+}
+
+ScanReport ChipScanner::scan_resumable(const layout::Layout& chip,
+                                       InferenceEngine& engine,
+                                       const std::string& journal_path) const {
+  config_.validate_for(engine.detector());
+  ScanJournal journal(journal_path,
+                      ScanJournal::fingerprint(config_, chip.extent()));
+  ScanReport report = scan_grid(
+      config_, chip, engine.detector().decision_threshold(),
+      [&](std::span<const layout::Clip> clips, std::span<double> out) {
+        engine.score_into(clips, out);
+      },
+      &journal);
+  // The scan is complete; stale resume state must not leak into a
+  // future scan of a (possibly different) chip at the same path.
+  journal.remove();
+  return report;
 }
 
 }  // namespace hsdl::hotspot

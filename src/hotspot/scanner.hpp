@@ -9,6 +9,7 @@
 // network forward pass.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "hotspot/detector.hpp"
@@ -21,6 +22,11 @@ class InferenceEngine;
 struct ScanConfig {
   geom::Coord window_size = 1200;  ///< nm, must match the detector's input
   geom::Coord stride = 1200;       ///< nm; < window_size scans with overlap
+  /// Window rows scored per band. Bands are the unit of parallel
+  /// extraction, of deterministic merge order and of resumable-scan
+  /// journaling; smaller bands checkpoint more often at a little more
+  /// batching overhead.
+  std::size_t band_rows = 16;
 
   /// Rejects nonsense configurations (non-positive window or stride)
   /// with a positioned error. The scanner constructor calls this.
@@ -90,6 +96,18 @@ class ChipScanner {
   /// Scans through a caller-owned engine (reuse one engine — and its
   /// warm workspace arena — across many chips).
   ScanReport scan(const layout::Layout& chip, InferenceEngine& engine) const;
+
+  /// Crash-safe scan: completed bands are journaled (checksummed,
+  /// band-granular) to `journal_path` as the scan progresses. If a
+  /// previous run died mid-scan, the journaled bands are replayed from
+  /// disk and only the remainder is scored — the merged report is
+  /// bitwise identical to an uninterrupted scan. The journal file is
+  /// deleted once the scan completes. The journal fingerprints the scan
+  /// geometry but cannot see the model: resuming with different
+  /// detector weights is the caller's responsibility to avoid.
+  ScanReport scan_resumable(const layout::Layout& chip,
+                            InferenceEngine& engine,
+                            const std::string& journal_path) const;
 
  private:
   ScanConfig config_;

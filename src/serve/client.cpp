@@ -1,14 +1,25 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace hsdl::serve {
 
 ServeClient::ServeClient(const std::string& host, std::uint16_t port,
                          const std::string& tenant)
-    : sock_(Socket::connect(host, port)) {
+    : host_(host), port_(port), tenant_(tenant) {
+  connect_and_handshake();
+}
+
+void ServeClient::connect_and_handshake() {
+  sock_ = Socket::connect(host_, port_);
+  sock_.set_fault_site("client.net");
   Hello hello;
-  hello.tenant = tenant;
+  hello.tenant = tenant_;
   const Frame ack = roundtrip(MsgType::kHello, encode_hello(hello),
                               MsgType::kHelloAck);
   const HelloAck decoded = decode_hello_ack(ack.body, "hello ack");
@@ -27,7 +38,7 @@ Frame ServeClient::roundtrip(MsgType type, std::string_view body,
   const Frame frame = decode_frame(buf_, "serve client");
   if (frame.type == MsgType::kError) {
     const ErrorMsg err = decode_error(frame.body, "serve client");
-    throw ServerError(err.code, err.message);
+    throw ServerError(err.code, err.message, err.retry_after_ms);
   }
   HSDL_CHECK_MSG(frame.type == expect,
                  "unexpected response type "
@@ -36,9 +47,11 @@ Frame ServeClient::roundtrip(MsgType type, std::string_view body,
   return frame;
 }
 
-ScoreResponse ServeClient::score(std::span<const layout::Clip> clips) {
+ScoreResponse ServeClient::score(std::span<const layout::Clip> clips,
+                                 std::uint32_t deadline_ms) {
   ScoreRequest request;
   request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
   request.clips.assign(clips.begin(), clips.end());
   const Frame frame =
       roundtrip(MsgType::kScoreRequest, encode_score_request(request),
@@ -52,7 +65,41 @@ ScoreResponse ServeClient::score(std::span<const layout::Clip> clips) {
                  "response covers " << response.hits.size() << " of "
                                     << clips.size() << " clips");
   model_generation_ = response.model_generation;
+  last_mode_ = response.mode;
   return response;
+}
+
+ScoreResponse ServeClient::score_with_retry(
+    std::span<const layout::Clip> clips, const RetryPolicy& policy,
+    std::uint32_t deadline_ms) {
+  HSDL_CHECK_MSG(policy.max_attempts > 0,
+                 "retry policy: max_attempts must be positive");
+  Rng jitter(policy.jitter_seed);
+  std::uint32_t backoff = policy.base_backoff_ms;
+  for (std::size_t attempt = 1;; ++attempt) {
+    bool dead_connection = false;
+    std::uint32_t hint = 0;
+    try {
+      return score(clips, deadline_ms);
+    } catch (const ServerError& e) {
+      // Only kBusy is a "try again later"; every other rejection is
+      // deterministic and would just fail again.
+      if (e.code() != ErrorCode::kBusy || attempt >= policy.max_attempts)
+        throw;
+      hint = e.retry_after_ms();
+    } catch (const CheckError&) {
+      // Connection-level failure (EOF, reset, timeout). Score requests
+      // are idempotent, so re-dialing and resending is safe.
+      if (!policy.reconnect || attempt >= policy.max_attempts) throw;
+      dead_connection = true;
+    }
+    double wait_ms = hint > 0 ? hint : backoff;
+    wait_ms *= jitter.uniform(0.5, 1.5);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(wait_ms));
+    backoff = std::min(policy.max_backoff_ms, backoff * 2);
+    if (dead_connection) connect_and_handshake();
+  }
 }
 
 std::vector<double> ServeClient::score_probabilities(

@@ -18,17 +18,39 @@ namespace hsdl::serve {
 
 /// Thrown when the server answers a request with an Error frame; the
 /// session stays usable for rejections that are per-request
-/// (kTooManyClips, kQuotaExceeded, kSwapFailed).
+/// (kTooManyClips, kQuotaExceeded, kSwapFailed, kBusy, kInternal).
 class ServerError : public CheckError {
  public:
-  ServerError(ErrorCode code, const std::string& message)
+  ServerError(ErrorCode code, const std::string& message,
+              std::uint32_t retry_after_ms = 0)
       : CheckError("server error [" + std::string(error_code_name(code)) +
                    "]: " + message),
-        code_(code) {}
+        code_(code),
+        retry_after_ms_(retry_after_ms) {}
   ErrorCode code() const { return code_; }
+  /// Back-off hint from a kBusy rejection (0 = none given).
+  std::uint32_t retry_after_ms() const { return retry_after_ms_; }
 
  private:
   ErrorCode code_;
+  std::uint32_t retry_after_ms_;
+};
+
+/// Retry schedule for score_with_retry: exponential backoff with
+/// deterministic jitter, honoring the server's retry-after hint when
+/// one came with the kBusy rejection.
+struct RetryPolicy {
+  std::size_t max_attempts = 5;
+  /// First backoff (milliseconds); doubles per attempt...
+  std::uint32_t base_backoff_ms = 10;
+  /// ...capped here.
+  std::uint32_t max_backoff_ms = 2000;
+  /// Jitter draws (uniform in [0.5, 1.5) of the backoff) come from a
+  /// seeded Rng so a chaos run replays the same schedule.
+  std::uint64_t jitter_seed = 1;
+  /// Also retry when the connection died (re-dial + handshake) — score
+  /// requests are idempotent, so resending is safe.
+  bool reconnect = true;
 };
 
 class ServeClient {
@@ -41,10 +63,30 @@ class ServeClient {
   /// Model generation from the handshake / the latest response.
   std::uint64_t model_generation() const { return model_generation_; }
 
+  /// Serving path (fp32/int8) that scored the latest response.
+  ServeMode last_mode() const { return last_mode_; }
+
+  /// Socket send/recv timeouts for this client (see Socket::set_timeouts).
+  void set_timeouts(std::uint32_t recv_ms, std::uint32_t send_ms) {
+    sock_.set_timeouts(recv_ms, send_ms);
+  }
+
   /// Scores a batch of clips; returns the ranked response. Throws
   /// ServerError on a per-request rejection and CheckError when the
-  /// connection is gone.
-  ScoreResponse score(std::span<const layout::Clip> clips);
+  /// connection is gone. `deadline_ms` is the relative deadline budget
+  /// carried on the wire (0 = none): the server rejects the request
+  /// kBusy once the budget expires rather than scoring it late.
+  ScoreResponse score(std::span<const layout::Clip> clips,
+                      std::uint32_t deadline_ms = 0);
+
+  /// score() with retries: on kBusy, backs off (the server's
+  /// retry-after hint when given, else exponential with jitter) and
+  /// resends; on a dead connection, re-dials and re-handshakes when the
+  /// policy allows. Any other rejection propagates immediately. Throws
+  /// the last error once attempts are exhausted.
+  ScoreResponse score_with_retry(std::span<const layout::Clip> clips,
+                                 const RetryPolicy& policy = {},
+                                 std::uint32_t deadline_ms = 0);
 
   /// Convenience view of score(): probabilities re-ordered back to
   /// request clip order (index-aligned with `clips`).
@@ -59,12 +101,17 @@ class ServeClient {
   void bye();
 
  private:
+  void connect_and_handshake();
   Frame roundtrip(MsgType type, std::string_view body, MsgType expect);
 
+  std::string host_;
+  std::uint16_t port_;
+  std::string tenant_;
   Socket sock_;
   std::string buf_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t model_generation_ = 0;
+  ServeMode last_mode_ = ServeMode::kFp32;
 };
 
 }  // namespace hsdl::serve

@@ -4,13 +4,16 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/io.hpp"
 #include "serve/protocol.hpp"
 
@@ -18,12 +21,16 @@ namespace hsdl::serve {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), fault_site_(std::move(other.fault_site_)) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    fault_site_ = std::move(other.fault_site_);
     other.fd_ = -1;
   }
   return *this;
@@ -49,11 +56,47 @@ Socket Socket::connect(const std::string& host, std::uint16_t port) {
   return s;
 }
 
+void Socket::set_timeouts(std::uint32_t recv_ms, std::uint32_t send_ms) {
+  const auto to_tv = [](std::uint32_t ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    return tv;
+  };
+  if (recv_ms > 0) {
+    const timeval tv = to_tv(recv_ms);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (send_ms > 0) {
+    const timeval tv = to_tv(send_ms);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+}
+
 void Socket::send_all(const void* data, std::size_t n) {
   const char* p = static_cast<const char*>(data);
+  if (fault::armed()) {
+    // A fired probe lets `keep` bytes reach the wire, then drops the
+    // connection: the peer sees a truncated frame followed by EOF.
+    if (const std::optional<std::size_t> keep =
+            fault::short_io(fault_site_ + ".send", n)) {
+      std::size_t left = *keep;
+      while (left > 0) {
+        const ssize_t w = ::send(fd_, p, left, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        p += w;
+        left -= static_cast<std::size_t>(w);
+      }
+      close();
+      throw CheckError("send: injected connection drop (" + fault_site_ +
+                       ".send)");
+    }
+  }
   while (n > 0) {
     const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      throw NetTimeout("send: timed out (SO_SNDTIMEO)");
     HSDL_CHECK_MSG(w > 0, "send: " << (w < 0 ? std::strerror(errno)
                                              : "connection closed"));
     p += w;
@@ -62,11 +105,22 @@ void Socket::send_all(const void* data, std::size_t n) {
 }
 
 bool Socket::recv_exact(void* out, std::size_t n) {
+  if (fault::armed() &&
+      fault::short_io(fault_site_ + ".recv", n).has_value()) {
+    // Unlike the send side there is no honest way to half-read a live
+    // stream, so any fired recv probe drops the connection outright.
+    close();
+    throw CheckError("recv: injected connection drop (" + fault_site_ +
+                     ".recv)");
+  }
   char* p = static_cast<char*>(out);
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::recv(fd_, p + got, n - got, 0);
     if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      throw NetTimeout("recv: timed out after " + std::to_string(got) +
+                       " of " + std::to_string(n) + " bytes (SO_RCVTIMEO)");
     HSDL_CHECK_MSG(r >= 0, "recv: " << std::strerror(errno));
     if (r == 0) {
       HSDL_CHECK_MSG(got == 0, "connection closed mid-frame after "

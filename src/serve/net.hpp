@@ -9,7 +9,18 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.hpp"
+
 namespace hsdl::serve {
+
+/// A socket send/recv exceeded its SO_RCVTIMEO/SO_SNDTIMEO budget
+/// (set_timeouts). The server's session loop catches this subtype to
+/// reap stuck sessions — freeing the worker and the tenant quota —
+/// distinctly from protocol errors.
+class NetTimeout : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
 
 /// Owns one connected socket fd; move-only.
 class Socket {
@@ -28,10 +39,23 @@ class Socket {
   /// Connects to host:port (blocking); throws CheckError on failure.
   static Socket connect(const std::string& host, std::uint16_t port);
 
-  /// Writes all of `data`; throws CheckError when the peer is gone.
+  /// Arms kernel-level send/recv timeouts (milliseconds; 0 leaves that
+  /// direction unbounded). A blocked send/recv past its budget throws
+  /// NetTimeout instead of hanging the session worker forever.
+  void set_timeouts(std::uint32_t recv_ms, std::uint32_t send_ms);
+
+  /// Names this socket's fault-injection sites (common/fault.hpp):
+  /// probes fire at `<site>.send` and `<site>.recv`. Defaults to "net";
+  /// the server uses "serve.net", the client "client.net", so a chaos
+  /// plan can break exactly one side of the wire.
+  void set_fault_site(std::string site) { fault_site_ = std::move(site); }
+
+  /// Writes all of `data`; throws CheckError when the peer is gone and
+  /// NetTimeout when a send timeout (set_timeouts) expires.
   void send_all(const void* data, std::size_t n);
   /// Reads exactly n bytes. Returns false on clean EOF before the first
-  /// byte; throws CheckError on EOF mid-buffer or a socket error.
+  /// byte; throws CheckError on EOF mid-buffer or a socket error, and
+  /// NetTimeout when a recv timeout (set_timeouts) expires.
   bool recv_exact(void* out, std::size_t n);
 
   /// shutdown(2) the read side: a peer blocked in recv wakes with EOF.
@@ -42,6 +66,7 @@ class Socket {
 
  private:
   int fd_ = -1;
+  std::string fault_site_ = "net";
 };
 
 /// Listening socket bound to 127.0.0.1; move-only.

@@ -66,6 +66,20 @@ const char* error_code_name(ErrorCode code) {
       return "shutting-down";
     case ErrorCode::kSwapFailed:
       return "swap-failed";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+const char* serve_mode_name(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kFp32:
+      return "fp32";
+    case ServeMode::kInt8:
+      return "int8";
   }
   return "unknown";
 }
@@ -138,6 +152,7 @@ HelloAck decode_hello_ack(std::string_view body, const std::string& context) {
 std::string encode_score_request(const ScoreRequest& m) {
   io::ByteWriter w;
   w.u64(m.request_id);
+  w.u32(m.deadline_ms);
   w.u32(static_cast<std::uint32_t>(m.clips.size()));
   for (const layout::Clip& c : m.clips) write_clip(w, c);
   return w.take();
@@ -148,6 +163,7 @@ ScoreRequest decode_score_request(std::string_view body,
   io::ByteReader r = body_reader(body, context);
   ScoreRequest m;
   m.request_id = r.u64();
+  m.deadline_ms = r.u32();
   const std::uint32_t n = r.u32();
   if (static_cast<std::size_t>(n) * 40 > kMaxFrameBytes)
     r.fail("clip count exceeds frame capacity");
@@ -161,6 +177,7 @@ std::string encode_score_response(const ScoreResponse& m) {
   io::ByteWriter w;
   w.u64(m.request_id);
   w.u64(m.model_generation);
+  w.u8(static_cast<std::uint8_t>(m.mode));
   w.u32(static_cast<std::uint32_t>(m.hits.size()));
   for (const RankedHit& h : m.hits) {
     w.u32(h.index);
@@ -176,6 +193,10 @@ ScoreResponse decode_score_response(std::string_view body,
   ScoreResponse m;
   m.request_id = r.u64();
   m.model_generation = r.u64();
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(ServeMode::kInt8))
+    r.fail("unknown serve mode");
+  m.mode = static_cast<ServeMode>(mode);
   const std::uint32_t n = r.u32();
   if (static_cast<std::size_t>(n) * 13 > kMaxFrameBytes)
     r.fail("hit count exceeds frame capacity");
@@ -225,6 +246,7 @@ SwapAck decode_swap_ack(std::string_view body, const std::string& context) {
 std::string encode_error(const ErrorMsg& m) {
   io::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(m.code));
+  w.u32(m.retry_after_ms);
   w.str(m.message);
   return w.take();
 }
@@ -234,9 +256,10 @@ ErrorMsg decode_error(std::string_view body, const std::string& context) {
   ErrorMsg m;
   const std::uint8_t code = r.u8();
   if (code < static_cast<std::uint8_t>(ErrorCode::kBadFrame) ||
-      code > static_cast<std::uint8_t>(ErrorCode::kSwapFailed))
+      code > static_cast<std::uint8_t>(ErrorCode::kInternal))
     r.fail("unknown error code");
   m.code = static_cast<ErrorCode>(code);
+  m.retry_after_ms = r.u32();
   m.message = r.str(kMaxMessageLen);
   r.expect_end();
   return m;

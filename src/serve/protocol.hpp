@@ -14,13 +14,19 @@
 //
 // Session flow: the client opens with Hello (protocol version, tenant
 // id) and gets HelloAck (server version, active model generation). It
-// then streams ScoreRequest frames — each carries a request id and a
-// batch of clips — and receives one ScoreResponse per request: every
-// clip's (index, probability, threshold-flagged) entry, ranked by
-// probability descending (ties by index), tagged with the generation of
-// the model that scored it. SwapModel hot-swaps the served checkpoint;
-// Error reports a rejected request without closing the session; Bye
-// closes it cleanly.
+// then streams ScoreRequest frames — each carries a request id, an
+// optional deadline budget, and a batch of clips — and receives one
+// ScoreResponse per request: every clip's (index, probability,
+// threshold-flagged) entry, ranked by probability descending (ties by
+// index), tagged with the generation of the model that scored it and
+// the serving mode (fp32 or the int8 degraded path) it was scored in.
+// SwapModel hot-swaps the served checkpoint; Error reports a rejected
+// request without closing the session (machine-readable code, optional
+// retry-after hint for kBusy load shedding); Bye closes it cleanly.
+//
+// Version 2 (reliability, DESIGN.md §14) added ScoreRequest.deadline_ms,
+// ScoreResponse.mode, ErrorMsg.retry_after_ms and the kBusy/kInternal
+// error codes.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +38,7 @@
 
 namespace hsdl::serve {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Upper bound on a frame payload; a length field damaged upward is
 /// rejected before any allocation.
 inline constexpr std::size_t kMaxFrameBytes = 1u << 24;  // 16 MiB
@@ -57,8 +63,18 @@ enum class ErrorCode : std::uint8_t {
   kQuotaExceeded = 4,  ///< request alone exceeds the tenant quota
   kShuttingDown = 5,   ///< server draining; no new requests
   kSwapFailed = 6,     ///< checkpoint load/verify failed
+  kBusy = 7,           ///< load shed / deadline expired; retry after the
+                       ///< hint in ErrorMsg::retry_after_ms
+  kInternal = 8,       ///< scoring failed server-side (allocation failure,
+                       ///< non-finite score); the session stays usable
 };
 const char* error_code_name(ErrorCode code);
+
+/// Which serving path scored a request: fp32 is the default; int8 is
+/// the quantized degraded path the server switches eligible tenants to
+/// under sustained overload (DESIGN.md §14).
+enum class ServeMode : std::uint8_t { kFp32 = 0, kInt8 = 1 };
+const char* serve_mode_name(ServeMode mode);
 
 struct Hello {
   std::uint32_t version = kProtocolVersion;
@@ -72,6 +88,12 @@ struct HelloAck {
 
 struct ScoreRequest {
   std::uint64_t request_id = 0;
+  /// Deadline budget in milliseconds, measured from server receipt
+  /// (clocks are not shared, so the wire carries a relative budget).
+  /// 0 = no deadline. An expired request is rejected with kBusy before
+  /// it occupies an engine slot; a request whose deadline passes while
+  /// queued in the micro-batcher is dropped there.
+  std::uint32_t deadline_ms = 0;
   std::vector<layout::Clip> clips;
 };
 
@@ -89,6 +111,9 @@ struct ScoreResponse {
   /// One entry per request clip, ranked by probability descending
   /// (ties broken by ascending index).
   std::vector<RankedHit> hits;
+  /// Serving path that scored this request (fp32, or int8 when the
+  /// server degraded the tenant under overload).
+  ServeMode mode = ServeMode::kFp32;
 };
 
 struct SwapModel {
@@ -102,6 +127,9 @@ struct SwapAck {
 struct ErrorMsg {
   ErrorCode code = ErrorCode::kBadFrame;
   std::string message;
+  /// For kBusy: how long the client should back off before retrying,
+  /// in milliseconds. 0 = no hint.
+  std::uint32_t retry_after_ms = 0;
 };
 
 /// A decoded frame: the message type plus its body bytes (view into the

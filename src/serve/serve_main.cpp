@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "hotspot/detector.hpp"
 #include "layout/dataset.hpp"
@@ -42,7 +43,17 @@ void usage(const char* argv0) {
       "  --blocks <n>      feature blocks per side (default 12)\n"
       "  --coeffs <n>      DCT coefficients per block (default 32)\n"
       "  --nm-per-px <f>   raster pitch in nm (default 4)\n"
-      "  --stage1 <n> --stage2 <n> --fc <n>   CNN widths\n",
+      "  --stage1 <n> --stage2 <n> --fc <n>   CNN widths\n"
+      "reliability (DESIGN.md §14):\n"
+      "  --session-timeout-ms <n>  reap sessions idle past n ms (0 = never)\n"
+      "  --max-clips <n>           per-request clip cap (default 65536)\n"
+      "  --busy-max-clips <n>      in-flight clip ceiling before kBusy\n"
+      "                            (must admit a maximal request)\n"
+      "  --retry-after-ms <n>      back-off hint on kBusy (default 25)\n"
+      "  --degrade-after-ms <n>    sustained-shed window before int8\n"
+      "  --recover-after-ms <n>    shed-free window restoring fp32\n"
+      "  --no-degrade              never switch to the int8 path\n"
+      "chaos runs: set HSDL_FAULT_SPEC / HSDL_FAULT_SEED in the env\n",
       argv0);
 }
 
@@ -93,6 +104,25 @@ int main(int argc, char** argv) {
       det_cfg.cnn.stage2_maps = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--fc") {
       det_cfg.cnn.fc_nodes = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--max-clips") {
+      serve_cfg.max_clips_per_request =
+          static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--session-timeout-ms") {
+      serve_cfg.session_timeout_ms =
+          static_cast<std::uint32_t>(std::atol(next()));
+    } else if (arg == "--busy-max-clips") {
+      serve_cfg.busy_max_inflight_clips =
+          static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--retry-after-ms") {
+      serve_cfg.retry_after_ms = static_cast<std::uint32_t>(std::atol(next()));
+    } else if (arg == "--degrade-after-ms") {
+      serve_cfg.degrade_after_ms =
+          static_cast<std::uint32_t>(std::atol(next()));
+    } else if (arg == "--recover-after-ms") {
+      serve_cfg.recover_after_ms =
+          static_cast<std::uint32_t>(std::atol(next()));
+    } else if (arg == "--no-degrade") {
+      serve_cfg.degrade_to_int8 = false;
     } else {
       usage(argv[0]);
       return 2;
@@ -104,6 +134,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (hsdl::fault::arm_from_env())
+      HSDL_LOG(kWarn) << "fault injection armed from HSDL_FAULT_SPEC "
+                         "(chaos run)";
     serve_cfg.port = port;
     serve::ModelRegistry registry(det_cfg, hotspot::EngineConfig{});
     if (!checkpoint.empty()) {
@@ -158,6 +191,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.sessions_accepted),
         static_cast<unsigned long long>(stats.swaps),
         static_cast<unsigned long long>(stats.errors_sent));
+    std::printf(
+        "hsdl_serve: reliability: %llu shed (%llu deadline), %llu "
+        "internal, %llu reaped, %llu degrades / %llu recoveries\n",
+        static_cast<unsigned long long>(stats.busy_rejections),
+        static_cast<unsigned long long>(stats.deadline_rejections),
+        static_cast<unsigned long long>(stats.internal_errors),
+        static_cast<unsigned long long>(stats.sessions_reaped),
+        static_cast<unsigned long long>(stats.degrade_events),
+        static_cast<unsigned long long>(stats.recover_events));
+    if (hsdl::fault::armed())
+      std::printf("hsdl_serve: chaos: %llu faults fired\n",
+                  static_cast<unsigned long long>(hsdl::fault::total_fires()));
     return 0;
   } catch (const CheckError& e) {
     std::fprintf(stderr, "hsdl_serve: %s\n", e.what());

@@ -1,9 +1,11 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
@@ -20,6 +22,13 @@ void ServeConfig::validate() const {
                      << tenant_quota_clips
                      << ") must admit a maximal request ("
                      << max_clips_per_request << ")");
+  HSDL_CHECK_MSG(busy_max_inflight_clips == 0 ||
+                     busy_max_inflight_clips >= max_clips_per_request,
+                 "serve config: busy_max_inflight_clips ("
+                     << busy_max_inflight_clips
+                     << ") must admit a maximal request ("
+                     << max_clips_per_request
+                     << ") or every such request sheds forever");
 }
 
 HotspotServer::HotspotServer(ModelRegistry& registry,
@@ -84,24 +93,119 @@ void HotspotServer::accept_loop() {
 }
 
 void HotspotServer::send_error(Socket& sock, ErrorCode code,
-                               const std::string& message) {
+                               const std::string& message,
+                               std::uint32_t retry_after_ms) {
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++stats_.errors_sent;
   }
   try {
-    send_frame(sock,
-               encode_frame(MsgType::kError,
-                            encode_error(ErrorMsg{code, message})));
+    send_frame(sock, encode_frame(MsgType::kError,
+                                  encode_error(ErrorMsg{code, message,
+                                                        retry_after_ms})));
   } catch (const CheckError&) {
     // Peer already gone; the session loop will notice on its next read.
   }
+}
+
+void HotspotServer::send_busy(Socket& sock, const std::string& message,
+                              bool deadline) {
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.busy_rejections;
+    if (deadline) ++stats_.deadline_rejections;
+  }
+  send_error(sock, ErrorCode::kBusy, message, config_.retry_after_ms);
+}
+
+bool HotspotServer::begin_scoring(std::size_t clips) {
+  if (config_.busy_max_inflight_clips == 0) return true;
+  // Atomic reservation: racing requests cannot jointly exceed the
+  // ceiling by both passing a check-then-add.
+  const std::size_t prior =
+      scoring_inflight_.fetch_add(clips, std::memory_order_acq_rel);
+  if (prior + clips <= config_.busy_max_inflight_clips) return true;
+  scoring_inflight_.fetch_sub(clips, std::memory_order_acq_rel);
+  record_shed();
+  return false;
+}
+
+void HotspotServer::end_scoring(std::size_t clips) {
+  if (config_.busy_max_inflight_clips == 0) return;
+  scoring_inflight_.fetch_sub(clips, std::memory_order_acq_rel);
+}
+
+void HotspotServer::record_shed() {
+  const auto now = std::chrono::steady_clock::now();
+  bool degraded_now = false;
+  {
+    std::lock_guard<std::mutex> lk(pressure_mu_);
+    if (!pressure_.overloaded) {
+      pressure_.overloaded = true;
+      pressure_.overload_since = now;
+    }
+    pressure_.last_shed = now;
+    if (config_.degrade_to_int8 && !pressure_.degraded &&
+        now - pressure_.overload_since >=
+            std::chrono::milliseconds(config_.degrade_after_ms)) {
+      pressure_.degraded = true;
+      degraded_now = true;
+    }
+  }
+  if (degraded_now) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.degrade_events;
+      stats_.degraded = true;
+    }
+    HSDL_LOG(kWarn) << "serve: sustained overload, degrading eligible "
+                       "tenants to the int8 path";
+  }
+}
+
+void HotspotServer::update_pressure_after_success() {
+  bool recovered = false;
+  {
+    std::lock_guard<std::mutex> lk(pressure_mu_);
+    if (!pressure_.overloaded) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - pressure_.last_shed <
+        std::chrono::milliseconds(config_.recover_after_ms))
+      return;
+    pressure_.overloaded = false;
+    if (pressure_.degraded) {
+      pressure_.degraded = false;
+      recovered = true;
+    }
+  }
+  if (recovered) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.recover_events;
+      stats_.degraded = false;
+    }
+    HSDL_LOG(kInfo) << "serve: overload cleared, restoring fp32 serving";
+  }
+}
+
+bool HotspotServer::degraded_mode() const {
+  std::lock_guard<std::mutex> lk(pressure_mu_);
+  return pressure_.degraded;
+}
+
+std::size_t HotspotServer::tenant_inflight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(quota_mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.in_flight;
 }
 
 void HotspotServer::session(std::shared_ptr<Socket> sock) {
   std::string tenant = "anonymous";
   std::string buf;
   const std::string context = "serve session";
+  sock->set_fault_site("serve.net");
+  if (config_.session_timeout_ms > 0)
+    sock->set_timeouts(config_.session_timeout_ms, config_.session_timeout_ms);
   try {
     while (recv_frame(*sock, buf, context)) {
       Frame frame;
@@ -146,10 +250,23 @@ void HotspotServer::session(std::shared_ptr<Socket> sock) {
           return;
       }
     }
+  } catch (const NetTimeout& e) {
+    // Watchdog: the peer went silent mid-frame or refused to drain its
+    // response past session_timeout_ms. Reap the session — the worker
+    // frees up; any quota was already released by handle_score's guard.
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.sessions_reaped;
+    }
+    HSDL_LOG(kWarn) << "session (" << tenant << ") reaped: " << e.what();
   } catch (const CheckError& e) {
     // Mid-frame EOF, send failure, or malformed message body: the
     // session dies, the server lives.
     HSDL_LOG(kWarn) << "session (" << tenant << ") closed: " << e.what();
+  } catch (const std::exception& e) {
+    // TaskPool tasks must not throw — anything escaping here would take
+    // the process down. Contain it: the session dies, the server lives.
+    HSDL_LOG(kError) << "session (" << tenant << ") failed: " << e.what();
   }
 }
 
@@ -171,26 +288,75 @@ void HotspotServer::handle_score(Socket& sock, const std::string& tenant,
                    std::to_string(config_.tenant_quota_clips));
     return;
   }
+  // Absolute deadline from the relative wire budget, anchored to
+  // receipt (client and server clocks are not shared).
+  const auto received = std::chrono::steady_clock::now();
+  auto deadline = hotspot::InferenceEngine::kNoDeadline;
+  if (request.deadline_ms > 0)
+    deadline = received + std::chrono::milliseconds(request.deadline_ms);
+  // Chaos site: a slow handler (kDelay sleeps here — after the deadline
+  // was anchored, so tests can force an expiry deterministically).
+  if (fault::armed()) fault::probe("serve.handler");
+  if (deadline != hotspot::InferenceEngine::kNoDeadline &&
+      std::chrono::steady_clock::now() >= deadline) {
+    send_busy(sock, "deadline expired before scoring", true);
+    return;
+  }
   if (!quota_acquire(tenant, n)) {
     send_error(sock, ErrorCode::kShuttingDown, "server is draining");
     return;
   }
-  ScoreResponse response;
-  try {
-    // Acquire the model once per request: a hot-swap mid-request does
-    // not retarget us, and the handle keeps the old engine alive until
-    // scoring finishes.
-    const std::shared_ptr<ServingModel> model = registry_.acquire();
-    response.request_id = request.request_id;
-    response.model_generation = model->generation();
-    const std::vector<double> probs = model->engine().score(request.clips);
-    response.hits =
-        rank_hits(probs, model->detector().decision_threshold());
-    quota_release(tenant, n);
-  } catch (...) {
-    quota_release(tenant, n);
-    throw;
+  QuotaGuard quota(*this, tenant, n);
+  if (!begin_scoring(n)) {
+    send_busy(sock, "server at capacity (" +
+                        std::to_string(config_.busy_max_inflight_clips) +
+                        " in-flight clips)",
+              false);
+    return;
   }
+  // Acquire the model once per request: a hot-swap mid-request does
+  // not retarget us, and the handle keeps the old engine alive until
+  // scoring finishes.
+  const std::shared_ptr<ServingModel> model = registry_.acquire();
+  ScoreResponse response;
+  response.request_id = request.request_id;
+  response.model_generation = model->generation();
+  const bool degraded =
+      degraded_mode() && model->degraded_engine() != nullptr;
+  response.mode = degraded ? ServeMode::kInt8 : ServeMode::kFp32;
+  std::vector<double> probs;
+  try {
+    hotspot::InferenceEngine& engine =
+        degraded ? *model->degraded_engine() : model->engine();
+    probs = engine.score(request.clips, deadline);
+  } catch (const hotspot::DeadlineExceeded& e) {
+    end_scoring(n);
+    send_busy(sock, e.what(), true);
+    return;
+  } catch (const std::bad_alloc&) {
+    end_scoring(n);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.internal_errors;
+    }
+    send_error(sock, ErrorCode::kInternal, "allocation failure while scoring");
+    return;
+  }
+  end_scoring(n);
+  // A corrupted (non-finite) score must never reach a client as a
+  // ranked probability: answer kInternal, keep the session usable.
+  for (const double p : probs) {
+    if (std::isfinite(p)) continue;
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.internal_errors;
+    }
+    send_error(sock, ErrorCode::kInternal, "non-finite score");
+    return;
+  }
+  response.hits = rank_hits(probs, model->detector().decision_threshold());
+  update_pressure_after_success();
+  quota.release();
   send_frame(sock, encode_frame(MsgType::kScoreResponse,
                                 encode_score_response(response)));
   const double seconds = timer.seconds();
@@ -214,6 +380,7 @@ void HotspotServer::handle_score(Socket& sock, const std::string& tenant,
     rec.set("tenant", tenant);
     rec.set("clips", n);
     rec.set("generation", response.model_generation);
+    rec.set("mode", serve_mode_name(response.mode));
     rec.set("seconds", seconds);
     telemetry_.emit(rec);
   }

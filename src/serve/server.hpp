@@ -20,9 +20,21 @@
 // idle sessions are woken with a read-side shutdown and close cleanly,
 // sessions mid-request finish scoring and flush their response (the
 // write side is untouched), quota waiters abort with kShuttingDown.
+//
+// Reliability (DESIGN.md §14): requests carry an optional deadline —
+// one that expires before scoring is rejected kBusy without occupying
+// an engine slot, one that expires in the micro-batcher is dropped
+// there. A global in-flight clip ceiling sheds excess load with kBusy +
+// a retry-after hint; under sustained shedding the server degrades
+// eligible (quantized) models to the int8 engine and recovers once the
+// overload clears, reporting the serving mode in every response.
+// Session socket timeouts reap stuck peers, freeing the worker and any
+// tenant quota they held. Engine-side failures (allocation failure,
+// non-finite score) answer kInternal and leave the session usable.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,6 +67,28 @@ struct ServeConfig {
   /// Optional JSONL stream: one record per served request (tenant,
   /// clips, model generation, latency). Empty disables.
   std::string telemetry_path;
+  /// Session socket recv/send timeout (milliseconds; 0 = unbounded,
+  /// sessions may idle forever). With a timeout, a stuck peer — half a
+  /// frame then silence, or refusing to drain its response — is reaped:
+  /// the session worker frees up and any quota the request held is
+  /// released.
+  std::uint32_t session_timeout_ms = 0;
+  /// Load shedding: clips concurrently inside engines, across all
+  /// tenants, before further requests are answered kBusy (0 = no
+  /// ceiling). Distinct from the per-tenant quota, which *blocks*; the
+  /// ceiling *rejects*, so the server stays responsive under overload.
+  std::size_t busy_max_inflight_clips = 0;
+  /// Back-off hint carried on kBusy responses (milliseconds).
+  std::uint32_t retry_after_ms = 25;
+  /// Graceful degradation: under sustained shedding, switch models
+  /// that have an int8 quantized net to the degraded engine.
+  bool degrade_to_int8 = true;
+  /// Shedding must persist this long before degrading (0 = the first
+  /// shed degrades immediately) ...
+  std::uint32_t degrade_after_ms = 250;
+  /// ... and this much shed-free time ends the overload (and restores
+  /// fp32 when degraded).
+  std::uint32_t recover_after_ms = 1000;
 
   void validate() const;
 };
@@ -65,6 +99,19 @@ struct ServerStats {
   std::uint64_t clips_scored = 0;
   std::uint64_t errors_sent = 0;
   std::uint64_t swaps = 0;
+  /// kBusy answers: load sheds plus expired deadlines.
+  std::uint64_t busy_rejections = 0;
+  /// Subset of busy_rejections caused by an expired deadline (already
+  /// past on receipt, or dropped in the micro-batcher queue).
+  std::uint64_t deadline_rejections = 0;
+  /// kInternal answers (allocation failure, non-finite score); the
+  /// session survived.
+  std::uint64_t internal_errors = 0;
+  /// Stuck sessions reaped by the socket timeout watchdog.
+  std::uint64_t sessions_reaped = 0;
+  std::uint64_t degrade_events = 0;  ///< fp32 -> int8 transitions
+  std::uint64_t recover_events = 0;  ///< int8 -> fp32 transitions
+  bool degraded = false;             ///< currently serving int8
 };
 
 class HotspotServer {
@@ -84,9 +131,45 @@ class HotspotServer {
 
   ServerStats stats() const;
 
+  /// In-flight clips currently charged to `tenant` (0 for an unknown
+  /// tenant). The chaos suite asserts this returns to zero after a
+  /// session dies abnormally mid-request.
+  std::size_t tenant_inflight(const std::string& tenant) const;
+
  private:
   struct TenantBudget {
     std::size_t in_flight = 0;
+  };
+  /// Overload tracker feeding graceful degradation (guarded by
+  /// pressure_mu_). `overloaded` spans from the first shed of a streak
+  /// until recover_after_ms passes without one.
+  struct Pressure {
+    std::chrono::steady_clock::time_point overload_since{};
+    std::chrono::steady_clock::time_point last_shed{};
+    bool overloaded = false;
+    bool degraded = false;
+  };
+  /// Releases tenant quota exactly once on every exit path of
+  /// handle_score.
+  class QuotaGuard {
+   public:
+    QuotaGuard(HotspotServer& server, const std::string& tenant,
+               std::size_t clips)
+        : server_(server), tenant_(tenant), clips_(clips) {}
+    ~QuotaGuard() { release(); }
+    void release() {
+      if (!active_) return;
+      active_ = false;
+      server_.quota_release(tenant_, clips_);
+    }
+    QuotaGuard(const QuotaGuard&) = delete;
+    QuotaGuard& operator=(const QuotaGuard&) = delete;
+
+   private:
+    HotspotServer& server_;
+    const std::string& tenant_;
+    std::size_t clips_;
+    bool active_ = true;
   };
 
   void accept_loop();
@@ -94,7 +177,22 @@ class HotspotServer {
   void handle_score(Socket& sock, const std::string& tenant,
                     std::string_view body);
   void handle_swap(Socket& sock, std::string_view body);
-  void send_error(Socket& sock, ErrorCode code, const std::string& message);
+  void send_error(Socket& sock, ErrorCode code, const std::string& message,
+                  std::uint32_t retry_after_ms = 0);
+  /// kBusy + retry-after hint; `deadline` marks an expired-deadline
+  /// rejection (vs a load shed) in the stats.
+  void send_busy(Socket& sock, const std::string& message, bool deadline);
+
+  /// Reserves global scoring capacity for `clips` against
+  /// busy_max_inflight_clips. Returns false (and records the shed)
+  /// when the ceiling would be exceeded; always true when no ceiling.
+  bool begin_scoring(std::size_t clips);
+  void end_scoring(std::size_t clips);
+  void record_shed();
+  /// Ends the overload streak (recovering fp32 if degraded) once
+  /// recover_after_ms has passed without a shed.
+  void update_pressure_after_success();
+  bool degraded_mode() const;
 
   /// Blocks until the tenant has `clips` of budget or the server is
   /// stopping (returns false). Rejecting oversized requests is the
@@ -113,9 +211,14 @@ class HotspotServer {
   std::mutex sessions_mu_;
   std::vector<std::weak_ptr<Socket>> sessions_;
 
-  std::mutex quota_mu_;
+  mutable std::mutex quota_mu_;
   std::condition_variable quota_cv_;
   std::map<std::string, TenantBudget> tenants_;
+
+  // Load shedding + degradation state.
+  std::atomic<std::size_t> scoring_inflight_{0};
+  mutable std::mutex pressure_mu_;
+  Pressure pressure_;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

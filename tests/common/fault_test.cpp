@@ -1,0 +1,160 @@
+// Fault-injection registry tests: disarmed fast path, deterministic
+// per-seed firing schedules, start_after/max_fires scheduling, the
+// typed probe helpers, and the HSDL_FAULT_SPEC grammar.
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hsdl::fault {
+namespace {
+
+TEST(FaultTest, DisarmedProbesNeverFire) {
+  ASSERT_FALSE(armed());
+  EXPECT_FALSE(probe("anything").has_value());
+  EXPECT_FALSE(fail_point("anything"));
+  EXPECT_FALSE(short_io("anything", 100).has_value());
+  EXPECT_EQ(corrupt_score("anything", 0.25), 0.25);
+  EXPECT_NO_THROW(alloc_guard("anything"));
+  EXPECT_EQ(total_fires(), 0u);
+}
+
+TEST(FaultTest, CertainFailFiresEveryProbeAndOnlyAtItsSite) {
+  ScopedPlan plan(Plan{{Spec{"a.site", Kind::kFail, 1.0}}, 7});
+  EXPECT_TRUE(armed());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fail_point("a.site"));
+  EXPECT_FALSE(fail_point("b.site"));
+  EXPECT_EQ(fires("a.site"), 5u);
+  EXPECT_EQ(fires("b.site"), 0u);
+  EXPECT_EQ(total_fires(), 5u);
+}
+
+TEST(FaultTest, DisarmRestoresFastPath) {
+  arm(Plan{{Spec{"x", Kind::kFail, 1.0}}, 1});
+  EXPECT_TRUE(fail_point("x"));
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(fail_point("x"));
+}
+
+TEST(FaultTest, PrefixPatternMatchesEverySiteUnderIt) {
+  ScopedPlan plan(Plan{{Spec{"serve.net.*", Kind::kFail, 1.0}}, 1});
+  EXPECT_TRUE(fail_point("serve.net.recv"));
+  EXPECT_TRUE(fail_point("serve.net.send"));
+  EXPECT_FALSE(fail_point("client.net.recv"));
+}
+
+TEST(FaultTest, ProbabilisticScheduleIsDeterministicPerSeed) {
+  const auto schedule = [](std::uint64_t seed) {
+    ScopedPlan plan(Plan{{Spec{"p.site", Kind::kFail, 0.3}}, seed});
+    std::vector<bool> fired;
+    for (int i = 0; i < 256; ++i) fired.push_back(fail_point("p.site"));
+    return fired;
+  };
+  const std::vector<bool> a1 = schedule(42);
+  const std::vector<bool> a2 = schedule(42);
+  const std::vector<bool> b = schedule(43);
+  EXPECT_EQ(a1, a2);  // same seed: identical firing pattern
+  EXPECT_NE(a1, b);   // different seed: different pattern
+  // ~30% of probes fire; the deterministic draws stay near that.
+  const std::size_t hits =
+      static_cast<std::size_t>(std::count(a1.begin(), a1.end(), true));
+  EXPECT_GT(hits, 256 * 0.15);
+  EXPECT_LT(hits, 256 * 0.45);
+}
+
+TEST(FaultTest, StartAfterAndMaxFiresScheduleTheNthFailure) {
+  ScopedPlan plan(Plan{{Spec{"s", Kind::kFail, 1.0, 0.0, 3, 1}}, 1});
+  EXPECT_FALSE(fail_point("s"));  // probe 0
+  EXPECT_FALSE(fail_point("s"));  // probe 1
+  EXPECT_FALSE(fail_point("s"));  // probe 2
+  EXPECT_TRUE(fail_point("s"));   // probe 3 fires
+  EXPECT_FALSE(fail_point("s"));  // max_fires=1 exhausted
+  EXPECT_EQ(fires("s"), 1u);
+}
+
+TEST(FaultTest, ShortIoTruncatesAndFailTruncatesToZero) {
+  {
+    ScopedPlan plan(Plan{{Spec{"io", Kind::kShortIo, 1.0, 0.5}}, 1});
+    EXPECT_EQ(short_io("io", 100).value(), 50u);
+    // A fired short I/O always strips at least one byte.
+    EXPECT_EQ(short_io("io", 1).value(), 0u);
+  }
+  {
+    ScopedPlan plan(Plan{{Spec{"io", Kind::kFail, 1.0}}, 1});
+    EXPECT_EQ(short_io("io", 100).value(), 0u);
+  }
+}
+
+TEST(FaultTest, NanAndAllocHelpers) {
+  {
+    ScopedPlan plan(Plan{{Spec{"score", Kind::kNan, 1.0}}, 1});
+    EXPECT_TRUE(std::isnan(corrupt_score("score", 0.75)));
+    EXPECT_EQ(corrupt_score("other", 0.75), 0.75);
+  }
+  {
+    ScopedPlan plan(Plan{{Spec{"alloc", Kind::kAllocFail, 1.0}}, 1});
+    EXPECT_THROW(alloc_guard("alloc"), std::bad_alloc);
+    EXPECT_NO_THROW(alloc_guard("other"));
+  }
+}
+
+TEST(FaultTest, DelayIsHandledInsideProbe) {
+  ScopedPlan plan(Plan{{Spec{"slow", Kind::kDelay, 1.0, 20.0}}, 1});
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(probe("slow").has_value());  // slept, nothing to handle
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_EQ(fires("slow"), 1u);
+}
+
+TEST(FaultTest, ParseSpecGrammar) {
+  const Plan plan = parse_spec(
+      "serve.handler=delay:0.01:2;net.*=fail:0.005;eng=alloc:1:0:3:1", 9);
+  EXPECT_EQ(plan.seed, 9u);
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].site, "serve.handler");
+  EXPECT_EQ(plan.specs[0].kind, Kind::kDelay);
+  EXPECT_DOUBLE_EQ(plan.specs[0].probability, 0.01);
+  EXPECT_DOUBLE_EQ(plan.specs[0].param, 2.0);
+  EXPECT_EQ(plan.specs[1].site, "net.*");
+  EXPECT_EQ(plan.specs[1].kind, Kind::kFail);
+  EXPECT_EQ(plan.specs[2].start_after, 3u);
+  EXPECT_EQ(plan.specs[2].max_fires, 1u);
+}
+
+TEST(FaultTest, ParseSpecRejectsMalformedClauses) {
+  EXPECT_THROW(parse_spec("no-equals"), CheckError);
+  EXPECT_THROW(parse_spec("site=unknownkind"), CheckError);
+  EXPECT_THROW(parse_spec("site=fail:not-a-number"), CheckError);
+  EXPECT_THROW(parse_spec("site=fail:1:0:0:1:extra"), CheckError);
+  EXPECT_THROW(arm(parse_spec("site=fail:1.5")), CheckError);  // p > 1
+  disarm();
+}
+
+TEST(FaultTest, ConcurrentProbesRespectMaxFires) {
+  ScopedPlan plan(Plan{{Spec{"mt", Kind::kFail, 1.0, 0.0, 0, 8}}, 1});
+  std::atomic<std::uint64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i)
+        if (fail_point("mt")) fired.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(fired.load(), 8u);
+  EXPECT_EQ(fires("mt"), 8u);
+}
+
+}  // namespace
+}  // namespace hsdl::fault

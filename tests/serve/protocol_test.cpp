@@ -20,6 +20,7 @@ namespace {
 ScoreRequest sample_request() {
   ScoreRequest request;
   request.request_id = 42;
+  request.deadline_ms = 250;
   layout::Clip a;
   a.window = geom::Rect::from_xywh(0, 0, 1200, 1200);
   a.shapes = {geom::Rect::from_xywh(0, 0, 100, 40),
@@ -50,6 +51,7 @@ TEST(ProtocolTest, ScoreRequestRoundTrips) {
   ASSERT_EQ(decoded.type, MsgType::kScoreRequest);
   const ScoreRequest out = decode_score_request(decoded.body, "test");
   EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.deadline_ms, 250u);
   ASSERT_EQ(out.clips.size(), 2u);
   EXPECT_EQ(out.clips[0].window, request.clips[0].window);
   EXPECT_EQ(out.clips[0].shapes, request.clips[0].shapes);
@@ -61,12 +63,14 @@ TEST(ProtocolTest, ScoreResponseRoundTrips) {
   response.request_id = 7;
   response.model_generation = 3;
   response.hits = {{1, 0.9, true}, {0, 0.25, false}};
+  response.mode = ServeMode::kInt8;
   const std::string frame =
       encode_frame(MsgType::kScoreResponse, encode_score_response(response));
   const Frame decoded = decode_frame(frame, "test");
   const ScoreResponse out = decode_score_response(decoded.body, "test");
   EXPECT_EQ(out.request_id, 7u);
   EXPECT_EQ(out.model_generation, 3u);
+  EXPECT_EQ(out.mode, ServeMode::kInt8);
   ASSERT_EQ(out.hits.size(), 2u);
   EXPECT_EQ(out.hits[0].index, 1u);
   EXPECT_EQ(out.hits[0].probability, 0.9);
@@ -82,6 +86,17 @@ TEST(ProtocolTest, ErrorAndSwapRoundTrip) {
       decode_error(decode_frame(err_frame, "test").body, "test");
   EXPECT_EQ(err.code, ErrorCode::kQuotaExceeded);
   EXPECT_EQ(err.message, "over budget");
+  EXPECT_EQ(err.retry_after_ms, 0u);
+
+  const std::string busy_frame = encode_frame(
+      MsgType::kError,
+      encode_error(ErrorMsg{ErrorCode::kBusy, "shedding load", 40}));
+  const ErrorMsg busy =
+      decode_error(decode_frame(busy_frame, "test").body, "test");
+  EXPECT_EQ(busy.code, ErrorCode::kBusy);
+  EXPECT_EQ(busy.retry_after_ms, 40u);
+  EXPECT_STREQ(error_code_name(busy.code), "busy");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
 
   const std::string swap_frame = encode_frame(
       MsgType::kSwapModel, encode_swap_model(SwapModel{"ckpt.hsdl"}));
@@ -111,6 +126,16 @@ TEST(ProtocolTest, RankHitsSortsByProbabilityThenIndex) {
   EXPECT_FALSE(hits[3].flagged);
   for (std::size_t i = 1; i < hits.size(); ++i)
     EXPECT_GE(hits[i - 1].probability, hits[i].probability);
+}
+
+TEST(ProtocolTest, DecodeRejectsUnknownServeMode) {
+  ScoreResponse response;
+  response.request_id = 1;
+  std::string body = encode_score_response(response);
+  body[16] = 2;  // mode byte follows the two u64s; only 0/1 are defined
+  EXPECT_THROW(decode_score_response(body, "test"), CheckError);
+  EXPECT_STREQ(serve_mode_name(ServeMode::kFp32), "fp32");
+  EXPECT_STREQ(serve_mode_name(ServeMode::kInt8), "int8");
 }
 
 TEST(ProtocolTest, DecodeRejectsTrailingGarbage) {

@@ -208,7 +208,7 @@ TEST(ServerTest, CorruptFrameKillsSessionNotServer) {
 
     std::string frame =
         encode_frame(MsgType::kScoreRequest,
-                     encode_score_request(ScoreRequest{1, make_clips(1, 3)}));
+                     encode_score_request(ScoreRequest{1, 0, make_clips(1, 3)}));
     frame[6] = static_cast<char>(frame[6] ^ 0x10);  // payload bit-flip
     send_frame(raw, frame);
     ASSERT_TRUE(recv_frame(raw, buf, "test"));
