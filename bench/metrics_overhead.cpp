@@ -11,6 +11,12 @@
 // HSDL_BENCH_SMOKE=1 shrinks the schedule to a few seconds for CI; the
 // overhead percentages are then noise-dominated and only the artifact
 // shape is meaningful.
+//
+// HSDL_BENCH_GATE=<pct> turns the acceptance bar into a hard exit
+// code: the process fails (exit 1) when the metrics-enabled overhead
+// exceeds <pct> percent of the uninstrumented baseline. The gate is
+// ignored in smoke mode, where the shrunken schedule makes the
+// percentages meaningless.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -156,5 +162,20 @@ int main() {
   report.write("BENCH_observability.json");
   trace::clear();
   std::printf("wrote BENCH_observability.json\n");
+
+  if (const char* gate_env = std::getenv("HSDL_BENCH_GATE")) {
+    const double gate_pct = std::atof(gate_env);
+    if (smoke) {
+      std::printf("gate: skipped (smoke mode; percentages are noise)\n");
+    } else if (metrics_pct > gate_pct) {
+      std::fprintf(stderr,
+                   "FATAL: metrics overhead %.2f%% exceeds gate %.2f%%\n",
+                   metrics_pct, gate_pct);
+      return 1;
+    } else {
+      std::printf("gate: metrics overhead %.2f%% within %.2f%%\n",
+                  metrics_pct, gate_pct);
+    }
+  }
   return 0;
 }

@@ -68,6 +68,13 @@ struct PassResult {
   double total_seconds = 0.0;
   std::uint64_t faults_fired = 0;
   serve::ServerStats stats;
+  /// Client-side retry accounting summed over the measured requests
+  /// (faulted pass only; the clean pass never retries). The latency
+  /// quantiles above already include this backoff time — these
+  /// counters say how much of it was retry work, which server-side
+  /// histograms cannot see (each attempt looks like a fresh request
+  /// there).
+  serve::RetryStats retry;
 };
 
 /// One load pass against a fresh server. When `faulted`, each request
@@ -82,6 +89,7 @@ PassResult run_pass(serve::ModelRegistry& registry, std::size_t n_clients,
   serve::HotspotServer server(registry, serve_cfg);
 
   std::vector<std::vector<double>> samples(n_clients);
+  std::vector<serve::RetryStats> retries(n_clients);
   WallTimer total_timer;
   {
     std::vector<std::thread> clients;
@@ -109,10 +117,15 @@ PassResult run_pass(serve::ModelRegistry& registry, std::size_t n_clients,
         samples[c].reserve(n_requests);
         for (std::size_t r = 0; r < n_requests; ++r) {
           WallTimer timer;
-          if (faulted)
-            (void)client->score_with_retry(streams[c], policy);
-          else
+          if (faulted) {
+            serve::RetryStats rs;
+            (void)client->score_with_retry(streams[c], policy, 0, &rs);
+            retries[c].retries += rs.retries;
+            retries[c].reconnects += rs.reconnects;
+            retries[c].total_backoff_ms += rs.total_backoff_ms;
+          } else {
             (void)client->score(streams[c]);
+          }
           samples[c].push_back(timer.seconds());
         }
         try {
@@ -129,6 +142,11 @@ PassResult run_pass(serve::ModelRegistry& registry, std::size_t n_clients,
   result.faults_fired = fault::total_fires();
   server.shutdown();
   result.stats = server.stats();
+  for (const serve::RetryStats& rs : retries) {
+    result.retry.retries += rs.retries;
+    result.retry.reconnects += rs.reconnects;
+    result.retry.total_backoff_ms += rs.total_backoff_ms;
+  }
   for (const std::vector<double>& s : samples)
     result.sorted.insert(result.sorted.end(), s.begin(), s.end());
   std::sort(result.sorted.begin(), result.sorted.end());
@@ -162,6 +180,9 @@ void emit_pass(std::ofstream& os, const char* name, const PassResult& r,
      << ", \"p99\": " << quantile(r.sorted, 0.99)
      << ", \"max\": " << (r.sorted.empty() ? 0.0 : r.sorted.back()) << "}"
      << ",\n    \"faults_fired\": " << r.faults_fired
+     << ",\n    \"client_retries\": {\"retries\": " << r.retry.retries
+     << ", \"reconnects\": " << r.retry.reconnects
+     << ", \"total_backoff_ms\": " << r.retry.total_backoff_ms << "}"
      << ",\n    \"server\": {\"sessions\": " << r.stats.sessions_accepted
      << ", \"requests\": " << r.stats.requests_served
      << ", \"clips\": " << r.stats.clips_scored
@@ -224,6 +245,11 @@ int main() {
               static_cast<unsigned long long>(faulted.faults_fired),
               static_cast<unsigned long long>(faulted.stats.busy_rejections),
               static_cast<unsigned long long>(faulted.stats.sessions_reaped));
+  std::printf(
+      "  client side: %llu retries (%llu reconnects), %.1f ms in backoff\n",
+      static_cast<unsigned long long>(faulted.retry.retries),
+      static_cast<unsigned long long>(faulted.retry.reconnects),
+      faulted.retry.total_backoff_ms);
 
   std::ofstream os("BENCH_latency.json");
   os << "{\n  \"host_cores\": " << hardware_threads()

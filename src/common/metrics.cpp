@@ -177,6 +177,27 @@ void reset() {
   for (auto& h : r.histograms) h->reset();
 }
 
+double quantile(const HistogramSnapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(snap.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    cum += snap.counts[i];
+    if (static_cast<double>(cum) < target || snap.counts[i] == 0) continue;
+    if (i >= snap.upper_bounds.size())  // overflow bucket: no upper edge
+      return snap.upper_bounds.back();
+    const double hi = snap.upper_bounds[i];
+    const double lo =
+        i == 0 ? std::min(0.0, hi) : snap.upper_bounds[i - 1];
+    const double before = static_cast<double>(cum - snap.counts[i]);
+    const double frac =
+        (target - before) / static_cast<double>(snap.counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return snap.upper_bounds.back();
+}
+
 json::Value to_json(const Snapshot& snap) {
   json::Value root = json::Value::object();
   json::Value counters = json::Value::object();
@@ -198,6 +219,34 @@ json::Value to_json(const Snapshot& snap) {
     entry.set("counts", std::move(counts));
     entry.set("count", json::Value(h.count));
     entry.set("sum", json::Value(h.sum));
+    histograms.set(h.name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+json::Value summary_json(const Snapshot& snap) {
+  json::Value root = json::Value::object();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : snap.counters)
+    counters.set(name, json::Value(value));
+  root.set("counters", std::move(counters));
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : snap.gauges)
+    gauges.set(name, json::Value(value));
+  root.set("gauges", std::move(gauges));
+  json::Value histograms = json::Value::object();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    json::Value entry = json::Value::object();
+    entry.set("count", json::Value(h.count));
+    entry.set("sum", json::Value(h.sum));
+    entry.set("mean",
+              json::Value(h.count == 0
+                              ? 0.0
+                              : h.sum / static_cast<double>(h.count)));
+    entry.set("p50", json::Value(quantile(h, 0.50)));
+    entry.set("p90", json::Value(quantile(h, 0.90)));
+    entry.set("p99", json::Value(quantile(h, 0.99)));
     histograms.set(h.name, std::move(entry));
   }
   root.set("histograms", std::move(histograms));

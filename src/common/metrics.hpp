@@ -160,7 +160,25 @@ Snapshot snapshot();
 /// Zeroes every registered instrument (the registry itself persists).
 void reset();
 
+/// Interpolated quantile estimate from a histogram snapshot, q in
+/// [0, 1]. The estimate interpolates linearly *within* the bucket that
+/// holds the target rank (lower edge = previous upper bound, 0 for the
+/// first bucket of a non-negative histogram) instead of returning the
+/// bucket's upper bound — the latter overstates tail quantiles by up to
+/// a whole bucket width when buckets are wide (a p99 landing at the
+/// bottom of a [0.1, 1.0] s bucket would read as 1.0 s, 9x too high).
+/// Samples in the overflow bucket clamp to the last bound (there is no
+/// upper edge to interpolate toward). Returns 0 for an empty histogram.
+double quantile(const HistogramSnapshot& snap, double q);
+
 /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
 json::Value to_json(const Snapshot& snap);
+
+/// Operator-facing digest of a snapshot: counters and gauges verbatim,
+/// histograms reduced to {count, sum, mean, p50, p90, p99} via
+/// quantile(). This is the shape the serving stats surface returns —
+/// small enough to emit every few seconds, rich enough to decompose a
+/// p99 regression into stages.
+json::Value summary_json(const Snapshot& snap);
 
 }  // namespace hsdl::metrics

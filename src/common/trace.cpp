@@ -20,6 +20,7 @@ struct Event {
   const char* name;  // string literal, owned by the call site
   std::uint64_t begin_ns;
   std::uint64_t end_ns;
+  std::uint64_t trace_id;  // 0 = no request context
 };
 
 struct ThreadBuffer {
@@ -70,14 +71,15 @@ std::uint64_t now_ns() {
           .count());
 }
 
-void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+            std::uint64_t trace_id) {
   ThreadBuffer& buffer = local_buffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buffer.events.push_back(Event{name, begin_ns, end_ns});
+  buffer.events.push_back(Event{name, begin_ns, end_ns, trace_id});
 }
 
 }  // namespace detail
@@ -124,12 +126,24 @@ std::string chrome_trace_json() {
     for (const Event& e : buffer->events) {
       if (!first) out += ',';
       first = false;
-      char fields[160];
-      std::snprintf(fields, sizeof(fields),
-                    ",\"cat\":\"hsdl\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
-                    "\"ts\":%.3f,\"dur\":%.3f}",
-                    buffer->tid, static_cast<double>(e.begin_ns) / 1e3,
-                    static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+      char fields[224];
+      if (e.trace_id != 0) {
+        // The trace id is emitted as a string: Chrome's JSON consumer
+        // (and strict parsers) would round u64 ids through a double.
+        std::snprintf(fields, sizeof(fields),
+                      ",\"cat\":\"hsdl\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                      "\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"args\":{\"trace_id\":\"%llx\"}}",
+                      buffer->tid, static_cast<double>(e.begin_ns) / 1e3,
+                      static_cast<double>(e.end_ns - e.begin_ns) / 1e3,
+                      static_cast<unsigned long long>(e.trace_id));
+      } else {
+        std::snprintf(fields, sizeof(fields),
+                      ",\"cat\":\"hsdl\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                      "\"ts\":%.3f,\"dur\":%.3f}",
+                      buffer->tid, static_cast<double>(e.begin_ns) / 1e3,
+                      static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+      }
       out += "{\"name\":";
       out += json::escape(e.name);
       out += fields;

@@ -17,6 +17,16 @@
 // Like the metrics registry, recording only reads clocks and appends to
 // thread-local buffers — it never perturbs RNG streams or float math, so
 // the parallel==serial determinism contract holds with tracing enabled.
+//
+// Trace context (DESIGN.md §15): a span may carry a 64-bit trace id.
+// Spans recorded on different threads with the same id stitch into one
+// request tree in the exported JSON (the id is emitted as
+// args.trace_id, so chrome://tracing / Perfetto can filter one sampled
+// request end to end: recv → quota → queue-wait → extract → forward →
+// send). Id 0 means "no context" and is exported without args. emit()
+// records a span from explicit timestamps for stages whose begin was
+// observed before the id was known (e.g. a frame's arrival time,
+// captured before the frame was decoded as a sampled request).
 #pragma once
 
 #include <atomic>
@@ -29,7 +39,8 @@ namespace detail {
 extern std::atomic<bool> g_enabled;
 /// Nanoseconds on the steady clock since the process trace epoch.
 std::uint64_t now_ns();
-void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+            std::uint64_t trace_id = 0);
 }  // namespace detail
 
 inline bool enabled() {
@@ -47,14 +58,30 @@ std::size_t event_count();
 /// kMaxEventsPerThread in trace.cpp).
 std::uint64_t dropped_count();
 
-/// RAII span; prefer the HSDL_TRACE_SPAN macro.
+/// Current timestamp on the trace clock (nanoseconds since the process
+/// trace epoch) — pair with emit() to record a span whose begin was
+/// observed before its name/id was known. 0-cost only when you gate the
+/// call on enabled() yourself.
+inline std::uint64_t timestamp_ns() { return detail::now_ns(); }
+
+/// Records one complete span from explicit trace-clock timestamps,
+/// optionally tagged with a trace id (see the header comment). No-op
+/// while tracing is disabled.
+inline void emit(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns, std::uint64_t trace_id = 0) {
+  if (enabled()) detail::record(name, begin_ns, end_ns, trace_id);
+}
+
+/// RAII span; prefer the HSDL_TRACE_SPAN / HSDL_TRACE_SPAN_ID macros.
 class Span {
  public:
-  explicit Span(const char* name)
+  explicit Span(const char* name, std::uint64_t trace_id = 0)
       : name_(enabled() ? name : nullptr),
-        begin_(name_ != nullptr ? detail::now_ns() : 0) {}
+        begin_(name_ != nullptr ? detail::now_ns() : 0),
+        trace_id_(trace_id) {}
   ~Span() {
-    if (name_ != nullptr) detail::record(name_, begin_, detail::now_ns());
+    if (name_ != nullptr)
+      detail::record(name_, begin_, detail::now_ns(), trace_id_);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -62,6 +89,7 @@ class Span {
  private:
   const char* name_;
   std::uint64_t begin_;
+  std::uint64_t trace_id_;
 };
 
 /// Serializes all buffered events as Chrome trace-event JSON.
@@ -77,3 +105,8 @@ void write_chrome_trace(const std::string& path);
 /// Traces the enclosing scope; `name` must be a string literal.
 #define HSDL_TRACE_SPAN(name) \
   ::hsdl::trace::Span HSDL_TRACE_CONCAT(hsdl_trace_span_, __COUNTER__)(name)
+/// As HSDL_TRACE_SPAN, tagged with a 64-bit trace id for cross-thread
+/// request stitching (0 = untagged).
+#define HSDL_TRACE_SPAN_ID(name, id)                                 \
+  ::hsdl::trace::Span HSDL_TRACE_CONCAT(hsdl_trace_span_, __COUNTER__)( \
+      name, id)

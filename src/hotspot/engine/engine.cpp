@@ -15,6 +15,29 @@
 namespace hsdl::hotspot {
 namespace {
 
+/// Emits `name` once per distinct trace id among the batch's requests —
+/// a sampled request sees exactly one extract/forward span per batch it
+/// rode in, tagged with its own id — and once untagged when no request
+/// was sampled (preserving the PR 4 stage spans for whole-run traces).
+/// Batches are small (<= max_batch), so the quadratic dedup is free
+/// next to the forward pass it annotates.
+template <typename RequestVec>
+void emit_batch_spans(const char* name, std::uint64_t begin_ns,
+                      std::uint64_t end_ns, const RequestVec& reqs) {
+  if (!trace::enabled()) return;
+  bool any = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const std::uint64_t id = reqs[i].trace_id;
+    if (id == 0) continue;
+    bool dup = false;
+    for (std::size_t j = 0; j < i && !dup; ++j) dup = reqs[j].trace_id == id;
+    if (dup) continue;
+    trace::emit(name, begin_ns, end_ns, id);
+    any = true;
+  }
+  if (!any) trace::emit(name, begin_ns, end_ns, 0);
+}
+
 const char* reason_name(FlushReason r) {
   switch (r) {
     case FlushReason::kFull:
@@ -73,15 +96,20 @@ InferenceEngine::~InferenceEngine() { shutdown(); }
 
 std::vector<double> InferenceEngine::score(
     std::span<const layout::Clip> clips,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline, std::uint64_t trace_id) {
   std::vector<double> out(clips.size());
-  score_into(clips, out, deadline);
+  score_into(clips, out, deadline, trace_id);
   return out;
 }
 
 bool InferenceEngine::enqueue(const layout::Clip* clip, double* out,
                               Completion* done,
-                              std::chrono::steady_clock::time_point deadline) {
+                              std::chrono::steady_clock::time_point deadline,
+                              std::uint64_t trace_id) {
+  // The trace-clock read happens only for sampled requests while
+  // tracing is on, so the disarmed submission path stays clock-free.
+  const std::uint64_t enqueue_ns =
+      trace_id != 0 && trace::enabled() ? trace::timestamp_ns() : 0;
   {
     std::unique_lock<std::mutex> lk(queue_mu_);
     space_cv_.wait(lk, [&] {
@@ -89,7 +117,8 @@ bool InferenceEngine::enqueue(const layout::Clip* clip, double* out,
     });
     if (stopping_) return false;
     queue_.push_back(Request{clip, out, done,
-                             std::chrono::steady_clock::now(), deadline});
+                             std::chrono::steady_clock::now(), deadline,
+                             trace_id, enqueue_ns});
     ++requests_;
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     if (metrics::enabled()) {
@@ -124,7 +153,7 @@ void InferenceEngine::wait_and_check(Completion& done, std::size_t submitted,
 
 void InferenceEngine::score_into(
     std::span<const layout::Clip> clips, std::span<double> out,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline, std::uint64_t trace_id) {
   HSDL_CHECK_MSG(out.size() == clips.size(),
                  "score_into: " << clips.size() << " clips vs " << out.size()
                                 << " result slots");
@@ -139,14 +168,15 @@ void InferenceEngine::score_into(
     throw DeadlineExceeded("deadline already expired at submission");
   if (inline_mode_) {
     score_inline(clips.data(), sizeof(layout::Clip), clips.size(),
-                 out.data());
+                 out.data(), trace_id);
     return;
   }
   Completion done;
   done.remaining = clips.size();
   std::size_t submitted = 0;
   while (submitted < clips.size() &&
-         enqueue(&clips[submitted], &out[submitted], &done, deadline))
+         enqueue(&clips[submitted], &out[submitted], &done, deadline,
+                 trace_id))
     ++submitted;
   wait_and_check(done, submitted, clips.size());
 }
@@ -159,14 +189,15 @@ std::vector<double> InferenceEngine::score_labeled(
   if (clips.empty()) return out;
   if (inline_mode_) {
     score_inline(&clips[0].clip, sizeof(layout::LabeledClip), clips.size(),
-                 out.data());
+                 out.data(), 0);
     return out;
   }
   Completion done;
   done.remaining = clips.size();
   std::size_t submitted = 0;
   while (submitted < clips.size() &&
-         enqueue(&clips[submitted].clip, &out[submitted], &done, kNoDeadline))
+         enqueue(&clips[submitted].clip, &out[submitted], &done, kNoDeadline,
+                 0))
     ++submitted;
   wait_and_check(done, submitted, clips.size());
   return out;
@@ -184,7 +215,7 @@ void InferenceEngine::expire_request(const Request& r) {
 
 void InferenceEngine::score_inline(const layout::Clip* first,
                                    std::size_t clip_stride, std::size_t n,
-                                   double* out) {
+                                   double* out, std::uint64_t trace_id) {
   const auto* base = reinterpret_cast<const unsigned char*>(first);
   std::lock_guard<std::mutex> lk(inline_mu_);
   Slab* slab = &slabs_[0];
@@ -195,11 +226,13 @@ void InferenceEngine::score_inline(const layout::Clip* first,
     for (std::size_t i = 0; i < count; ++i) {
       const auto* clip = reinterpret_cast<const layout::Clip*>(
           base + (done + i) * clip_stride);
-      slab->requests.push_back(Request{clip, out + done + i, nullptr, {}});
+      slab->requests.push_back(
+          Request{clip, out + done + i, nullptr, {}, {}, trace_id, 0});
     }
     slab->storage.resize(count * feat_);
     {
-      HSDL_TRACE_SPAN("engine.extract");
+      const std::uint64_t begin_ns =
+          trace::enabled() ? trace::timestamp_ns() : 0;
       WallTimer timer;
       const fte::FeatureTensorExtractor& ex = detector_->extractor();
       for (std::size_t i = 0; i < count; ++i)
@@ -207,6 +240,8 @@ void InferenceEngine::score_inline(const layout::Clip* first,
                         std::span<float>(slab->storage.data() + i * feat_,
                                          feat_));
       slab->extract_seconds = timer.seconds();
+      emit_batch_spans("engine.extract", begin_ns, trace::timestamp_ns(),
+                       slab->requests);
     }
     run_batch(slab);
     done += count;
@@ -259,10 +294,14 @@ void InferenceEngine::batcher_loop() {
           std::chrono::duration<double, std::milli>(config_.max_wait_ms));
   for (;;) {
     FlushReason reason = FlushReason::kFull;
+    double batch_form_seconds = 0.0;
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
       queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) break;  // stopping and fully drained
+      // Batch formation clock: from "work is available" to "batch
+      // dispatched" — the time the flush policy spent collecting.
+      WallTimer form_timer;
       // Adaptive micro-batching: keep collecting until the batch is
       // full or the oldest request in it has waited max_wait_ms. The
       // deadline is anchored to that request's *enqueue* time, not to
@@ -279,6 +318,18 @@ void InferenceEngine::batcher_loop() {
         while (!queue_.empty() && pending.size() < config_.max_batch) {
           const Request r = queue_.front();
           queue_.pop_front();
+          if (metrics::enabled()) {
+            static metrics::Histogram& qwait = metrics::histogram(
+                "engine.queue_wait_seconds",
+                {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+            qwait.record(
+                std::chrono::duration<double>(now - r.enqueued).count());
+          }
+          // The queue-wait span closes here — the request leaves the
+          // queue — whether it proceeds into a batch or expires.
+          if (r.enqueue_ns != 0)
+            trace::emit("engine.queue_wait", r.enqueue_ns,
+                        trace::timestamp_ns(), r.trace_id);
           if (r.deadline <= now) {
             expire_request(r);
             continue;
@@ -301,6 +352,12 @@ void InferenceEngine::batcher_loop() {
           break;
         }
       }
+      batch_form_seconds = form_timer.seconds();
+    }
+    if (metrics::enabled()) {
+      static metrics::Histogram& form = metrics::histogram(
+          "engine.batch_form_seconds", {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+      form.record(batch_form_seconds);
     }
     // Stage 1: extract feature tensors straight into the slab, parallel
     // over clips (disjoint slices; the arena is never touched here).
@@ -311,7 +368,8 @@ void InferenceEngine::batcher_loop() {
     const std::size_t n = slab->requests.size();
     slab->storage.resize(n * feat_);  // within reserved capacity: no alloc
     {
-      HSDL_TRACE_SPAN("engine.extract");
+      const std::uint64_t begin_ns =
+          trace::enabled() ? trace::timestamp_ns() : 0;
       WallTimer timer;
       const fte::FeatureTensorExtractor& ex = detector_->extractor();
       std::vector<float>& storage = slab->storage;
@@ -323,6 +381,8 @@ void InferenceEngine::batcher_loop() {
               std::span<float>(storage.data() + i * feat_, feat_));
       });
       slab->extract_seconds = timer.seconds();
+      emit_batch_spans("engine.extract", begin_ns, trace::timestamp_ns(),
+                       slab->requests);
     }
     dispatch(slab);
   }
@@ -338,8 +398,9 @@ void InferenceEngine::run_batch(Slab* slab) {
   const std::size_t n = slab->requests.size();
   WallTimer timer;
   nn::Tensor probs;
+  const std::uint64_t fwd_begin_ns =
+      trace::enabled() ? trace::timestamp_ns() : 0;
   {
-    HSDL_TRACE_SPAN("engine.forward");
     // Stage 2: move the slab storage into a batch tensor (no copy),
     // run the arena-backed forward pass, move the storage back so the
     // slab keeps its capacity for the next batch.
@@ -352,6 +413,8 @@ void InferenceEngine::run_batch(Slab* slab) {
         x, arena_, config_.quantized || detector_->use_quantized());
     slab->storage = std::move(x.vec());
   }
+  emit_batch_spans("engine.forward", fwd_begin_ns, trace::timestamp_ns(),
+                   slab->requests);
   const double forward_seconds = timer.seconds();
   for (std::size_t i = 0; i < n; ++i) {
     double p = static_cast<double>(probs.at(i, kHotspotIndex));
@@ -391,8 +454,15 @@ void InferenceEngine::run_batch(Slab* slab) {
         "engine.extract_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
     static metrics::Histogram& fwd = metrics::histogram(
         "engine.forward_seconds", {1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+    // Occupancy: what fraction of max_batch each forward pass carried.
+    // A distribution centered low says the flush timeout, not batch
+    // capacity, is shaping latency.
+    static metrics::Histogram& fill = metrics::histogram(
+        "engine.batch_fill", {0.125, 0.25, 0.5, 0.75, 1.0});
     batches.increment();
     bsize.record(static_cast<double>(n));
+    fill.record(static_cast<double>(n) /
+                static_cast<double>(config_.max_batch));
     ext.record(slab->extract_seconds);
     fwd.record(forward_seconds);
   }

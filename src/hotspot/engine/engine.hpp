@@ -138,15 +138,21 @@ class InferenceEngine {
   /// DeadlineExceeded when it is already past at submission or passes
   /// while requests wait in the batcher queue (expired requests are
   /// dropped without a forward pass; an inline-mode batch that already
-  /// started extraction runs to completion).
+  /// started extraction runs to completion). A nonzero `trace_id` tags
+  /// this submission's engine-stage spans (queue-wait, extract,
+  /// forward) with the caller's trace context (common/trace) so a
+  /// sampled serving request stitches into one tree across threads;
+  /// it has no effect while tracing is disabled.
   std::vector<double> score(
       std::span<const layout::Clip> clips,
-      std::chrono::steady_clock::time_point deadline = kNoDeadline);
+      std::chrono::steady_clock::time_point deadline = kNoDeadline,
+      std::uint64_t trace_id = 0);
 
   /// As score(), writing into caller-owned storage (out.size() must
   /// equal clips.size()). Lets batch pipelines avoid the result vector.
   void score_into(std::span<const layout::Clip> clips, std::span<double> out,
-                  std::chrono::steady_clock::time_point deadline = kNoDeadline);
+                  std::chrono::steady_clock::time_point deadline = kNoDeadline,
+                  std::uint64_t trace_id = 0);
 
   /// score() over the clips of a labeled set (labels are ignored) —
   /// avoids materializing a separate Clip vector for evaluation.
@@ -181,6 +187,13 @@ class InferenceEngine {
     /// Caller deadline (kNoDeadline = none); checked by the batcher
     /// when it pops the request.
     std::chrono::steady_clock::time_point deadline;
+    /// Caller trace context (0 = unsampled); stamps the engine-stage
+    /// spans this request passes through.
+    std::uint64_t trace_id = 0;
+    /// Enqueue instant on the trace clock, captured only for sampled
+    /// requests while tracing is on (0 otherwise) — the begin timestamp
+    /// of the engine.queue_wait span.
+    std::uint64_t enqueue_ns = 0;
   };
   /// One pipeline buffer: feature slab + the requests it carries.
   struct Slab {
@@ -195,7 +208,8 @@ class InferenceEngine {
   /// caller must then wait for its already-queued requests to drain
   /// before unwinding the Completion they point at.
   bool enqueue(const layout::Clip* clip, double* out, Completion* done,
-               std::chrono::steady_clock::time_point deadline);
+               std::chrono::steady_clock::time_point deadline,
+               std::uint64_t trace_id);
   /// Completes a queued request as past-deadline (no forward pass).
   void expire_request(const Request& r);
   void wait_and_check(Completion& done, std::size_t submitted,
@@ -205,7 +219,7 @@ class InferenceEngine {
   /// byte distance between consecutive Clips (lets LabeledClip arrays
   /// score without materializing a pointer table).
   void score_inline(const layout::Clip* first, std::size_t clip_stride,
-                    std::size_t n, double* out);
+                    std::size_t n, double* out, std::uint64_t trace_id);
   void run_batch(Slab* slab);
   void batcher_loop();
   void forward_loop();

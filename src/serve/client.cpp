@@ -6,8 +6,24 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace hsdl::serve {
+namespace {
+
+/// FNV-1a over the tenant name: a stable per-tenant prefix XORed with
+/// the monotone request id gives each request a distinct, nonzero,
+/// reproducible trace id without any shared randomness.
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 ServeClient::ServeClient(const std::string& host, std::uint16_t port,
                          const std::string& tenant)
@@ -23,11 +39,21 @@ void ServeClient::connect_and_handshake() {
   const Frame ack = roundtrip(MsgType::kHello, encode_hello(hello),
                               MsgType::kHelloAck);
   const HelloAck decoded = decode_hello_ack(ack.body, "hello ack");
-  HSDL_CHECK_MSG(decoded.version == kProtocolVersion,
-                 "server speaks protocol version "
+  // The ack carries the version the session will speak: the client's
+  // own, or an older one a lagging server negotiated down to.
+  HSDL_CHECK_MSG(decoded.version >= kMinProtocolVersion &&
+                     decoded.version <= kProtocolVersion,
+                 "server negotiated protocol version "
                      << decoded.version << ", client speaks "
-                     << kProtocolVersion);
+                     << kMinProtocolVersion << ".." << kProtocolVersion);
+  version_ = decoded.version;
   model_generation_ = decoded.model_generation;
+}
+
+std::uint64_t ServeClient::next_trace_id() const {
+  if (!tracing_ || version_ < 3) return 0;
+  const std::uint64_t id = fnv1a64(tenant_) ^ next_request_id_;
+  return id == 0 ? 1 : id;
 }
 
 Frame ServeClient::roundtrip(MsgType type, std::string_view body,
@@ -50,12 +76,22 @@ Frame ServeClient::roundtrip(MsgType type, std::string_view body,
 ScoreResponse ServeClient::score(std::span<const layout::Clip> clips,
                                  std::uint32_t deadline_ms) {
   ScoreRequest request;
+  request.trace_id = next_trace_id();
+  request.sampled = request.trace_id != 0;
   request.request_id = next_request_id_++;
   request.deadline_ms = deadline_ms;
   request.clips.assign(clips.begin(), clips.end());
+  // Client-side root span: the whole round trip, under the same id the
+  // server's spans carry — merging both trace buffers yields one tree.
+  const std::uint64_t begin_ns =
+      request.sampled && trace::enabled() ? trace::timestamp_ns() : 0;
   const Frame frame =
-      roundtrip(MsgType::kScoreRequest, encode_score_request(request),
+      roundtrip(MsgType::kScoreRequest,
+                encode_score_request(request, version_),
                 MsgType::kScoreResponse);
+  if (begin_ns != 0)
+    trace::emit("client.request", begin_ns, trace::timestamp_ns(),
+                request.trace_id);
   ScoreResponse response = decode_score_response(frame.body, "serve client");
   HSDL_CHECK_MSG(response.request_id == request.request_id,
                  "response id " << response.request_id
@@ -71,9 +107,10 @@ ScoreResponse ServeClient::score(std::span<const layout::Clip> clips,
 
 ScoreResponse ServeClient::score_with_retry(
     std::span<const layout::Clip> clips, const RetryPolicy& policy,
-    std::uint32_t deadline_ms) {
+    std::uint32_t deadline_ms, RetryStats* stats) {
   HSDL_CHECK_MSG(policy.max_attempts > 0,
                  "retry policy: max_attempts must be positive");
+  if (stats != nullptr) *stats = RetryStats{};
   Rng jitter(policy.jitter_seed);
   std::uint32_t backoff = policy.base_backoff_ms;
   for (std::size_t attempt = 1;; ++attempt) {
@@ -95,11 +132,25 @@ ScoreResponse ServeClient::score_with_retry(
     }
     double wait_ms = hint > 0 ? hint : backoff;
     wait_ms *= jitter.uniform(0.5, 1.5);
+    if (stats != nullptr) {
+      ++stats->retries;
+      if (dead_connection) ++stats->reconnects;
+      stats->total_backoff_ms += wait_ms;
+    }
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(wait_ms));
     backoff = std::min(policy.max_backoff_ms, backoff * 2);
     if (dead_connection) connect_and_handshake();
   }
+}
+
+std::string ServeClient::stats_json() {
+  HSDL_CHECK_MSG(version_ >= 3,
+                 "stats request needs protocol v3; session negotiated v"
+                     << version_);
+  const Frame frame =
+      roundtrip(MsgType::kStatsRequest, "", MsgType::kStatsResponse);
+  return decode_stats_response(frame.body, "serve client").stats_json;
 }
 
 std::vector<double> ServeClient::score_probabilities(

@@ -36,6 +36,18 @@ class ServerError : public CheckError {
   std::uint32_t retry_after_ms_;
 };
 
+/// What score_with_retry actually did to get its answer: how many
+/// extra attempts ran, how many re-dials, and how long the client sat
+/// in backoff. Feeds the bench's faulted-traffic column and the
+/// client-side span — retries are invisible in server-side histograms
+/// (each attempt looks like a fresh request there), so the client must
+/// account for them.
+struct RetryStats {
+  std::uint64_t retries = 0;     ///< attempts beyond the first
+  std::uint64_t reconnects = 0;  ///< re-dial + re-handshake cycles
+  double total_backoff_ms = 0.0; ///< summed sleep between attempts
+};
+
 /// Retry schedule for score_with_retry: exponential backoff with
 /// deterministic jitter, honoring the server's retry-after hint when
 /// one came with the kBusy rejection.
@@ -63,6 +75,22 @@ class ServeClient {
   /// Model generation from the handshake / the latest response.
   std::uint64_t model_generation() const { return model_generation_; }
 
+  /// Protocol version negotiated at Hello (the server may ack an older
+  /// version than the client offered; both then speak it).
+  std::uint32_t negotiated_version() const { return version_; }
+
+  /// When on (and the session negotiated v3), every score request
+  /// carries a sampled trace id — fnv1a(tenant) ^ request_id — and the
+  /// client records a client.request span under the same id, so client
+  /// and server spans stitch into one tree when their trace buffers are
+  /// merged. No-op wire-wise on a v2 session.
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+
+  /// Trace id the next score() will carry (0 when tracing is off or
+  /// the session is v2). Lets tests assert span identity.
+  std::uint64_t next_trace_id() const;
+
   /// Serving path (fp32/int8) that scored the latest response.
   ServeMode last_mode() const { return last_mode_; }
 
@@ -83,10 +111,19 @@ class ServeClient {
   /// retry-after hint when given, else exponential with jitter) and
   /// resends; on a dead connection, re-dials and re-handshakes when the
   /// policy allows. Any other rejection propagates immediately. Throws
-  /// the last error once attempts are exhausted.
+  /// the last error once attempts are exhausted. When `stats` is
+  /// non-null it receives the cumulative retry/reconnect/backoff
+  /// accounting for this call (zeroed first, filled even when the call
+  /// ultimately throws).
   ScoreResponse score_with_retry(std::span<const layout::Clip> clips,
                                  const RetryPolicy& policy = {},
-                                 std::uint32_t deadline_ms = 0);
+                                 std::uint32_t deadline_ms = 0,
+                                 RetryStats* stats = nullptr);
+
+  /// v3 live stats: asks the server for its JSON snapshot (see
+  /// HotspotServer::stats_json). Throws CheckError on a v2 session —
+  /// the message does not exist on that wire.
+  std::string stats_json();
 
   /// Convenience view of score(): probabilities re-ordered back to
   /// request clip order (index-aligned with `clips`).
@@ -112,6 +149,8 @@ class ServeClient {
   std::uint64_t next_request_id_ = 1;
   std::uint64_t model_generation_ = 0;
   ServeMode last_mode_ = ServeMode::kFp32;
+  std::uint32_t version_ = kProtocolVersion;
+  bool tracing_ = false;
 };
 
 }  // namespace hsdl::serve

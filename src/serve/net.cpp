@@ -15,6 +15,7 @@
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/io.hpp"
+#include "common/trace.hpp"
 #include "serve/protocol.hpp"
 
 namespace hsdl::serve {
@@ -205,9 +206,11 @@ void send_frame(Socket& s, std::string_view frame) {
   s.send_all(frame.data(), frame.size());
 }
 
-bool recv_frame(Socket& s, std::string& buf, const std::string& context) {
+bool recv_frame(Socket& s, std::string& buf, const std::string& context,
+                std::uint64_t* arrival_ns) {
   std::uint8_t prefix[4];
   if (!s.recv_exact(prefix, sizeof(prefix))) return false;
+  if (arrival_ns != nullptr) *arrival_ns = trace::timestamp_ns();
   const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
                             static_cast<std::uint32_t>(prefix[1]) << 8 |
                             static_cast<std::uint32_t>(prefix[2]) << 16 |

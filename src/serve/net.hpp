@@ -104,6 +104,13 @@ void send_frame(Socket& s, std::string_view frame);
 /// CRC, ready for decode_frame). Returns false on clean EOF at a frame
 /// boundary. Throws IoError when the length prefix exceeds the frame
 /// limit and CheckError on mid-frame EOF.
-bool recv_frame(Socket& s, std::string& buf, const std::string& context);
+///
+/// `arrival_ns` (optional) receives the trace-clock timestamp taken
+/// right after the length prefix landed — the closest observable point
+/// to "the frame started arriving", before anyone knows what message it
+/// carries. The server session uses it to emit the serve.recv span for
+/// sampled requests; pass nullptr (the default) to skip the clock read.
+bool recv_frame(Socket& s, std::string& buf, const std::string& context,
+                std::uint64_t* arrival_ns = nullptr);
 
 }  // namespace hsdl::serve

@@ -112,7 +112,7 @@ Frame decode_frame(std::string_view buf, const std::string& context) {
   io::ByteReader p(payload, context);
   const std::uint8_t type = p.u8();
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kBye))
+      type > static_cast<std::uint8_t>(MsgType::kStatsResponse))
     p.fail("unknown message type");
   return Frame{static_cast<MsgType>(type), payload.substr(1)};
 }
@@ -149,21 +149,33 @@ HelloAck decode_hello_ack(std::string_view body, const std::string& context) {
   return m;
 }
 
-std::string encode_score_request(const ScoreRequest& m) {
+std::string encode_score_request(const ScoreRequest& m,
+                                 std::uint32_t version) {
   io::ByteWriter w;
   w.u64(m.request_id);
   w.u32(m.deadline_ms);
+  if (version >= 3) {
+    w.u64(m.trace_id);
+    w.u8(m.sampled ? 1 : 0);
+  }
   w.u32(static_cast<std::uint32_t>(m.clips.size()));
   for (const layout::Clip& c : m.clips) write_clip(w, c);
   return w.take();
 }
 
 ScoreRequest decode_score_request(std::string_view body,
-                                  const std::string& context) {
+                                  const std::string& context,
+                                  std::uint32_t version) {
   io::ByteReader r = body_reader(body, context);
   ScoreRequest m;
   m.request_id = r.u64();
   m.deadline_ms = r.u32();
+  if (version >= 3) {
+    m.trace_id = r.u64();
+    const std::uint8_t sampled = r.u8();
+    if (sampled > 1) r.fail("trace sampled flag must be 0 or 1");
+    m.sampled = sampled == 1;
+  }
   const std::uint32_t n = r.u32();
   if (static_cast<std::size_t>(n) * 40 > kMaxFrameBytes)
     r.fail("clip count exceeds frame capacity");
@@ -261,6 +273,24 @@ ErrorMsg decode_error(std::string_view body, const std::string& context) {
   m.code = static_cast<ErrorCode>(code);
   m.retry_after_ms = r.u32();
   m.message = r.str(kMaxMessageLen);
+  r.expect_end();
+  return m;
+}
+
+std::string encode_stats_response(const StatsResponse& m) {
+  io::ByteWriter w;
+  w.str(m.stats_json);
+  return w.take();
+}
+
+StatsResponse decode_stats_response(std::string_view body,
+                                    const std::string& context) {
+  io::ByteReader r = body_reader(body, context);
+  StatsResponse m;
+  // A stats document is bounded by the frame limit, not the short
+  // string caps above: it carries every histogram of a long-lived
+  // server.
+  m.stats_json = r.str(kMaxFrameBytes);
   r.expect_end();
   return m;
 }

@@ -11,7 +11,15 @@
 // (--blocks, --coeffs, --nm-per-px, --stage1, --stage2, --fc) must
 // match the checkpoint being loaded — CnnDetector::load verifies the
 // fingerprint and rejects a mismatch. SIGINT/SIGTERM trigger a graceful
-// drain.
+// drain; SIGQUIT dumps the flight recorder (last N requests) without
+// stopping the server.
+//
+// Observability (DESIGN.md §15): --stats-interval-ms enables metrics
+// and appends one hsdl-serve-stats-v1 JSON line per interval to the
+// --stats-jsonl path (default serve_stats.jsonl); --trace enables span
+// recording and writes one Chrome trace JSON on exit; --flight-size /
+// --flight-dump size the always-on flight recorder and name its dump
+// file.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +29,11 @@
 
 #include "common/check.hpp"
 #include "common/fault.hpp"
+#include "common/json.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/run_report.hpp"
+#include "common/trace.hpp"
 #include "hotspot/detector.hpp"
 #include "layout/dataset.hpp"
 #include "layout/generator.hpp"
@@ -31,7 +43,9 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 void handle_signal(int) { g_stop = 1; }
+void handle_dump_signal(int) { g_dump = 1; }
 
 void usage(const char* argv0) {
   std::fprintf(
@@ -53,6 +67,16 @@ void usage(const char* argv0) {
       "  --degrade-after-ms <n>    sustained-shed window before int8\n"
       "  --recover-after-ms <n>    shed-free window restoring fp32\n"
       "  --no-degrade              never switch to the int8 path\n"
+      "observability (DESIGN.md §15):\n"
+      "  --stats-interval-ms <n>   enable metrics; append one stats JSON\n"
+      "                            line per interval (0 = off)\n"
+      "  --stats-jsonl <p>         stats line destination (default\n"
+      "                            serve_stats.jsonl)\n"
+      "  --trace <p>               enable span recording; write a Chrome\n"
+      "                            trace to <p> on exit\n"
+      "  --flight-size <n>         flight recorder depth (default 256)\n"
+      "  --flight-dump <p>         flight recorder dump path (SIGQUIT,\n"
+      "                            drain, session-fatal errors)\n"
       "chaos runs: set HSDL_FAULT_SPEC / HSDL_FAULT_SEED in the env\n",
       argv0);
 }
@@ -65,6 +89,9 @@ int main(int argc, char** argv) {
   std::string checkpoint;
   bool demo = false;
   std::uint16_t port = 7433;
+  std::uint32_t stats_interval_ms = 0;
+  std::string stats_jsonl = "serve_stats.jsonl";
+  std::string trace_path;
   serve::ServeConfig serve_cfg;
   hotspot::CnnDetectorConfig det_cfg;
   det_cfg.feature.blocks_per_side = 12;
@@ -123,6 +150,17 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::atol(next()));
     } else if (arg == "--no-degrade") {
       serve_cfg.degrade_to_int8 = false;
+    } else if (arg == "--stats-interval-ms") {
+      stats_interval_ms = static_cast<std::uint32_t>(std::atol(next()));
+    } else if (arg == "--stats-jsonl") {
+      stats_jsonl = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--flight-size") {
+      serve_cfg.flight_recorder_size =
+          static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--flight-dump") {
+      serve_cfg.flight_dump_path = next();
     } else {
       usage(argv[0]);
       return 2;
@@ -168,6 +206,13 @@ int main(int argc, char** argv) {
       registry.install(std::move(detector), "demo");
     }
 
+    // Observability switches: metrics feed the stats surface (and the
+    // periodic JSONL line); tracing records spans for the Chrome trace
+    // written on exit. Both default off — the hot path then pays one
+    // relaxed load per instrument.
+    if (stats_interval_ms > 0) metrics::set_enabled(true);
+    if (!trace_path.empty()) trace::set_enabled(true);
+
     serve::HotspotServer server(registry, serve_cfg);
     std::printf("hsdl_serve: listening on 127.0.0.1:%u (generation %llu)\n",
                 static_cast<unsigned>(server.port()),
@@ -176,12 +221,36 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    std::signal(SIGQUIT, handle_dump_signal);
+    telemetry::JsonlStream stats_stream(
+        stats_interval_ms > 0 ? stats_jsonl : std::string());
+    std::uint64_t slept_ms = 0;
     while (!g_stop) {
       struct timespec ts {0, 100 * 1000 * 1000};
       nanosleep(&ts, nullptr);
+      slept_ms += 100;
+      if (g_dump) {
+        // SIGQUIT: dump the flight recorder without stopping; the
+        // handler only sets a flag (dumping is not async-signal-safe).
+        g_dump = 0;
+        server.dump_flight_recorder("signal");
+      }
+      if (stats_interval_ms > 0 && slept_ms >= stats_interval_ms) {
+        slept_ms = 0;
+        // stats_json() is strict-parseable by design; re-parsing here
+        // keeps JsonlStream's one-object-per-line contract.
+        stats_stream.emit(json::parse(server.stats_json()));
+      }
     }
     std::printf("hsdl_serve: draining...\n");
     server.shutdown();
+    if (stats_interval_ms > 0)
+      stats_stream.emit(json::parse(server.stats_json()));
+    if (!trace_path.empty()) {
+      trace::write_chrome_trace(trace_path);
+      std::printf("hsdl_serve: wrote trace (%zu spans) to %s\n",
+                  trace::event_count(), trace_path.c_str());
+    }
     const serve::ServerStats stats = server.stats();
     std::printf(
         "hsdl_serve: served %llu requests / %llu clips across %llu "

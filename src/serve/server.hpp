@@ -31,6 +31,16 @@
 // Session socket timeouts reap stuck peers, freeing the worker and any
 // tenant quota they held. Engine-side failures (allocation failure,
 // non-finite score) answer kInternal and leave the session usable.
+//
+// Observability (DESIGN.md §15): sessions negotiate the protocol
+// version at Hello (v2 clients keep their wire layout); a sampled v3
+// request's trace id follows it through recv/decode/quota/score/rank/
+// send and into the engine's micro-batcher, producing one span tree in
+// the common/trace buffer. Every stage records a latency histogram
+// when metrics are enabled, every completed or rejected score request
+// lands in the always-on flight recorder, and stats_json() assembles a
+// JSON snapshot of all of it — per tenant and global — without ever
+// touching the engine hot path.
 #pragma once
 
 #include <atomic>
@@ -43,8 +53,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/run_report.hpp"
+#include "serve/flight_recorder.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
@@ -89,6 +101,14 @@ struct ServeConfig {
   /// ... and this much shed-free time ends the overload (and restores
   /// fp32 when degraded).
   std::uint32_t recover_after_ms = 1000;
+  /// Flight recorder depth: the last N score requests (per server, all
+  /// tenants) retained for post-mortem dumps. Always on; ~64 bytes per
+  /// slot.
+  std::size_t flight_recorder_size = 256;
+  /// Where dump_flight_recorder() writes (also triggered on graceful
+  /// drain and on session-fatal errors when non-empty). Empty disables
+  /// automatic dumps; the in-memory ring still records.
+  std::string flight_dump_path;
 
   void validate() const;
 };
@@ -131,6 +151,22 @@ class HotspotServer {
 
   ServerStats stats() const;
 
+  /// One JSON document (schema hsdl-serve-stats-v1): uptime, the
+  /// ServerStats counters, per-tenant request/clip/in-flight totals,
+  /// the active engine's counters, flight-recorder occupancy and — when
+  /// metrics are enabled — the full registry digest with interpolated
+  /// p50/p90/p99 per histogram. Assembled from atomics and brief
+  /// bookkeeping locks; never blocks scoring.
+  std::string stats_json() const;
+
+  /// The always-on last-N-requests ring (see flight_recorder.hpp).
+  const FlightRecorder& flight_recorder() const { return flight_; }
+
+  /// Dumps the flight recorder to config().flight_dump_path (JSONL).
+  /// No-op without a configured path; never throws. `reason` labels the
+  /// dump's header line ("signal", "drain", "session-fatal", ...).
+  void dump_flight_recorder(const std::string& reason) const;
+
   /// In-flight clips currently charged to `tenant` (0 for an unknown
   /// tenant). The chaos suite asserts this returns to zero after a
   /// session dies abnormally mid-request.
@@ -139,6 +175,18 @@ class HotspotServer {
  private:
   struct TenantBudget {
     std::size_t in_flight = 0;
+    std::uint64_t requests = 0;  ///< score requests answered OK
+    std::uint64_t clips = 0;     ///< clips in those requests
+  };
+  /// Per-session state threaded through the frame dispatch loop: the
+  /// tenant named at Hello, the negotiated protocol version, and the
+  /// tenant's metric instruments resolved once (the registry lookup
+  /// takes a lock; the per-request path must not).
+  struct SessionCtx {
+    std::string tenant = "anonymous";
+    std::uint32_t version = kProtocolVersion;
+    metrics::Counter* tenant_requests = nullptr;
+    metrics::Counter* tenant_clips = nullptr;
   };
   /// Overload tracker feeding graceful degradation (guarded by
   /// pressure_mu_). `overloaded` spans from the first shed of a streak
@@ -174,8 +222,11 @@ class HotspotServer {
 
   void accept_loop();
   void session(std::shared_ptr<Socket> sock);
-  void handle_score(Socket& sock, const std::string& tenant,
-                    std::string_view body);
+  /// `arrival_ns` is the trace-clock instant the request frame started
+  /// arriving (0 when tracing was off at receipt) — the begin timestamp
+  /// of the serve.recv span.
+  void handle_score(Socket& sock, SessionCtx& ctx, std::string_view body,
+                    std::uint64_t arrival_ns);
   void handle_swap(Socket& sock, std::string_view body);
   void send_error(Socket& sock, ErrorCode code, const std::string& message,
                   std::uint32_t retry_after_ms = 0);
@@ -222,6 +273,9 @@ class HotspotServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+
+  FlightRecorder flight_;
+  std::chrono::steady_clock::time_point started_;
 
   telemetry::JsonlStream telemetry_;
 };

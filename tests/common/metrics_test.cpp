@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -133,6 +134,112 @@ TEST_F(MetricsTest, SnapshotIsSortedAndJsonSerializable) {
       parsed.find("histograms")->find("test.snap.h");
   ASSERT_NE(hist, nullptr);
   EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 1.0);
+}
+
+TEST_F(MetricsTest, QuantileInterpolatesWithinBucket) {
+  // 100 samples of 0.15 s into bounds {0.1, 1.0}: all land in the
+  // (0.1, 1.0] bucket. The old snapshot code returned the bucket's
+  // upper bound — 1.0 s for every quantile, ~6.7x the truth. The
+  // interpolated estimate walks linearly across the owning bucket.
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.quantile", {0.1, 1.0});
+  for (int i = 0; i < 100; ++i) h.record(0.15);
+  metrics::HistogramSnapshot snap;
+  for (const metrics::HistogramSnapshot& s :
+       metrics::snapshot().histograms)
+    if (s.name == "test.hist.quantile") snap = s;
+  ASSERT_EQ(snap.count, 100u);
+  // Rank targets: p50 -> 50/100 of the way through a bucket holding
+  // all 100 samples, i.e. 0.1 + 0.5 * 0.9 = 0.55; p99 -> 0.991. Both
+  // must sit strictly inside the bucket, not at its upper bound.
+  EXPECT_NEAR(metrics::quantile(snap, 0.5), 0.55, 1e-9);
+  EXPECT_NEAR(metrics::quantile(snap, 0.99), 0.1 + 0.99 * 0.9, 1e-9);
+  EXPECT_LT(metrics::quantile(snap, 0.99), 1.0);
+}
+
+TEST_F(MetricsTest, QuantileEdgeCases) {
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.quantile_edges", {1.0, 10.0});
+  metrics::HistogramSnapshot empty;
+  empty.upper_bounds = {1.0, 10.0};
+  empty.counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::quantile(empty, 0.5), 0.0);
+
+  // First bucket interpolates from 0 (non-negative histograms); the
+  // overflow bucket clamps to the last bound.
+  for (int i = 0; i < 10; ++i) h.record(0.5);
+  h.record(99.0);  // overflow
+  metrics::HistogramSnapshot snap;
+  for (const metrics::HistogramSnapshot& s :
+       metrics::snapshot().histograms)
+    if (s.name == "test.hist.quantile_edges") snap = s;
+  ASSERT_EQ(snap.count, 11u);
+  const double p50 = metrics::quantile(snap, 0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  EXPECT_DOUBLE_EQ(metrics::quantile(snap, 1.0), 10.0);  // overflow clamp
+}
+
+TEST_F(MetricsTest, SummaryJsonCarriesInterpolatedQuantiles) {
+  metrics::Histogram& h =
+      metrics::histogram("test.hist.summary", {0.1, 1.0});
+  for (int i = 0; i < 100; ++i) h.record(0.15);
+  const json::Value summary = metrics::summary_json(metrics::snapshot());
+  const json::Value* hist =
+      summary.find("histograms")->find("test.hist.summary");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 100.0);
+  EXPECT_NEAR(hist->find("mean")->as_number(), 0.15, 1e-9);
+  EXPECT_NEAR(hist->find("p50")->as_number(), 0.55, 1e-9);
+  EXPECT_LT(hist->find("p99")->as_number(), 1.0);
+}
+
+TEST_F(MetricsTest, SnapshotUnderLoadStaysConsistent) {
+  // 8 writers hammer a counter + histogram while the main thread takes
+  // repeated snapshots. Pins two properties: snapshots are safe against
+  // concurrent recording (TSan runs this in CI), and the counter's
+  // snapshot value is monotone non-decreasing across snapshots — a
+  // torn or double-counted shard read would break monotonicity.
+  metrics::Counter& c = metrics::counter("test.load.counter");
+  metrics::Histogram& h =
+      metrics::histogram("test.load.hist", {0.5, 5.0});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        c.increment();
+        h.record(static_cast<double>(i % 10));
+      }
+    });
+  go.store(true, std::memory_order_release);
+  std::uint64_t last_counter = 0;
+  std::uint64_t last_hist = 0;
+  for (int pass = 0; pass < 50; ++pass) {
+    const metrics::Snapshot snap = metrics::snapshot();
+    for (const auto& [name, v] : snap.counters)
+      if (name == "test.load.counter") {
+        EXPECT_GE(v, last_counter);
+        last_counter = v;
+      }
+    for (const metrics::HistogramSnapshot& s : snap.histograms)
+      if (s.name == "test.load.hist") {
+        EXPECT_GE(s.count, last_hist);
+        last_hist = s.count;
+        std::uint64_t bucket_total = 0;
+        for (const std::uint64_t b : s.counts) bucket_total += b;
+        // Bucket counts are read shard by shard while writers run, so
+        // the total may trail `count` (recorded first) — but it must
+        // never exceed what was ever recorded.
+        EXPECT_LE(bucket_total, kThreads * kPerThread);
+      }
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
 }
 
 TEST_F(MetricsTest, ResetZeroesEverything) {

@@ -388,8 +388,11 @@ TEST(ChaosTest, StuckSessionIsReapedAndWorkerFreed) {
   send_frame(stuck, encode_frame(MsgType::kHello, encode_hello(hello)));
   std::string buf;
   ASSERT_TRUE(recv_frame(stuck, buf, "stuck client"));
-  const std::string partial = encode_frame(
-      MsgType::kScoreRequest, encode_score_request({1, 0, make_clips(1, 41)}));
+  ScoreRequest stuck_req;
+  stuck_req.request_id = 1;
+  stuck_req.clips = make_clips(1, 41);
+  const std::string partial = encode_frame(MsgType::kScoreRequest,
+                                           encode_score_request(stuck_req));
   stuck.send_all(partial.data(), 4);  // half a length prefix, then silence
 
   // The reaped worker picks up a healthy session and serves it.

@@ -206,9 +206,11 @@ TEST(ServerTest, CorruptFrameKillsSessionNotServer) {
     ASSERT_TRUE(recv_frame(raw, buf, "test"));
     ASSERT_EQ(decode_frame(buf, "test").type, MsgType::kHelloAck);
 
-    std::string frame =
-        encode_frame(MsgType::kScoreRequest,
-                     encode_score_request(ScoreRequest{1, 0, make_clips(1, 3)}));
+    ScoreRequest corrupt_req;
+    corrupt_req.request_id = 1;
+    corrupt_req.clips = make_clips(1, 3);
+    std::string frame = encode_frame(MsgType::kScoreRequest,
+                                     encode_score_request(corrupt_req));
     frame[6] = static_cast<char>(frame[6] ^ 0x10);  // payload bit-flip
     send_frame(raw, frame);
     ASSERT_TRUE(recv_frame(raw, buf, "test"));
