@@ -96,6 +96,8 @@ class ByteReader {
   std::uint16_t u16_be();
   std::uint32_t u32_be();
   std::uint64_t u64_be();
+  std::int16_t i16_be() { return static_cast<std::int16_t>(u16_be()); }
+  std::int32_t i32_be() { return static_cast<std::int32_t>(u32_be()); }
   /// Raw view of the next n bytes.
   std::string_view bytes(std::size_t n);
   /// u32-length-prefixed string; lengths above `max_len` are rejected.

@@ -15,4 +15,16 @@ using Coord = std::int64_t;
 /// Area/accumulation type (products of coordinates).
 using Area = std::int64_t;
 
+/// Floor division toward negative infinity (C++ '/' truncates toward
+/// zero, which is wrong for the negative coordinates layout frames
+/// allow). `b` must be positive.
+constexpr Coord floor_div(Coord a, Coord b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+/// Ceiling division toward positive infinity. `b` must be positive.
+constexpr Coord ceil_div(Coord a, Coord b) {
+  return a > 0 ? (a + b - 1) / b : -(-a / b);
+}
+
 }  // namespace hsdl::geom

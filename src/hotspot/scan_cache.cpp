@@ -1,0 +1,53 @@
+#include "hotspot/scan_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace hsdl::hotspot {
+
+CellScanCache::CellScanCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  HSDL_CHECK_MSG(max_entries > 0,
+                 "scan cache: max_entries must be positive");
+}
+
+std::optional<double> CellScanCache::lookup(
+    const layout::WindowKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void CellScanCache::insert(const layout::WindowKey& key,
+                           double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.find(key) != map_.end()) return;
+  if (map_.size() >= max_entries_) {
+    ++stats_.rejected;
+    return;
+  }
+  map_.emplace(key, probability);
+  ++stats_.insertions;
+}
+
+CellScanCache::Stats CellScanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t CellScanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void CellScanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace hsdl::hotspot

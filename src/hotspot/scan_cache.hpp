@@ -1,0 +1,79 @@
+// Scored-window cache for hierarchical scans (DESIGN.md §16).
+//
+// A chip dominated by array placements scores the same window geometry
+// millions of times: every instance of a cell sees the same clips at
+// the same offsets modulo the scan pitch. A CellScanCache memoizes the
+// detector probability per WindowKey (layout/layout_source.hpp) so a
+// repeated placement replays the score instead of re-extracting and
+// re-rasterizing and re-running the CNN.
+//
+// Correctness leans entirely on the WindowKey contract: equal keys mean
+// bitwise-identical normalized clips, and the engine's determinism
+// contract (engine/engine.hpp) means identical clips always score to
+// bitwise-identical probabilities — so replaying a cached probability
+// changes nothing about the scan output, only its cost. Consequently a
+// cache instance is valid for exactly one (source, detector weights,
+// window size) combination; reusing it across scans of the same source
+// with the same model is the intended pattern, anything else is on the
+// caller.
+//
+// Thread-safe: shards of a sharded scan share one cache under a mutex.
+// The entry count is bounded; once full, new keys are counted as
+// rejected and simply not cached (the scan stays correct, just slower).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "layout/layout_source.hpp"
+
+namespace hsdl::hotspot {
+
+class CellScanCache {
+ public:
+  /// `max_entries` bounds memory at ~48 bytes/entry; the default admits
+  /// ~1M distinct (cell, offset) pairs.
+  explicit CellScanCache(std::size_t max_entries = 1 << 20);
+
+  /// The cached probability for `key`, if any window with this key was
+  /// already scored.
+  std::optional<double> lookup(const layout::WindowKey& key) const;
+
+  /// Records a scored window. Idempotent for equal keys (the contract
+  /// makes every value for a key bitwise identical); a full cache drops
+  /// the insert and counts it as rejected.
+  void insert(const layout::WindowKey& key, double probability);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    /// Inserts dropped because the cache was at max_entries.
+    std::uint64_t rejected = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// Drops every entry and zeroes the counters (e.g. after a model
+  /// update invalidates cached probabilities).
+  void clear();
+
+ private:
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<layout::WindowKey, double, layout::WindowKeyHash> map_;
+  mutable Stats stats_;
+};
+
+}  // namespace hsdl::hotspot

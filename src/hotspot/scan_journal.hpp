@@ -54,10 +54,14 @@ class ScanJournal {
   /// contents are discarded — they describe a different scan).
   ScanJournal(std::string path, std::uint64_t fingerprint);
 
-  /// Scan-geometry fingerprint for `config` over `extent`; two scans
-  /// share a journal iff these match.
+  /// Scan-geometry fingerprint for `config` over `extent`, mixed with
+  /// the layout source's content fingerprint; two scans share a journal
+  /// iff all three match (so a journal recorded against one chip can
+  /// never be replayed into a scan of different geometry, hierarchical
+  /// or flat).
   static std::uint64_t fingerprint(const ScanConfig& config,
-                                   const geom::Rect& extent);
+                                   const geom::Rect& extent,
+                                   std::uint64_t source_fingerprint = 0);
 
   /// True when `band_index` was already completed by a previous run.
   bool has(std::uint64_t band_index) const {

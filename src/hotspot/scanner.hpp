@@ -1,7 +1,9 @@
 // Full-chip hotspot scanning.
 //
-// Slides a clip-sized window over a Layout at a configurable stride and
-// classifies each window with any Detector, producing a hotspot map —
+// Slides a clip-sized window over a LayoutSource (flat Layout adapter
+// or hierarchical HierLayout adapter — layout/layout_source.hpp) at a
+// configurable stride and classifies each window with any Detector,
+// producing a hotspot map —
 // the production flow the paper targets: replace full-chip lithography
 // simulation (10 s/clip) with millisecond ML screening and simulate only
 // the flagged windows. CNN detectors are routed through the batched
@@ -14,10 +16,12 @@
 
 #include "hotspot/detector.hpp"
 #include "layout/layout.hpp"
+#include "layout/layout_source.hpp"
 
 namespace hsdl::hotspot {
 
 class InferenceEngine;
+class CellScanCache;
 
 struct ScanConfig {
   geom::Coord window_size = 1200;  ///< nm, must match the detector's input
@@ -49,6 +53,11 @@ struct ScanHit {
 
 struct ScanReport {
   std::size_t windows_scanned = 0;
+  /// Of windows_scanned, how many were served by reuse identity instead
+  /// of being extracted and scored: CellScanCache replays plus in-band
+  /// duplicates aliased to a congruent window scored in the same band
+  /// (0 without a cache).
+  std::size_t windows_from_cache = 0;
   std::vector<ScanHit> hits;
   double scan_seconds = 0.0;
 
@@ -83,19 +92,24 @@ class ChipScanner {
 
   const ScanConfig& config() const { return config_; }
 
-  /// Classifies every window position on the layout. When the stride
-  /// does not tile the extent exactly, the final row/column of windows
-  /// is clamped to the far edge so the trailing band is still scanned
-  /// (those windows overlap their predecessors); a clamped position
-  /// that coincides with an interior grid position is deduplicated, so
-  /// no window rect is ever scanned or reported twice. CNN detectors
-  /// are scored through a scan-local InferenceEngine; other detectors
-  /// use their batched predict_probabilities path.
-  ScanReport scan(const layout::Layout& chip, const Detector& detector) const;
+  /// Classifies every window position over the source's extent. When
+  /// the stride does not tile the extent exactly, the final row/column
+  /// of windows is clamped to the far edge so the trailing band is
+  /// still scanned (those windows overlap their predecessors); a
+  /// clamped position that coincides with an interior grid position is
+  /// deduplicated, so no window rect is ever scanned or reported twice.
+  /// CNN detectors are scored through a scan-local InferenceEngine;
+  /// other detectors use their batched predict_probabilities path.
+  ScanReport scan(const layout::LayoutSource& source,
+                  const Detector& detector) const;
 
   /// Scans through a caller-owned engine (reuse one engine — and its
-  /// warm workspace arena — across many chips).
-  ScanReport scan(const layout::Layout& chip, InferenceEngine& engine) const;
+  /// warm workspace arena — across many chips). With a cache, windows
+  /// whose WindowKey was already scored are replayed instead of
+  /// extracted + scored; the report is bitwise identical either way
+  /// (the WindowKey contract plus the engine's per-sample determinism).
+  ScanReport scan(const layout::LayoutSource& source, InferenceEngine& engine,
+                  CellScanCache* cache = nullptr) const;
 
   /// Crash-safe scan: completed bands are journaled (checksummed,
   /// band-granular) to `journal_path` as the scan progresses. If a
@@ -103,8 +117,29 @@ class ChipScanner {
   /// disk and only the remainder is scored — the merged report is
   /// bitwise identical to an uninterrupted scan. The journal file is
   /// deleted once the scan completes. The journal fingerprints the scan
-  /// geometry but cannot see the model: resuming with different
-  /// detector weights is the caller's responsibility to avoid.
+  /// geometry and the source's content fingerprint but cannot see the
+  /// model: resuming with different detector weights is the caller's
+  /// responsibility to avoid.
+  ScanReport scan_resumable(const layout::LayoutSource& source,
+                            InferenceEngine& engine,
+                            const std::string& journal_path,
+                            CellScanCache* cache = nullptr) const;
+
+  /// Scans with `shards` independent engine instances, bands assigned
+  /// round-robin (band % shards), each shard extracting serially on its
+  /// own thread. Band results are merged in row-major band order, so
+  /// the report is bitwise identical to the 1-shard scan no matter how
+  /// shards interleave. A shared cache (one mutex-guarded CellScanCache
+  /// across all shards) is sound for the same reason single-shard
+  /// caching is: every value a key can cache is bitwise identical.
+  ScanReport scan_sharded(const layout::LayoutSource& source,
+                          const CnnDetector& detector, std::size_t shards,
+                          CellScanCache* cache = nullptr) const;
+
+  /// Thin adapters over the flat Layout model (wraps the chip in a
+  /// FlatSource; same semantics as the LayoutSource overloads).
+  ScanReport scan(const layout::Layout& chip, const Detector& detector) const;
+  ScanReport scan(const layout::Layout& chip, InferenceEngine& engine) const;
   ScanReport scan_resumable(const layout::Layout& chip,
                             InferenceEngine& engine,
                             const std::string& journal_path) const;

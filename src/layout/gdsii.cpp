@@ -5,7 +5,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/io.hpp"
@@ -25,7 +27,9 @@ enum : std::uint8_t {
   kEndStr = 0x07,
   kBoundary = 0x08,
   kSref = 0x0A,
+  kAref = 0x0B,
   kSname = 0x12,
+  kColRow = 0x13,
   kLayer = 0x0D,
   kDatatype = 0x0E,
   kXy = 0x10,
@@ -80,6 +84,11 @@ void emit_ascii(std::ostream& os, std::uint8_t rec, const std::string& s) {
   emit(os, rec, kAscii, s);
 }
 
+void put_point(std::string& xy, geom::Point p) {
+  put_u32(xy, static_cast<std::uint32_t>(static_cast<std::int32_t>(p.x)));
+  put_u32(xy, static_cast<std::uint32_t>(static_cast<std::int32_t>(p.y)));
+}
+
 /// GDSII timestamps: 6 int16 fields (year, month, day, hour, min, sec),
 /// twice (modification + access). Fixed epoch keeps output deterministic.
 void emit_timestamps(std::ostream& os, std::uint8_t rec) {
@@ -103,8 +112,8 @@ struct Record {
 /// the byte offset where decoding stopped.
 class RecordStream {
  public:
-  explicit RecordStream(std::string_view data)
-      : reader_(data, "GDSII") {}
+  RecordStream(std::string_view data, std::size_t max_record_bytes)
+      : reader_(data, "GDSII"), max_record_bytes_(max_record_bytes) {}
 
   bool next(Record& rec) {
     if (reader_.at_end()) return false;
@@ -115,6 +124,11 @@ class RecordStream {
     rec.type = reader_.u8();
     rec.dtype = reader_.u8();
     if (len < 4) fail_at(start, "record length below header size");
+    if (len > max_record_bytes_)
+      fail_at(start, "record length " + std::to_string(len) +
+                         " exceeds the " +
+                         std::to_string(max_record_bytes_) +
+                         "-byte record bound");
     if (reader_.remaining() < static_cast<std::size_t>(len) - 4)
       fail_at(start, "truncated record payload");
     rec.payload = reader_.bytes(static_cast<std::size_t>(len) - 4);
@@ -143,6 +157,7 @@ class RecordStream {
   }
 
   io::ByteReader reader_;
+  std::size_t max_record_bytes_;
   std::size_t index_ = 0;  // records fully decoded so far
 };
 
@@ -175,6 +190,21 @@ std::string trim_nul(std::string_view s) {
 }
 
 }  // namespace
+
+void GdsReadOptions::validate() const {
+  HSDL_CHECK_MSG(max_record_bytes >= 8,
+                 "GDSII options: max_record_bytes must cover at least a "
+                 "header plus a minimal payload, got "
+                     << max_record_bytes);
+  HSDL_CHECK_MSG(max_record_bytes <= 65535,
+                 "GDSII options: max_record_bytes cannot exceed the "
+                 "16-bit record length field (65535), got "
+                     << max_record_bytes);
+  HSDL_CHECK_MSG(layer_filter < 32768,
+                 "GDSII options: layer_filter " << layer_filter
+                                                << " is outside the GDSII "
+                                                   "layer range");
+}
 
 std::uint64_t to_gds_real(double value) {
   // Excess-64 base-16: bit 63 sign, bits 62-56 exponent (power of 16,
@@ -243,25 +273,44 @@ void write_gds(std::ostream& os, const GdsLibrary& lib) {
       std::string xy;
       const auto& ring = cell.boundaries[i].ring();
       HSDL_CHECK_MSG(!ring.empty(), "empty boundary");
-      for (std::size_t v = 0; v <= ring.size(); ++v) {
-        const geom::Point& pt = ring[v % ring.size()];  // closed ring
-        put_u32(xy, static_cast<std::uint32_t>(
-                        static_cast<std::int32_t>(pt.x)));
-        put_u32(xy, static_cast<std::uint32_t>(
-                        static_cast<std::int32_t>(pt.y)));
-      }
+      for (std::size_t v = 0; v <= ring.size(); ++v)
+        put_point(xy, ring[v % ring.size()]);  // closed ring
       emit(os, kXy, kInt32, xy);
       emit(os, kEndEl, kNoData, "");
     }
     for (const GdsRef& ref : cell.refs) {
-      emit(os, kSref, kNoData, "");
-      emit_ascii(os, kSname, ref.cell);
-      std::string xy;
-      put_u32(xy, static_cast<std::uint32_t>(
-                      static_cast<std::int32_t>(ref.at.x)));
-      put_u32(xy, static_cast<std::uint32_t>(
-                      static_cast<std::int32_t>(ref.at.y)));
-      emit(os, kXy, kInt32, xy);
+      HSDL_CHECK_MSG(ref.cols >= 1 && ref.rows >= 1,
+                     "GDSII: reference to '"
+                         << ref.cell << "' has non-positive repetition "
+                         << ref.cols << "x" << ref.rows);
+      if (ref.is_array()) {
+        HSDL_CHECK_MSG(ref.cols <= 32767 && ref.rows <= 32767,
+                       "GDSII: AREF repetition exceeds the 16-bit COLROW "
+                       "range");
+        HSDL_CHECK_MSG((ref.cols == 1 || ref.col_pitch > 0) &&
+                           (ref.rows == 1 || ref.row_pitch > 0),
+                       "GDSII: AREF of '" << ref.cell
+                                          << "' needs positive pitches");
+        emit(os, kAref, kNoData, "");
+        emit_ascii(os, kSname, ref.cell);
+        std::string colrow;
+        put_u16(colrow, static_cast<std::uint16_t>(ref.cols));
+        put_u16(colrow, static_cast<std::uint16_t>(ref.rows));
+        emit(os, kColRow, kInt16, colrow);
+        // 3-point XY: origin, origin + cols*col_pitch along x,
+        // origin + rows*row_pitch along y (axis-aligned subset).
+        std::string xy;
+        put_point(xy, ref.at);
+        put_point(xy, {ref.at.x + ref.cols * ref.col_pitch, ref.at.y});
+        put_point(xy, {ref.at.x, ref.at.y + ref.rows * ref.row_pitch});
+        emit(os, kXy, kInt32, xy);
+      } else {
+        emit(os, kSref, kNoData, "");
+        emit_ascii(os, kSname, ref.cell);
+        std::string xy;
+        put_point(xy, ref.at);
+        emit(os, kXy, kInt32, xy);
+      }
       emit(os, kEndEl, kNoData, "");
     }
     emit(os, kEndStr, kNoData, "");
@@ -270,17 +319,110 @@ void write_gds(std::ostream& os, const GdsLibrary& lib) {
   HSDL_CHECK_MSG(os.good(), "GDSII write failed");
 }
 
-GdsLibrary read_gds(std::istream& is) {
+namespace {
+
+/// Decodes an AREF's COLROW + 3-point XY into the normalized GdsRef
+/// repetition form (origin at the lexicographically lowest instance,
+/// non-negative pitches). `fail` reports with stream position.
+template <typename FailFn>
+void decode_aref_geometry(GdsRef& ref, bool have_colrow,
+                          std::string_view xy_payload, FailFn&& fail) {
+  if (!have_colrow) fail("AREF without COLROW");
+  if (xy_payload.size() != 24) fail("AREF XY must hold exactly 3 points");
+  const geom::Point origin{get_i32(xy_payload, 0), get_i32(xy_payload, 4)};
+  const geom::Point col_ref{get_i32(xy_payload, 8), get_i32(xy_payload, 12)};
+  const geom::Point row_ref{get_i32(xy_payload, 16), get_i32(xy_payload, 20)};
+  if (col_ref.y != origin.y || row_ref.x != origin.x)
+    fail("rotated or sheared AREF (unsupported subset)");
+  const geom::Coord col_span = col_ref.x - origin.x;
+  const geom::Coord row_span = row_ref.y - origin.y;
+  if (col_span % ref.cols != 0 || row_span % ref.rows != 0)
+    fail("AREF span not divisible by its COLROW counts");
+  ref.at = origin;
+  ref.col_pitch = col_span / ref.cols;
+  ref.row_pitch = row_span / ref.rows;
+  if ((ref.cols > 1 && ref.col_pitch == 0) ||
+      (ref.rows > 1 && ref.row_pitch == 0))
+    fail("zero-pitch AREF repetition");
+  // Normalize negative pitches: move the origin to the low corner so
+  // downstream lazy-expansion index math can assume positive steps.
+  if (ref.col_pitch < 0) {
+    ref.at.x += (ref.cols - 1) * ref.col_pitch;
+    ref.col_pitch = -ref.col_pitch;
+  }
+  if (ref.row_pitch < 0) {
+    ref.at.y += (ref.rows - 1) * ref.row_pitch;
+    ref.row_pitch = -ref.row_pitch;
+  }
+}
+
+constexpr std::size_t kMaxFlattenDepth = 64;
+/// Expanded-placement ceiling: adversarial files can nest AREFs so that
+/// the instance count explodes combinatorially; flattening stops with a
+/// diagnostic instead of consuming all memory.
+constexpr std::int64_t kMaxFlattenInstances = 1 << 24;
+
+struct Flattener {
+  const GdsLibrary& lib;
+  std::int16_t layer;
+  /// Name -> cell index, built once (the old implementation re-ran a
+  /// linear search on every recursive visit).
+  std::unordered_map<std::string_view, std::size_t> index;
+  std::int64_t instances = 0;
+  std::vector<geom::Rect> out;
+
+  explicit Flattener(const GdsLibrary& l, std::int16_t lay)
+      : lib(l), layer(lay) {
+    index.reserve(lib.cells.size());
+    for (std::size_t i = 0; i < lib.cells.size(); ++i)
+      index.emplace(lib.cells[i].name, i);
+  }
+
+  void visit(const std::string& name, geom::Point offset, std::size_t depth) {
+    HSDL_CHECK_MSG(depth < kMaxFlattenDepth,
+                   "GDSII: reference cycle or absurd hierarchy depth at "
+                   "cell '" << name << "'");
+    const auto it = index.find(name);
+    HSDL_CHECK_MSG(it != index.end(), "GDSII: unknown cell '" << name << "'");
+    const GdsCell& cell = lib.cells[it->second];
+    for (const geom::Rect& r : cell.rects_on_layer(layer))
+      out.push_back(r.shifted(offset));
+    for (const GdsRef& ref : cell.refs) {
+      HSDL_CHECK_MSG(ref.cols >= 1 && ref.rows >= 1,
+                     "GDSII: non-positive AREF repetition in cell '"
+                         << cell.name << "'");
+      instances += ref.instances();
+      HSDL_CHECK_MSG(instances <= kMaxFlattenInstances,
+                     "GDSII: flattening cell '"
+                         << name << "' expands past " << kMaxFlattenInstances
+                         << " placements (adversarial repetition?)");
+      for (std::int32_t j = 0; j < ref.rows; ++j)
+        for (std::int32_t i = 0; i < ref.cols; ++i)
+          visit(ref.cell, offset + ref.at +
+                              geom::Point{i * ref.col_pitch,
+                                          j * ref.row_pitch},
+                depth + 1);
+    }
+  }
+};
+
+}  // namespace
+
+GdsLibrary read_gds(std::istream& is, const GdsReadOptions& options) {
+  options.validate();
   const std::string data = io::read_stream(is);
-  RecordStream records(data);
+  RecordStream records(data, options.max_record_bytes);
   GdsLibrary lib;
   lib.cells.clear();
   Record rec;
   bool saw_header = false, in_struct = false, in_element = false;
   bool element_is_boundary = false;
-  bool element_is_sref = false;
+  bool element_is_ref = false;
+  bool element_is_aref = false;
+  bool have_colrow = false;
   std::int16_t current_layer = 0;
   std::vector<geom::Point> current_ring;
+  std::string aref_xy;  // raw 3-point payload, decoded at ENDEL
   GdsRef current_ref;
 
   while (records.next(rec)) {
@@ -295,6 +437,9 @@ GdsLibrary read_gds(std::istream& is) {
         lib.user_unit = from_gds_real(get_u64(rec.payload, 0));
         lib.db_unit_meters = from_gds_real(get_u64(rec.payload, 8));
         break;
+      case kBgnLib:
+      case kDatatype:
+        break;  // timestamps / datatype numbers carry no geometry
       case kBgnStr:
         if (in_struct) records.fail("nested BGNSTR");
         lib.cells.emplace_back();
@@ -317,23 +462,43 @@ GdsLibrary read_gds(std::istream& is) {
         current_ring.clear();
         break;
       case kSref:
-        if (!in_struct || in_element) records.fail("SREF outside structure");
+      case kAref:
+        if (!in_struct || in_element)
+          records.fail(rec.type == kAref ? "AREF outside structure"
+                                         : "SREF outside structure");
         in_element = true;
-        element_is_sref = true;
+        element_is_ref = true;
+        element_is_aref = rec.type == kAref;
+        have_colrow = false;
+        aref_xy.clear();
         current_ref = GdsRef{};
         break;
       case kSname:
-        if (in_element && element_is_sref)
+        if (in_element && element_is_ref)
           current_ref.cell = trim_nul(rec.payload);
+        break;
+      case kColRow:
+        if (in_element && element_is_aref) {
+          if (rec.payload.size() < 4) records.fail("short COLROW payload");
+          current_ref.cols = get_i16(rec.payload, 0);
+          current_ref.rows = get_i16(rec.payload, 2);
+          if (current_ref.cols < 1 || current_ref.rows < 1)
+            records.fail("non-positive COLROW repetition");
+          have_colrow = true;
+        }
         break;
       case kLayer:
         if (in_element) current_layer = get_i16(rec.payload, 0);
         break;
       case kXy:
-        if (in_element && element_is_sref) {
-          if (rec.payload.size() < 8) records.fail("SREF without XY");
-          current_ref.at = {get_i32(rec.payload, 0),
-                            get_i32(rec.payload, 4)};
+        if (in_element && element_is_ref) {
+          if (element_is_aref) {
+            aref_xy.assign(rec.payload);
+          } else {
+            if (rec.payload.size() < 8) records.fail("SREF without XY");
+            current_ref.at = {get_i32(rec.payload, 0),
+                              get_i32(rec.payload, 4)};
+          }
         }
         if (in_element && element_is_boundary) {
           if (rec.payload.size() % 8 != 0) records.fail("odd XY payload");
@@ -350,30 +515,74 @@ GdsLibrary read_gds(std::istream& is) {
         }
         break;
       case kEndEl:
-        if (in_element && element_is_sref) {
+        if (in_element && element_is_ref) {
           if (current_ref.cell.empty()) records.fail("SREF without SNAME");
+          if (element_is_aref)
+            decode_aref_geometry(current_ref, have_colrow, aref_xy,
+                                 [&](const char* msg) { records.fail(msg); });
           lib.cells.back().refs.push_back(current_ref);
         }
         if (in_element && element_is_boundary) {
           if (!geom::is_rectilinear_ring(current_ring))
             records.fail("non-rectilinear boundary (unsupported subset)");
-          lib.cells.back().boundaries.emplace_back(current_ring);
-          lib.cells.back().layers.push_back(current_layer);
+          if (options.layer_filter < 0 ||
+              current_layer == options.layer_filter) {
+            lib.cells.back().boundaries.emplace_back(current_ring);
+            lib.cells.back().layers.push_back(current_layer);
+          }
         }
         in_element = false;
         element_is_boundary = false;
-        element_is_sref = false;
+        element_is_ref = false;
+        element_is_aref = false;
         break;
-      case kEndLib:
+      case kEndLib: {
         if (!saw_header) records.fail("ENDLIB before HEADER");
         records.expect_only_padding();
+        if (!options.keep_hierarchy) {
+          // Eager resolution: a single flat top cell replaces the
+          // hierarchy (the unique unreferenced cell is the top).
+          std::set<std::string> referenced;
+          for (const GdsCell& cell : lib.cells)
+            for (const GdsRef& ref : cell.refs) referenced.insert(ref.cell);
+          const GdsCell* top = nullptr;
+          for (const GdsCell& cell : lib.cells) {
+            if (referenced.count(cell.name)) continue;
+            if (top != nullptr)
+              records.fail("keep_hierarchy=false requires a unique top "
+                           "cell (found at least '" +
+                           top->name + "' and '" + cell.name + "')");
+            top = &cell;
+          }
+          if (top == nullptr)
+            records.fail("keep_hierarchy=false found no top cell "
+                         "(reference cycle)");
+          std::set<std::int16_t> layers;
+          for (const GdsCell& cell : lib.cells)
+            layers.insert(cell.layers.begin(), cell.layers.end());
+          GdsCell flat;
+          flat.name = top->name;
+          for (std::int16_t layer : layers)
+            for (const geom::Rect& r : flatten_cell(lib, top->name, layer)) {
+              flat.boundaries.push_back(geom::Polygon::from_rect(r));
+              flat.layers.push_back(layer);
+            }
+          lib.cells = {std::move(flat)};
+        }
         return lib;
+      }
       default:
+        if (!options.skip_unknown)
+          records.fail("unknown record type " +
+                       std::to_string(static_cast<int>(rec.type)) +
+                       " with skip_unknown disabled");
         break;  // skip unsupported records (TEXT, properties, ...)
     }
   }
   records.fail("stream ended without ENDLIB");
 }
+
+GdsLibrary read_gds(std::istream& is) { return read_gds(is, {}); }
 
 void write_gds_file(const std::string& path, const GdsLibrary& lib) {
   std::ofstream os(path, std::ios::binary);
@@ -381,41 +590,23 @@ void write_gds_file(const std::string& path, const GdsLibrary& lib) {
   write_gds(os, lib);
 }
 
-GdsLibrary read_gds_file(const std::string& path) {
+GdsLibrary read_gds_file(const std::string& path,
+                         const GdsReadOptions& options) {
   std::ifstream is(path, std::ios::binary);
   HSDL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
-  return read_gds(is);
+  return read_gds(is, options);
 }
 
-namespace {
-
-const GdsCell* find_cell(const GdsLibrary& lib, const std::string& name) {
-  for (const GdsCell& cell : lib.cells)
-    if (cell.name == name) return &cell;
-  return nullptr;
+GdsLibrary read_gds_file(const std::string& path) {
+  return read_gds_file(path, {});
 }
-
-void flatten_into(const GdsLibrary& lib, const std::string& name,
-                  std::int16_t layer, geom::Point offset, std::size_t depth,
-                  std::vector<geom::Rect>& out) {
-  HSDL_CHECK_MSG(depth < 64, "GDSII: reference cycle or absurd hierarchy "
-                             "depth at cell '" << name << "'");
-  const GdsCell* cell = find_cell(lib, name);
-  HSDL_CHECK_MSG(cell != nullptr, "GDSII: unknown cell '" << name << "'");
-  for (const geom::Rect& r : cell->rects_on_layer(layer))
-    out.push_back(r.shifted(offset));
-  for (const GdsRef& ref : cell->refs)
-    flatten_into(lib, ref.cell, layer, offset + ref.at, depth + 1, out);
-}
-
-}  // namespace
 
 std::vector<geom::Rect> flatten_cell(const GdsLibrary& lib,
                                      const std::string& cell_name,
                                      std::int16_t layer) {
-  std::vector<geom::Rect> out;
-  flatten_into(lib, cell_name, layer, {0, 0}, 0, out);
-  return out;
+  Flattener flattener(lib, layer);
+  flattener.visit(cell_name, {0, 0}, 0);
+  return std::move(flattener.out);
 }
 
 GdsLibrary clip_to_gds(const Clip& clip, std::int16_t layer,

@@ -1,14 +1,22 @@
 // GDSII stream-format subset reader/writer.
 //
 // GDSII is the interchange format the original benchmarks ship in. This
-// implements the subset needed for flat single-layer mask data:
+// implements the subset needed for single-layer mask data with cell
+// hierarchy:
 //   HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
-//   BOUNDARY / LAYER / DATATYPE / XY / ENDEL, ENDSTR, ENDLIB
+//   BOUNDARY / LAYER / DATATYPE / XY / ENDEL,
+//   SREF / AREF / SNAME / COLROW, ENDSTR, ENDLIB
 // Records are big-endian; UNITS uses GDSII's excess-64 base-16 8-byte
 // reals (converters exposed for testing). Boundaries are rectilinear
 // polygons; on read they are decomposed into rectangles via the geometry
-// kernel. Unknown records are skipped, so files from real tools load as
-// long as their geometry is rectilinear BOUNDARY data.
+// kernel. AREF arrays must be axis-aligned (no rotation/magnification —
+// outside the supported subset).
+//
+// This header is the in-memory DOM view (`GdsLibrary`): the whole file
+// is parsed into cells that can be edited and written back. For
+// chip-scale inputs that must not be expanded in RAM, use the streaming
+// reader in layout/gds_stream.hpp, which shares `GdsReadOptions` and the
+// record grammar but keeps hierarchy unexpanded (DESIGN.md §16).
 #pragma once
 
 #include <cstdint>
@@ -21,11 +29,52 @@
 
 namespace hsdl::layout {
 
-/// Structure reference (SREF): a translated placement of another cell.
-/// Rotation/magnification are outside the supported subset.
+/// Read-time policy for both GDSII readers (`read_gds` and the
+/// streaming `read_hier_gds`). Replaces the implicit behaviors of the
+/// original reader (silent unknown-record skipping, unbounded record
+/// sizes, all layers kept) with explicit, validated options — the same
+/// construct-then-validate idiom as ScanConfig/EngineConfig.
+struct GdsReadOptions {
+  /// Upper bound on a record's declared length (header included). The
+  /// GDSII length field is 16-bit so 65535 admits every legal file;
+  /// lowering it rejects adversarially oversized records early, before
+  /// any allocation sized by the untrusted field.
+  std::size_t max_record_bytes = 65535;
+  /// When false, the reader resolves the hierarchy eagerly and returns
+  /// a single flat top cell (requires a unique top cell). The default
+  /// keeps SREF/AREF references unexpanded.
+  bool keep_hierarchy = true;
+  /// Keep only boundaries on this layer (negative keeps every layer).
+  std::int32_t layer_filter = -1;
+  /// Skip record types outside the supported subset (TEXT, PATH,
+  /// properties, ...). When false, the first unknown record is a
+  /// positioned error — use for strict interchange validation.
+  bool skip_unknown = true;
+
+  /// Rejects nonsense configurations (record bound smaller than a
+  /// record header / larger than the 16-bit field can express, layer
+  /// filter outside the GDSII layer range) with a positioned error.
+  /// Both readers call this on entry.
+  void validate() const;
+};
+
+/// Structure reference: a translated placement of another cell. A plain
+/// SREF is the cols == rows == 1 case; an AREF places a cols x rows
+/// array stepped by col_pitch in x and row_pitch in y (axis-aligned
+/// subset; pitches are normalized non-negative on read).
 struct GdsRef {
   std::string cell;
   geom::Point at;
+  std::int32_t cols = 1;
+  std::int32_t rows = 1;
+  geom::Coord col_pitch = 0;  ///< nm step between array columns (x)
+  geom::Coord row_pitch = 0;  ///< nm step between array rows (y)
+
+  bool is_array() const { return cols > 1 || rows > 1; }
+  /// Total placements this reference expands to.
+  std::int64_t instances() const {
+    return static_cast<std::int64_t>(cols) * rows;
+  }
 };
 
 struct GdsCell {
@@ -48,27 +97,43 @@ struct GdsLibrary {
   std::vector<GdsCell> cells;
 };
 
-/// Serializes a library. Boundaries must be rectilinear polygons.
+/// Serializes a library. Boundaries must be rectilinear polygons; refs
+/// with is_array() emit AREF records (SNAME + COLROW + 3-point XY).
 void write_gds(std::ostream& os, const GdsLibrary& lib);
 void write_gds_file(const std::string& path, const GdsLibrary& lib);
 
-/// Parses a GDSII stream; throws CheckError on structural errors.
+/// Parses a GDSII stream; throws CheckError/IoError (with the byte
+/// offset and record index) on structural errors.
+GdsLibrary read_gds(std::istream& is, const GdsReadOptions& options);
+GdsLibrary read_gds_file(const std::string& path,
+                         const GdsReadOptions& options);
+/// Default-options overloads (the historical behavior: hierarchy kept,
+/// unknown records skipped, every layer loaded).
 GdsLibrary read_gds(std::istream& is);
 GdsLibrary read_gds_file(const std::string& path);
 
-/// Recursively resolves structure references of `cell_name`, returning
-/// every boundary rectangle on `layer` in the flattened (top-cell)
-/// coordinate frame. Throws on unknown cell names or reference cycles.
+/// Recursively resolves structure references of `cell_name` (repetition
+/// included), returning every boundary rectangle on `layer` in the
+/// flattened (top-cell) coordinate frame. Cell names resolve through a
+/// name index built once per call; unknown cells, reference cycles,
+/// absurd hierarchy depth and adversarial instance blow-ups
+/// (> ~16.7M placements) are positioned errors, never unbounded
+/// recursion.
 std::vector<geom::Rect> flatten_cell(const GdsLibrary& lib,
                                      const std::string& cell_name,
                                      std::int16_t layer);
 
-/// Convenience: one cell holding a clip's shapes on `layer`.
+/// Deprecated: one-cell shortcut kept for existing callers. New code
+/// should build a GdsLibrary explicitly (or scan through a
+/// layout::LayoutSource adapter — DESIGN.md §16) instead of assuming
+/// the one-clip-one-cell shape.
 GdsLibrary clip_to_gds(const Clip& clip, std::int16_t layer = 1,
                        const std::string& cell_name = "CLIP");
 
-/// Convenience: rebuilds a clip from the first cell's shapes on `layer`;
-/// the window is the bounding box unless `window` is provided.
+/// Deprecated: rebuilds a clip from the first cell's shapes on `layer`
+/// (window = bounding box). Same caveat as clip_to_gds: prefer explicit
+/// adapter construction (DESIGN.md §16); this ignores hierarchy and
+/// every cell but the first.
 Clip gds_to_clip(const GdsLibrary& lib, std::int16_t layer = 1);
 
 // -- GDSII 8-byte real conversion (exposed for tests) --

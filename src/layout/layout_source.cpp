@@ -1,0 +1,135 @@
+#include "layout/layout_source.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "geom/coord.hpp"
+
+namespace hsdl::layout {
+namespace {
+
+struct Fnv64 {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix_coord(geom::Coord c) { mix(static_cast<std::uint64_t>(c)); }
+};
+
+constexpr std::size_t kMaxDescentDepth = 64;
+
+}  // namespace
+
+std::size_t WindowKeyHash::operator()(const WindowKey& k) const {
+  Fnv64 f;
+  f.mix(k.cell_hash);
+  f.mix_coord(k.offset.x);
+  f.mix_coord(k.offset.y);
+  f.mix(k.empty_window ? 1 : 0);
+  return static_cast<std::size_t>(f.h);
+}
+
+FlatSource::FlatSource(const Layout& chip) : chip_(&chip) {
+  Fnv64 f;
+  f.mix_coord(chip.extent().lo.x);
+  f.mix_coord(chip.extent().lo.y);
+  f.mix_coord(chip.extent().hi.x);
+  f.mix_coord(chip.extent().hi.y);
+  for (const geom::Rect& r : chip.shapes()) {
+    f.mix_coord(r.lo.x);
+    f.mix_coord(r.lo.y);
+    f.mix_coord(r.hi.x);
+    f.mix_coord(r.hi.y);
+  }
+  fingerprint_ = f.h;
+}
+
+HierSource::HierSource(const HierLayout& hier, std::int16_t layer)
+    : hier_(&hier), layer_(layer) {
+  Fnv64 f;
+  f.mix(hier.fingerprint());
+  f.mix(static_cast<std::uint64_t>(static_cast<std::uint16_t>(layer)));
+  fingerprint_ = f.h;
+}
+
+Clip HierSource::extract_clip(const geom::Rect& window) const {
+  Clip clip;
+  clip.window = window;
+  hier_->query(window, layer_, clip.shapes);
+  return clip;
+}
+
+std::optional<WindowKey> HierSource::window_key(
+    const geom::Rect& window) const {
+  const std::vector<HierCell>& cells = hier_->cells();
+  std::size_t cur = hier_->top();
+  geom::Point offset{0, 0};  // current cell's frame origin, top coords
+  bool descended = false;
+  for (std::size_t depth = 0; depth < kMaxDescentDepth; ++depth) {
+    const HierCell& cell = cells[cur];
+    // Does any local shape on the served layer reach into the window?
+    bool local = false;
+    for (std::size_t i = 0; i < cell.shapes.size() && !local; ++i)
+      local = cell.layers[i] == layer_ &&
+              cell.shapes[i].shifted(offset).overlaps(window);
+    // Count placement instances whose subtree bbox overlaps the window
+    // (early-out past one — only the exactly-one case descends).
+    std::int64_t contributors = 0;
+    std::size_t next_cell = 0;
+    geom::Point next_offset;
+    for (const HierPlacement& p : cell.placements) {
+      const geom::Rect& cb = cells[p.cell].bbox;
+      if (cb.empty()) continue;
+      const geom::Point base = offset + p.at;
+      std::int32_t i_lo = 0, i_hi = 0, j_lo = 0, j_hi = 0;
+      if (p.cols > 1) {
+        i_lo = static_cast<std::int32_t>(std::max<geom::Coord>(
+            0,
+            geom::floor_div(window.lo.x - base.x - cb.hi.x, p.col_pitch) +
+                1));
+        i_hi = static_cast<std::int32_t>(std::min<geom::Coord>(
+            p.cols - 1, geom::floor_div(window.hi.x - base.x - cb.lo.x - 1,
+                                        p.col_pitch)));
+      } else if (base.x + cb.lo.x >= window.hi.x ||
+                 base.x + cb.hi.x <= window.lo.x) {
+        continue;
+      }
+      if (p.rows > 1) {
+        j_lo = static_cast<std::int32_t>(std::max<geom::Coord>(
+            0,
+            geom::floor_div(window.lo.y - base.y - cb.hi.y, p.row_pitch) +
+                1));
+        j_hi = static_cast<std::int32_t>(std::min<geom::Coord>(
+            p.rows - 1, geom::floor_div(window.hi.y - base.y - cb.lo.y - 1,
+                                        p.row_pitch)));
+      } else if (base.y + cb.lo.y >= window.hi.y ||
+                 base.y + cb.hi.y <= window.lo.y) {
+        continue;
+      }
+      if (i_lo > i_hi || j_lo > j_hi) continue;
+      contributors += static_cast<std::int64_t>(i_hi - i_lo + 1) *
+                      (j_hi - j_lo + 1);
+      if (contributors > 1) break;
+      next_cell = p.cell;
+      next_offset = p.origin(i_lo, j_lo) + offset;
+    }
+    if (local || contributors > 1) {
+      // The window's content is pinned to this cell's subtree but not
+      // to a single child — key here, unless "here" is the top cell
+      // (a top-level key is unique per window: pure cache pollution).
+      if (!descended) return std::nullopt;
+      return WindowKey{cell.content_hash, window.lo - offset, false};
+    }
+    if (contributors == 0)
+      return WindowKey{0, {0, 0}, true};  // nothing under this window
+    cur = next_cell;
+    offset = next_offset;
+    descended = true;
+  }
+  return std::nullopt;  // depth bound: give up on a key, stay correct
+}
+
+}  // namespace hsdl::layout

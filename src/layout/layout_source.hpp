@@ -1,0 +1,127 @@
+// Unified scan-source API (DESIGN.md §16).
+//
+// ChipScanner used to be welded to the flat in-memory Layout model; the
+// hierarchical streaming path (gds_stream.hpp) needs the scanner to
+// consume windows without ever materializing the flattened chip. A
+// LayoutSource is the small surface the scanner actually needs:
+//
+//   * extent()       — the scannable area (drives the window grid)
+//   * extract_clip() — the geometry under one window, clipped to it
+//   * fingerprint()  — content identity, mixed into scan-journal
+//                      fingerprints so a resume never replays bands
+//                      recorded against different geometry
+//   * window_key()   — optional reuse identity: equal keys guarantee
+//                      bitwise-identical *normalized* clips, which lets
+//                      a CellScanCache (hotspot/scan_cache.hpp) replay a
+//                      scored probability for every repeated placement
+//                      of the same cell instead of re-extracting and
+//                      re-scoring it
+//
+// Two adapters cover the existing models: FlatSource wraps a Layout
+// (no reuse identity — flat geometry carries no repetition structure)
+// and HierSource wraps a HierLayout, deriving window keys from cell
+// content hashes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "layout/gds_stream.hpp"
+#include "layout/layout.hpp"
+
+namespace hsdl::layout {
+
+/// Reuse identity of a window's geometry. Two windows with equal keys
+/// are guaranteed to contain translation-congruent geometry, i.e. their
+/// normalized() clips are bitwise identical. Keys are only comparable
+/// within one LayoutSource and one window size — a scan-result cache
+/// must not be shared across sources or scan configs.
+struct WindowKey {
+  /// Content hash of the deepest cell whose subtree alone covers the
+  /// window (0 for the empty-window sentinel).
+  std::uint64_t cell_hash = 0;
+  /// Window lower-left corner in that cell's coordinate frame.
+  geom::Point offset;
+  /// True for the "window contains no geometry at all" sentinel — every
+  /// empty window shares one cache slot regardless of position.
+  bool empty_window = false;
+
+  friend bool operator==(const WindowKey&, const WindowKey&) = default;
+};
+
+struct WindowKeyHash {
+  std::size_t operator()(const WindowKey& k) const;
+};
+
+/// Read-only window server the scanner consumes. Implementations must
+/// be thread-safe for concurrent const calls (bands are extracted in
+/// parallel).
+class LayoutSource {
+ public:
+  virtual ~LayoutSource() = default;
+
+  /// The scannable area; the window grid spans exactly this rect.
+  virtual const geom::Rect& extent() const = 0;
+
+  /// Content fingerprint of the geometry this source serves. Mixed into
+  /// ScanJournal fingerprints: two sources with different fingerprints
+  /// never share resume state.
+  virtual std::uint64_t fingerprint() const = 0;
+
+  /// All shapes intersecting `window`, clipped to it, in source
+  /// coordinates (Clip::window == window).
+  virtual Clip extract_clip(const geom::Rect& window) const = 0;
+
+  /// Reuse identity for `window`, or nullopt when this source cannot
+  /// prove the window repeats (the default — flat sources never can).
+  /// Contract: equal keys => extract_clip(w).normalized() bitwise equal.
+  virtual std::optional<WindowKey> window_key(
+      const geom::Rect& window) const {
+    (void)window;
+    return std::nullopt;
+  }
+};
+
+/// Adapter over the flat Layout model — the old scan path, verbatim.
+/// Non-owning: the Layout must outlive the adapter.
+class FlatSource final : public LayoutSource {
+ public:
+  explicit FlatSource(const Layout& chip);
+
+  const geom::Rect& extent() const override { return chip_->extent(); }
+  std::uint64_t fingerprint() const override { return fingerprint_; }
+  Clip extract_clip(const geom::Rect& window) const override {
+    return chip_->extract_clip(window);
+  }
+
+ private:
+  const Layout* chip_;
+  std::uint64_t fingerprint_;
+};
+
+/// Adapter over a HierLayout, serving one mask layer. Window keys
+/// descend the hierarchy: while the window is covered by exactly one
+/// placement-instance subtree (and no local shapes), descend into it;
+/// the key is the deepest such cell's content hash plus the window
+/// offset in that cell's frame. Windows stuck at the top cell get no
+/// key (caching them would insert one entry per window for zero reuse).
+/// Non-owning: the HierLayout must outlive the adapter.
+class HierSource final : public LayoutSource {
+ public:
+  explicit HierSource(const HierLayout& hier, std::int16_t layer = 1);
+
+  const geom::Rect& extent() const override { return hier_->extent(); }
+  std::uint64_t fingerprint() const override { return fingerprint_; }
+  Clip extract_clip(const geom::Rect& window) const override;
+  std::optional<WindowKey> window_key(
+      const geom::Rect& window) const override;
+
+  std::int16_t layer() const { return layer_; }
+
+ private:
+  const HierLayout* hier_;
+  std::int16_t layer_;
+  std::uint64_t fingerprint_;
+};
+
+}  // namespace hsdl::layout

@@ -1,0 +1,111 @@
+// CellScanCache (DESIGN.md §16): hit/miss accounting, idempotent
+// inserts, the capacity bound, and concurrent shard access.
+#include "hotspot/scan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hsdl::hotspot {
+namespace {
+
+layout::WindowKey key(std::uint64_t hash, geom::Coord x, geom::Coord y) {
+  layout::WindowKey k;
+  k.cell_hash = hash;
+  k.offset = {x, y};
+  return k;
+}
+
+TEST(CellScanCacheTest, LookupInsertAndStats) {
+  CellScanCache cache;
+  EXPECT_EQ(cache.lookup(key(1, 0, 0)), std::nullopt);
+  cache.insert(key(1, 0, 0), 0.75);
+  const auto hit = cache.lookup(key(1, 0, 0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.75);
+  EXPECT_EQ(cache.lookup(key(1, 10, 0)), std::nullopt);
+  EXPECT_EQ(cache.lookup(key(2, 0, 0)), std::nullopt);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.hit_rate(), 0.25);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CellScanCacheTest, InsertIsIdempotent) {
+  CellScanCache cache;
+  cache.insert(key(7, 3, 3), 0.5);
+  // The WindowKey contract makes any second value for the key bitwise
+  // equal; a buggy caller's differing value must not clobber the first.
+  cache.insert(key(7, 3, 3), 0.9);
+  EXPECT_EQ(*cache.lookup(key(7, 3, 3)), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CellScanCacheTest, EmptyWindowSentinelIsItsOwnSlot) {
+  CellScanCache cache;
+  layout::WindowKey empty;
+  empty.empty_window = true;
+  cache.insert(empty, 0.01);
+  EXPECT_TRUE(cache.lookup(empty).has_value());
+  // The all-zero non-sentinel key is a different slot.
+  EXPECT_EQ(cache.lookup(key(0, 0, 0)), std::nullopt);
+}
+
+TEST(CellScanCacheTest, CapacityBoundRejectsNewKeys) {
+  CellScanCache cache(/*max_entries=*/2);
+  cache.insert(key(1, 0, 0), 0.1);
+  cache.insert(key(2, 0, 0), 0.2);
+  cache.insert(key(3, 0, 0), 0.3);  // full: dropped, counted
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.lookup(key(3, 0, 0)), std::nullopt);
+  // Re-inserting an existing key is never a rejection.
+  cache.insert(key(1, 0, 0), 0.1);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(CellScanCacheTest, NonPositiveCapacityRejected) {
+  EXPECT_THROW(CellScanCache(0), CheckError);
+}
+
+TEST(CellScanCacheTest, ClearZeroesEverything) {
+  CellScanCache cache;
+  cache.insert(key(1, 0, 0), 0.5);
+  (void)cache.lookup(key(1, 0, 0));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.lookup(key(1, 0, 0)), std::nullopt);
+}
+
+TEST(CellScanCacheTest, ConcurrentShardsStayConsistent) {
+  CellScanCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&cache] {
+      for (int i = 0; i < kKeys; ++i) {
+        const layout::WindowKey k = key(42, i, 0);
+        if (const auto got = cache.lookup(k)) {
+          EXPECT_EQ(*got, static_cast<double>(i));
+        } else {
+          cache.insert(k, static_cast<double>(i));
+        }
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i)
+    EXPECT_EQ(*cache.lookup(key(42, i, 0)), static_cast<double>(i));
+}
+
+}  // namespace
+}  // namespace hsdl::hotspot

@@ -275,5 +275,138 @@ TEST(GdsiiTest, UnknownRecordsSkipped) {
   EXPECT_NO_THROW(read_gds(patched));
 }
 
+TEST(GdsReadOptionsTest, ValidateRejectsNonsense) {
+  GdsReadOptions options;
+  EXPECT_NO_THROW(options.validate());
+  options.max_record_bytes = 3;  // smaller than a record header
+  EXPECT_THROW(options.validate(), hsdl::CheckError);
+  options = {};
+  options.max_record_bytes = 70000;  // beyond the 16-bit length field
+  EXPECT_THROW(options.validate(), hsdl::CheckError);
+  options = {};
+  options.layer_filter = 70000;  // beyond the 16-bit layer range
+  EXPECT_THROW(options.validate(), hsdl::CheckError);
+  options.layer_filter = -1;  // negative = keep all: valid
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(GdsReadOptionsTest, InvalidOptionsRejectedOnRead) {
+  std::stringstream ss;
+  write_gds(ss, clip_to_gds(demo_clip()));
+  GdsReadOptions options;
+  options.max_record_bytes = 2;
+  EXPECT_THROW(read_gds(ss, options), hsdl::CheckError);
+}
+
+TEST(GdsReadOptionsTest, LayerFilterKeepsOnlyThatLayer) {
+  GdsLibrary lib = clip_to_gds(demo_clip(), 1);
+  lib.cells[0].boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(0, 0, 10, 10)));
+  lib.cells[0].layers.push_back(2);
+  std::stringstream ss;
+  write_gds(ss, lib);
+  GdsReadOptions options;
+  options.layer_filter = 2;
+  GdsLibrary loaded = read_gds(ss, options);
+  EXPECT_EQ(loaded.cells[0].rects_on_layer(2).size(), 1u);
+  EXPECT_TRUE(loaded.cells[0].rects_on_layer(1).empty());
+}
+
+TEST(GdsReadOptionsTest, MaxRecordBytesBoundsRecords) {
+  std::stringstream ss;
+  write_gds(ss, clip_to_gds(demo_clip()));
+  GdsReadOptions options;
+  options.max_record_bytes = 16;  // BGNLIB timestamps are 28 bytes
+  EXPECT_THROW(read_gds(ss, options), hsdl::CheckError);
+}
+
+TEST(GdsReadOptionsTest, StrictModeAcceptsOwnOutput) {
+  std::stringstream ss;
+  write_gds(ss, hierarchical_lib());
+  GdsReadOptions options;
+  options.skip_unknown = false;
+  EXPECT_NO_THROW(read_gds(ss, options));
+}
+
+TEST(GdsReadOptionsTest, StrictModeRejectsUnknownRecords) {
+  std::stringstream ss;
+  write_gds(ss, clip_to_gds(demo_clip()));
+  std::string data = ss.str();
+  const std::string unknown = {0x00, 0x04, 0x0C, 0x00};
+  data.insert(data.size() - 4, unknown);
+  std::stringstream patched(data);
+  GdsReadOptions options;
+  options.skip_unknown = false;
+  EXPECT_THROW(read_gds(patched, options), hsdl::CheckError);
+}
+
+TEST(GdsReadOptionsTest, KeepHierarchyFalseReturnsFlatTop) {
+  std::stringstream ss;
+  write_gds(ss, hierarchical_lib());
+  GdsReadOptions options;
+  options.keep_hierarchy = false;
+  GdsLibrary loaded = read_gds(ss, options);
+  ASSERT_EQ(loaded.cells.size(), 1u);
+  EXPECT_TRUE(loaded.cells[0].refs.empty());
+  auto flat = loaded.cells[0].rects_on_layer(1);
+  auto want = flatten_cell(hierarchical_lib(), "TOP", 1);
+  std::sort(flat.begin(), flat.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(flat, want);
+}
+
+TEST(GdsiiSrefTest, ArefRoundTripsThroughWriteRead) {
+  GdsLibrary lib = hierarchical_lib();
+  lib.cells[2].refs.push_back({"VIA", {1000, 0}, 4, 3, 80, 60});
+  std::stringstream ss;
+  write_gds(ss, lib);
+  GdsLibrary loaded = read_gds(ss);
+  const GdsRef& ref = loaded.cells[2].refs[2];
+  EXPECT_TRUE(ref.is_array());
+  EXPECT_EQ(ref.cols, 4);
+  EXPECT_EQ(ref.rows, 3);
+  EXPECT_EQ(ref.col_pitch, 80);
+  EXPECT_EQ(ref.row_pitch, 60);
+  EXPECT_EQ(ref.instances(), 12);
+  // Flatten expands the repetition: 5 original + 12 array VIAs.
+  auto rects = flatten_cell(loaded, "TOP", 1);
+  EXPECT_EQ(rects.size(), 17u);
+  bool found = false;
+  for (const Rect& r : rects)
+    found |= r == Rect::from_xywh(1000 + 3 * 80, 2 * 60, 40, 40);
+  EXPECT_TRUE(found);
+}
+
+TEST(GdsiiSrefTest, FlattenDepthGuarded) {
+  // A 70-deep reference chain exceeds the hierarchy-depth ceiling.
+  GdsLibrary lib;
+  constexpr int kDepth = 70;
+  for (int i = 0; i < kDepth; ++i) {
+    GdsCell cell;
+    cell.name = "C" + std::to_string(i);
+    if (i + 1 < kDepth) cell.refs.push_back({"C" + std::to_string(i + 1),
+                                             {0, 0}});
+    lib.cells.push_back(cell);
+  }
+  lib.cells.back().boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(0, 0, 10, 10)));
+  lib.cells.back().layers.push_back(1);
+  EXPECT_THROW(flatten_cell(lib, "C0", 1), hsdl::CheckError);
+}
+
+TEST(GdsiiSrefTest, FlattenInstanceBlowupGuarded) {
+  GdsLibrary lib;
+  GdsCell unit;
+  unit.name = "UNIT";
+  unit.boundaries.push_back(
+      Polygon::from_rect(Rect::from_xywh(0, 0, 1, 1)));
+  unit.layers.push_back(1);
+  GdsCell top;
+  top.name = "TOP";
+  top.refs.push_back({"UNIT", {0, 0}, 4096, 4097, 10, 10});
+  lib.cells = {unit, top};
+  EXPECT_THROW(flatten_cell(lib, "TOP", 1), hsdl::CheckError);
+}
+
 }  // namespace
 }  // namespace hsdl::layout
